@@ -1,0 +1,50 @@
+// Ablation — datapath resources, the pre-RTL design-space sweep Aladdin
+// enables (§3.1): ALU count, IO-buffer ports, pipelining, and the resulting
+// device throughput and end-to-end select time. Validates the paper's choice
+// of two parallel ALUs for range filters (§2.2).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+using namespace ndp;
+
+int main() {
+  const uint64_t rows = bench::EnvU64("ABL_ROWS", 512u * 1024);
+  bench::PrintHeader(
+      "Ablation — JAFAR datapath design space (accel schedule -> device), " +
+      std::to_string(rows) + " rows");
+  db::Column col = bench::UniformColumn(rows);
+
+  std::printf("\n%-8s %-10s %-10s %-12s %-14s %-12s %-12s\n", "alus",
+              "rd_ports", "pipelined", "sched_II", "words/cycle", "energy_fJ",
+              "select_ms");
+  struct Point {
+    uint32_t alus;
+    uint32_t ports;
+    bool pipelined;
+  };
+  for (const Point& pt : std::initializer_list<Point>{
+           {1, 1, true}, {2, 1, true}, {4, 1, true}, {2, 2, true},
+           {2, 1, false}}) {
+    accel::DatapathResources res;
+    res.alus = pt.alus;
+    res.mem_read_ports = pt.ports;
+    res.pipelined = pt.pipelined;
+    auto sched = accel::ScheduleKernel(accel::MakeSelectKernel(), res, 128)
+                     .ValueOrDie();
+    core::PlatformConfig p = core::PlatformConfig::Gem5();
+    p.jafar_datapath = res;
+    core::SystemModel sys(p);
+    auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+    std::printf("%-8u %-10u %-10s %-12.2f %-14.2f %-12.1f %-12.3f\n", pt.alus,
+                pt.ports, pt.pipelined ? "yes" : "no", sched.steady_state_ii,
+                sched.words_per_cycle,
+                sched.dynamic_energy_fj / 128.0, bench::Ms(jaf.duration_ps));
+  }
+  std::printf(
+      "\nExpected: 2 ALUs reach II=1 (one word/cycle, matching the bus burst\n"
+      "rate) — more ALUs or ports buy nothing; 1 ALU halves throughput; an\n"
+      "unpipelined datapath is ~4x slower (iteration latency bound).\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Ablation — energy. The paper's NDP premise is as much about energy as
+// latency: moving a cache line across the memory bus costs roughly as much
+// energy as the DRAM array access itself, and the CPU burns pipeline energy
+// on every µop of the scan loop. JAFAR pays the array access but neither the
+// off-chip transfer nor the host pipeline.
+//
+// Coarse 2010s-class energy constants (order-of-magnitude, documented in
+// EXPERIMENTS.md): CPU 25 pJ/µop, L1 10 pJ, L2 30 pJ per access, DRAM array
+// 5 nJ per 64 B burst, off-chip bus transfer 5 nJ per burst; JAFAR datapath
+// energy comes from the accel model (~214 fJ/word), on-DIMM movement
+// 0.5 nJ/burst.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+using namespace ndp;
+
+namespace {
+constexpr double kCpuPjPerUop = 25.0;
+constexpr double kL1PjPerAccess = 10.0;
+constexpr double kL2PjPerAccess = 30.0;
+constexpr double kDramArrayNjPerBurst = 5.0;
+constexpr double kBusNjPerBurst = 5.0;
+constexpr double kDimmMoveNjPerBurst = 0.5;
+}  // namespace
+
+int main() {
+  const uint64_t rows = bench::EnvU64("ABL_ROWS", 1u << 20);
+  bench::PrintHeader("Ablation — energy per select (" + std::to_string(rows) +
+                     " rows, 50% selectivity)");
+  db::Column col = bench::UniformColumn(rows);
+
+  core::SystemModel sys(core::PlatformConfig::Gem5());
+  sys.dram().ResetCounters();
+  auto cpu = sys.RunCpuSelect(col, 0, 499999, db::SelectMode::kBranching)
+                 .ValueOrDie();
+  auto mc = sys.dram().TotalCounters();
+  const auto& l1 = sys.caches().level(0).stats();
+  const auto& l2 = sys.caches().level(1).stats();
+  double cpu_uj =
+      (static_cast<double>(cpu.stats.uops_retired) * kCpuPjPerUop +
+       static_cast<double>(l1.hits + l1.misses) * kL1PjPerAccess +
+       static_cast<double>(l2.hits + l2.misses) * kL2PjPerAccess) /
+          1e6 +
+      static_cast<double>(mc.reads_served + mc.writes_served) *
+          (kDramArrayNjPerBurst + kBusNjPerBurst) / 1e3;
+
+  core::SystemModel sys2(core::PlatformConfig::Gem5());
+  auto jaf = sys2.RunJafarSelect(col, 0, 499999).ValueOrDie();
+  double jafar_uj =
+      jaf.stats.energy_fj / 1e9 +  // datapath (fJ -> uJ)
+      static_cast<double>(jaf.stats.bursts_read + jaf.stats.bursts_written) *
+          (kDramArrayNjPerBurst + kDimmMoveNjPerBurst) / 1e3;
+
+  std::printf("\n%-28s %-14s %-14s %-16s\n", "path", "energy_uJ",
+              "time_ms", "energy_breakdown");
+  std::printf("%-28s %-14.1f %-14.3f pipeline %.1f + caches %.1f + DRAM+bus "
+              "%.1f uJ\n",
+              "CPU select", cpu_uj, bench::Ms(cpu.duration_ps),
+              static_cast<double>(cpu.stats.uops_retired) * kCpuPjPerUop / 1e6,
+              (static_cast<double>(l1.hits + l1.misses) * kL1PjPerAccess +
+               static_cast<double>(l2.hits + l2.misses) * kL2PjPerAccess) /
+                  1e6,
+              static_cast<double>(mc.reads_served + mc.writes_served) *
+                  (kDramArrayNjPerBurst + kBusNjPerBurst) / 1e3);
+  std::printf("%-28s %-14.1f %-14.3f datapath %.3f + DRAM-on-DIMM %.1f uJ\n",
+              "JAFAR select", jafar_uj, bench::Ms(jaf.duration_ps),
+              jaf.stats.energy_fj / 1e9,
+              static_cast<double>(jaf.stats.bursts_read +
+                                  jaf.stats.bursts_written) *
+                  (kDramArrayNjPerBurst + kDimmMoveNjPerBurst) / 1e3);
+  std::printf("\nenergy ratio (CPU / JAFAR): %.1fx\n", cpu_uj / jafar_uj);
+  std::printf(
+      "Expected: JAFAR saves both the off-chip transfer energy of every\n"
+      "burst and the host pipeline energy of ~8-11 µops/row; the DRAM array\n"
+      "energy is paid either way.\n");
+  return 0;
+}

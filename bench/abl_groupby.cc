@@ -1,0 +1,83 @@
+// Ablation — §4 grouped aggregation: the device's bucket-SRAM group-by vs.
+// the CPU's hash aggregation loop (dependent bucket loads), across group
+// counts. Beyond the device's bucket capacity the hierarchical scheme pays
+// one full data pass per bucket window — §4's predicted trade-off.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+using namespace ndp;
+
+int main() {
+  const uint64_t rows = bench::EnvU64("ABL_ROWS", 512u * 1024);
+  bench::PrintHeader("Ablation — NDP grouped aggregation (" +
+                     std::to_string(rows) + " rows, 256-bucket device SRAM)");
+
+  std::printf("\n%-10s %-10s %-12s %-12s %-10s %-8s\n", "groups", "passes",
+              "cpu_ms", "jafar_ms", "speedup", "check");
+  for (uint32_t groups : {4u, 64u, 256u, 1024u, 4096u}) {
+    core::SystemModel sys(core::PlatformConfig::Gem5());
+    Rng rng(groups);
+    db::Column keys = db::Column::Int64("k");
+    db::Column vals = db::Column::Int64("v");
+    for (uint64_t i = 0; i < rows; ++i) {
+      keys.Append(rng.NextInRange(0, groups - 1));
+      vals.Append(rng.NextInRange(0, 999));
+    }
+    uint64_t key_base = sys.PinColumn(keys);
+    uint64_t val_base = sys.PinColumn(vals);
+    uint32_t buckets = sys.jafar().config().groupby_buckets;
+    uint32_t passes = (groups + buckets - 1) / buckets;
+    uint64_t out = sys.Allocate(static_cast<uint64_t>(passes) * buckets * 16,
+                                4096);
+    uint64_t ht = sys.Allocate(static_cast<uint64_t>(groups) * 16, 4096);
+
+    // CPU hash group-by.
+    cpu::GroupByScanStream cpu_stream(keys.data(), rows, key_base, val_base,
+                                      ht, groups);
+    auto cpu = sys.RunStream(&cpu_stream).ValueOrDie();
+
+    // Device group-by (hierarchical when groups > buckets).
+    bool granted = false;
+    sys.driver().AcquireOwnership([&](sim::Tick) { granted = true; });
+    sys.eq().RunUntilTrue([&] { return granted; });
+    jafar::GroupByJob job;
+    job.key_base = key_base;
+    job.val_base = val_base;
+    job.num_rows = rows;
+    job.kind = jafar::AggKind::kSum;
+    job.out_base = out;
+    bool done = false;
+    sim::Tick start = sys.eq().Now(), end = 0;
+    NDP_CHECK(sys.driver()
+                  .HierarchicalGroupBy(job, groups,
+                                       [&](sim::Tick t) {
+                                         done = true;
+                                         end = t;
+                                       })
+                  .ok());
+    sys.eq().RunUntilTrue([&] { return done; });
+    double jafar_ms = bench::Ms(end - start);
+
+    // Functional check on a few groups.
+    bool ok = true;
+    for (uint32_t g = 0; g < groups; g += std::max(1u, groups / 7)) {
+      int64_t oracle = 0;
+      for (uint64_t i = 0; i < rows; ++i) {
+        if (keys[i] == g) oracle += vals[i];
+      }
+      ok &= static_cast<int64_t>(sys.dram().backing_store().Read64(
+                out + static_cast<uint64_t>(g) * 16)) == oracle;
+    }
+    std::printf("%-10u %-10u %-12.3f %-12.3f %-10.2f %-8s\n", groups, passes,
+                bench::Ms(cpu.duration_ps), jafar_ms,
+                bench::Ms(cpu.duration_ps) / jafar_ms, ok ? "ok" : "FAIL");
+  }
+  std::printf(
+      "\nExpected: within the bucket SRAM the device wins (stream-rate keys\n"
+      "and values vs. dependent bucket loads on the CPU); past 256 groups\n"
+      "each extra bucket window costs a full extra pass over both columns,\n"
+      "eroding the advantage — the §4 hierarchical-aggregation trade-off.\n");
+  return 0;
+}

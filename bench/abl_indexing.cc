@@ -1,0 +1,87 @@
+// Ablation — §4 "Indexing and Compression": "As NDP accelerators like JAFAR
+// can perform extremely efficient scans, this raises the research question of
+// whether NDP obviates the need for indexing." Compares a zone-map-pruned CPU
+// scan against the JAFAR full scan on (a) unclustered uniform data, where
+// zone maps prune nothing, and (b) value-clustered data, where they prune
+// almost everything.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+#include "db/zonemap.h"
+
+using namespace ndp;
+
+namespace {
+
+/// Times a zone-map select: per-block scans of the candidate blocks.
+double ZoneMapSelectMs(core::SystemModel* sys, const db::Column& col,
+                       const db::ZoneMap& zm, int64_t lo, int64_t hi) {
+  db::Pred pred = db::Pred::Between(lo, hi);
+  auto blocks = zm.CandidateBlocks(pred);
+  uint64_t col_base = sys->PinColumn(col);
+  uint64_t out_base = sys->Allocate(col.size() * 4);
+  std::vector<std::unique_ptr<cpu::SelectScanStream>> scans;
+  std::vector<cpu::UopStream*> children;
+  for (uint32_t b : blocks) {
+    uint64_t begin = static_cast<uint64_t>(b) * zm.block_rows();
+    uint64_t n = std::min<uint64_t>(zm.block_rows(), col.size() - begin);
+    scans.push_back(std::make_unique<cpu::SelectScanStream>(
+        col.data() + begin, n, lo, hi, col_base + begin * 8,
+        out_base + begin * 4, /*predicated=*/false));
+    children.push_back(scans.back().get());
+  }
+  cpu::ConcatStream stream(children);
+  auto run = sys->RunStream(&stream).ValueOrDie();
+  return bench::Ms(run.duration_ps);
+}
+
+void RunCase(const char* label, const db::Column& col, int64_t lo, int64_t hi) {
+  db::ZoneMap zm(col);
+  db::Pred pred = db::Pred::Between(lo, hi);
+  core::SystemModel sys_zm(core::PlatformConfig::Gem5());
+  double zm_ms = ZoneMapSelectMs(&sys_zm, col, zm, lo, hi);
+  core::SystemModel sys_full(core::PlatformConfig::Gem5());
+  auto full = sys_full
+                  .RunCpuSelect(col, lo, hi, db::SelectMode::kBranching)
+                  .ValueOrDie();
+  core::SystemModel sys_j(core::PlatformConfig::Gem5());
+  auto jaf = sys_j.RunJafarSelect(col, lo, hi).ValueOrDie();
+  std::printf("%-14s %10.1f%% %-14.3f %-14.3f %-12.3f %s\n", label,
+              zm.PruneFraction(pred) * 100, bench::Ms(full.duration_ps), zm_ms,
+              bench::Ms(jaf.duration_ps),
+              zm_ms < bench::Ms(jaf.duration_ps) ? "zone map" : "JAFAR");
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t rows = bench::EnvU64("ABL_ROWS", 1u << 20);
+  bench::PrintHeader(
+      "Ablation — zone-map indexing vs. NDP scan, 5% selectivity (" +
+      std::to_string(rows) + " rows)");
+
+  // Unclustered: uniform random — every 4096-row block spans ~the full value
+  // domain, so zone maps prune nothing.
+  db::Column random_col = bench::UniformColumn(rows);
+
+  // Clustered: the same values, sorted — qualifying rows concentrate in a few
+  // blocks (think: a date column in insertion order).
+  db::Column sorted_col = db::Column::Int64("sorted");
+  {
+    std::vector<int64_t> v(random_col.values());
+    std::sort(v.begin(), v.end());
+    for (int64_t x : v) sorted_col.Append(x);
+  }
+
+  std::printf("\n%-14s %11s %-14s %-14s %-12s %s\n", "data", "pruned",
+              "cpu_full_ms", "cpu_zonemap_ms", "jafar_ms", "winner");
+  RunCase("unclustered", random_col, 400000, 449999);
+  RunCase("clustered", sorted_col, 400000, 449999);
+  std::printf(
+      "\nExpected: on unclustered data zone maps prune ~0%% and JAFAR wins\n"
+      "outright; on clustered data the zone map skips ~95%% of blocks and\n"
+      "beats even the NDP scan — NDP does not obviate lightweight indexing,\n"
+      "it changes where the break-even sits (§4).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Ablation — pushdown planning on real query plans: runs TPC-H Q6 (the most
+// select-heavy Figure 4 query) through the column-store three ways: CPU only,
+// always-pushdown, and cost-model-planned pushdown, reporting the simulated
+// select time each plan spends.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+using namespace ndp;
+
+int main() {
+  const double scale = bench::EnvDouble("ABL_TPCH_SCALE", 0.01);
+  bench::PrintHeader("Ablation — select pushdown planning on TPC-H Q6 (scale " +
+                     std::to_string(scale) + ")");
+  db::Catalog catalog;
+  db::tpch::TpchConfig cfg;
+  cfg.scale = scale;
+  db::tpch::Generate(cfg, &catalog);
+
+  // CPU-only reference result.
+  db::QueryContext plain;
+  int64_t expected = db::tpch::RunQ6(&plain, &catalog);
+
+  // Always push down.
+  core::SystemModel sys_always(core::PlatformConfig::Gem5());
+  db::QueryContext always;
+  always.ndp_select = sys_always.MakePushdownHook();
+  int64_t always_rev = db::tpch::RunQ6(&always, &catalog);
+  sim::Tick always_ps = sys_always.eq().Now();
+
+  // Planner-guided.
+  core::SystemModel sys_planned(core::PlatformConfig::Gem5());
+  core::PushdownPlanner planner(&sys_planned);
+  db::QueryContext planned;
+  planner.Install(&planned, /*default_selectivity=*/0.15);
+  int64_t planned_rev = db::tpch::RunQ6(&planned, &catalog);
+  sim::Tick planned_ps = sys_planned.eq().Now();
+
+  NDP_CHECK(always_rev == expected && planned_rev == expected);
+
+  auto count_jafar_ops = [](const db::QueryContext& ctx) {
+    int n = 0;
+    for (const auto& s : ctx.stats) n += s.op == "scan_select[jafar]";
+    return n;
+  };
+  std::printf("\nQ6 revenue checksum agrees across all three plans: %lld\n",
+              static_cast<long long>(expected));
+  std::printf("%-28s %-22s %-18s\n", "plan", "selects_on_jafar",
+              "sim_select_time_ms");
+  std::printf("%-28s %-22d %-18s\n", "CPU only", 0, "(not simulated)");
+  std::printf("%-28s %-22d %-18.3f\n", "always push down",
+              count_jafar_ops(always), bench::Ms(always_ps));
+  std::printf("%-28s %-22d %-18.3f\n", "cost-model planned",
+              count_jafar_ops(planned), bench::Ms(planned_ps));
+  std::printf(
+      "\nNote: Q6's leading select is a full scan (pushdown wins); the two\n"
+      "refining selects run on small position lists where the planner keeps\n"
+      "them on the CPU.\n");
+  return 0;
+}

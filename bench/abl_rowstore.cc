@@ -1,0 +1,88 @@
+// Ablation A7 — §4 "NDP in Row-Stores and Hybrids": a slightly altered JAFAR
+// applies several predicates per tuple in parallel. Row-store JAFAR must
+// stream whole tuples (more bursts), while column-store JAFAR scans only the
+// referenced columns — quantifying the classic trade-off at the DIMM level.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+using namespace ndp;
+
+int main() {
+  const uint64_t tuples = bench::EnvU64("ABL_ROWS", 256u * 1024);
+  bench::PrintHeader("Ablation A7 — row-store vs. column-store JAFAR (" +
+                     std::to_string(tuples) + " tuples)");
+
+  std::printf("\n%-14s %-12s %-18s %-18s %-14s\n", "tuple_bytes",
+              "predicates", "rowstore_ms", "columnstore_ms", "col_advantage");
+  for (uint32_t tuple_bytes : {16u, 32u, 64u, 128u}) {
+    uint32_t attrs = tuple_bytes / 8;
+    uint32_t npreds = std::min(2u, attrs);
+
+    core::SystemModel sys(core::PlatformConfig::Gem5());
+    // Row-store layout: tuples of `attrs` int64 attributes.
+    Rng rng(7);
+    std::vector<int64_t> rowdata(tuples * attrs);
+    for (auto& v : rowdata) v = rng.NextInRange(0, 999999);
+    uint64_t tuple_base = sys.Allocate(rowdata.size() * 8, 4096);
+    sys.dram().backing_store().Write(tuple_base, rowdata.data(),
+                                     rowdata.size() * 8);
+    uint64_t out = sys.Allocate((tuples + 7) / 8 + 64, 4096);
+
+    bool granted = false;
+    sys.driver().AcquireOwnership([&](sim::Tick) { granted = true; });
+    sys.eq().RunUntilTrue([&] { return granted; });
+
+    jafar::RowStoreJob rs;
+    rs.tuple_base = tuple_base;
+    rs.num_tuples = tuples;
+    rs.tuple_bytes = tuple_bytes;
+    for (uint32_t p = 0; p < npreds; ++p) {
+      rs.predicates.push_back(
+          {p * 8, jafar::CompareOp::kBetween, 100000, 900000});
+    }
+    rs.out_base = out;
+    bool done = false;
+    sim::Tick start = sys.eq().Now(), end = 0;
+    NDP_CHECK(sys.driver().RowStoreJafar(rs, [&](sim::Tick t) {
+      done = true;
+      end = t;
+    }).ok());
+    sys.eq().RunUntilTrue([&] { return done; });
+    double rowstore_ms = bench::Ms(end - start);
+
+    // Column-store: scan only the npreds referenced columns (select +
+    // refining select modeled as two full column passes + bitmap combine).
+    double colstore_ms = 0;
+    for (uint32_t p = 0; p < npreds; ++p) {
+      std::vector<int64_t> colvals(tuples);
+      for (uint64_t i = 0; i < tuples; ++i) colvals[i] = rowdata[i * attrs + p];
+      uint64_t col_base = sys.Allocate(tuples * 8, 4096);
+      sys.dram().backing_store().Write(col_base, colvals.data(), tuples * 8);
+      uint64_t bm = sys.Allocate((tuples + 7) / 8 + 64, 4096);
+      jafar::SelectJob job;
+      job.col_base = col_base;
+      job.num_rows = tuples;
+      job.range_low = 100000;
+      job.range_high = 900000;
+      job.out_base = bm;
+      bool sel_done = false;
+      sim::Tick s2 = sys.eq().Now(), e2 = 0;
+      NDP_CHECK(sys.jafar().StartSelect(job, [&](sim::Tick t) {
+        sel_done = true;
+        e2 = t;
+      }).ok());
+      sys.eq().RunUntilTrue([&] { return sel_done; });
+      colstore_ms += bench::Ms(e2 - s2);
+    }
+    std::printf("%-14u %-12u %-18.3f %-18.3f %-14.2f\n", tuple_bytes, npreds,
+                rowstore_ms, colstore_ms, rowstore_ms / colstore_ms);
+  }
+  std::printf(
+      "\nExpected: the row-store device streams tuple_bytes/8 words per\n"
+      "tuple, the column-store device only the predicate columns — the\n"
+      "advantage grows linearly with tuple width (§4's open question made\n"
+      "quantitative at the DIMM level).\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+// Ablation — DRAM-ownership scheduling (§2.2/§3.3). A CPU workload and a
+// JAFAR select share the SAME rank. Three coordination policies:
+//   exclusive : JAFAR owns the rank for the whole select; CPU requests to the
+//               rank stall until it finishes (best JAFAR, worst CPU latency);
+//   sliced    : the query manager grants time-sliced leases with guaranteed
+//               host windows between them (the paper's proposal);
+//   polite    : no scheduler — JAFAR steals idle periods only (§3.3).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+#include "core/scheduler.h"
+
+using namespace ndp;
+
+namespace {
+
+struct Outcome {
+  double jafar_ms;
+  double cpu_ms;
+  double cpu_max_stall_us;  ///< longest contiguous CPU stall
+  uint64_t transfers;
+};
+
+/// Runs a JAFAR select over `col` while the CPU aggregates `cpu_rows` of data
+/// living in the SAME rank.
+Outcome Run(const char* mode, const db::Column& col, uint64_t cpu_rows) {
+  core::SystemModel sys(core::PlatformConfig::Gem5());
+  uint64_t col_base = sys.PinColumn(col);
+  (void)col_base;
+  // CPU working set in rank 0, after the column.
+  uint64_t cpu_base = sys.Allocate(cpu_rows * 8, 4096);
+
+  cpu::AggregateScanStream cpu_stream(cpu_rows, cpu_base);
+  bool cpu_done = false;
+  sim::Tick cpu_start = sys.eq().Now(), cpu_end = 0;
+  NDP_CHECK(sys.cpu().Run(&cpu_stream, [&](sim::Tick t) {
+    cpu_done = true;
+    cpu_end = t;
+  }).ok());
+
+  Outcome out{};
+  std::string m(mode);
+  if (m == "exclusive") {
+    sim::Tick s = sys.eq().Now();
+    auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+    out.jafar_ms = bench::Ms(jaf.duration_ps);
+    out.transfers = 2;
+    (void)s;
+  } else if (m == "sliced") {
+    core::SchedulerConfig cfg;
+    core::NdpScheduler scheduler(&sys, cfg);
+    auto r = scheduler.RunSlicedSelect(col, 0, 499999).ValueOrDie();
+    out.jafar_ms = bench::Ms(r.duration_ps);
+    out.transfers = r.ownership_transfers;
+  } else {  // polite
+    jafar::DeviceConfig dcfg = sys.jafar().config();
+    dcfg.require_ownership = false;
+    jafar::Device device(&sys.dram(), 0, 0, dcfg);
+    jafar::SelectJob job;
+    job.col_base = sys.PinColumn(col);
+    job.num_rows = col.size();
+    job.range_low = 0;
+    job.range_high = 499999;
+    job.out_base = sys.Allocate((col.size() + 7) / 8 + 64, 4096);
+    bool done = false;
+    sim::Tick s = sys.eq().Now(), e = 0;
+    NDP_CHECK(device.StartSelect(job, [&](sim::Tick t) {
+      done = true;
+      e = t;
+    }).ok());
+    sys.eq().RunUntilTrue([&] { return done; });
+    out.jafar_ms = bench::Ms(e - s);
+    out.transfers = 0;
+  }
+  sys.eq().RunUntilTrue([&] { return cpu_done; });
+  out.cpu_ms = bench::Ms(cpu_end - cpu_start);
+  out.cpu_max_stall_us =
+      static_cast<double>(sys.cpu().stats().max_retire_gap_ps) / 1e6;
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t rows = bench::EnvU64("ABL_ROWS", 512u * 1024);
+  bench::PrintHeader(
+      "Ablation — ownership scheduling policies, CPU and JAFAR sharing one "
+      "rank (" +
+      std::to_string(rows) + " rows each)");
+  db::Column col = bench::UniformColumn(rows);
+
+  std::printf("\n%-12s %-12s %-12s %-18s %-16s\n", "policy", "jafar_ms",
+              "cpu_ms", "cpu_max_stall_us", "mrs_transfers");
+  for (const char* mode : {"exclusive", "sliced", "polite"}) {
+    Outcome o = Run(mode, col, rows);
+    std::printf("%-12s %-12.3f %-12.3f %-18.1f %-16llu\n", mode, o.jafar_ms,
+                o.cpu_ms, o.cpu_max_stall_us,
+                (unsigned long long)o.transfers);
+  }
+  std::printf(
+      "\nExpected: total CPU throughput loss is similar for exclusive and\n"
+      "sliced (the same JAFAR work displaces the same bandwidth), but the\n"
+      "WORST CONTIGUOUS STALL drops from the whole select to one lease —\n"
+      "the latency guarantee the §2.2 cycle-bounded ownership grants buy.\n"
+      "Polite protects the CPU entirely but starves JAFAR (§3.3).\n");
+  return 0;
+}

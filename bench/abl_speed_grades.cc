@@ -1,0 +1,36 @@
+// Ablation — DDR3 speed grades: how the CPU/JAFAR balance shifts with memory
+// timing. JAFAR's rate is tied to the bus clock (it processes one word per
+// half-bus-cycle), so faster grades speed it up proportionally; the CPU is
+// partly pipeline-bound and benefits less.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+using namespace ndp;
+
+int main() {
+  const uint64_t rows = bench::EnvU64("ABL_ROWS", 512u * 1024);
+  bench::PrintHeader("Ablation — DDR3 speed grades (" + std::to_string(rows) +
+                     " rows, 50% selectivity)");
+  db::Column col = bench::UniformColumn(rows);
+
+  std::printf("\n%-22s %-10s %-12s %-12s %-10s\n", "grade", "CAS_ns",
+              "cpu_ms", "jafar_ms", "speedup");
+  for (const dram::DramTiming& t :
+       {dram::DramTiming::DDR3_1066(), dram::DramTiming::DDR3_1600(),
+        dram::DramTiming::DDR3_1866()}) {
+    core::PlatformConfig p = core::PlatformConfig::Gem5();
+    p.dram_timing = t;
+    core::SystemModel sys(p);
+    auto cpu = sys.RunCpuSelect(col, 0, 499999, db::SelectMode::kBranching)
+                   .ValueOrDie();
+    auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+    std::printf("%-22s %-10.2f %-12.3f %-12.3f %-10.2f\n", t.name.c_str(),
+                t.CasLatencyNs(), bench::Ms(cpu.duration_ps),
+                bench::Ms(jaf.duration_ps),
+                static_cast<double>(cpu.duration_ps) /
+                    static_cast<double>(jaf.duration_ps));
+  }
+  return 0;
+}

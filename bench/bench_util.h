@@ -1,0 +1,45 @@
+// Shared helpers for the benchmark harnesses.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "db/column.h"
+#include "util/rng.h"
+
+namespace ndp::bench {
+
+/// Reads an environment override (e.g. FIG3_ROWS) or returns `fallback`.
+inline uint64_t EnvU64(const char* name, uint64_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtoull(v, nullptr, 10);
+}
+
+inline double EnvDouble(const char* name, double fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::strtod(v, nullptr);
+}
+
+/// The paper's Figure 3 dataset: uniformly distributed random integers in
+/// [0, 1M) (§3.1), as an int64 column.
+inline db::Column UniformColumn(uint64_t rows, uint64_t seed = 20150601) {
+  db::Column col = db::Column::Int64("values");
+  col.Reserve(rows);
+  Rng rng(seed);
+  for (uint64_t i = 0; i < rows; ++i) col.Append(rng.NextInRange(0, 999999));
+  return col;
+}
+
+inline void PrintHeader(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline double Ms(uint64_t ps) { return static_cast<double>(ps) / 1e9; }
+
+}  // namespace ndp::bench

@@ -1,0 +1,81 @@
+// Figure 3: simulated selection speedup of JAFAR over CPU-only execution as a
+// function of query selectivity, on the gem5-like platform (Table 1, left).
+//
+// Paper setup (§3.1–3.2): 4M rows of uniformly distributed random integers in
+// [0, 1M), unsorted and unindexed; single-column range select; selectivity
+// swept 0%..100%; the CPU spin-waits while JAFAR runs (no memory contention);
+// the CPU baseline does NOT use predication. Expected shape: speedup grows
+// from ~5x at 0% selectivity to ~9x at 100%.
+//
+// Environment overrides: FIG3_ROWS (default 4194304), FIG3_STEP (default 10).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+int main() {
+  using namespace ndp;
+  const uint64_t rows = bench::EnvU64("FIG3_ROWS", 4u * 1024 * 1024);
+  const uint64_t step = bench::EnvU64("FIG3_STEP", 10);
+
+  bench::PrintHeader(
+      "Figure 3 — JAFAR speedup on selects vs. selectivity "
+      "(gem5-like platform, " +
+      std::to_string(rows) + " uniform random rows)");
+
+  db::Column col = bench::UniformColumn(rows);
+  std::printf(
+      "\n%-12s %-14s %-14s %-10s %-12s %-12s %-10s\n", "selectivity",
+      "cpu_time_ms", "jafar_time_ms", "speedup", "cpu_misp", "jafar_pages",
+      "accel_frac");
+
+  double min_speedup = 1e30, max_speedup = 0;
+  for (uint64_t pct = 0; pct <= 100; pct += step) {
+    // Each point runs on a fresh system so bank/cache state is identical.
+    core::SystemModel sys(core::PlatformConfig::Gem5());
+    // Selectivity via the range's upper bound over the [0, 1M) value domain.
+    int64_t hi = static_cast<int64_t>(pct * 10000) - 1;
+    auto cpu = sys.RunCpuSelect(col, 0, hi, db::SelectMode::kBranching)
+                   .ValueOrDie();
+    auto jaf = sys.RunJafarSelect(col, 0, hi).ValueOrDie();
+    if (cpu.matches != jaf.matches) {
+      std::fprintf(stderr, "MISMATCH at %llu%%: cpu=%llu jafar=%llu\n",
+                   (unsigned long long)pct, (unsigned long long)cpu.matches,
+                   (unsigned long long)jaf.matches);
+      return 1;
+    }
+    double speedup = static_cast<double>(cpu.duration_ps) /
+                     static_cast<double>(jaf.duration_ps);
+    min_speedup = std::min(min_speedup, speedup);
+    max_speedup = std::max(max_speedup, speedup);
+    // Fraction of the JAFAR run spent inside the accelerated region, i.e.
+    // excluding per-page invocation overhead and the ownership hand-off
+    // (§3.1: the paper reports 93%).
+    uint64_t pages = jaf.stats.jobs_completed;
+    sim::Tick overhead_ps =
+        pages * sys.jafar().config().invocation_overhead_cycles *
+            sys.jafar().config().clock.period_ps() +
+        jaf.ownership_ps;
+    double accel_frac = 1.0 - static_cast<double>(overhead_ps) /
+                                  static_cast<double>(jaf.duration_ps);
+    std::printf("%9llu%%  %-14.3f %-14.3f %-10.2f %-12llu %-12llu %-10.3f\n",
+                (unsigned long long)pct, bench::Ms(cpu.duration_ps),
+                bench::Ms(jaf.duration_ps), speedup,
+                (unsigned long long)cpu.stats.mispredicts,
+                (unsigned long long)pages, accel_frac);
+  }
+
+  std::printf(
+      "\nPaper: speedup rises from ~5x (0%% selectivity) to ~9x (100%%).\n");
+  std::printf("Measured: %.2fx .. %.2fx (ratio %.2f; paper ratio 9/5 = 1.80)\n",
+              min_speedup, max_speedup, max_speedup / min_speedup);
+
+  // §2.2 wait-time observation, from the device counters of the last run.
+  core::SystemModel sys(core::PlatformConfig::Gem5());
+  auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+  std::printf(
+      "JAFAR wait fraction: %.2f of each access spent waiting on DRAM "
+      "(paper: ~9 of 13 ns = 0.69)\n",
+      jaf.stats.WaitFraction());
+  return 0;
+}

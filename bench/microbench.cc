@@ -1,0 +1,114 @@
+// Host-side microbenchmarks (google-benchmark) of the library's hot
+// primitives: these bound how fast the simulator itself runs, independent of
+// simulated time.
+#include <benchmark/benchmark.h>
+
+#include "accel/schedule.h"
+#include "cpu/kernels.h"
+#include "db/operators.h"
+#include "dram/dram_system.h"
+#include "sim/event_queue.h"
+#include "util/bitvector.h"
+#include "util/rng.h"
+
+namespace ndp {
+namespace {
+
+void BM_EventQueueScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::EventQueue eq;
+    int sink = 0;
+    for (int i = 0; i < 1024; ++i) {
+      eq.ScheduleAt(static_cast<sim::Tick>(i * 7 % 997), [&sink] { ++sink; });
+    }
+    eq.RunUntilEmpty();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_EventQueueScheduleRun);
+
+void BM_BitVectorSetCount(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<uint32_t> positions(n / 3);
+  for (auto& p : positions) p = rng.NextBounded(static_cast<uint32_t>(n));
+  for (auto _ : state) {
+    BitVector bv(n);
+    for (uint32_t p : positions) bv.Set(p);
+    benchmark::DoNotOptimize(bv.CountOnes());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_BitVectorSetCount)->Arg(1 << 12)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_ScanSelectBranching(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  db::Column col = db::Column::Int64("c");
+  Rng rng(2);
+  for (size_t i = 0; i < n; ++i) col.Append(rng.NextInRange(0, 999999));
+  db::QueryContext ctx;
+  for (auto _ : state) {
+    auto pos = db::ScanSelect(&ctx, col, db::Pred::Between(0, 499999));
+    benchmark::DoNotOptimize(pos.data());
+    ctx.stats.clear();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_ScanSelectBranching)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_SelectUopStreamGeneration(benchmark::State& state) {
+  const size_t n = static_cast<size_t>(state.range(0));
+  std::vector<int64_t> values(n);
+  Rng rng(3);
+  for (auto& v : values) v = rng.NextInRange(0, 999999);
+  for (auto _ : state) {
+    cpu::SelectScanStream s(values.data(), n, 0, 499999, 0, 1 << 28, false);
+    cpu::Uop u;
+    uint64_t count = 0;
+    while (s.Next(&u)) ++count;
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_SelectUopStreamGeneration)->Arg(1 << 16);
+
+void BM_DddgScheduleSelectKernel(benchmark::State& state) {
+  accel::LoopKernel kernel = accel::MakeSelectKernel();
+  accel::DatapathResources res;
+  for (auto _ : state) {
+    auto r = accel::ScheduleKernel(kernel, res,
+                                   static_cast<uint32_t>(state.range(0)));
+    benchmark::DoNotOptimize(r.ValueOrDie().total_cycles);
+  }
+}
+BENCHMARK(BM_DddgScheduleSelectKernel)->Arg(64)->Arg(512);
+
+void BM_DramRandomReads(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::EventQueue eq;
+    dram::DramOrganization org;
+    org.rows_per_bank = 4096;
+    dram::ControllerConfig cc;
+    cc.refresh_enabled = false;
+    dram::DramSystem dram(&eq, dram::DramTiming::DDR3_1600(), org,
+                          dram::InterleaveScheme::kContiguous, cc);
+    Rng rng(4);
+    state.ResumeTiming();
+    int completed = 0;
+    for (int i = 0; i < 512; ++i) {
+      dram::Request req;
+      req.addr = (rng.NextU64() % org.TotalBytes()) & ~uint64_t{63};
+      req.on_complete = [&completed](sim::Tick) { ++completed; };
+      while (!dram.EnqueueRequest(req).ok()) eq.Step();
+    }
+    eq.RunUntilTrue([&] { return completed == 512; });
+    benchmark::DoNotOptimize(completed);
+  }
+  state.SetItemsProcessed(state.iterations() * 512);
+}
+BENCHMARK(BM_DramRandomReads);
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,41 @@
+// Table 1: specifications of the two evaluation platforms, printed exactly as
+// the other benchmarks instantiate them, plus the JAFAR datapath parameters
+// derived from the Aladdin-style schedule.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+
+int main() {
+  using namespace ndp;
+  bench::PrintHeader(
+      "Table 1 — Specifications of the evaluation platforms (as simulated)");
+
+  core::PlatformConfig gem5 = core::PlatformConfig::Gem5();
+  core::PlatformConfig xeon = core::PlatformConfig::Xeon();
+  std::printf("\n[gem5-like simulator — Figure 3 platform]\n%s\n",
+              gem5.ToString().c_str());
+  std::printf("[Xeon-class system — Figure 4 profiling platform]\n%s\n",
+              xeon.ToString().c_str());
+
+  std::printf("[JAFAR device, derived from the accel (Aladdin-like) model]\n");
+  auto sched = accel::ScheduleKernel(accel::MakeSelectKernel(),
+                                     gem5.jafar_datapath, 128)
+                   .ValueOrDie();
+  auto cfg = jafar::DeviceConfig::Derive(gem5.dram_timing, gem5.jafar_datapath)
+                 .ValueOrDie();
+  std::printf("  select-range kernel schedule: %s\n", sched.ToString().c_str());
+  std::printf("  JAFAR clock: %.2f GHz (2x the %.0f MHz DDR3 data bus)\n",
+              cfg.clock.frequency_ghz(),
+              1e6 / static_cast<double>(gem5.dram_timing.tck_ps));
+  std::printf("  throughput: %.2f words/cycle; energy: %.1f fJ/word\n",
+              cfg.words_per_cycle, cfg.energy_per_word_fj);
+  std::printf("  CAS latency: %.2f ns (paper quotes ~13 ns)\n",
+              gem5.dram_timing.CasLatencyNs());
+  std::printf(
+      "  8-word burst streams in %u bus cycles = %.1f ns at the device\n",
+      gem5.dram_timing.tburst,
+      static_cast<double>(gem5.dram_timing.tburst * gem5.dram_timing.tck_ps) /
+          1000.0);
+  return 0;
+}

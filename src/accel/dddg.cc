@@ -1,0 +1,43 @@
+#include "accel/dddg.h"
+
+namespace ndp::accel {
+
+Result<Dddg> Dddg::Build(const LoopKernel& kernel, uint32_t iterations) {
+  std::string error;
+  if (!kernel.Validate(&error)) {
+    return Status::InvalidArgument("kernel '" + kernel.name + "': " + error);
+  }
+  if (iterations == 0) {
+    return Status::InvalidArgument("iterations must be positive");
+  }
+  Dddg g;
+  g.iterations_ = iterations;
+  g.body_size_ = static_cast<uint16_t>(kernel.body.size());
+  g.nodes_.reserve(static_cast<size_t>(iterations) * kernel.body.size());
+  for (uint32_t it = 0; it < iterations; ++it) {
+    for (uint16_t op = 0; op < kernel.body.size(); ++op) {
+      DddgNode n;
+      n.iteration = it;
+      n.op_index = op;
+      n.code = kernel.body[op].code;
+      for (uint16_t d : kernel.body[op].deps) {
+        n.preds.push_back(g.NodeId(it, d));
+      }
+      if (it > 0) {
+        for (uint16_t d : kernel.body[op].carried_deps) {
+          n.preds.push_back(g.NodeId(it - 1, d));
+        }
+      }
+      g.nodes_.push_back(std::move(n));
+    }
+  }
+  return g;
+}
+
+uint64_t Dddg::num_edges() const {
+  uint64_t e = 0;
+  for (const auto& n : nodes_) e += n.preds.size();
+  return e;
+}
+
+}  // namespace ndp::accel

@@ -1,0 +1,51 @@
+// Resource-constrained cycle-by-cycle DDDG scheduler — Aladdin's core step:
+// the graph is "executed cycle-by-cycle by a breadth-first traversal that
+// takes into account constraints like memory bandwidth and available
+// functional units" (paper §3.1). The result is the accelerator's achievable
+// throughput and energy, which configures jafar::Device.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "accel/dddg.h"
+#include "accel/ir.h"
+#include "util/status.h"
+
+namespace ndp::accel {
+
+/// \brief Outcome of scheduling a kernel onto a datapath.
+struct ScheduleResult {
+  uint64_t total_cycles = 0;         ///< makespan of the scheduled window
+  double steady_state_ii = 0.0;      ///< cycles per iteration, steady state
+  double words_per_cycle = 0.0;      ///< input words consumed per cycle
+  uint64_t num_ops = 0;
+  double dynamic_energy_fj = 0.0;    ///< femtojoules over the window
+  std::map<Resource, double> utilization;  ///< busy-slots / (cycles * units)
+
+  std::string ToString() const;
+};
+
+/// Schedules `kernel` unrolled over `iterations` iterations onto `resources`.
+/// `iterations` should be large enough to reach steady state (>= 32).
+Result<ScheduleResult> ScheduleKernel(const LoopKernel& kernel,
+                                      const DatapathResources& resources,
+                                      uint32_t iterations);
+
+/// \brief Datapath parameters JAFAR's device model consumes.
+///
+/// This is the hand-off from the Aladdin-style model to the system simulator:
+/// the device's word-processing rate is *derived* from the schedule, never
+/// hard-coded.
+struct DatapathSummary {
+  std::string kernel_name;
+  double words_per_cycle = 0.0;
+  double steady_state_ii = 0.0;
+  double energy_per_word_fj = 0.0;
+
+  static DatapathSummary FromSchedule(const LoopKernel& kernel,
+                                      const ScheduleResult& result);
+};
+
+}  // namespace ndp::accel

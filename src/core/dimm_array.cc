@@ -1,0 +1,118 @@
+#include "core/dimm_array.h"
+
+#include <algorithm>
+
+namespace ndp::core {
+
+DimmArray::DimmArray(dram::DramTiming timing, uint32_t channels,
+                     uint32_t ranks_per_channel,
+                     jafar::DeviceConfig device_config, uint32_t rows_per_bank)
+    : timing_(std::move(timing)), device_config_(device_config) {
+  dram::DramOrganization org;
+  org.channels = channels;
+  org.ranks_per_channel = ranks_per_channel;
+  org.rows_per_bank = rows_per_bank;
+  dram::ControllerConfig mc;
+  dram_ = std::make_unique<dram::DramSystem>(
+      &eq_, timing_, org, dram::InterleaveScheme::kContiguous, mc);
+  for (uint32_t ch = 0; ch < channels; ++ch) {
+    for (uint32_t rk = 0; rk < ranks_per_channel; ++rk) {
+      devices_.push_back(
+          std::make_unique<jafar::Device>(dram_.get(), ch, rk, device_config));
+    }
+  }
+}
+
+void DimmArray::AcquireAllOwnership() {
+  uint32_t granted = 0;
+  for (auto& dev : devices_) {
+    dram_->controller(dev->channel_index())
+        .TransferOwnership(dev->rank_index(), dram::RankOwner::kAccelerator,
+                           [&granted](sim::Tick) { ++granted; });
+  }
+  NDP_CHECK(eq_.RunUntilTrue(
+      [&] { return granted == devices_.size(); }));
+}
+
+std::vector<uint64_t> DimmArray::LoadPartitioned(const db::Column& col) {
+  partitions_.clear();
+  total_rows_ = col.size();
+  uint32_t n = num_devices();
+  // Contiguous slices, rounded to bitmap-word (64-row) boundaries so merged
+  // bitmap words never straddle partitions.
+  uint64_t per = (col.size() / n + 63) & ~uint64_t{63};
+  std::vector<uint64_t> counts;
+  uint64_t row = 0;
+  uint64_t rank_bytes = dram_->organization().BytesPerRank();
+  for (uint32_t d = 0; d < n && row < col.size(); ++d) {
+    Partition part;
+    part.device = d;
+    part.first_row = row;
+    part.rows = std::min<uint64_t>(per, col.size() - row);
+    // Lay the slice out at the start of the device's rank; bitmap after it.
+    const jafar::Device& dev = *devices_[d];
+    uint64_t rank_base =
+        (static_cast<uint64_t>(dev.channel_index()) *
+             dram_->organization().ranks_per_channel +
+         dev.rank_index()) *
+        rank_bytes;
+    part.col_base = rank_base;
+    uint64_t col_bytes = (part.rows * 8 + 4095) & ~uint64_t{4095};
+    part.out_base = rank_base + col_bytes;
+    dram_->backing_store().Write(part.col_base, col.data() + row,
+                                 part.rows * 8);
+    partitions_.push_back(part);
+    counts.push_back(part.rows);
+    row += part.rows;
+  }
+  NDP_CHECK(row == col.size());
+  return counts;
+}
+
+Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
+                                                               int64_t hi) {
+  if (partitions_.empty()) {
+    return Status::FailedPrecondition("LoadPartitioned was not called");
+  }
+  uint32_t done = 0;
+  sim::Tick start = eq_.Now();
+  sim::Tick makespan_end = start;
+  for (const Partition& part : partitions_) {
+    jafar::SelectJob job;
+    job.col_base = part.col_base;
+    job.num_rows = part.rows;
+    job.range_low = lo;
+    job.range_high = hi;
+    job.out_base = part.out_base;
+    NDP_RETURN_NOT_OK(devices_[part.device]->StartSelect(
+        job, [&done, &makespan_end](sim::Tick t) {
+          ++done;
+          makespan_end = std::max(makespan_end, t);
+        }));
+  }
+  size_t launched = partitions_.size();
+  if (!eq_.RunUntilTrue([&] { return done == launched; })) {
+    return Status::Internal("parallel select did not complete");
+  }
+
+  ParallelResult result;
+  result.duration_ps = makespan_end - start;
+  result.bitmap.Resize(total_rows_);
+  for (const Partition& part : partitions_) {
+    NDP_CHECK(part.first_row % 64 == 0);
+    uint64_t words = (part.rows + 63) / 64;
+    for (uint64_t w = 0; w < words; ++w) {
+      uint64_t value = dram_->backing_store().Read64(part.out_base + w * 8);
+      // Mask tail bits beyond the partition's rows.
+      if ((w + 1) * 64 > part.rows) {
+        uint64_t valid = part.rows - w * 64;
+        value &= (valid >= 64) ? ~uint64_t{0} : ((uint64_t{1} << valid) - 1);
+      }
+      result.bitmap.SetWord(part.first_row / 64 + w, value);
+    }
+    result.matches += devices_[part.device]->last_match_count();
+  }
+  return result;
+}
+
+}  // namespace ndp::core

@@ -1,0 +1,69 @@
+// Multi-DIMM JAFAR (§4 "Memory Management": "adding support for more than one
+// DIMM is an essential future step"). A DimmArray hosts one JAFAR unit per
+// rank across all channels, range-partitions a column over the units, runs
+// their jobs in parallel, and merges the per-partition bitmaps — the
+// natural scale-out of select pushdown.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "db/column.h"
+#include "db/operators.h"
+#include "dram/dram_system.h"
+#include "jafar/device.h"
+#include "util/bitvector.h"
+
+namespace ndp::core {
+
+/// \brief A memory system with one JAFAR per rank.
+class DimmArray {
+ public:
+  /// Builds `channels x ranks_per_channel` units over a fresh DRAM system.
+  DimmArray(dram::DramTiming timing, uint32_t channels,
+            uint32_t ranks_per_channel, jafar::DeviceConfig device_config,
+            uint32_t rows_per_bank = 8192);
+  NDP_DISALLOW_COPY_AND_ASSIGN(DimmArray);
+
+  uint32_t num_devices() const { return static_cast<uint32_t>(devices_.size()); }
+  sim::EventQueue& eq() { return eq_; }
+  dram::DramSystem& dram() { return *dram_; }
+  jafar::Device& device(uint32_t i) { return *devices_[i]; }
+
+  /// Grants every device its rank (MR3/MPR on each controller). Synchronous.
+  void AcquireAllOwnership();
+
+  /// Range-partitions `col` across the devices (device i gets the i-th
+  /// contiguous slice) and copies the slices into their ranks. Returns the
+  /// partition row counts.
+  std::vector<uint64_t> LoadPartitioned(const db::Column& col);
+
+  struct ParallelResult {
+    sim::Tick duration_ps = 0;   ///< makespan across devices
+    uint64_t matches = 0;
+    BitVector bitmap;            ///< merged, in logical row order
+  };
+
+  /// Runs `lo <= v <= hi` on every partition in parallel and merges the
+  /// bitmaps. LoadPartitioned must have been called.
+  Result<ParallelResult> RunParallelSelect(int64_t lo, int64_t hi);
+
+ private:
+  struct Partition {
+    uint32_t device = 0;
+    uint64_t col_base = 0;
+    uint64_t out_base = 0;
+    uint64_t first_row = 0;
+    uint64_t rows = 0;
+  };
+
+  sim::EventQueue eq_;
+  dram::DramTiming timing_;
+  std::unique_ptr<dram::DramSystem> dram_;
+  jafar::DeviceConfig device_config_;
+  std::vector<std::unique_ptr<jafar::Device>> devices_;
+  std::vector<Partition> partitions_;
+  uint64_t total_rows_ = 0;
+};
+
+}  // namespace ndp::core

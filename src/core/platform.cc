@@ -1,0 +1,125 @@
+#include "core/platform.h"
+
+#include <cstdio>
+
+namespace ndp::core {
+
+PlatformConfig PlatformConfig::Gem5() {
+  PlatformConfig p;
+  p.name = "gem5-like (Table 1, left): 1 GHz OoO, 64kB L1 / 128kB L2, 2GB DDR3";
+
+  p.core.clock = sim::ClockDomain::FromMHz(1000);
+  p.core.rob_entries = 128;
+  // A modest 2-wide 1 GHz out-of-order core with a short pipeline: the paper
+  // deliberately keeps the simulated system "fairly simple in order to
+  // isolate the raw performance improvement possible with JAFAR".
+  p.core.issue_width = 2;
+  p.core.retire_width = 2;
+  p.core.store_buffer_entries = 16;
+  p.core.branch.mispredict_penalty_cycles = 2;
+
+  cpu::CacheConfig l1;
+  l1.name = "L1";
+  l1.size_bytes = 64 * 1024;
+  l1.ways = 4;
+  l1.hit_latency_cycles = 2;
+  l1.mshrs = 8;
+  l1.prefetch_degree = 0;
+  cpu::CacheConfig l2;
+  l2.name = "L2";
+  l2.size_bytes = 128 * 1024;
+  l2.ways = 8;
+  l2.hit_latency_cycles = 12;
+  l2.mshrs = 16;
+  l2.prefetch_degree = 0;  // "fairly simple" system: no prefetchers
+  p.caches = {l1, l2};
+  p.frontside_ps = 8000;  // 8 ns LLC-to-controller
+
+  p.dram_timing = dram::DramTiming::DDR3_1600();
+  p.dram_org.channels = 1;
+  p.dram_org.ranks_per_channel = 1;
+  p.dram_org.banks_per_rank = 8;
+  p.dram_org.rows_per_bank = 32768;  // 8 banks x 32768 x 8 KB = 2 GB
+  p.dram_org.row_size_bytes = 8192;
+  p.interleave = dram::InterleaveScheme::kContiguous;
+
+  p.jafar_datapath = accel::DatapathResources{};  // 2 ALUs (paper datapath)
+  return p;
+}
+
+PlatformConfig PlatformConfig::Xeon() {
+  PlatformConfig p;
+  p.name =
+      "Xeon E7-4820 v2-class (Table 1, right): 2 GHz, 256kB L1 / 2MB L2 / "
+      "16MB L3, multi-channel DDR3";
+
+  p.core.clock = sim::ClockDomain::FromMHz(2000);
+  p.core.rob_entries = 192;
+  p.core.issue_width = 4;
+  p.core.retire_width = 4;
+  p.core.store_buffer_entries = 32;
+  p.core.branch.mispredict_penalty_cycles = 14;
+
+  cpu::CacheConfig l1;
+  l1.name = "L1";
+  l1.size_bytes = 256 * 1024;
+  l1.ways = 8;
+  l1.hit_latency_cycles = 4;
+  l1.mshrs = 10;
+  cpu::CacheConfig l2;
+  l2.name = "L2";
+  l2.size_bytes = 2 * 1024 * 1024;
+  l2.ways = 8;
+  l2.hit_latency_cycles = 14;
+  l2.mshrs = 20;
+  l2.prefetch_degree = 4;  // server-class hardware prefetching
+  cpu::CacheConfig l3;
+  l3.name = "L3";
+  l3.size_bytes = 16 * 1024 * 1024;
+  l3.ways = 16;
+  l3.hit_latency_cycles = 40;
+  l3.mshrs = 32;
+  p.caches = {l1, l2, l3};
+  p.frontside_ps = 12000;
+
+  p.dram_timing = dram::DramTiming::DDR3_1600();
+  // One socket's memory system: the E7-4820 v2 drives four DDR3 channels
+  // (the paper samples the per-socket integrated memory controllers).
+  p.dram_org.channels = 4;
+  p.dram_org.ranks_per_channel = 2;
+  p.dram_org.banks_per_rank = 8;
+  p.dram_org.rows_per_bank = 32768;  // 16 GB simulated (sparsely backed)
+  p.dram_org.row_size_bytes = 8192;
+  p.interleave = dram::InterleaveScheme::kChannelBurst;
+
+  p.jafar_datapath = accel::DatapathResources{};
+  return p;
+}
+
+std::string PlatformConfig::ToString() const {
+  char buf[1024];
+  uint64_t dram_gb = dram_org.TotalBytes() >> 30;
+  std::string caches_str;
+  for (const auto& c : caches) {
+    char cb[96];
+    std::snprintf(cb, sizeof(cb), "%s%s %llu kB %u-way (%u cyc)",
+                  caches_str.empty() ? "" : ", ", c.name.c_str(),
+                  static_cast<unsigned long long>(c.size_bytes / 1024), c.ways,
+                  c.hit_latency_cycles);
+    caches_str += cb;
+  }
+  std::snprintf(
+      buf, sizeof(buf),
+      "%s\n"
+      "  CPU: %.1f GHz, ROB %u, %u-wide issue, mispredict penalty %u cyc\n"
+      "  Caches: %s\n"
+      "  DRAM: %s, %u channel(s) x %u rank(s), %llu GB, interleave %s\n",
+      name.c_str(), core.clock.frequency_ghz(), core.rob_entries,
+      core.issue_width, core.branch.mispredict_penalty_cycles,
+      caches_str.c_str(), dram_timing.name.c_str(), dram_org.channels,
+      dram_org.ranks_per_channel, static_cast<unsigned long long>(dram_gb),
+      dram::InterleaveSchemeToString(interleave));
+  return buf;
+}
+
+}  // namespace ndp::core

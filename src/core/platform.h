@@ -1,0 +1,48 @@
+// Platform presets reproducing Table 1 of the paper: the gem5-like simulated
+// system used to isolate JAFAR's raw performance (Figure 3), and the Xeon
+// E7-4820 v2-class system used to profile memory-controller idle periods
+// (Figure 4). Capacities of the simulated DRAM are scaled down (the backing
+// store is sparse, but simulating billions of rows is unnecessary — the
+// paper itself uses sampling, §3.1).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/ir.h"
+#include "cpu/cache.h"
+#include "cpu/core.h"
+#include "dram/address.h"
+#include "dram/controller.h"
+#include "dram/timing.h"
+#include "jafar/config.h"
+
+namespace ndp::core {
+
+/// \brief Everything needed to instantiate a simulated system.
+struct PlatformConfig {
+  std::string name;
+  cpu::CoreConfig core;
+  std::vector<cpu::CacheConfig> caches;  ///< L1 first
+  sim::Tick frontside_ps = 8000;         ///< LLC-to-memory-controller latency
+  dram::DramTiming dram_timing;
+  dram::DramOrganization dram_org;
+  dram::InterleaveScheme interleave = dram::InterleaveScheme::kContiguous;
+  dram::ControllerConfig controller;
+  accel::DatapathResources jafar_datapath;  ///< for DeviceConfig::Derive
+  uint32_t jafar_output_buffer_bits = 4096;
+
+  /// Table 1, left column: one 1 GHz out-of-order core, 64 kB L1 + 128 kB L2,
+  /// 2 GB DDR3 (capacity scaled in simulation), no prefetching — "fairly
+  /// simple in order to isolate the raw performance improvement".
+  static PlatformConfig Gem5();
+
+  /// Table 1, right column: Xeon E7-4820 v2-class — 2 GHz, 256 kB L1 / 2 MB
+  /// L2 / 16 MB L3 slices, multi-channel DDR3 with prefetching.
+  static PlatformConfig Xeon();
+
+  /// Renders the platform as a Table 1-style specification block.
+  std::string ToString() const;
+};
+
+}  // namespace ndp::core

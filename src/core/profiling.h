@@ -1,0 +1,74 @@
+// Figure 4 methodology: run a query's recorded memory trace through the
+// Xeon-class memory system, sample the memory-controller busy counters, and
+// apply the paper's pessimistic idle-period estimator:
+//
+//   MC_empty = total_cycles - RC_busy - WC_busy
+//   mean_idle_period = MC_empty / (#reads + #writes)
+//
+// Also reports the exact both-queues-empty idle statistics the simulator can
+// observe directly, quantifying how pessimistic the estimator is.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/system.h"
+#include "db/trace.h"
+
+namespace ndp::core {
+
+/// Counters of one memory controller over the profiling window (the paper
+/// samples each IMC separately and reports per-controller idle periods).
+struct ChannelProfile {
+  uint64_t rc_busy_cycles = 0;
+  uint64_t wc_busy_cycles = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+};
+
+/// \brief Per-query idle-period profile.
+struct IdleProfile {
+  std::string label;
+  uint64_t total_bus_cycles = 0;
+  uint64_t rc_busy_cycles = 0;   ///< read-queue busy, summed over channels
+  uint64_t wc_busy_cycles = 0;   ///< write-queue busy, summed over channels
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  std::vector<ChannelProfile> channels;
+
+  /// Paper estimator (lower bound): mean idle period in bus cycles, computed
+  /// per memory controller and averaged over controllers that saw traffic —
+  /// matching the paper's per-IMC sampling.
+  double EstimatedMeanIdleCycles() const;
+  /// Exact measurement from the simulator's idle histogram.
+  double MeasuredMeanIdleCycles() const { return measured_mean_idle_cycles; }
+  double measured_mean_idle_cycles = 0;
+
+  /// §3.3 corollary: data JAFAR could process per idle period (bytes), at
+  /// one 32-byte block per 4 bus cycles... the paper uses 32 B blocks; our
+  /// DDR3 model moves 64 B per 4-cycle burst, so we report the paper's
+  /// accounting for comparability.
+  double BytesPerIdlePeriodPaperAccounting() const {
+    return EstimatedMeanIdleCycles() / 4.0 * 32.0;
+  }
+};
+
+/// \brief Runs traces through a system and produces IdleProfiles.
+class IdlePeriodProfiler {
+ public:
+  explicit IdlePeriodProfiler(SystemModel* system) : system_(system) {}
+
+  /// Replays `events` (from a db::TraceRecorder) and samples the controller
+  /// counters over the replay window. `warm_runs` replays the trace that many
+  /// times first without counting, so hot columns and intermediates are
+  /// cache-resident — the steady-state condition of the paper's long-running
+  /// server (the profiled MonetDB had its working set paged in and warm).
+  Result<IdleProfile> Profile(const std::string& label,
+                              const std::vector<cpu::TraceEvent>& events,
+                              uint32_t warm_runs = 0);
+
+ private:
+  SystemModel* system_;
+};
+
+}  // namespace ndp::core

@@ -1,0 +1,79 @@
+#include "core/pushdown.h"
+
+namespace ndp::core {
+
+double CostModel::CpuSelectPs(const PlatformConfig& p, uint64_t rows,
+                              double selectivity) {
+  double cycle_ps = static_cast<double>(p.core.clock.period_ps());
+  // Pipeline cost: ~7 µops/row at the issue width, plus bookkeeping for
+  // qualifying rows and the mispredict tax (2p(1-p) of the penalty).
+  double uops_per_row = 7.0 + 3.0 * selectivity;
+  double pipeline = uops_per_row / p.core.issue_width +
+                    2.0 * selectivity * (1.0 - selectivity) *
+                        p.core.branch.mispredict_penalty_cycles;
+  // Memory: one line fill per 8 rows, overlapped up to the L1 MSHR count but
+  // ultimately bounded by one burst per tCCD on the channel.
+  double line_fill_ps = static_cast<double>(p.dram_timing.tccd) *
+                        static_cast<double>(p.dram_timing.tck_ps);
+  double mem_per_row = line_fill_ps / 8.0;
+  // Without prefetching the demand-miss latency is only partially hidden;
+  // charge a latency term divided by the achievable MLP.
+  double miss_ps = static_cast<double>(p.dram_timing.trcd + p.dram_timing.cl +
+                                       p.dram_timing.tburst) *
+                   static_cast<double>(p.dram_timing.tck_ps) / 4.0;
+  bool prefetching = false;
+  for (const auto& c : p.caches) prefetching |= c.prefetch_degree > 0;
+  double latency_per_row = prefetching ? 0.0 : miss_ps / 8.0;
+  return static_cast<double>(rows) *
+         (pipeline * cycle_ps + std::max(mem_per_row, latency_per_row));
+}
+
+double CostModel::JafarSelectPs(const PlatformConfig& p, uint64_t rows) {
+  double bus_ps = static_cast<double>(p.dram_timing.tck_ps);
+  // One 8-word burst per tCCD, plus ~1/128 activations per burst and the
+  // bitmap write-back (1 burst per 512 rows).
+  double bursts = static_cast<double>(rows) / 8.0;
+  double read_ps = bursts * p.dram_timing.tccd * bus_ps;
+  double act_ps = bursts / 128.0 *
+                  static_cast<double>(p.dram_timing.trcd + p.dram_timing.trp) *
+                  bus_ps;
+  double writeback_ps = static_cast<double>(rows) / 512.0 *
+                        p.dram_timing.tccd * bus_ps;
+  // Ownership hand-off + per-page invocation overhead.
+  double ownership_ps = 2.0 * (p.dram_timing.tmrd + 8.0) * bus_ps;
+  double pages = static_cast<double>(rows) * 8.0 / 4096.0;
+  double invocation_ps = pages * 64.0 * bus_ps / 2.0;
+  return read_ps + act_ps + writeback_ps + ownership_ps + invocation_ps;
+}
+
+PushdownDecision PushdownPlanner::Decide(uint64_t rows,
+                                         double selectivity) const {
+  PushdownDecision d;
+  const PlatformConfig& p = system_->config();
+  d.cpu_estimate_ps = CostModel::CpuSelectPs(p, rows, selectivity);
+  d.jafar_estimate_ps = CostModel::JafarSelectPs(p, rows);
+  if (rows * 8 < 2 * 4096) {
+    d.use_jafar = false;
+    d.reason = "column smaller than two pages: invocation overhead dominates";
+    return d;
+  }
+  d.use_jafar = d.jafar_estimate_ps < d.cpu_estimate_ps;
+  d.reason = d.use_jafar ? "JAFAR estimate lower" : "CPU estimate lower";
+  return d;
+}
+
+void PushdownPlanner::Install(db::QueryContext* ctx,
+                              double default_selectivity) {
+  db::NdpSelectHook raw = system_->MakePushdownHook();
+  ctx->ndp_select = [this, raw, default_selectivity](
+                        const db::Column& col,
+                        const db::Pred& pred) -> Result<db::PositionList> {
+    PushdownDecision d = Decide(col.size(), default_selectivity);
+    if (!d.use_jafar) {
+      return Status::FailedPrecondition("planner: " + d.reason);
+    }
+    return raw(col, pred);
+  };
+}
+
+}  // namespace ndp::core

@@ -1,0 +1,74 @@
+#include "core/scheduler.h"
+
+#include <algorithm>
+
+namespace ndp::core {
+
+uint64_t NdpScheduler::RowsPerLease() const {
+  const dram::DramTiming& t = system_->config().dram_timing;
+  const jafar::DeviceConfig& dev = system_->jafar().config();
+  // Burst rate: 8 rows per tCCD bus cycles; subtract the per-page invocation
+  // overhead (one device job per 4 KB page).
+  uint64_t usable = config_.lease_bus_cycles;
+  uint64_t rows_per_page = 4096 / dev.elem_bytes;
+  // Invocation overhead is in device cycles; convert to bus cycles.
+  uint64_t overhead_bus_cycles =
+      (dev.invocation_overhead_cycles * dev.clock.period_ps() + t.tck_ps - 1) /
+      t.tck_ps;
+  uint64_t cycles_per_page = rows_per_page / 8 * t.tccd + overhead_bus_cycles;
+  uint64_t pages = usable / std::max<uint64_t>(1, cycles_per_page);
+  if (pages == 0) pages = 1;
+  return pages * rows_per_page;
+}
+
+Result<NdpScheduler::SlicedResult> NdpScheduler::RunSlicedSelect(
+    const db::Column& col, int64_t lo, int64_t hi) {
+  uint64_t col_base = system_->PinColumn(col);
+  uint64_t bitmap = system_->Allocate((col.size() + 7) / 8 + 64, 4096);
+  uint64_t rows_per_slice = RowsPerLease();
+  sim::EventQueue& eq = system_->eq();
+  jafar::Driver& driver = system_->driver();
+  const dram::DramTiming& t = system_->config().dram_timing;
+
+  SlicedResult result;
+  sim::Tick start = eq.Now();
+  uint64_t row = 0;
+  while (row < col.size()) {
+    uint64_t rows = std::min<uint64_t>(rows_per_slice, col.size() - row);
+    bool owned = false;
+    driver.AcquireOwnership([&owned](sim::Tick) { owned = true; });
+    if (!eq.RunUntilTrue([&] { return owned; })) {
+      return Status::Internal("ownership acquire stalled");
+    }
+    ++result.ownership_transfers;
+
+    bool done = false;
+    jafar::SelectResult sr;
+    NDP_RETURN_NOT_OK(driver.SelectJafar(
+        col_base + row * 8, lo, hi, bitmap + row / 8, rows, /*flag_addr=*/0,
+        [&done, &sr](const jafar::SelectResult& r) {
+          sr = r;
+          done = true;
+        }));
+    if (!eq.RunUntilTrue([&] { return done; })) {
+      return Status::Internal("sliced select stalled");
+    }
+    result.matches += sr.num_output_rows;
+    ++result.slices;
+
+    bool released = false;
+    driver.ReleaseOwnership([&released](sim::Tick) { released = true; });
+    if (!eq.RunUntilTrue([&] { return released; })) {
+      return Status::Internal("ownership release stalled");
+    }
+    ++result.ownership_transfers;
+
+    // Guaranteed host window: the controller drains its queued requests.
+    eq.RunUntil(eq.Now() + config_.host_window_bus_cycles * t.tck_ps);
+    row += rows;
+  }
+  result.duration_ps = eq.Now() - start;
+  return result;
+}
+
+}  // namespace ndp::core

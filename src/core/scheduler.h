@@ -1,0 +1,53 @@
+// Time-sliced rank-ownership scheduling (§2.2, "Coordinating DRAM Access":
+// "the query manager can grant 'ownership' of a DRAM rank to JAFAR for a
+// specified number of cycles, knowing that JAFAR will finish its allotted
+// work in that amount of time"). The NdpScheduler runs a select as a sequence
+// of leases: acquire MR3/MPR ownership, process exactly the rows that fit the
+// lease, release, and leave the host a guaranteed window to drain its queued
+// requests — bounding the latency the co-running CPU workload observes.
+#pragma once
+
+#include <cstdint>
+
+#include "core/system.h"
+
+namespace ndp::core {
+
+struct SchedulerConfig {
+  /// Ownership lease granted to JAFAR per slice, in DDR3 bus cycles.
+  uint64_t lease_bus_cycles = 20000;
+  /// Host window between leases (the controller drains its queues here).
+  uint64_t host_window_bus_cycles = 4000;
+};
+
+/// \brief Runs JAFAR jobs under time-sliced rank ownership.
+class NdpScheduler {
+ public:
+  NdpScheduler(SystemModel* system, SchedulerConfig config)
+      : system_(system), config_(config) {}
+
+  struct SlicedResult {
+    sim::Tick duration_ps = 0;
+    uint64_t matches = 0;
+    uint64_t slices = 0;
+    uint64_t ownership_transfers = 0;  ///< MRS round trips (2 per slice)
+  };
+
+  /// Rows JAFAR can stream within one lease (one burst of 8 rows per tCCD,
+  /// minus the invocation overhead), rounded down to whole 4 KB pages.
+  uint64_t RowsPerLease() const;
+
+  /// Runs `lo <= v <= hi` over `col` as leased slices. The host controller
+  /// serves its queues between slices, so co-running CPU work on the same
+  /// rank keeps progressing.
+  Result<SlicedResult> RunSlicedSelect(const db::Column& col, int64_t lo,
+                                       int64_t hi);
+
+  const SchedulerConfig& config() const { return config_; }
+
+ private:
+  SystemModel* system_;
+  SchedulerConfig config_;
+};
+
+}  // namespace ndp::core

@@ -1,0 +1,271 @@
+#include "core/system.h"
+
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace ndp::core {
+
+SystemModel::SystemModel(PlatformConfig config) : config_(std::move(config)) {
+  dram_ = std::make_unique<dram::DramSystem>(
+      &eq_, config_.dram_timing, config_.dram_org, config_.interleave,
+      config_.controller);
+  hierarchy_ = std::make_unique<cpu::CacheHierarchy>(
+      &eq_, config_.core.clock, config_.caches, dram_.get(),
+      config_.frontside_ps);
+  core_ = std::make_unique<cpu::Core>(&eq_, config_.core, hierarchy_->top());
+  device_config_ =
+      jafar::DeviceConfig::Derive(config_.dram_timing, config_.jafar_datapath)
+          .ValueOrDie();
+  device_config_.output_buffer_bits = config_.jafar_output_buffer_bits;
+  device_ = std::make_unique<jafar::Device>(dram_.get(), 0, 0, device_config_);
+  driver_ = std::make_unique<jafar::Driver>(device_.get(),
+                                            &dram_->controller(0));
+}
+
+uint64_t SystemModel::Allocate(uint64_t bytes, uint64_t align) {
+  NDP_CHECK(align > 0 && (align & (align - 1)) == 0);
+  next_alloc_ = (next_alloc_ + align - 1) & ~(align - 1);
+  uint64_t base = next_alloc_;
+  next_alloc_ += bytes;
+  NDP_CHECK_MSG(next_alloc_ <= dram_->organization().BytesPerRank(),
+                "out of JAFAR-rank memory");
+  return base;
+}
+
+uint64_t SystemModel::PinColumn(const db::Column& col) {
+  auto it = pinned_.find(&col);
+  if (it != pinned_.end()) return it->second;
+  uint64_t base = Allocate(col.SizeBytes());
+  dram_->backing_store().Write(base, col.data(), col.SizeBytes());
+  pinned_.emplace(&col, base);
+  return base;
+}
+
+sim::Tick SystemModel::PumpUntil(const bool* done) {
+  bool ok = eq_.RunUntilTrue([done] { return *done; });
+  NDP_CHECK_MSG(ok, "simulation drained without completing the operation");
+  return eq_.Now();
+}
+
+Result<SystemModel::CpuRunResult> SystemModel::RunCpuSelect(
+    const db::Column& col, int64_t lo, int64_t hi, db::SelectMode mode,
+    bool cold_caches) {
+  if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
+  uint64_t col_base = PinColumn(col);
+  uint64_t out_base = Allocate(col.size() * 4);
+  if (cold_caches) hierarchy_->InvalidateAll();
+  core_->ResetStats();
+
+  cpu::SelectScanStream stream(col.data(), col.size(), lo, hi, col_base,
+                               out_base,
+                               mode == db::SelectMode::kPredicated);
+  bool done = false;
+  sim::Tick start = eq_.Now();
+  NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
+  sim::Tick end = PumpUntil(&done);
+
+  CpuRunResult r;
+  r.duration_ps = end - start;
+  r.stats = core_->stats();
+  r.matches = stream.matches();
+  return r;
+}
+
+Result<SystemModel::CpuRunResult> SystemModel::RunCpuAggregate(
+    const db::Column& col, bool cold_caches) {
+  if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
+  uint64_t col_base = PinColumn(col);
+  if (cold_caches) hierarchy_->InvalidateAll();
+  core_->ResetStats();
+  cpu::AggregateScanStream stream(col.size(), col_base);
+  bool done = false;
+  sim::Tick start = eq_.Now();
+  NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
+  sim::Tick end = PumpUntil(&done);
+  CpuRunResult r;
+  r.duration_ps = end - start;
+  r.stats = core_->stats();
+  return r;
+}
+
+Result<SystemModel::CpuRunResult> SystemModel::RunCpuProject(
+    const db::Column& col, const db::PositionList& positions,
+    bool cold_caches) {
+  if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
+  uint64_t col_base = PinColumn(col);
+  uint64_t pos_base = Allocate(positions.size() * 4);
+  uint64_t out_base = Allocate(positions.size() * 8);
+  if (cold_caches) hierarchy_->InvalidateAll();
+  core_->ResetStats();
+  cpu::ProjectGatherStream stream(positions.data(), positions.size(), pos_base,
+                                  col_base, out_base);
+  bool done = false;
+  sim::Tick start = eq_.Now();
+  NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
+  sim::Tick end = PumpUntil(&done);
+  CpuRunResult r;
+  r.duration_ps = end - start;
+  r.stats = core_->stats();
+  r.matches = positions.size();
+  return r;
+}
+
+Result<SystemModel::CpuRunResult> SystemModel::ReplayTrace(
+    const std::vector<cpu::TraceEvent>& events, bool cold_caches) {
+  if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
+  if (cold_caches) hierarchy_->InvalidateAll();
+  core_->ResetStats();
+  cpu::ReplayStream stream(&events);
+  bool done = false;
+  sim::Tick start = eq_.Now();
+  NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
+  sim::Tick end = PumpUntil(&done);
+  CpuRunResult r;
+  r.duration_ps = end - start;
+  r.stats = core_->stats();
+  return r;
+}
+
+Result<SystemModel::CpuRunResult> SystemModel::RunStream(
+    cpu::UopStream* stream, bool cold_caches) {
+  if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
+  if (cold_caches) hierarchy_->InvalidateAll();
+  core_->ResetStats();
+  bool done = false;
+  sim::Tick start = eq_.Now();
+  NDP_RETURN_NOT_OK(core_->Run(stream, [&done](sim::Tick) { done = true; }));
+  sim::Tick end = PumpUntil(&done);
+  CpuRunResult r;
+  r.duration_ps = end - start;
+  r.stats = core_->stats();
+  return r;
+}
+
+Result<SystemModel::JafarRunResult> SystemModel::RunJafarSelect(
+    const db::Column& col, int64_t lo, int64_t hi) {
+  uint64_t col_base = PinColumn(col);
+  uint64_t bitmap_base = Allocate((col.size() + 7) / 8 + 64, 4096);
+  uint64_t flag_addr = Allocate(64, 64);
+
+  JafarRunResult r;
+  r.bitmap_addr = bitmap_base;
+  jafar::DeviceStats before = device_->stats();
+  sim::Tick start = eq_.Now();
+
+  // Acquire rank ownership through the memory controller (MR3/MPR, §2.2).
+  bool owned = false;
+  driver_->AcquireOwnership([&owned](sim::Tick) { owned = true; });
+  sim::Tick own_at = PumpUntil(&owned);
+  r.ownership_ps = own_at - start;
+
+  bool done = false;
+  jafar::SelectResult select_result;
+  NDP_RETURN_NOT_OK(driver_->SelectJafar(
+      col_base, lo, hi, bitmap_base, col.size(), flag_addr,
+      [&done, &select_result](const jafar::SelectResult& sr) {
+        select_result = sr;
+        done = true;
+      }));
+  PumpUntil(&done);
+  if (driver_->registers().Read(jafar::Reg::kStatus) ==
+      static_cast<uint64_t>(jafar::DeviceStatus::kError)) {
+    return Status::Internal("JAFAR select failed (status register = ERROR)");
+  }
+
+  bool released = false;
+  driver_->ReleaseOwnership([&released](sim::Tick) { released = true; });
+  sim::Tick end = PumpUntil(&released);
+  r.ownership_ps += end - select_result.completed_at;
+
+  r.duration_ps = end - start;
+  r.matches = select_result.num_output_rows;
+  // Per-run device stats (delta against the snapshot).
+  r.stats = device_->stats();
+  r.stats.jobs_completed -= before.jobs_completed;
+  r.stats.rows_processed -= before.rows_processed;
+  r.stats.matches -= before.matches;
+  r.stats.bursts_read -= before.bursts_read;
+  r.stats.bursts_written -= before.bursts_written;
+  r.stats.activates -= before.activates;
+  r.stats.data_wait_ps -= before.data_wait_ps;
+  r.stats.engine_busy_ps -= before.engine_busy_ps;
+  r.stats.total_busy_ps -= before.total_busy_ps;
+  r.stats.energy_fj -= before.energy_fj;
+  return r;
+}
+
+std::string SystemModel::DumpStats() const {
+  char line[160];
+  std::string out;
+  auto emit = [&](const char* name, double v) {
+    std::snprintf(line, sizeof(line), "%-40s %.0f\n", name, v);
+    out += line;
+  };
+  out += "---------- simulated system statistics ----------\n";
+  emit("sim.ticks_ps", static_cast<double>(eq_.Now()));
+  const cpu::CoreStats& cs = core_->stats();
+  emit("core.cycles", static_cast<double>(cs.cycles));
+  emit("core.uops_retired", static_cast<double>(cs.uops_retired));
+  emit("core.loads", static_cast<double>(cs.loads));
+  emit("core.stores", static_cast<double>(cs.stores));
+  emit("core.branches", static_cast<double>(cs.branches));
+  emit("core.mispredicts", static_cast<double>(cs.mispredicts));
+  emit("core.rob_full_cycles", static_cast<double>(cs.rob_full_cycles));
+  emit("core.max_retire_gap_ps", static_cast<double>(cs.max_retire_gap_ps));
+  for (size_t l = 0; l < hierarchy_->num_levels(); ++l) {
+    const cpu::CacheStats& s =
+        const_cast<cpu::CacheHierarchy&>(*hierarchy_).level(l).stats();
+    std::string prefix = "cache.L" + std::to_string(l + 1) + ".";
+    emit((prefix + "hits").c_str(), static_cast<double>(s.hits));
+    emit((prefix + "misses").c_str(), static_cast<double>(s.misses));
+    emit((prefix + "mshr_merges").c_str(), static_cast<double>(s.mshr_merges));
+    emit((prefix + "writebacks").c_str(), static_cast<double>(s.writebacks));
+    emit((prefix + "prefetches").c_str(),
+         static_cast<double>(s.prefetches_issued));
+  }
+  dram::ControllerCounters mc = dram_->TotalCounters();
+  emit("mem.reads_served", static_cast<double>(mc.reads_served));
+  emit("mem.writes_served", static_cast<double>(mc.writes_served));
+  emit("mem.row_hits", static_cast<double>(mc.row_hits));
+  emit("mem.row_misses", static_cast<double>(mc.row_misses));
+  emit("mem.row_conflicts", static_cast<double>(mc.row_conflicts));
+  emit("mem.rc_busy_ps", static_cast<double>(mc.read_queue_busy_ticks));
+  emit("mem.wc_busy_ps", static_cast<double>(mc.write_queue_busy_ticks));
+  const jafar::DeviceStats& js = device_->stats();
+  emit("jafar.jobs", static_cast<double>(js.jobs_completed));
+  emit("jafar.rows", static_cast<double>(js.rows_processed));
+  emit("jafar.matches", static_cast<double>(js.matches));
+  emit("jafar.bursts_read", static_cast<double>(js.bursts_read));
+  emit("jafar.bursts_written", static_cast<double>(js.bursts_written));
+  emit("jafar.activates", static_cast<double>(js.activates));
+  emit("jafar.energy_fj", js.energy_fj);
+  emit("jafar.data_wait_ps", static_cast<double>(js.data_wait_ps));
+  emit("jafar.engine_busy_ps", static_cast<double>(js.engine_busy_ps));
+  return out;
+}
+
+db::NdpSelectHook SystemModel::MakePushdownHook() {
+  return [this](const db::Column& col,
+                const db::Pred& pred) -> Result<db::PositionList> {
+    int64_t lo, hi;
+    switch (pred.op) {
+      case db::Pred::Op::kBetween: lo = pred.lo; hi = pred.hi; break;
+      case db::Pred::Op::kEq: lo = pred.lo; hi = pred.lo; break;
+      case db::Pred::Op::kLe: lo = INT64_MIN; hi = pred.lo; break;
+      case db::Pred::Op::kLt: lo = INT64_MIN; hi = pred.lo - 1; break;
+      case db::Pred::Op::kGe: lo = pred.lo; hi = INT64_MAX; break;
+      case db::Pred::Op::kGt: lo = pred.lo + 1; hi = INT64_MAX; break;
+      default:
+        return Status::Unimplemented("predicate not supported by JAFAR");
+    }
+    NDP_ASSIGN_OR_RETURN(JafarRunResult run, RunJafarSelect(col, lo, hi));
+    // Read the bitmap back (the CPU would stream it through its caches).
+    BitVector bm(col.size());
+    for (size_t w = 0; w < bm.num_words(); ++w) {
+      bm.SetWord(w, dram_->backing_store().Read64(run.bitmap_addr + w * 8));
+    }
+    return db::BitmapToPositions(bm);
+  };
+}
+
+}  // namespace ndp::core

@@ -1,0 +1,115 @@
+// SystemModel: one fully-wired simulated machine — event queue, DRAM system,
+// cache hierarchy, out-of-order core, and a JAFAR unit with its driver — plus
+// timed entry points for the experiments: CPU selects (branching/predicated),
+// JAFAR selects (with MR3 ownership hand-off), and database-trace replay.
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/platform.h"
+#include "cpu/core.h"
+#include "cpu/hierarchy.h"
+#include "cpu/kernels.h"
+#include "db/operators.h"
+#include "dram/dram_system.h"
+#include "jafar/driver.h"
+
+namespace ndp::core {
+
+/// \brief A complete simulated system instantiated from a PlatformConfig.
+class SystemModel {
+ public:
+  explicit SystemModel(PlatformConfig config);
+  NDP_DISALLOW_COPY_AND_ASSIGN(SystemModel);
+
+  const PlatformConfig& config() const { return config_; }
+  sim::EventQueue& eq() { return eq_; }
+  dram::DramSystem& dram() { return *dram_; }
+  cpu::Core& cpu() { return *core_; }
+  cpu::CacheHierarchy& caches() { return *hierarchy_; }
+  jafar::Device& jafar() { return *device_; }
+  jafar::Driver& driver() { return *driver_; }
+
+  /// Bump-allocates physical memory in the JAFAR-equipped rank (channel 0,
+  /// rank 0). Page-aligned by default.
+  uint64_t Allocate(uint64_t bytes, uint64_t align = 4096);
+
+  /// Ensures `col`'s values are resident in the backing store; returns the
+  /// physical base address (stable per column; "pinned", §4 Memory
+  /// Management).
+  uint64_t PinColumn(const db::Column& col);
+
+  struct CpuRunResult {
+    sim::Tick duration_ps = 0;
+    cpu::CoreStats stats;
+    uint64_t matches = 0;
+  };
+
+  /// Times the CPU select loop over `col` (lo <= v <= hi), with or without
+  /// predication (§3.2). Caches can be optionally invalidated first so every
+  /// run starts cold, as a fresh query on a large dataset would.
+  Result<CpuRunResult> RunCpuSelect(const db::Column& col, int64_t lo,
+                                    int64_t hi, db::SelectMode mode,
+                                    bool cold_caches = true);
+
+  /// Times a CPU aggregate (sum) scan over `col`.
+  Result<CpuRunResult> RunCpuAggregate(const db::Column& col,
+                                       bool cold_caches = true);
+
+  /// Times a CPU projection gather of `col` at `positions`.
+  Result<CpuRunResult> RunCpuProject(const db::Column& col,
+                                     const db::PositionList& positions,
+                                     bool cold_caches = true);
+
+  /// Replays a recorded database trace through the core + memory system.
+  Result<CpuRunResult> ReplayTrace(const std::vector<cpu::TraceEvent>& events,
+                                   bool cold_caches = true);
+
+  /// Times an arbitrary µop stream on the core (building block for custom
+  /// kernels in benches and tests).
+  Result<CpuRunResult> RunStream(cpu::UopStream* stream,
+                                 bool cold_caches = true);
+
+  struct JafarRunResult {
+    sim::Tick duration_ps = 0;       ///< end-to-end, including ownership
+    sim::Tick ownership_ps = 0;      ///< MR3 hand-off round trip
+    uint64_t matches = 0;
+    uint64_t bitmap_addr = 0;
+    jafar::DeviceStats stats;        ///< device counters for this run
+  };
+
+  /// Times a full JAFAR select: acquire rank ownership, run the paged
+  /// Figure-2 API over the pinned column, release ownership. The CPU
+  /// spin-waits (no contention), as in the Figure 3 experiment.
+  Result<JafarRunResult> RunJafarSelect(const db::Column& col, int64_t lo,
+                                        int64_t hi);
+
+  /// Builds an NDP pushdown hook for db::QueryContext::ndp_select that
+  /// executes selects on this system's JAFAR unit. Only kBetween/kEq/kLe/kGe/
+  /// kLt/kGt predicates are pushable; others return an error (CPU fallback).
+  db::NdpSelectHook MakePushdownHook();
+
+  /// gem5-style statistics dump: all component counters as "name value"
+  /// lines (core, caches, memory controllers, JAFAR device).
+  std::string DumpStats() const;
+
+ private:
+  /// Pumps the event queue until `done` is set; returns the tick at finish.
+  sim::Tick PumpUntil(const bool* done);
+
+  PlatformConfig config_;
+  sim::EventQueue eq_;
+  std::unique_ptr<dram::DramSystem> dram_;
+  std::unique_ptr<cpu::CacheHierarchy> hierarchy_;
+  std::unique_ptr<cpu::Core> core_;
+  jafar::DeviceConfig device_config_;
+  std::unique_ptr<jafar::Device> device_;
+  std::unique_ptr<jafar::Driver> driver_;
+
+  uint64_t next_alloc_ = 0;
+  std::unordered_map<const db::Column*, uint64_t> pinned_;
+};
+
+}  // namespace ndp::core

@@ -1,0 +1,56 @@
+// Adapter from the cache hierarchy's MemSink interface to the DRAM system:
+// aligns accesses to burst (cache line) granularity and applies a fixed
+// front-side latency representing interconnect + controller pipeline.
+#pragma once
+
+#include <cstdint>
+
+#include "cpu/mem_if.h"
+#include "dram/dram_system.h"
+
+namespace ndp::cpu {
+
+/// \brief Last-level-cache-to-memory port.
+class DramPort : public MemSink {
+ public:
+  /// `frontside_ps`: one-way interconnect latency added to each request
+  /// before it reaches the controller queues (and not on the return path,
+  /// where it is folded into the same constant for simplicity).
+  DramPort(dram::DramSystem* dram, sim::Tick frontside_ps,
+           dram::RequesterId requester = dram::RequesterId::kCpu)
+      : dram_(dram), frontside_ps_(frontside_ps), requester_(requester) {}
+
+  bool TryAccess(uint64_t addr, bool is_write,
+                 std::function<void(sim::Tick)> on_complete) override {
+    uint64_t line = addr & ~uint64_t{63};
+    dram::Request req;
+    req.addr = line;
+    req.is_write = is_write;
+    req.requester = requester_;
+    req.on_complete = std::move(on_complete);
+    if (!dram_->CanAccept(req)) return false;
+    if (frontside_ps_ == 0) {
+      return dram_->EnqueueRequest(req).ok();
+    }
+    dram_->event_queue()->ScheduleAfter(frontside_ps_, [this, req]() mutable {
+      // The queue had room when checked; a race with other agents in the same
+      // window can overflow it, in which case we retry every 1 ns.
+      RetryEnqueue(req);
+    });
+    return true;
+  }
+
+ private:
+  void RetryEnqueue(dram::Request req) {
+    if (dram_->EnqueueRequest(req).ok()) return;
+    dram_->event_queue()->ScheduleAfter(1000, [this, req]() mutable {
+      RetryEnqueue(req);
+    });
+  }
+
+  dram::DramSystem* dram_;
+  sim::Tick frontside_ps_;
+  dram::RequesterId requester_;
+};
+
+}  // namespace ndp::cpu

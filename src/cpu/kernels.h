@@ -1,0 +1,207 @@
+// µop stream generators for the workloads the paper runs on the CPU:
+// the select scan (branching and predicated variants, §3.2), aggregation and
+// projection loops (§4), and a replay stream for recorded database operator
+// traces (Figure 4 profiling).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/uop.h"
+
+namespace ndp::cpu {
+
+/// Distinct PC values so branch-predictor entries do not alias between the
+/// data-dependent predicate branch and the well-predicted loop-back branch.
+constexpr uint64_t kPredicateBranchPc = 0x400100;
+constexpr uint64_t kLoopBranchPc = 0x400180;
+
+/// \brief CPU select over an integer column: `out[] = positions where
+/// lo <= col[i] <= hi`, producing a position list.
+///
+/// Branching variant (the paper's default, "we do not use predication"):
+///   load col[i]; cmp lo; cmp hi; and; branch;   [store pos; count++] if pass
+/// Predicated variant (§3.2 discussion):
+///   load col[i]; cmp lo; cmp hi; and; store pos; count += pass
+class SelectScanStream : public UopStream {
+ public:
+  SelectScanStream(const int64_t* values, uint64_t num_rows, int64_t lo,
+                   int64_t hi, uint64_t col_base_addr, uint64_t out_base_addr,
+                   bool predicated, uint32_t elem_bytes = 8)
+      : values_(values),
+        num_rows_(num_rows),
+        lo_(lo),
+        hi_(hi),
+        col_base_(col_base_addr),
+        out_base_(out_base_addr),
+        predicated_(predicated),
+        elem_bytes_(elem_bytes) {}
+
+  bool Next(Uop* uop) override;
+
+  uint64_t matches() const { return matches_; }
+
+ private:
+  const int64_t* values_;
+  uint64_t num_rows_;
+  int64_t lo_, hi_;
+  uint64_t col_base_, out_base_;
+  bool predicated_;
+  uint32_t elem_bytes_;
+
+  uint64_t row_ = 0;
+  uint32_t step_ = 0;
+  bool pass_ = false;
+  uint64_t matches_ = 0;
+};
+
+/// \brief CPU aggregation over an integer column (sum/min/max have identical
+/// µop structure): load; accumulate (loop-carried dependence); loop overhead.
+class AggregateScanStream : public UopStream {
+ public:
+  AggregateScanStream(uint64_t num_rows, uint64_t col_base_addr,
+                      uint32_t elem_bytes = 8)
+      : num_rows_(num_rows), col_base_(col_base_addr), elem_bytes_(elem_bytes) {}
+
+  bool Next(Uop* uop) override;
+
+ private:
+  uint64_t num_rows_;
+  uint64_t col_base_;
+  uint32_t elem_bytes_;
+  uint64_t row_ = 0;
+  uint32_t step_ = 0;
+};
+
+/// \brief CPU projection (tuple reconstruction, §4): gather col[pos[j]] for a
+/// position list — the dependent-load pattern of late materialization.
+class ProjectGatherStream : public UopStream {
+ public:
+  ProjectGatherStream(const uint32_t* positions, uint64_t num_positions,
+                      uint64_t pos_base_addr, uint64_t col_base_addr,
+                      uint64_t out_base_addr, uint32_t elem_bytes = 8)
+      : positions_(positions),
+        num_positions_(num_positions),
+        pos_base_(pos_base_addr),
+        col_base_(col_base_addr),
+        out_base_(out_base_addr),
+        elem_bytes_(elem_bytes) {}
+
+  bool Next(Uop* uop) override;
+
+ private:
+  const uint32_t* positions_;
+  uint64_t num_positions_;
+  uint64_t pos_base_, col_base_, out_base_;
+  uint32_t elem_bytes_;
+  uint64_t j_ = 0;
+  uint32_t step_ = 0;
+};
+
+/// \brief CPU hash group-by: per row, load the key and value, hash, a
+/// data-dependent load of the bucket line, accumulate, store back — the
+/// classic dependent-access pattern of hash aggregation. CPU baseline for
+/// the §4 grouped-aggregation engine ablation.
+class GroupByScanStream : public UopStream {
+ public:
+  GroupByScanStream(const int64_t* keys, uint64_t num_rows,
+                    uint64_t key_base_addr, uint64_t val_base_addr,
+                    uint64_t ht_base_addr, uint32_t num_buckets)
+      : keys_(keys),
+        num_rows_(num_rows),
+        key_base_(key_base_addr),
+        val_base_(val_base_addr),
+        ht_base_(ht_base_addr),
+        num_buckets_(num_buckets) {}
+
+  bool Next(Uop* uop) override;
+
+ private:
+  const int64_t* keys_;
+  uint64_t num_rows_;
+  uint64_t key_base_, val_base_, ht_base_;
+  uint32_t num_buckets_;
+  uint64_t row_ = 0;
+  uint32_t step_ = 0;
+};
+
+/// \brief CPU bottom-up merge sort over `num_rows` elements: log2(n) passes,
+/// each streaming two input runs and one output run. Per output element: a
+/// run load, a compare, a data-dependent branch (the classic ~50%-mispredict
+/// merge branch on random keys), a store, and cursor bookkeeping. Used as the
+/// CPU baseline for the §4 sorting accelerator ablation.
+class MergeSortStream : public UopStream {
+ public:
+  MergeSortStream(uint64_t num_rows, uint64_t src_base, uint64_t dst_base,
+                  uint64_t branch_seed = 0x5eed)
+      : num_rows_(num_rows),
+        src_base_(src_base),
+        dst_base_(dst_base),
+        rng_state_(branch_seed | 1) {
+    passes_ = 0;
+    while ((uint64_t{1} << passes_) < num_rows_) ++passes_;
+  }
+
+  bool Next(Uop* uop) override;
+
+  uint32_t passes() const { return passes_; }
+
+ private:
+  bool NextBit() {  // xorshift: models the data-dependent branch outcome
+    rng_state_ ^= rng_state_ << 13;
+    rng_state_ ^= rng_state_ >> 7;
+    rng_state_ ^= rng_state_ << 17;
+    return rng_state_ & 1;
+  }
+
+  uint64_t num_rows_;
+  uint64_t src_base_, dst_base_;
+  uint64_t rng_state_;
+  uint32_t passes_ = 0;
+  uint32_t pass_ = 0;
+  uint64_t i_ = 0;
+  uint32_t step_ = 0;
+};
+
+/// One event of a recorded operator trace (see db::TraceRecorder).
+struct TraceEvent {
+  enum class Kind : uint8_t { kCompute, kLoad, kStore } kind;
+  uint64_t value = 0;  ///< µop count for kCompute, address for kLoad/kStore
+};
+
+/// \brief Concatenates child streams back to back (e.g., per-block scans of a
+/// zone-map-pruned select). Does not own the children.
+class ConcatStream : public UopStream {
+ public:
+  explicit ConcatStream(std::vector<UopStream*> children)
+      : children_(std::move(children)) {}
+
+  bool Next(Uop* uop) override {
+    while (i_ < children_.size()) {
+      if (children_[i_]->Next(uop)) return true;
+      ++i_;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<UopStream*> children_;
+  size_t i_ = 0;
+};
+
+/// \brief Replays a recorded database operator trace as a µop stream.
+class ReplayStream : public UopStream {
+ public:
+  explicit ReplayStream(const std::vector<TraceEvent>* events)
+      : events_(events) {}
+
+  bool Next(Uop* uop) override;
+
+ private:
+  const std::vector<TraceEvent>* events_;
+  size_t i_ = 0;
+  uint64_t compute_left_ = 0;
+};
+
+}  // namespace ndp::cpu

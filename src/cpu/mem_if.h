@@ -1,0 +1,23 @@
+// Timing-side memory interface between pipeline, caches, and DRAM port.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/time.h"
+
+namespace ndp::cpu {
+
+/// \brief A sink for memory accesses with backpressure.
+///
+/// TryAccess returns false when the component cannot accept the request this
+/// cycle (MSHRs or queues full); the caller retries on a later cycle. The
+/// callback fires when the access completes (for writes it may be null).
+class MemSink {
+ public:
+  virtual ~MemSink() = default;
+  virtual bool TryAccess(uint64_t addr, bool is_write,
+                         std::function<void(sim::Tick)> on_complete) = 0;
+};
+
+}  // namespace ndp::cpu

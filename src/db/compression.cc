@@ -1,0 +1,99 @@
+#include "db/compression.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace ndp::db {
+
+Result<ForEncodedColumn> ForEncodedColumn::Encode(const Column& col) {
+  if (col.size() == 0) {
+    return ForEncodedColumn(0, 0, {});
+  }
+  int64_t lo = std::numeric_limits<int64_t>::max();
+  int64_t hi = std::numeric_limits<int64_t>::min();
+  for (size_t i = 0; i < col.size(); ++i) {
+    lo = std::min(lo, col[i]);
+    hi = std::max(hi, col[i]);
+  }
+  // Deltas must fit a signed 32-bit lane so they are directly scannable by
+  // JAFAR's packed-32-bit datapath (which sign-extends halves).
+  if (hi - lo > std::numeric_limits<int32_t>::max()) {
+    return Status::OutOfRange(
+        "value range exceeds 31-bit frame-of-reference deltas");
+  }
+  std::vector<uint32_t> codes(col.size());
+  for (size_t i = 0; i < col.size(); ++i) {
+    codes[i] = static_cast<uint32_t>(col[i] - lo);
+  }
+  return ForEncodedColumn(lo, hi - lo, std::move(codes));
+}
+
+bool ForEncodedColumn::CodeRangeFor(int64_t value_lo, int64_t value_hi,
+                                    int64_t* code_lo, int64_t* code_hi) const {
+  if (codes_.empty()) return false;
+  // Saturating rebase: sentinel bounds (INT64_MIN/MAX from open-ended
+  // operators) must not wrap when the frame base is subtracted.
+  constexpr int64_t kMin = std::numeric_limits<int64_t>::min();
+  constexpr int64_t kMax = std::numeric_limits<int64_t>::max();
+  int64_t lo = value_lo == kMin ? 0
+                                : std::max<int64_t>(value_lo - base_, 0);
+  if (value_lo != kMin && value_lo - base_ > max_code_) return false;
+  int64_t hi = value_hi == kMax ? max_code_
+                                : std::min<int64_t>(value_hi - base_, max_code_);
+  if (value_hi != kMax && value_hi < base_) return false;
+  *code_lo = lo;
+  *code_hi = hi;
+  return lo <= hi;
+}
+
+Pred ForEncodedColumn::RewritePredicate(const Pred& pred) const {
+  // Normalize every operator into a [lo, hi] value range, then shift.
+  int64_t vlo = 0, vhi = 0;
+  switch (pred.op) {
+    case Pred::Op::kBetween: vlo = pred.lo; vhi = pred.hi; break;
+    case Pred::Op::kEq: vlo = vhi = pred.lo; break;
+    case Pred::Op::kLe: vlo = std::numeric_limits<int64_t>::min(); vhi = pred.lo; break;
+    case Pred::Op::kLt:
+      vlo = std::numeric_limits<int64_t>::min();
+      vhi = pred.lo == std::numeric_limits<int64_t>::min()
+                ? pred.lo
+                : pred.lo - 1;
+      break;
+    case Pred::Op::kGe: vlo = pred.lo; vhi = std::numeric_limits<int64_t>::max(); break;
+    case Pred::Op::kGt:
+      vlo = pred.lo == std::numeric_limits<int64_t>::max()
+                ? pred.lo
+                : pred.lo + 1;
+      vhi = std::numeric_limits<int64_t>::max();
+      break;
+    case Pred::Op::kNe:
+      // Not range-expressible; evaluate != in the code domain directly.
+      return Pred::Ne(pred.lo - base_);
+  }
+  int64_t clo, chi;
+  if (!CodeRangeFor(vlo, vhi, &clo, &chi)) {
+    return Pred::Between(1, 0);  // canonical empty range
+  }
+  return Pred::Between(clo, chi);
+}
+
+PositionList ForEncodedColumn::Select(QueryContext* ctx,
+                                      const Pred& value_pred) const {
+  Pred code_pred = RewritePredicate(value_pred);
+  PositionList out;
+  uint64_t base_addr =
+      ctx->trace ? ctx->trace->AllocRegion(SizeBytes(), "for_codes") : 0;
+  for (size_t i = 0; i < codes_.size(); ++i) {
+    if (ctx->trace) {
+      ctx->trace->Compute(5);
+      ctx->trace->Load(base_addr + i * 4);
+    }
+    if (code_pred.Eval(static_cast<int64_t>(codes_[i]))) {
+      out.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  ctx->Record("for_select", codes_.size(), out.size());
+  return out;
+}
+
+}  // namespace ndp::db

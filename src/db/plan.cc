@@ -1,0 +1,363 @@
+#include "db/plan.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/macros.h"
+
+namespace ndp::db::plan {
+
+namespace {
+void Indent(std::string* out, int n) { out->append(static_cast<size_t>(n) * 2, ' '); }
+
+const char* PredOpName(Pred::Op op) {
+  switch (op) {
+    case Pred::Op::kBetween: return "between";
+    case Pred::Op::kEq: return "=";
+    case Pred::Op::kNe: return "!=";
+    case Pred::Op::kLt: return "<";
+    case Pred::Op::kGt: return ">";
+    case Pred::Op::kLe: return "<=";
+    case Pred::Op::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string PredToString(const Pred& pred) {
+  if (pred.op == Pred::Op::kBetween) {
+    return "between " + std::to_string(pred.lo) + " and " +
+           std::to_string(pred.hi);
+  }
+  return std::string(PredOpName(pred.op)) + " " + std::to_string(pred.lo);
+}
+}  // namespace
+
+int Batch::Find(const std::string& name) const {
+  for (size_t i = 0; i < names.size(); ++i) {
+    if (names[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+const std::vector<int64_t>& Batch::Col(const std::string& name) const {
+  int i = Find(name);
+  NDP_CHECK_MSG(i >= 0, name.c_str());
+  return columns[static_cast<size_t>(i)];
+}
+
+void Batch::Add(std::string name, std::vector<int64_t> values) {
+  NDP_CHECK(columns.empty() || values.size() == rows());
+  names.push_back(std::move(name));
+  columns.push_back(std::move(values));
+}
+
+// -- ScanNode -------------------------------------------------------------------
+
+Result<Batch> ScanNode::Execute(QueryContext* ctx) {
+  // Positions first (selects, JAFAR-eligible), then late materialization.
+  PositionList pos;
+  bool have_pos = false;
+  for (const auto& [col_name, pred] : conjuncts_) {
+    const Column* col = table_->FindColumn(col_name);
+    if (col == nullptr) {
+      return Status::NotFound("scan conjunct column '" + col_name + "'");
+    }
+    if (!have_pos) {
+      pos = ScanSelect(ctx, *col, pred);
+      have_pos = true;
+    } else {
+      pos = Refine(ctx, *col, pred, pos);
+    }
+  }
+  if (!have_pos) {
+    pos.resize(table_->num_rows());
+    for (size_t i = 0; i < pos.size(); ++i) pos[i] = static_cast<uint32_t>(i);
+  }
+  Batch out;
+  for (const std::string& name : output_cols_) {
+    const Column* col = table_->FindColumn(name);
+    if (col == nullptr) {
+      return Status::NotFound("scan output column '" + name + "'");
+    }
+    out.Add(name, Gather(ctx, *col, pos));
+  }
+  return out;
+}
+
+void ScanNode::Explain(std::string* out, int indent) const {
+  Indent(out, indent);
+  *out += "Scan " + table_->name() + " [";
+  for (size_t i = 0; i < output_cols_.size(); ++i) {
+    *out += (i ? ", " : "") + output_cols_[i];
+  }
+  *out += "]";
+  for (const auto& [col, pred] : conjuncts_) {
+    *out += " where " + col + " " + PredToString(pred);
+  }
+  *out += "\n";
+}
+
+// -- FilterNode -----------------------------------------------------------------
+
+Result<Batch> FilterNode::Execute(QueryContext* ctx) {
+  NDP_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  int ci = in.Find(col_);
+  if (ci < 0) return Status::NotFound("filter column '" + col_ + "'");
+  const auto& vals = in.columns[static_cast<size_t>(ci)];
+  std::vector<size_t> keep;
+  for (size_t i = 0; i < vals.size(); ++i) {
+    if (pred_.Eval(vals[i])) keep.push_back(i);
+  }
+  if (ctx->trace) ctx->trace->Compute(vals.size() * 3);
+  Batch out;
+  for (size_t c = 0; c < in.columns.size(); ++c) {
+    std::vector<int64_t> col;
+    col.reserve(keep.size());
+    for (size_t i : keep) col.push_back(in.columns[c][i]);
+    out.Add(in.names[c], std::move(col));
+  }
+  ctx->Record("plan_filter[" + col_ + "]", vals.size(), keep.size());
+  return out;
+}
+
+void FilterNode::Explain(std::string* out, int indent) const {
+  Indent(out, indent);
+  *out += "Filter " + col_ + " " + PredToString(pred_) + "\n";
+  child_->Explain(out, indent + 1);
+}
+
+// -- ProjectNode ----------------------------------------------------------------
+
+Result<Batch> ProjectNode::Execute(QueryContext* ctx) {
+  NDP_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  Batch out;
+  for (const std::string& name : keep_) {
+    int i = in.Find(name);
+    if (i < 0) return Status::NotFound("project column '" + name + "'");
+    out.Add(name, in.columns[static_cast<size_t>(i)]);
+  }
+  for (const Expr& e : exprs_) {
+    std::vector<const std::vector<int64_t>*> ins;
+    for (const std::string& name : e.inputs) {
+      int i = in.Find(name);
+      if (i < 0) return Status::NotFound("expr input '" + name + "'");
+      ins.push_back(&in.columns[static_cast<size_t>(i)]);
+    }
+    std::vector<int64_t> vals(in.rows());
+    std::vector<int64_t> args(ins.size());
+    for (size_t r = 0; r < in.rows(); ++r) {
+      for (size_t a = 0; a < ins.size(); ++a) args[a] = (*ins[a])[r];
+      vals[r] = e.fn(args);
+    }
+    if (ctx->trace) ctx->trace->Compute(in.rows() * (1 + ins.size()));
+    out.Add(e.name, std::move(vals));
+  }
+  ctx->Record("plan_project", in.rows(), out.rows());
+  return out;
+}
+
+void ProjectNode::Explain(std::string* out, int indent) const {
+  Indent(out, indent);
+  *out += "Project [";
+  bool first = true;
+  for (const std::string& k : keep_) {
+    if (!first) *out += ", ";
+    *out += k;
+    first = false;
+  }
+  for (const Expr& e : exprs_) {
+    if (!first) *out += ", ";
+    *out += e.name + "=f(...)";
+    first = false;
+  }
+  *out += "]\n";
+  child_->Explain(out, indent + 1);
+}
+
+// -- HashJoinNode ---------------------------------------------------------------
+
+Result<Batch> HashJoinNode::Execute(QueryContext* ctx) {
+  NDP_ASSIGN_OR_RETURN(Batch l, left_->Execute(ctx));
+  NDP_ASSIGN_OR_RETURN(Batch r, right_->Execute(ctx));
+  int lk = l.Find(left_key_);
+  int rk = r.Find(right_key_);
+  if (lk < 0 || rk < 0) {
+    return Status::NotFound("join key missing: " + left_key_ + "/" + right_key_);
+  }
+  const auto& lkeys = l.columns[static_cast<size_t>(lk)];
+  const auto& rkeys = r.columns[static_cast<size_t>(rk)];
+  std::unordered_multimap<int64_t, size_t> ht;
+  ht.reserve(lkeys.size());
+  for (size_t i = 0; i < lkeys.size(); ++i) ht.emplace(lkeys[i], i);
+  std::vector<size_t> li, ri;
+  for (size_t j = 0; j < rkeys.size(); ++j) {
+    auto [first, last] = ht.equal_range(rkeys[j]);
+    for (auto it = first; it != last; ++it) {
+      li.push_back(it->second);
+      ri.push_back(j);
+    }
+  }
+  if (ctx->trace) {
+    ctx->trace->Compute(lkeys.size() * 12 + rkeys.size() * 10);
+  }
+  Batch out;
+  for (size_t c = 0; c < l.columns.size(); ++c) {
+    std::vector<int64_t> col;
+    col.reserve(li.size());
+    for (size_t i : li) col.push_back(l.columns[c][i]);
+    out.Add(l.names[c], std::move(col));
+  }
+  for (size_t c = 0; c < r.columns.size(); ++c) {
+    if (static_cast<int>(c) == rk) continue;  // drop duplicate key
+    std::vector<int64_t> col;
+    col.reserve(ri.size());
+    for (size_t j : ri) col.push_back(r.columns[c][j]);
+    std::string name = r.names[c];
+    if (out.Find(name) >= 0) name = "r_" + name;
+    out.Add(std::move(name), std::move(col));
+  }
+  ctx->Record("plan_hash_join", lkeys.size() + rkeys.size(), out.rows());
+  return out;
+}
+
+void HashJoinNode::Explain(std::string* out, int indent) const {
+  Indent(out, indent);
+  *out += "HashJoin " + left_key_ + " = " + right_key_ + "\n";
+  left_->Explain(out, indent + 1);
+  right_->Explain(out, indent + 1);
+}
+
+// -- AggregateNode ----------------------------------------------------------------
+
+Result<Batch> AggregateNode::Execute(QueryContext* ctx) {
+  NDP_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  // Pack group keys: assumes each key column fits in 21 bits unless there is
+  // only one (the common case: dictionary codes and small ids).
+  std::vector<const std::vector<int64_t>*> keys;
+  for (const std::string& g : group_cols_) {
+    int i = in.Find(g);
+    if (i < 0) return Status::NotFound("group column '" + g + "'");
+    keys.push_back(&in.columns[static_cast<size_t>(i)]);
+  }
+  std::vector<int64_t> packed(in.rows(), 0);
+  if (keys.size() == 1) {
+    packed = *keys[0];
+  } else {
+    for (size_t r = 0; r < in.rows(); ++r) {
+      int64_t k = 0;
+      for (const auto* kc : keys) {
+        int64_t v = (*kc)[r];
+        NDP_CHECK_MSG(v >= 0 && v < (int64_t{1} << 21),
+                      "multi-key group value out of packing range");
+        k = (k << 21) | v;
+      }
+      packed[r] = k;
+    }
+  }
+  std::vector<AggSpec> specs;
+  std::vector<const std::vector<int64_t>*> inputs;
+  for (const AggOutput& a : aggs_) {
+    const std::vector<int64_t>* input = nullptr;
+    if (a.fn != AggFn::kCount) {
+      int i = in.Find(a.input);
+      if (i < 0) return Status::NotFound("aggregate input '" + a.input + "'");
+      input = &in.columns[static_cast<size_t>(i)];
+    }
+    specs.push_back(AggSpec{a.fn, input});
+  }
+  auto groups = GroupAggregate(ctx, packed, specs);
+
+  Batch out;
+  std::vector<std::vector<int64_t>> key_cols(group_cols_.size());
+  std::vector<std::vector<int64_t>> agg_cols(aggs_.size());
+  for (const auto& [key, vals] : groups) {
+    int64_t k = key;
+    for (size_t g = group_cols_.size(); g-- > 0;) {
+      if (keys.size() == 1) {
+        key_cols[g].push_back(k);
+      } else {
+        key_cols[g].push_back(k & ((int64_t{1} << 21) - 1));
+        k >>= 21;
+      }
+    }
+    for (size_t a = 0; a < aggs_.size(); ++a) agg_cols[a].push_back(vals[a]);
+  }
+  for (size_t g = 0; g < group_cols_.size(); ++g) {
+    out.Add(group_cols_[g], std::move(key_cols[g]));
+  }
+  for (size_t a = 0; a < aggs_.size(); ++a) {
+    out.Add(aggs_[a].output_name, std::move(agg_cols[a]));
+  }
+  return out;
+}
+
+void AggregateNode::Explain(std::string* out, int indent) const {
+  Indent(out, indent);
+  *out += "Aggregate group by [";
+  for (size_t i = 0; i < group_cols_.size(); ++i) {
+    *out += (i ? ", " : "") + group_cols_[i];
+  }
+  *out += "] -> [";
+  for (size_t i = 0; i < aggs_.size(); ++i) {
+    *out += (i ? ", " : "") + aggs_[i].output_name;
+  }
+  *out += "]\n";
+  child_->Explain(out, indent + 1);
+}
+
+// -- SortNode -------------------------------------------------------------------
+
+Result<Batch> SortNode::Execute(QueryContext* ctx) {
+  NDP_ASSIGN_OR_RETURN(Batch in, child_->Execute(ctx));
+  int ki = in.Find(key_);
+  if (ki < 0) return Status::NotFound("sort key '" + key_ + "'");
+  const auto& keys = in.columns[static_cast<size_t>(ki)];
+  std::vector<size_t> order(in.rows());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    return descending_ ? keys[a] > keys[b] : keys[a] < keys[b];
+  });
+  if (limit_ > 0 && order.size() > limit_) order.resize(limit_);
+  if (ctx->trace) ctx->trace->Compute(in.rows() * 6);
+  Batch out;
+  for (size_t c = 0; c < in.columns.size(); ++c) {
+    std::vector<int64_t> col;
+    col.reserve(order.size());
+    for (size_t i : order) col.push_back(in.columns[c][i]);
+    out.Add(in.names[c], std::move(col));
+  }
+  ctx->Record("plan_sort[" + key_ + "]", in.rows(), out.rows());
+  return out;
+}
+
+void SortNode::Explain(std::string* out, int indent) const {
+  Indent(out, indent);
+  *out += "Sort " + key_ + (descending_ ? " desc" : " asc");
+  if (limit_ > 0) *out += " limit " + std::to_string(limit_);
+  *out += "\n";
+  child_->Explain(out, indent + 1);
+}
+
+// -- Optimizer -------------------------------------------------------------------
+
+NodePtr PushFiltersIntoScans(NodePtr root) {
+  // Only the Filter->...->Scan chain at the root of each subtree is handled;
+  // plans are small enough that a single recursive pattern suffices.
+  if (auto* filter = dynamic_cast<FilterNode*>(root.get())) {
+    // First optimize the subtree below.
+    NodePtr child = PushFiltersIntoScans(filter->TakeChild());
+    if (auto* scan = dynamic_cast<ScanNode*>(child.get())) {
+      if (scan->table()->FindColumn(filter->column()) != nullptr) {
+        scan->AddConjunct(filter->column(), filter->pred());
+        return child;  // the filter dissolves into the scan
+      }
+    }
+    return std::make_unique<FilterNode>(std::move(child), filter->column(),
+                                        filter->pred());
+  }
+  // Other nodes: no children rewiring API; handled by construction order in
+  // practice (filters are introduced directly above scans by plan builders).
+  return root;
+}
+
+}  // namespace ndp::db::plan

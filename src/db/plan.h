@@ -1,0 +1,181 @@
+// A bulk-processing physical plan layer over the column-store operators:
+// plans are trees of nodes executed operator-at-a-time (each node consumes
+// and produces whole column batches, MonetDB-style). A small optimizer pushes
+// filters into scans — where they become position-list selects eligible for
+// JAFAR pushdown through QueryContext::ndp_select — and Explain() renders the
+// tree for inspection.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/operators.h"
+#include "db/table.h"
+
+namespace ndp::db::plan {
+
+/// \brief A bulk intermediate: equal-length named int64 vectors.
+struct Batch {
+  std::vector<std::string> names;
+  std::vector<std::vector<int64_t>> columns;
+
+  size_t rows() const { return columns.empty() ? 0 : columns[0].size(); }
+  /// Index of `name`, or -1.
+  int Find(const std::string& name) const;
+  const std::vector<int64_t>& Col(const std::string& name) const;
+  void Add(std::string name, std::vector<int64_t> values);
+};
+
+/// \brief Base physical plan node.
+class Node {
+ public:
+  virtual ~Node() = default;
+  virtual Result<Batch> Execute(QueryContext* ctx) = 0;
+  virtual void Explain(std::string* out, int indent) const = 0;
+  std::string ExplainString() const {
+    std::string s;
+    Explain(&s, 0);
+    return s;
+  }
+};
+
+using NodePtr = std::unique_ptr<Node>;
+
+/// \brief Leaf scan: emits the requested columns of a table, applying its
+/// conjuncts as position-list selects first (the JAFAR-pushdown-eligible
+/// path) and late-materializing only qualifying rows.
+class ScanNode : public Node {
+ public:
+  ScanNode(const Table* table, std::vector<std::string> output_cols)
+      : table_(table), output_cols_(std::move(output_cols)) {}
+
+  /// Adds a pushed-down conjunct on `col`.
+  void AddConjunct(std::string col, Pred pred) {
+    conjuncts_.emplace_back(std::move(col), pred);
+  }
+  size_t num_conjuncts() const { return conjuncts_.size(); }
+  const Table* table() const { return table_; }
+
+  Result<Batch> Execute(QueryContext* ctx) override;
+  void Explain(std::string* out, int indent) const override;
+
+ private:
+  const Table* table_;
+  std::vector<std::string> output_cols_;
+  std::vector<std::pair<std::string, Pred>> conjuncts_;
+};
+
+/// \brief Filter on a materialized batch column.
+class FilterNode : public Node {
+ public:
+  FilterNode(NodePtr child, std::string col, Pred pred)
+      : child_(std::move(child)), col_(std::move(col)), pred_(pred) {}
+
+  Result<Batch> Execute(QueryContext* ctx) override;
+  void Explain(std::string* out, int indent) const override;
+
+  Node* child() { return child_.get(); }
+  NodePtr TakeChild() { return std::move(child_); }
+  const std::string& column() const { return col_; }
+  const Pred& pred() const { return pred_; }
+
+ private:
+  NodePtr child_;
+  std::string col_;
+  Pred pred_;
+};
+
+/// A computed column: out = fn(inputs...), evaluated row-wise.
+struct Expr {
+  std::string name;
+  std::vector<std::string> inputs;
+  std::function<int64_t(const std::vector<int64_t>&)> fn;
+};
+
+/// \brief Projection: keeps `keep` columns and appends computed expressions.
+class ProjectNode : public Node {
+ public:
+  ProjectNode(NodePtr child, std::vector<std::string> keep,
+              std::vector<Expr> exprs = {})
+      : child_(std::move(child)), keep_(std::move(keep)),
+        exprs_(std::move(exprs)) {}
+
+  Result<Batch> Execute(QueryContext* ctx) override;
+  void Explain(std::string* out, int indent) const override;
+
+ private:
+  NodePtr child_;
+  std::vector<std::string> keep_;
+  std::vector<Expr> exprs_;
+};
+
+/// \brief Hash equi-join; output columns are the union (right side's key
+/// column is dropped; duplicate names get an "r_" prefix).
+class HashJoinNode : public Node {
+ public:
+  HashJoinNode(NodePtr left, NodePtr right, std::string left_key,
+               std::string right_key)
+      : left_(std::move(left)), right_(std::move(right)),
+        left_key_(std::move(left_key)), right_key_(std::move(right_key)) {}
+
+  Result<Batch> Execute(QueryContext* ctx) override;
+  void Explain(std::string* out, int indent) const override;
+
+ private:
+  NodePtr left_, right_;
+  std::string left_key_, right_key_;
+};
+
+/// One aggregate output of an AggregateNode.
+struct AggOutput {
+  AggFn fn;
+  std::string input;  ///< ignored for kCount
+  std::string output_name;
+};
+
+/// \brief Hash group-by over one or more key columns (keys packed into one
+/// int64; key columns are re-emitted alongside the aggregates).
+class AggregateNode : public Node {
+ public:
+  AggregateNode(NodePtr child, std::vector<std::string> group_cols,
+                std::vector<AggOutput> aggs)
+      : child_(std::move(child)), group_cols_(std::move(group_cols)),
+        aggs_(std::move(aggs)) {}
+
+  Result<Batch> Execute(QueryContext* ctx) override;
+  void Explain(std::string* out, int indent) const override;
+
+ private:
+  NodePtr child_;
+  std::vector<std::string> group_cols_;
+  std::vector<AggOutput> aggs_;
+};
+
+/// \brief Sort by one column, optional limit (top-k).
+class SortNode : public Node {
+ public:
+  SortNode(NodePtr child, std::string key, bool descending = false,
+           size_t limit = 0)
+      : child_(std::move(child)), key_(std::move(key)),
+        descending_(descending), limit_(limit) {}
+
+  Result<Batch> Execute(QueryContext* ctx) override;
+  void Explain(std::string* out, int indent) const override;
+
+ private:
+  NodePtr child_;
+  std::string key_;
+  bool descending_;
+  size_t limit_;
+};
+
+// -- Optimizer -----------------------------------------------------------------
+
+/// Pushes FilterNodes down into ScanNodes as conjuncts where the filtered
+/// column belongs to the scan's table (making them NDP-pushdown-eligible).
+/// Returns the (possibly replaced) root.
+NodePtr PushFiltersIntoScans(NodePtr root);
+
+}  // namespace ndp::db::plan

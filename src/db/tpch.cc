@@ -1,0 +1,135 @@
+#include "db/tpch.h"
+
+#include <string>
+
+#include "util/macros.h"
+
+namespace ndp::db::tpch {
+
+namespace {
+// Days-from-civil (Howard Hinnant's algorithm), rebased to 1992-01-01.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  int era = (y >= 0 ? y : y - 399) / 400;
+  unsigned yoe = static_cast<unsigned>(y - era * 400);
+  unsigned doy = (153u * static_cast<unsigned>(m + (m > 2 ? -3 : 9)) + 2) / 5 +
+                 static_cast<unsigned>(d) - 1;
+  unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return static_cast<int64_t>(era) * 146097 + static_cast<int64_t>(doe) -
+         719468;
+}
+const int64_t kEpoch1992 = DaysFromCivil(1992, 1, 1);
+}  // namespace
+
+int64_t DayNumber(int year, int month, int day) {
+  return DaysFromCivil(year, month, day) - kEpoch1992;
+}
+
+void Generate(const TpchConfig& config, Catalog* catalog) {
+  Rng rng(config.seed);
+
+  // ---- customer -----------------------------------------------------------
+  Table* customer = catalog->AddTable("customer");
+  Column* c_custkey = customer->AddColumn(Column::Int64("c_custkey"));
+  Column* c_mktsegment =
+      customer->AddColumn(Column::Dictionary("c_mktsegment"));
+  Column* c_acctbal = customer->AddColumn(Column::Int64("c_acctbal"));
+  Column* c_phone_cc = customer->AddColumn(Column::Int64("c_phone_cc"));
+  const uint64_t ncust = config.num_customers();
+  for (uint64_t c = 0; c < ncust; ++c) {
+    c_custkey->Append(static_cast<int64_t>(c + 1));
+    c_mktsegment->AppendString(
+        kMktSegments[rng.NextBounded(kNumMktSegments)]);
+    // acctbal in [-999.99, 9999.99], stored in cents.
+    c_acctbal->Append(rng.NextInRange(-99999, 999999));
+    // Phone country code: TPC-H uses 10..34.
+    c_phone_cc->Append(rng.NextInRange(10, 34));
+  }
+
+  // ---- orders --------------------------------------------------------------
+  Table* orders = catalog->AddTable("orders");
+  Column* o_orderkey = orders->AddColumn(Column::Int64("o_orderkey"));
+  Column* o_custkey = orders->AddColumn(Column::Int64("o_custkey"));
+  Column* o_orderdate = orders->AddColumn(Column::Int64("o_orderdate"));
+  Column* o_totalprice = orders->AddColumn(Column::Int64("o_totalprice"));
+  Column* o_shippriority = orders->AddColumn(Column::Int64("o_shippriority"));
+  const uint64_t norders = config.num_orders();
+  // Order dates span 1992-01-01 .. 1998-08-02 (as in TPC-H).
+  const int64_t last_orderdate = DayNumber(1998, 8, 2);
+  // One third of customers never place orders (required for Q22's anti-join).
+  const uint64_t ordering_customers = std::max<uint64_t>(1, ncust * 2 / 3);
+  for (uint64_t o = 0; o < norders; ++o) {
+    o_orderkey->Append(static_cast<int64_t>(o + 1));
+    o_custkey->Append(
+        static_cast<int64_t>(rng.NextBounded(
+            static_cast<uint32_t>(ordering_customers)) + 1));
+    o_orderdate->Append(rng.NextInRange(0, last_orderdate));
+    o_totalprice->Append(0);  // backfilled from lineitem below
+    o_shippriority->Append(0);
+  }
+
+  // ---- lineitem -------------------------------------------------------------
+  Table* lineitem = catalog->AddTable("lineitem");
+  Column* l_orderkey = lineitem->AddColumn(Column::Int64("l_orderkey"));
+  Column* l_quantity = lineitem->AddColumn(Column::Int64("l_quantity"));
+  Column* l_extendedprice =
+      lineitem->AddColumn(Column::Int64("l_extendedprice"));
+  Column* l_discount = lineitem->AddColumn(Column::Int64("l_discount"));
+  Column* l_tax = lineitem->AddColumn(Column::Int64("l_tax"));
+  Column* l_returnflag = lineitem->AddColumn(Column::Dictionary("l_returnflag"));
+  Column* l_linestatus = lineitem->AddColumn(Column::Dictionary("l_linestatus"));
+  Column* l_shipdate = lineitem->AddColumn(Column::Int64("l_shipdate"));
+  Column* l_commitdate = lineitem->AddColumn(Column::Int64("l_commitdate"));
+  Column* l_receiptdate = lineitem->AddColumn(Column::Int64("l_receiptdate"));
+
+  // Intern dictionary codes in a fixed order so they are stable across runs.
+  l_returnflag->InternString("A");
+  l_returnflag->InternString("N");
+  l_returnflag->InternString("R");
+  l_linestatus->InternString("O");
+  l_linestatus->InternString("F");
+
+  const int64_t current_date = DayNumber(1995, 6, 17);
+  std::vector<int64_t> order_totals(norders, 0);
+  for (uint64_t o = 0; o < norders; ++o) {
+    uint32_t lines = 1 + rng.NextBounded(7);
+    int64_t orderdate = (*o_orderdate)[o];
+    int64_t total = 0;
+    for (uint32_t l = 0; l < lines; ++l) {
+      int64_t quantity = rng.NextInRange(1, 50);
+      int64_t price = quantity * rng.NextInRange(90000, 110000) / 100;
+      int64_t discount = rng.NextInRange(0, 10);  // percent
+      int64_t tax = rng.NextInRange(0, 8);
+      int64_t shipdate = orderdate + rng.NextInRange(1, 121);
+      int64_t commitdate = orderdate + rng.NextInRange(30, 90);
+      int64_t receiptdate = shipdate + rng.NextInRange(1, 30);
+
+      l_orderkey->Append(static_cast<int64_t>(o + 1));
+      l_quantity->Append(quantity);
+      l_extendedprice->Append(price);
+      l_discount->Append(discount);
+      l_tax->Append(tax);
+      if (receiptdate <= current_date) {
+        l_returnflag->AppendString(rng.NextBool(0.5) ? "A" : "R");
+      } else {
+        l_returnflag->AppendString("N");
+      }
+      l_linestatus->AppendString(shipdate > current_date ? "O" : "F");
+      l_shipdate->Append(shipdate);
+      l_commitdate->Append(commitdate);
+      l_receiptdate->Append(receiptdate);
+      total += price;
+    }
+    order_totals[o] = total;
+  }
+  // Backfill o_totalprice (approximation: sum of extended prices).
+  for (uint64_t o = 0; o < norders; ++o) {
+    o_totalprice->Set(o, order_totals[o]);
+  }
+
+  NDP_CHECK(customer->Validate().ok());
+  NDP_CHECK(orders->Validate().ok());
+  NDP_CHECK(lineitem->Validate().ok());
+}
+
+}  // namespace ndp::db::tpch

@@ -1,0 +1,39 @@
+// TPC-H-lite: a scaled-down, self-contained implementation of the TPC-H
+// schema subset and data distributions needed by the filter-heavy queries the
+// paper profiles in Figure 4 (Q1, Q3, Q6, Q18, Q22). Monetary values are in
+// cents, percentages in whole points, and dates in days since 1992-01-01 —
+// all int64, hence directly scannable by JAFAR.
+#pragma once
+
+#include <cstdint>
+
+#include "db/table.h"
+#include "util/rng.h"
+
+namespace ndp::db::tpch {
+
+/// Days since 1992-01-01 for a Gregorian date.
+int64_t DayNumber(int year, int month, int day);
+
+/// Generation parameters. scale = 1.0 would be full TPC-H row counts
+/// (6M lineitem); the paper-style sampled runs use much smaller scales.
+struct TpchConfig {
+  double scale = 0.01;  ///< 0.01 -> ~60k lineitem rows
+  uint64_t seed = 20150601;  // DaMoN'15
+
+  uint64_t num_customers() const {
+    return static_cast<uint64_t>(150000 * scale) + 1;
+  }
+  uint64_t num_orders() const { return num_customers() * 10; }
+};
+
+/// Populates `catalog` with customer, orders, and lineitem tables.
+void Generate(const TpchConfig& config, Catalog* catalog);
+
+// Dictionary-backed enumerations used by the generator and queries.
+inline constexpr const char* kMktSegments[] = {"AUTOMOBILE", "BUILDING",
+                                               "FURNITURE", "HOUSEHOLD",
+                                               "MACHINERY"};
+inline constexpr int kNumMktSegments = 5;
+
+}  // namespace ndp::db::tpch

@@ -1,0 +1,63 @@
+// Physical plans for the TPC-H queries the paper profiles on MonetDB in
+// Figure 4: Q1, Q3, Q6, Q18, Q22 — implemented column-at-a-time against the
+// bulk operators, with optional trace recording and NDP select pushdown
+// through the QueryContext.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "db/operators.h"
+#include "db/table.h"
+
+namespace ndp::db::tpch {
+
+/// Q1 "pricing summary report": one row per (returnflag, linestatus).
+struct Q1Row {
+  std::string returnflag;
+  std::string linestatus;
+  int64_t sum_qty = 0;
+  int64_t sum_base_price = 0;   ///< cents
+  int64_t sum_disc_price = 0;   ///< cents (rounded per row)
+  int64_t sum_charge = 0;       ///< cents (rounded per row)
+  int64_t count_order = 0;
+};
+std::vector<Q1Row> RunQ1(QueryContext* ctx, Catalog* catalog);
+
+/// Q3 "shipping priority": top 10 undelivered orders by revenue.
+struct Q3Row {
+  int64_t orderkey = 0;
+  int64_t revenue = 0;  ///< cents
+  int64_t orderdate = 0;
+};
+std::vector<Q3Row> RunQ3(QueryContext* ctx, Catalog* catalog);
+
+/// Q6 "forecasting revenue change": a single revenue number (cents).
+int64_t RunQ6(QueryContext* ctx, Catalog* catalog);
+
+/// Q18 "large volume customer": orders whose lineitems sum to > 300 units.
+struct Q18Row {
+  int64_t custkey = 0;
+  int64_t orderkey = 0;
+  int64_t totalprice = 0;
+  int64_t sum_quantity = 0;
+};
+std::vector<Q18Row> RunQ18(QueryContext* ctx, Catalog* catalog);
+
+/// Q22 "global sales opportunity": per phone country code, customers with
+/// above-average balances and no orders.
+struct Q22Row {
+  int64_t country_code = 0;
+  int64_t num_customers = 0;
+  int64_t total_acctbal = 0;  ///< cents
+};
+std::vector<Q22Row> RunQ22(QueryContext* ctx, Catalog* catalog);
+
+/// Runs one of the Figure 4 queries by number (1, 3, 6, 18, 22); returns a
+/// scalar checksum of the result for cross-configuration validation.
+Result<int64_t> RunQueryByNumber(QueryContext* ctx, Catalog* catalog,
+                                 int query_number);
+
+}  // namespace ndp::db::tpch

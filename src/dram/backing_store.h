@@ -1,0 +1,83 @@
+// Functional contents of physical memory, kept separate from the timing
+// model: the timing simulator decides *when* a burst completes, the backing
+// store says *what bytes* it carried. Sparse 4 KB pages so a simulated 2 GB /
+// 1 TB address space costs only what is actually touched.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <unordered_map>
+
+#include "util/macros.h"
+
+namespace ndp::dram {
+
+/// \brief Sparse byte-addressable physical memory. Untouched bytes read as 0.
+class BackingStore {
+ public:
+  static constexpr size_t kPageSize = 4096;
+
+  explicit BackingStore(uint64_t capacity_bytes) : capacity_(capacity_bytes) {}
+  NDP_DISALLOW_COPY_AND_ASSIGN(BackingStore);
+
+  uint64_t capacity() const { return capacity_; }
+
+  void Write(uint64_t addr, const void* src, size_t n) {
+    NDP_CHECK_MSG(addr + n <= capacity_, "backing store write out of range");
+    const uint8_t* p = static_cast<const uint8_t*>(src);
+    while (n > 0) {
+      uint64_t page = addr / kPageSize;
+      size_t off = addr % kPageSize;
+      size_t chunk = std::min(n, kPageSize - off);
+      std::memcpy(GetPage(page) + off, p, chunk);
+      addr += chunk;
+      p += chunk;
+      n -= chunk;
+    }
+  }
+
+  void Read(uint64_t addr, void* dst, size_t n) const {
+    NDP_CHECK_MSG(addr + n <= capacity_, "backing store read out of range");
+    uint8_t* p = static_cast<uint8_t*>(dst);
+    while (n > 0) {
+      uint64_t page = addr / kPageSize;
+      size_t off = addr % kPageSize;
+      size_t chunk = std::min(n, kPageSize - off);
+      auto it = pages_.find(page);
+      if (it == pages_.end()) {
+        std::memset(p, 0, chunk);
+      } else {
+        std::memcpy(p, it->second.get() + off, chunk);
+      }
+      addr += chunk;
+      p += chunk;
+      n -= chunk;
+    }
+  }
+
+  uint64_t Read64(uint64_t addr) const {
+    uint64_t v;
+    Read(addr, &v, 8);
+    return v;
+  }
+  void Write64(uint64_t addr, uint64_t v) { Write(addr, &v, 8); }
+
+  size_t resident_pages() const { return pages_.size(); }
+
+ private:
+  uint8_t* GetPage(uint64_t page) {
+    auto it = pages_.find(page);
+    if (it == pages_.end()) {
+      auto mem = std::make_unique<uint8_t[]>(kPageSize);
+      std::memset(mem.get(), 0, kPageSize);
+      it = pages_.emplace(page, std::move(mem)).first;
+    }
+    return it->second.get();
+  }
+
+  uint64_t capacity_;
+  std::unordered_map<uint64_t, std::unique_ptr<uint8_t[]>> pages_;
+};
+
+}  // namespace ndp::dram

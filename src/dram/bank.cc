@@ -1,0 +1,79 @@
+#include "dram/bank.h"
+
+#include "util/macros.h"
+
+namespace ndp::dram {
+
+Status Bank::Activate(sim::Tick t, uint32_t row) {
+  NDP_CHECK(timing_ != nullptr);
+  if (open_row_valid_) {
+    return Status::TimingViolation("ACT to bank with open row");
+  }
+  if (t < next_act_) {
+    return Status::TimingViolation("ACT before tRC/tRP window expired");
+  }
+  open_row_valid_ = true;
+  open_row_ = row;
+  ++activate_count_;
+  next_read_ = std::max(next_read_, t + Cycles(timing_->trcd));
+  next_write_ = std::max(next_write_, t + Cycles(timing_->trcd));
+  next_pre_ = std::max(next_pre_, t + Cycles(timing_->tras));
+  next_act_ = std::max(next_act_, t + Cycles(timing_->trc));
+  return Status::OK();
+}
+
+Result<sim::Tick> Bank::Read(sim::Tick t) {
+  NDP_CHECK(timing_ != nullptr);
+  if (!open_row_valid_) {
+    return Status::TimingViolation("RD to bank with no open row");
+  }
+  if (t < next_read_) {
+    return Status::TimingViolation("RD before tRCD/tCCD/tWTR window expired");
+  }
+  // tRTP: read-to-precharge.
+  next_pre_ = std::max(next_pre_, t + Cycles(timing_->trtp));
+  // Data appears on the bus CL cycles later, for tBURST cycles.
+  return t + Cycles(timing_->cl + timing_->tburst);
+}
+
+Result<sim::Tick> Bank::Write(sim::Tick t) {
+  NDP_CHECK(timing_ != nullptr);
+  if (!open_row_valid_) {
+    return Status::TimingViolation("WR to bank with no open row");
+  }
+  if (t < next_write_) {
+    return Status::TimingViolation("WR before tRCD/tCCD window expired");
+  }
+  // Write recovery: PRE must wait until CWL + tBURST + tWR after the command.
+  sim::Tick data_end = t + Cycles(timing_->cwl + timing_->tburst);
+  next_pre_ = std::max(next_pre_, data_end + Cycles(timing_->twr));
+  return data_end;
+}
+
+Status Bank::Precharge(sim::Tick t) {
+  NDP_CHECK(timing_ != nullptr);
+  if (!open_row_valid_) {
+    // Precharging an already-idle bank is a harmless NOP on real devices.
+    return Status::OK();
+  }
+  if (t < next_pre_) {
+    return Status::TimingViolation("PRE before tRAS/tRTP/tWR window expired");
+  }
+  open_row_valid_ = false;
+  next_act_ = std::max(next_act_, t + Cycles(timing_->trp));
+  return Status::OK();
+}
+
+Status Bank::Refresh(sim::Tick t) {
+  NDP_CHECK(timing_ != nullptr);
+  if (open_row_valid_) {
+    return Status::TimingViolation("REF with open row (precharge first)");
+  }
+  if (t < next_act_) {
+    return Status::TimingViolation("REF before tRP window expired");
+  }
+  next_act_ = std::max(next_act_, t + Cycles(timing_->trfc));
+  return Status::OK();
+}
+
+}  // namespace ndp::dram

@@ -1,0 +1,72 @@
+// Per-bank DRAM state machine. Tracks the open row and the earliest tick at
+// which each command class may legally issue, enforcing tRCD/CL/tRP/tRAS and
+// friends (paper §2.1). Shared by the memory controller and by JAFAR when it
+// owns the rank, so both see identical device timing.
+#pragma once
+
+#include <cstdint>
+
+#include "dram/timing.h"
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace ndp::dram {
+
+/// \brief One DRAM bank: open/closed row plus timing windows in global ticks.
+class Bank {
+ public:
+  Bank() = default;
+
+  void Configure(const DramTiming* timing) {
+    timing_ = timing;
+    bus_ = timing->BusClock();
+  }
+
+  bool has_open_row() const { return open_row_valid_; }
+  uint32_t open_row() const { return open_row_; }
+
+  /// Earliest tick an ACT to this bank may issue.
+  sim::Tick CanActivateAt() const { return next_act_; }
+  /// Earliest tick a RD/WR to this bank may issue (row must also be open).
+  sim::Tick CanReadAt() const { return next_read_; }
+  sim::Tick CanWriteAt() const { return next_write_; }
+  /// Earliest tick a PRE to this bank may issue.
+  sim::Tick CanPrechargeAt() const { return next_pre_; }
+
+  /// Applies an ACT issued at tick `t`. Caller must have verified legality.
+  Status Activate(sim::Tick t, uint32_t row);
+  /// Applies a RD issued at `t`. Returns tick at which the burst's last data
+  /// beat has been transferred.
+  Result<sim::Tick> Read(sim::Tick t);
+  Result<sim::Tick> Write(sim::Tick t);
+  Status Precharge(sim::Tick t);
+  /// Applies a refresh spanning [t, t + tRFC); bank must be precharged.
+  Status Refresh(sim::Tick t);
+
+  /// Forces constraints so no command can issue before `t` (used by rank-level
+  /// rules such as tRRD/tFAW/tCCD/tWTR that cut across banks).
+  void BlockActivateUntil(sim::Tick t) { next_act_ = std::max(next_act_, t); }
+  void BlockColumnUntil(sim::Tick t) {
+    next_read_ = std::max(next_read_, t);
+    next_write_ = std::max(next_write_, t);
+  }
+  void BlockPrechargeUntil(sim::Tick t) { next_pre_ = std::max(next_pre_, t); }
+
+  /// Row-activation count (performance counter: row misses cost tRCD+tRP).
+  uint64_t activate_count() const { return activate_count_; }
+
+ private:
+  sim::Tick Cycles(uint32_t n) const { return n * bus_.period_ps(); }
+
+  const DramTiming* timing_ = nullptr;
+  sim::ClockDomain bus_;
+  bool open_row_valid_ = false;
+  uint32_t open_row_ = 0;
+  sim::Tick next_act_ = 0;
+  sim::Tick next_read_ = 0;
+  sim::Tick next_write_ = 0;
+  sim::Tick next_pre_ = 0;
+  uint64_t activate_count_ = 0;
+};
+
+}  // namespace ndp::dram

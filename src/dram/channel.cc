@@ -1,0 +1,48 @@
+#include "dram/channel.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace ndp::dram {
+
+void Channel::Configure(const DramTiming* timing, const DramOrganization* org) {
+  timing_ = timing;
+  org_ = org;
+  bus_ = timing->BusClock();
+  ranks_.resize(org->ranks_per_channel);
+  for (auto& r : ranks_) r.Configure(timing, org);
+}
+
+sim::Tick Channel::EarliestIssue(const Command& cmd) const {
+  NDP_CHECK(cmd.rank < ranks_.size());
+  sim::Tick t = std::max(ranks_[cmd.rank].EarliestIssue(cmd), cmd_bus_next_free_);
+  // Data-bus availability: the burst must not overlap a burst already
+  // scheduled by another rank/agent.
+  if (cmd.type == CommandType::kRead) {
+    sim::Tick lat = timing_->cl * bus_.period_ps();
+    if (t + lat < data_bus_free_at_) t = data_bus_free_at_ - lat;
+  } else if (cmd.type == CommandType::kWrite) {
+    sim::Tick lat = timing_->cwl * bus_.period_ps();
+    if (t + lat < data_bus_free_at_) t = data_bus_free_at_ - lat;
+  }
+  return bus_.NextEdgeAtOrAfter(t);
+}
+
+Result<sim::Tick> Channel::Issue(const Command& cmd, sim::Tick t) {
+  NDP_CHECK(cmd.rank < ranks_.size());
+  NDP_DCHECK(t % bus_.period_ps() == 0);
+  if (t < EarliestIssue(cmd)) {
+    return Status::TimingViolation("channel: " + cmd.ToString() +
+                                   " issued before bus available");
+  }
+  NDP_ASSIGN_OR_RETURN(sim::Tick done, ranks_[cmd.rank].Issue(cmd, t));
+  cmd_bus_next_free_ = t + bus_.period_ps();
+  if (cmd.type == CommandType::kRead || cmd.type == CommandType::kWrite) {
+    data_bus_free_at_ = done;
+    data_bus_busy_ticks_ += timing_->tburst * bus_.period_ps();
+  }
+  return done;
+}
+
+}  // namespace ndp::dram

@@ -1,0 +1,54 @@
+// A memory channel: the ranks behind one 64-bit data bus plus the shared
+// command-bus and data-bus occupancy rules. Both the host memory controller
+// and JAFAR issue through the channel, so bus collisions between the two
+// agents are physically impossible to mis-model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/command.h"
+#include "dram/rank.h"
+#include "dram/timing.h"
+#include "util/status.h"
+
+namespace ndp::dram {
+
+/// \brief One channel: ranks + command bus (one command per bus cycle) +
+/// data bus (one burst at a time).
+class Channel {
+ public:
+  Channel() = default;
+
+  void Configure(const DramTiming* timing, const DramOrganization* org);
+
+  uint32_t num_ranks() const { return static_cast<uint32_t>(ranks_.size()); }
+  Rank& rank(uint32_t r) { return ranks_[r]; }
+  const Rank& rank(uint32_t r) const { return ranks_[r]; }
+
+  /// Earliest tick (aligned to a bus clock edge) at which `cmd` may issue,
+  /// including command-bus and data-bus availability.
+  sim::Tick EarliestIssue(const Command& cmd) const;
+
+  /// Issues `cmd` at edge-aligned tick `t`. For RD/WR returns the tick the
+  /// last data beat completes. Fails with TimingViolation if too early.
+  Result<sim::Tick> Issue(const Command& cmd, sim::Tick t);
+
+  const DramTiming& timing() const { return *timing_; }
+  const DramOrganization& organization() const { return *org_; }
+  sim::ClockDomain bus_clock() const { return bus_; }
+
+  /// Total data-bus busy time, for bandwidth-utilization reporting.
+  sim::Tick data_bus_busy_ticks() const { return data_bus_busy_ticks_; }
+
+ private:
+  const DramTiming* timing_ = nullptr;
+  const DramOrganization* org_ = nullptr;
+  sim::ClockDomain bus_;
+  std::vector<Rank> ranks_;
+  sim::Tick cmd_bus_next_free_ = 0;
+  sim::Tick data_bus_free_at_ = 0;
+  sim::Tick data_bus_busy_ticks_ = 0;
+};
+
+}  // namespace ndp::dram

@@ -1,0 +1,31 @@
+#include "dram/command.h"
+
+#include <cstdio>
+
+namespace ndp::dram {
+
+const char* CommandTypeToString(CommandType type) {
+  switch (type) {
+    case CommandType::kActivate: return "ACT";
+    case CommandType::kRead: return "RD";
+    case CommandType::kWrite: return "WR";
+    case CommandType::kPrecharge: return "PRE";
+    case CommandType::kRefresh: return "REF";
+    case CommandType::kModeRegSet: return "MRS";
+  }
+  return "?";
+}
+
+std::string Command::ToString() const {
+  char buf[128];
+  if (type == CommandType::kModeRegSet) {
+    std::snprintf(buf, sizeof(buf), "MRS r%u MR%u=0x%x", rank, mode_register,
+                  mode_value);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%s r%u b%u row%u col%u",
+                  CommandTypeToString(type), rank, bank, row, burst_col);
+  }
+  return buf;
+}
+
+}  // namespace ndp::dram

@@ -1,0 +1,33 @@
+// DRAM command vocabulary shared by the memory controller and JAFAR's
+// DRAM-side sequencer (both are "agents of memory requests", §3.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ndp::dram {
+
+enum class CommandType : uint8_t {
+  kActivate,    ///< RAS: load a row into the bank's row buffer
+  kRead,        ///< CAS read: stream one BL8 burst from the open row
+  kWrite,       ///< CAS write: stream one BL8 burst into the open row
+  kPrecharge,   ///< close the open row, precharge bitlines
+  kRefresh,     ///< all-bank refresh
+  kModeRegSet,  ///< MRS: write a mode register (used for MR3/MPR ownership)
+};
+
+const char* CommandTypeToString(CommandType type);
+
+struct Command {
+  CommandType type;
+  uint32_t rank = 0;
+  uint32_t bank = 0;
+  uint32_t row = 0;
+  uint32_t burst_col = 0;
+  uint32_t mode_register = 0;  ///< for kModeRegSet
+  uint32_t mode_value = 0;     ///< for kModeRegSet
+
+  std::string ToString() const;
+};
+
+}  // namespace ndp::dram

@@ -1,0 +1,338 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace ndp::dram {
+
+MemoryController::MemoryController(sim::EventQueue* eq, Channel* channel,
+                                   const AddressMapper* mapper,
+                                   ControllerConfig config)
+    : sim::TickingComponent(eq, channel->bus_clock()),
+      channel_(channel),
+      mapper_(mapper),
+      config_(config),
+      bus_(channel->bus_clock()) {
+  next_refresh_due_.resize(channel->num_ranks());
+  sim::Tick trefi = channel->timing().trefi * bus_.period_ps();
+  for (uint32_t r = 0; r < channel->num_ranks(); ++r) {
+    // Stagger refreshes across ranks so they do not collide.
+    next_refresh_due_[r] = trefi + r * (trefi / std::max(1u, channel->num_ranks()));
+  }
+  idle_since_ = eq->Now();
+  if (config_.refresh_enabled) ScheduleRefreshWake();
+}
+
+Status MemoryController::Enqueue(const Request& req) {
+  NDP_ASSIGN_OR_RETURN(DramLocation loc, mapper_->Decode(req.addr));
+  sim::Tick now = event_queue()->Now();
+  if (req.is_write) {
+    if (write_q_.size() >= config_.write_queue_capacity) {
+      return Status::ResourceExhausted("write queue full");
+    }
+    write_q_.push_back({req, loc, now});
+  } else {
+    if (read_q_.size() >= config_.read_queue_capacity) {
+      return Status::ResourceExhausted("read queue full");
+    }
+    read_q_.push_back({req, loc, now});
+  }
+  NoteQueueStateChange(now);
+  Wake();
+  return Status::OK();
+}
+
+void MemoryController::TransferOwnership(uint32_t rank, RankOwner new_owner,
+                                         std::function<void(sim::Tick)> done) {
+  NDP_CHECK(rank < channel_->num_ranks());
+  uint32_t mr3 = channel_->rank(rank).mode_register(3);
+  uint32_t value = (new_owner == RankOwner::kAccelerator)
+                       ? (mr3 | kMr3MprEnableBit)
+                       : (mr3 & ~kMr3MprEnableBit);
+  mrs_q_.push_back(MrsOp{rank, value, std::move(done), false});
+  Wake();
+}
+
+void MemoryController::NoteQueueStateChange(sim::Tick now) {
+  // Read-queue busy interval tracking.
+  if (!read_q_.empty() && !read_busy_since_) {
+    read_busy_since_ = now;
+  } else if (read_q_.empty() && read_busy_since_) {
+    counters_.read_queue_busy_ticks += now - *read_busy_since_;
+    read_busy_since_.reset();
+  }
+  if (!write_q_.empty() && !write_busy_since_) {
+    write_busy_since_ = now;
+  } else if (write_q_.empty() && write_busy_since_) {
+    counters_.write_queue_busy_ticks += now - *write_busy_since_;
+    write_busy_since_.reset();
+  }
+  // Both-empty ("memory controller idle", paper §3.3) interval tracking.
+  bool idle = read_q_.empty() && write_q_.empty();
+  if (idle && !idle_since_) {
+    idle_since_ = now;
+  } else if (!idle && idle_since_) {
+    double cycles = static_cast<double>(now - *idle_since_) /
+                    static_cast<double>(bus_.period_ps());
+    if (now > *idle_since_) idle_hist_.Add(cycles);
+    idle_since_.reset();
+  }
+}
+
+ControllerCounters MemoryController::counters() const {
+  ControllerCounters c = counters_;
+  sim::Tick now = event_queue()->Now();
+  if (read_busy_since_) c.read_queue_busy_ticks += now - *read_busy_since_;
+  if (write_busy_since_) c.write_queue_busy_ticks += now - *write_busy_since_;
+  return c;
+}
+
+void MemoryController::ResetCounters() {
+  counters_ = ControllerCounters{};
+  sim::Tick now = event_queue()->Now();
+  if (read_busy_since_) read_busy_since_ = now;
+  if (write_busy_since_) write_busy_since_ = now;
+  if (idle_since_) idle_since_ = now;
+  idle_hist_ = Histogram(0, 4000, 80);
+}
+
+void MemoryController::ScheduleRefreshWake() {
+  sim::Tick due = *std::min_element(next_refresh_due_.begin(),
+                                    next_refresh_due_.end());
+  sim::Tick now = event_queue()->Now();
+  event_queue()->ScheduleAt(std::max(due, now), [this] { Wake(); });
+}
+
+bool MemoryController::TryRefresh(sim::Tick now) {
+  if (!config_.refresh_enabled) return false;
+  // Find a rank whose refresh is due.
+  if (!refresh_in_progress_) {
+    bool due = false;
+    for (uint32_t r = 0; r < channel_->num_ranks(); ++r) {
+      if (now >= next_refresh_due_[r] &&
+          channel_->rank(r).owner() == RankOwner::kHost) {
+        refresh_rank_ = r;
+        due = true;
+        break;
+      }
+    }
+    if (!due) return false;
+    refresh_in_progress_ = true;
+  }
+  Rank& rank = channel_->rank(refresh_rank_);
+  // Close any open banks first.
+  for (uint32_t b = 0; b < rank.num_banks(); ++b) {
+    if (rank.bank(b).has_open_row()) {
+      Command pre{CommandType::kPrecharge, refresh_rank_, b};
+      if (channel_->EarliestIssue(pre) <= now) {
+        NDP_CHECK(channel_->Issue(pre, now).ok());
+        return true;  // one command per cycle
+      }
+      return false;  // must wait; keep ticking
+    }
+  }
+  Command ref{CommandType::kRefresh, refresh_rank_};
+  if (channel_->EarliestIssue(ref) <= now) {
+    NDP_CHECK(channel_->Issue(ref, now).ok());
+    next_refresh_due_[refresh_rank_] +=
+        channel_->timing().trefi * bus_.period_ps();
+    refresh_in_progress_ = false;
+    ScheduleRefreshWake();
+    return true;
+  }
+  return false;
+}
+
+bool MemoryController::TryMrs(sim::Tick now) {
+  if (mrs_q_.empty()) return false;
+  MrsOp& op = mrs_q_.front();
+  Rank& rank = channel_->rank(op.rank);
+  for (uint32_t b = 0; b < rank.num_banks(); ++b) {
+    if (rank.bank(b).has_open_row()) {
+      Command pre{CommandType::kPrecharge, op.rank, b};
+      if (channel_->EarliestIssue(pre) <= now) {
+        NDP_CHECK(channel_->Issue(pre, now).ok());
+        return true;
+      }
+      return false;
+    }
+  }
+  Command mrs{CommandType::kModeRegSet, op.rank};
+  mrs.mode_register = 3;
+  mrs.mode_value = op.value;
+  if (channel_->EarliestIssue(mrs) <= now) {
+    NDP_CHECK(channel_->Issue(mrs, now).ok());
+    auto done = std::move(op.done);
+    mrs_q_.pop_front();
+    sim::Tick ready = now + channel_->timing().tmrd * bus_.period_ps();
+    if (done) event_queue()->ScheduleAt(ready, [done, ready] { done(ready); });
+    return true;
+  }
+  return false;
+}
+
+bool MemoryController::IssueForRequest(QueuedRequest* qr, bool is_write,
+                                       sim::Tick now, bool* completed) {
+  *completed = false;
+  const DramLocation& loc = qr->loc;
+  Rank& rank = channel_->rank(loc.rank);
+  if (rank.owner() != RankOwner::kHost) return false;  // rank lent to JAFAR
+  Bank& bank = rank.bank(loc.bank);
+
+  if (bank.has_open_row() && bank.open_row() == loc.row) {
+    Command col{is_write ? CommandType::kWrite : CommandType::kRead, loc.rank,
+                loc.bank, loc.row, loc.burst_col};
+    if (channel_->EarliestIssue(col) <= now) {
+      auto done = channel_->Issue(col, now);
+      NDP_CHECK(done.ok());
+      if (is_write) {
+        ++counters_.writes_served;
+      } else {
+        ++counters_.reads_served;
+      }
+      // Classify the request by the worst page outcome it experienced.
+      if (qr->caused_precharge) {
+        ++counters_.row_conflicts;
+      } else if (qr->caused_activate) {
+        ++counters_.row_misses;
+      } else {
+        ++counters_.row_hits;
+      }
+      if (qr->req.on_complete) {
+        auto cb = qr->req.on_complete;
+        sim::Tick t = done.value();
+        event_queue()->ScheduleAt(t, [cb, t] { cb(t); });
+      }
+      *completed = true;
+      return true;
+    }
+    return false;
+  }
+  if (bank.has_open_row()) {
+    Command pre{CommandType::kPrecharge, loc.rank, loc.bank};
+    if (channel_->EarliestIssue(pre) <= now) {
+      NDP_CHECK(channel_->Issue(pre, now).ok());
+      qr->caused_precharge = true;
+      return true;
+    }
+    return false;
+  }
+  Command act{CommandType::kActivate, loc.rank, loc.bank, loc.row};
+  if (channel_->EarliestIssue(act) <= now) {
+    NDP_CHECK(channel_->Issue(act, now).ok());
+    qr->caused_activate = true;
+    return true;
+  }
+  return false;
+}
+
+bool MemoryController::ServeQueue(std::deque<QueuedRequest>* q, bool is_write,
+                                  sim::Tick now) {
+  // FR-FCFS: issue the first request whose row is already open (row hit);
+  // otherwise make progress (PRE/ACT) on the oldest serviceable request.
+  size_t scan_limit = std::min<size_t>(q->size(), 32);
+  for (size_t i = 0; i < scan_limit; ++i) {
+    QueuedRequest& qr = (*q)[i];
+    Rank& rank = channel_->rank(qr.loc.rank);
+    if (rank.owner() != RankOwner::kHost) continue;
+    Bank& bank = rank.bank(qr.loc.bank);
+    if (bank.has_open_row() && bank.open_row() == qr.loc.row) {
+      bool completed = false;
+      if (IssueForRequest(&qr, is_write, now, &completed)) {
+        if (completed) {
+          q->erase(q->begin() + static_cast<long>(i));
+          NoteQueueStateChange(now);
+        }
+        return true;
+      }
+    }
+  }
+  for (size_t i = 0; i < scan_limit; ++i) {
+    QueuedRequest& qr = (*q)[i];
+    Rank& rank = channel_->rank(qr.loc.rank);
+    if (rank.owner() != RankOwner::kHost) continue;
+    bool completed = false;
+    if (IssueForRequest(&qr, is_write, now, &completed)) {
+      if (completed) {
+        q->erase(q->begin() + static_cast<long>(i));
+        NoteQueueStateChange(now);
+      }
+      return true;
+    }
+    break;  // strict FCFS progress beyond row hits
+  }
+  return false;
+}
+
+bool MemoryController::Tick() {
+  sim::Tick now = event_queue()->Now();
+
+  // Highest priority: refresh (DRAM data integrity), then mode-register ops.
+  if (TryRefresh(now)) return true;
+  if (refresh_in_progress_) return true;  // wait for precharge windows
+  if (TryMrs(now)) return true;
+
+  // Write drain policy with hysteresis.
+  if (write_drain_mode_) {
+    if (write_q_.size() <= config_.write_drain_low) write_drain_mode_ = false;
+  } else {
+    if (write_q_.size() >= config_.write_drain_high ||
+        (read_q_.empty() && !write_q_.empty())) {
+      write_drain_mode_ = true;
+    }
+  }
+
+  if (write_drain_mode_) {
+    if (ServeQueue(&write_q_, /*is_write=*/true, now)) return true;
+    if (ServeQueue(&read_q_, /*is_write=*/false, now)) return true;
+  } else {
+    if (ServeQueue(&read_q_, /*is_write=*/false, now)) return true;
+    if (ServeQueue(&write_q_, /*is_write=*/true, now)) return true;
+  }
+
+  // Closed-page policy: spend otherwise-idle command slots closing rows that
+  // no queued request wants.
+  if (config_.page_policy == PagePolicy::kClosed && TryCloseIdleRows(now)) {
+    return true;
+  }
+
+  // Nothing issued this cycle. Keep ticking only if work remains.
+  return HasPendingWork() ||
+         (config_.page_policy == PagePolicy::kClosed && has_open_rows_hint_);
+}
+
+bool MemoryController::TryCloseIdleRows(sim::Tick now) {
+  has_open_rows_hint_ = false;
+  for (uint32_t r = 0; r < channel_->num_ranks(); ++r) {
+    Rank& rank = channel_->rank(r);
+    if (rank.owner() != RankOwner::kHost) continue;
+    for (uint32_t b = 0; b < rank.num_banks(); ++b) {
+      Bank& bank = rank.bank(b);
+      if (!bank.has_open_row()) continue;
+      // Keep the row open if any queued request still wants it.
+      bool wanted = false;
+      for (const auto* q : {&read_q_, &write_q_}) {
+        for (const QueuedRequest& qr : *q) {
+          if (qr.loc.rank == r && qr.loc.bank == b &&
+              qr.loc.row == bank.open_row()) {
+            wanted = true;
+            break;
+          }
+        }
+        if (wanted) break;
+      }
+      if (wanted) continue;
+      has_open_rows_hint_ = true;
+      Command pre{CommandType::kPrecharge, r, b};
+      if (channel_->EarliestIssue(pre) <= now) {
+        NDP_CHECK(channel_->Issue(pre, now).ok());
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace ndp::dram

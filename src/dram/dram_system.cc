@@ -1,0 +1,54 @@
+#include "dram/dram_system.h"
+
+namespace ndp::dram {
+
+DramSystem::DramSystem(sim::EventQueue* eq, DramTiming timing,
+                       DramOrganization org, InterleaveScheme scheme,
+                       ControllerConfig ctrl_config)
+    : eq_(eq),
+      timing_(std::move(timing)),
+      org_(org),
+      mapper_(org, scheme),
+      backing_(org.TotalBytes()) {
+  channels_.reserve(org.channels);
+  controllers_.reserve(org.channels);
+  for (uint32_t c = 0; c < org.channels; ++c) {
+    channels_.push_back(std::make_unique<Channel>());
+    channels_.back()->Configure(&timing_, &org_);
+    controllers_.push_back(std::make_unique<MemoryController>(
+        eq, channels_.back().get(), &mapper_, ctrl_config));
+  }
+}
+
+Status DramSystem::EnqueueRequest(const Request& req) {
+  NDP_ASSIGN_OR_RETURN(DramLocation loc, mapper_.Decode(req.addr));
+  return controllers_[loc.channel]->Enqueue(req);
+}
+
+bool DramSystem::CanAccept(const Request& req) const {
+  auto loc = mapper_.Decode(req.addr);
+  if (!loc.ok()) return false;
+  const MemoryController& mc = *controllers_[loc.value().channel];
+  return req.is_write ? mc.CanAcceptWrite() : mc.CanAcceptRead();
+}
+
+ControllerCounters DramSystem::TotalCounters() const {
+  ControllerCounters total;
+  for (const auto& mc : controllers_) {
+    ControllerCounters c = mc->counters();
+    total.reads_served += c.reads_served;
+    total.writes_served += c.writes_served;
+    total.row_hits += c.row_hits;
+    total.row_misses += c.row_misses;
+    total.row_conflicts += c.row_conflicts;
+    total.read_queue_busy_ticks += c.read_queue_busy_ticks;
+    total.write_queue_busy_ticks += c.write_queue_busy_ticks;
+  }
+  return total;
+}
+
+void DramSystem::ResetCounters() {
+  for (auto& mc : controllers_) mc->ResetCounters();
+}
+
+}  // namespace ndp::dram

@@ -1,0 +1,58 @@
+// Top-level memory system: address mapper + channels + one controller per
+// channel + the functional backing store. This is what the cache hierarchy
+// (host path) talks to, and what JAFAR devices attach to (device path).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dram/address.h"
+#include "dram/backing_store.h"
+#include "dram/controller.h"
+#include "sim/event_queue.h"
+#include "util/status.h"
+
+namespace ndp::dram {
+
+/// \brief The complete simulated DRAM subsystem.
+class DramSystem {
+ public:
+  DramSystem(sim::EventQueue* eq, DramTiming timing, DramOrganization org,
+             InterleaveScheme scheme, ControllerConfig ctrl_config);
+  NDP_DISALLOW_COPY_AND_ASSIGN(DramSystem);
+
+  /// Routes a burst request through the owning channel's controller.
+  /// The functional data transfer against the backing store happens at
+  /// completion time for reads and at enqueue time for writes.
+  Status EnqueueRequest(const Request& req);
+
+  bool CanAccept(const Request& req) const;
+
+  const AddressMapper& mapper() const { return mapper_; }
+  const DramTiming& timing() const { return timing_; }
+  const DramOrganization& organization() const { return org_; }
+
+  uint32_t num_channels() const { return static_cast<uint32_t>(channels_.size()); }
+  Channel& channel(uint32_t c) { return *channels_[c]; }
+  MemoryController& controller(uint32_t c) { return *controllers_[c]; }
+
+  BackingStore& backing_store() { return backing_; }
+  const BackingStore& backing_store() const { return backing_; }
+
+  /// Aggregated counters across all channels.
+  ControllerCounters TotalCounters() const;
+  void ResetCounters();
+
+  sim::EventQueue* event_queue() { return eq_; }
+
+ private:
+  sim::EventQueue* eq_;
+  DramTiming timing_;
+  DramOrganization org_;
+  AddressMapper mapper_;
+  BackingStore backing_;
+  std::vector<std::unique_ptr<Channel>> channels_;
+  std::vector<std::unique_ptr<MemoryController>> controllers_;
+};
+
+}  // namespace ndp::dram

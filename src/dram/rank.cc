@@ -1,0 +1,120 @@
+#include "dram/rank.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace ndp::dram {
+
+void Rank::Configure(const DramTiming* timing, const DramOrganization* org) {
+  timing_ = timing;
+  org_ = org;
+  bus_ = timing->BusClock();
+  banks_.resize(org->banks_per_rank);
+  for (auto& b : banks_) b.Configure(timing);
+}
+
+sim::Tick Rank::EarliestActivate(uint32_t bank_idx) const {
+  sim::Tick t = std::max(banks_[bank_idx].CanActivateAt(), next_act_any_);
+  // tFAW: at most four ACTs in any tFAW window. If four have issued, the next
+  // must wait until the oldest leaves the window.
+  if (recent_activates_.size() >= 4) {
+    t = std::max(t, recent_activates_.front() + Cycles(timing_->tfaw));
+  }
+  return std::max(t, mrs_busy_until_);
+}
+
+sim::Tick Rank::EarliestIssue(const Command& cmd) const {
+  NDP_CHECK(timing_ != nullptr);
+  switch (cmd.type) {
+    case CommandType::kActivate:
+      return EarliestActivate(cmd.bank);
+    case CommandType::kRead:
+      return std::max({banks_[cmd.bank].CanReadAt(), next_column_cmd_,
+                       next_read_after_write_, mrs_busy_until_});
+    case CommandType::kWrite:
+      return std::max({banks_[cmd.bank].CanWriteAt(), next_column_cmd_,
+                       mrs_busy_until_});
+    case CommandType::kPrecharge:
+      return std::max(banks_[cmd.bank].CanPrechargeAt(), mrs_busy_until_);
+    case CommandType::kRefresh: {
+      sim::Tick t = mrs_busy_until_;
+      for (const auto& b : banks_) t = std::max(t, b.CanActivateAt());
+      return t;
+    }
+    case CommandType::kModeRegSet: {
+      // MRS requires all banks precharged and quiescent column traffic.
+      sim::Tick t = std::max(next_column_cmd_, mrs_busy_until_);
+      for (const auto& b : banks_) t = std::max(t, b.CanPrechargeAt());
+      return t;
+    }
+  }
+  return 0;
+}
+
+Result<sim::Tick> Rank::Issue(const Command& cmd, sim::Tick t) {
+  NDP_CHECK(timing_ != nullptr);
+  if (cmd.bank >= banks_.size() && cmd.type != CommandType::kRefresh &&
+      cmd.type != CommandType::kModeRegSet) {
+    return Status::InvalidArgument("bank index out of range");
+  }
+  if (t < EarliestIssue(cmd)) {
+    return Status::TimingViolation("command " + cmd.ToString() +
+                                   " issued before rank window expired");
+  }
+  switch (cmd.type) {
+    case CommandType::kActivate: {
+      NDP_RETURN_NOT_OK(banks_[cmd.bank].Activate(t, cmd.row));
+      next_act_any_ = std::max(next_act_any_, t + Cycles(timing_->trrd));
+      recent_activates_.push_back(t);
+      while (recent_activates_.size() > 4) recent_activates_.pop_front();
+      ++activates_issued_;
+      return t;
+    }
+    case CommandType::kRead: {
+      NDP_ASSIGN_OR_RETURN(sim::Tick done, banks_[cmd.bank].Read(t));
+      next_column_cmd_ = std::max(next_column_cmd_, t + Cycles(timing_->tccd));
+      ++reads_issued_;
+      return done;
+    }
+    case CommandType::kWrite: {
+      NDP_ASSIGN_OR_RETURN(sim::Tick done, banks_[cmd.bank].Write(t));
+      next_column_cmd_ = std::max(next_column_cmd_, t + Cycles(timing_->tccd));
+      // tWTR starts at the end of write data.
+      next_read_after_write_ =
+          std::max(next_read_after_write_, done + Cycles(timing_->twtr));
+      ++writes_issued_;
+      return done;
+    }
+    case CommandType::kPrecharge: {
+      NDP_RETURN_NOT_OK(banks_[cmd.bank].Precharge(t));
+      return t;
+    }
+    case CommandType::kRefresh: {
+      if (!AllBanksIdle()) {
+        return Status::TimingViolation("REF with open rows");
+      }
+      for (auto& b : banks_) NDP_RETURN_NOT_OK(b.Refresh(t));
+      ++refreshes_issued_;
+      return t + Cycles(timing_->trfc);
+    }
+    case CommandType::kModeRegSet: {
+      if (!AllBanksIdle()) {
+        return Status::TimingViolation("MRS with open rows");
+      }
+      mode_regs_[cmd.mode_register & 3] = cmd.mode_value;
+      mrs_busy_until_ = t + Cycles(timing_->tmrd);
+      return t;
+    }
+  }
+  return Status::Internal("unreachable");
+}
+
+bool Rank::AllBanksIdle() const {
+  for (const auto& b : banks_) {
+    if (b.has_open_row()) return false;
+  }
+  return true;
+}
+
+}  // namespace ndp::dram

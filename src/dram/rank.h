@@ -1,0 +1,93 @@
+// A DRAM rank: a set of banks that share command/data buses plus rank-wide
+// timing constraints (tRRD, tFAW, tCCD, tWTR). Also owns the DDR3 mode
+// registers; the paper proposes repurposing MR3's multipurpose-register (MPR)
+// bit to transfer rank ownership between the memory controller and JAFAR
+// (§2.2, "Coordinating DRAM Access").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "dram/bank.h"
+#include "dram/command.h"
+#include "dram/timing.h"
+#include "util/status.h"
+
+namespace ndp::dram {
+
+/// Who is currently permitted to issue ordinary reads/writes to a rank.
+enum class RankOwner : uint8_t {
+  kHost,         ///< the on-chip memory controller (normal operation)
+  kAccelerator,  ///< JAFAR, granted via the MR3/MPR mechanism
+};
+
+/// Bit in MR3 that enables the multipurpose register. While set, the memory
+/// controller may not send ordinary read/write commands to the rank.
+constexpr uint32_t kMr3MprEnableBit = 0x4;
+
+/// \brief One rank: banks + cross-bank constraints + mode registers.
+class Rank {
+ public:
+  Rank() = default;
+
+  void Configure(const DramTiming* timing, const DramOrganization* org);
+
+  uint32_t num_banks() const { return static_cast<uint32_t>(banks_.size()); }
+  Bank& bank(uint32_t b) { return banks_[b]; }
+  const Bank& bank(uint32_t b) const { return banks_[b]; }
+
+  /// Earliest tick at which `cmd` may legally issue to this rank, considering
+  /// bank state, tRRD/tFAW (for ACT), and tCCD/tWTR (for RD/WR). Does not
+  /// consider channel-level bus contention (the Channel layers that on top).
+  sim::Tick EarliestIssue(const Command& cmd) const;
+
+  /// Issues `cmd` at tick `t`. For RD/WR returns the tick at which the last
+  /// data beat completes; for other commands returns `t`. Returns a
+  /// TimingViolation error if `t` < EarliestIssue(cmd).
+  Result<sim::Tick> Issue(const Command& cmd, sim::Tick t);
+
+  /// True if every bank is precharged (required before REF or ownership
+  /// hand-off).
+  bool AllBanksIdle() const;
+
+  // -- Mode registers / ownership -------------------------------------------
+
+  uint32_t mode_register(uint32_t index) const { return mode_regs_[index & 3]; }
+  RankOwner owner() const {
+    return (mode_regs_[3] & kMr3MprEnableBit) ? RankOwner::kAccelerator
+                                              : RankOwner::kHost;
+  }
+
+  // -- Counters --------------------------------------------------------------
+
+  uint64_t reads_issued() const { return reads_issued_; }
+  uint64_t writes_issued() const { return writes_issued_; }
+  uint64_t activates_issued() const { return activates_issued_; }
+  uint64_t refreshes_issued() const { return refreshes_issued_; }
+
+ private:
+  sim::Tick Cycles(uint32_t n) const { return n * bus_.period_ps(); }
+  sim::Tick EarliestActivate(uint32_t bank) const;
+
+  const DramTiming* timing_ = nullptr;
+  const DramOrganization* org_ = nullptr;
+  sim::ClockDomain bus_;
+  std::vector<Bank> banks_;
+  std::array<uint32_t, 4> mode_regs_ = {0, 0, 0, 0};
+
+  // Rank-level windows.
+  sim::Tick next_column_cmd_ = 0;  ///< tCCD across banks
+  sim::Tick next_read_after_write_ = 0;  ///< tWTR
+  sim::Tick next_act_any_ = 0;     ///< tRRD across banks
+  sim::Tick mrs_busy_until_ = 0;   ///< tMRD after MRS
+  std::deque<sim::Tick> recent_activates_;  ///< for the tFAW 4-ACT window
+
+  uint64_t reads_issued_ = 0;
+  uint64_t writes_issued_ = 0;
+  uint64_t activates_issued_ = 0;
+  uint64_t refreshes_issued_ = 0;
+};
+
+}  // namespace ndp::dram

@@ -1,0 +1,74 @@
+#include "dram/timing.h"
+
+namespace ndp::dram {
+
+DramTiming DramTiming::DDR3_1600() {
+  DramTiming t;
+  t.name = "DDR3-1600K (11-11-11)";
+  t.tck_ps = 1250;  // 800 MHz bus, 1600 MT/s
+  t.cl = 11;        // 13.75 ns, the ~13 ns the paper quotes
+  t.cwl = 8;
+  t.trcd = 11;
+  t.trp = 11;
+  t.tras = 28;
+  t.trc = 39;
+  t.tccd = 4;
+  t.tburst = 4;
+  t.twr = 12;
+  t.twtr = 6;
+  t.trtp = 6;
+  t.trrd = 5;
+  t.tfaw = 24;
+  t.trfc = 208;
+  t.trefi = 6240;
+  t.tmrd = 4;
+  return t;
+}
+
+DramTiming DramTiming::DDR3_1066() {
+  DramTiming t;
+  t.name = "DDR3-1066F (7-7-7)";
+  t.tck_ps = 1875;  // 533 MHz bus
+  t.cl = 7;
+  t.cwl = 6;
+  t.trcd = 7;
+  t.trp = 7;
+  t.tras = 20;
+  t.trc = 27;
+  t.tccd = 4;
+  t.tburst = 4;
+  t.twr = 8;
+  t.twtr = 4;
+  t.trtp = 4;
+  t.trrd = 4;
+  t.tfaw = 20;
+  t.trfc = 139;
+  t.trefi = 4160;
+  t.tmrd = 4;
+  return t;
+}
+
+DramTiming DramTiming::DDR3_1866() {
+  DramTiming t;
+  t.name = "DDR3-1866M (13-13-13)";
+  t.tck_ps = 1071;  // ~933 MHz bus
+  t.cl = 13;
+  t.cwl = 9;
+  t.trcd = 13;
+  t.trp = 13;
+  t.tras = 32;
+  t.trc = 45;
+  t.tccd = 4;
+  t.tburst = 4;
+  t.twr = 14;
+  t.twtr = 7;
+  t.trtp = 7;
+  t.trrd = 6;
+  t.tfaw = 27;
+  t.trfc = 243;
+  t.trefi = 7284;
+  t.tmrd = 4;
+  return t;
+}
+
+}  // namespace ndp::dram

@@ -1,0 +1,76 @@
+// DDR3 SDRAM timing parameters (paper §2.1). All constraints are expressed in
+// bus-clock cycles, the unit datasheets use; the Bank/Rank state machines
+// convert to global picosecond ticks through the bus ClockDomain.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/time.h"
+
+namespace ndp::dram {
+
+/// \brief Timing parameters of one DDR3 speed grade, in bus-clock cycles.
+///
+/// The four parameters the paper names (CL, tRCD, tRP, tRAS) plus the rest of
+/// the JEDEC set needed for a faithful command scheduler.
+struct DramTiming {
+  std::string name;        ///< e.g. "DDR3-1600K"
+  uint64_t tck_ps = 1250;  ///< bus clock period (800 MHz for DDR3-1600)
+
+  uint32_t cl = 11;     ///< CAS latency: RD command to first data
+  uint32_t cwl = 8;     ///< CAS write latency: WR command to first data
+  uint32_t trcd = 11;   ///< ACT to first RD/WR on the same bank
+  uint32_t trp = 11;    ///< PRE to next ACT on the same bank
+  uint32_t tras = 28;   ///< ACT to PRE on the same bank
+  uint32_t trc = 39;    ///< ACT to next ACT on the same bank (tRAS + tRP)
+  uint32_t tccd = 4;    ///< column-command to column-command, same rank
+  uint32_t tburst = 4;  ///< data bus occupancy of one BL8 burst
+  uint32_t twr = 12;    ///< end of write data to PRE
+  uint32_t twtr = 6;    ///< end of write data to next RD, same rank
+  uint32_t trtp = 6;    ///< RD to PRE
+  uint32_t trrd = 5;    ///< ACT to ACT, different banks of one rank
+  uint32_t tfaw = 24;   ///< window in which at most four ACTs may issue
+  uint32_t trfc = 208;  ///< refresh command duration (4 Gb-class device)
+  uint32_t trefi = 6240;  ///< average refresh interval (7.8 us at 800 MHz)
+  uint32_t tmrd = 4;    ///< mode-register set to any other command
+
+  /// DDR3-1600 11-11-11 (the configuration the paper's numbers imply: ~13 ns
+  /// CAS latency, 800 MHz bus, 1600 MT/s).
+  static DramTiming DDR3_1600();
+  /// DDR3-1066 7-7-7, a slower grade used in sensitivity tests.
+  static DramTiming DDR3_1066();
+  /// DDR3-1866 13-13-13, a faster grade used in sensitivity tests.
+  static DramTiming DDR3_1866();
+
+  sim::ClockDomain BusClock() const { return sim::ClockDomain(tck_ps); }
+
+  /// CAS latency in nanoseconds (the paper quotes ~13 ns).
+  double CasLatencyNs() const {
+    return static_cast<double>(cl) * static_cast<double>(tck_ps) / 1000.0;
+  }
+};
+
+/// \brief Geometry of the simulated memory system.
+struct DramOrganization {
+  uint32_t channels = 1;
+  uint32_t ranks_per_channel = 1;
+  uint32_t banks_per_rank = 8;
+  uint32_t rows_per_bank = 32768;
+  uint32_t row_size_bytes = 8192;  ///< per paper §3.3: 8 KB rows
+  uint32_t bus_width_bits = 64;    ///< 64-bit data bus per channel
+  uint32_t burst_length = 8;       ///< 8n-prefetch (DDR3)
+
+  /// Bytes transferred by one RD/WR burst (64 bytes for a 64-bit BL8 bus).
+  uint32_t BytesPerBurst() const { return bus_width_bits / 8 * burst_length; }
+  /// Burst-granularity column positions per row.
+  uint32_t BurstsPerRow() const { return row_size_bytes / BytesPerBurst(); }
+  uint64_t BytesPerRank() const {
+    return static_cast<uint64_t>(banks_per_rank) * rows_per_bank * row_size_bytes;
+  }
+  uint64_t TotalBytes() const {
+    return BytesPerRank() * ranks_per_channel * channels;
+  }
+};
+
+}  // namespace ndp::dram

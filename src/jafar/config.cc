@@ -1,0 +1,50 @@
+#include "jafar/config.h"
+
+#include <cmath>
+
+#include "util/macros.h"
+
+namespace ndp::jafar {
+
+DeviceConfig DeviceConfig::FromDatapath(const accel::DatapathSummary& datapath,
+                                        const dram::DramTiming& timing) {
+  DeviceConfig cfg;
+  cfg.clock = sim::ClockDomain(timing.tck_ps / 2);  // 2x the data bus clock
+  cfg.words_per_cycle = datapath.words_per_cycle;
+  cfg.energy_per_word_fj = datapath.energy_per_word_fj;
+  return cfg;
+}
+
+Result<DeviceConfig> DeviceConfig::Derive(
+    const dram::DramTiming& timing, const accel::DatapathResources& resources) {
+  accel::LoopKernel kernel = accel::MakeSelectKernel();
+  NDP_ASSIGN_OR_RETURN(accel::ScheduleResult sched,
+                       accel::ScheduleKernel(kernel, resources, 128));
+  return FromDatapath(accel::DatapathSummary::FromSchedule(kernel, sched),
+                      timing);
+}
+
+uint64_t DeviceConfig::SortBlockCycles(uint32_t elems) const {
+  NDP_CHECK(sort_comparators > 0);
+  if (elems <= 1) return 1;
+  // Round up to the next power of two (the network's natural size).
+  uint32_t n = 1;
+  uint32_t log2n = 0;
+  while (n < elems) {
+    n <<= 1;
+    ++log2n;
+  }
+  uint64_t stages = static_cast<uint64_t>(log2n) * (log2n + 1) / 2;
+  uint64_t exchanges_per_stage = n / 2;
+  uint64_t cycles_per_stage =
+      (exchanges_per_stage + sort_comparators - 1) / sort_comparators;
+  return stages * cycles_per_stage;
+}
+
+sim::Tick DeviceConfig::BurstProcessingPs(uint32_t words) const {
+  NDP_CHECK(words_per_cycle > 0);
+  double cycles = std::ceil(static_cast<double>(words) / words_per_cycle);
+  return static_cast<sim::Tick>(cycles) * clock.period_ps();
+}
+
+}  // namespace ndp::jafar

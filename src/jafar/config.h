@@ -1,0 +1,73 @@
+// JAFAR device configuration. The datapath throughput is DERIVED from the
+// Aladdin-style schedule of the select kernel (src/accel), never hard-coded:
+// DeviceConfig::Derive runs the scheduler and converts its words-per-cycle
+// into the device's per-word processing time at the JAFAR clock (2x the DDR3
+// data bus clock, §2.2).
+#pragma once
+
+#include <cstdint>
+
+#include "accel/schedule.h"
+#include "dram/timing.h"
+#include "sim/time.h"
+#include "util/status.h"
+
+namespace ndp::jafar {
+
+/// \brief Static configuration of one JAFAR unit (one per DIMM/rank).
+struct DeviceConfig {
+  /// JAFAR generates its own clock at twice the data bus clock (§2.2).
+  sim::ClockDomain clock = sim::ClockDomain(625);  // 1.6 GHz for DDR3-1600
+
+  /// Words processed per JAFAR cycle, from the accel schedule (1.0 for the
+  /// two-ALU range-filter datapath).
+  double words_per_cycle = 1.0;
+
+  /// Output bitmap buffer size n in bits (§2.2: "the output buffer holds n
+  /// bits"; written back to DRAM each time it fills).
+  uint32_t output_buffer_bits = 4096;
+
+  /// Element width of column values. The paper operates on 64-bit words.
+  uint32_t elem_bytes = 8;
+
+  /// Dynamic energy per processed word, femtojoules (from the accel model).
+  double energy_per_word_fj = 0.0;
+
+  /// When true, JAFAR requires MR3/MPR rank ownership before running; when
+  /// false it runs "politely", issuing commands only while the host memory
+  /// controller is idle (the §3.3 no-scheduler scenario).
+  bool require_ownership = true;
+
+  /// Fixed per-invocation latency (command register writes, address setup).
+  uint32_t invocation_overhead_cycles = 64;
+
+  /// Bitonic sorter block size in elements (§4 Sorting). 1024 x 8 B = 8 KB,
+  /// exactly one DRAM row: a block is read, sorted in device SRAM, and
+  /// written back as one sorted run.
+  uint32_t sort_block_elems = 1024;
+  /// Parallel compare-exchange units in the sorter network.
+  uint32_t sort_comparators = 16;
+
+  /// Hash-bucket SRAM of the grouped-aggregation engine (§4: hardware limits
+  /// the bucket count; larger key domains need hierarchical passes).
+  uint32_t groupby_buckets = 256;
+
+  /// Device cycles to sort one block of `elems` (<= sort_block_elems)
+  /// through the bitonic network: stages(n) = log2(n)*(log2(n)+1)/2, each
+  /// stage performing n/2 compare-exchanges on sort_comparators units.
+  uint64_t SortBlockCycles(uint32_t elems) const;
+
+  /// Derives a config from the DRAM speed grade and a scheduled datapath.
+  static DeviceConfig FromDatapath(const accel::DatapathSummary& datapath,
+                                   const dram::DramTiming& timing);
+
+  /// Convenience: schedules `resources` on the range-select kernel and builds
+  /// the config from the result.
+  static Result<DeviceConfig> Derive(const dram::DramTiming& timing,
+                                     const accel::DatapathResources& resources);
+
+  /// Picoseconds JAFAR needs to process one burst of `words` words.
+  sim::Tick BurstProcessingPs(uint32_t words) const;
+};
+
+}  // namespace ndp::jafar

@@ -1,0 +1,813 @@
+#include "jafar/device.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/logging.h"
+#include "util/macros.h"
+
+namespace ndp::jafar {
+
+namespace {
+constexpr uint32_t kBurstBytes = 64;
+constexpr uint32_t kBitsPerBurst = kBurstBytes * 8;  // 512 bitmap bits / burst
+}  // namespace
+
+Device::Device(dram::DramSystem* dram, uint32_t channel_index,
+               uint32_t rank_index, DeviceConfig config)
+    : dram_(dram),
+      channel_index_(channel_index),
+      rank_index_(rank_index),
+      config_(config),
+      eq_(dram->event_queue()) {
+  NDP_CHECK(channel_index < dram->num_channels());
+  NDP_CHECK(rank_index < dram->channel(channel_index).num_ranks());
+  NDP_CHECK(config_.output_buffer_bits % kBitsPerBurst == 0);
+  NDP_CHECK_MSG(config_.elem_bytes == 8 || config_.elem_bytes == 4,
+                "JAFAR filters 64-bit words or packed 32-bit halves (§4)");
+  pending_bits_.Resize(config_.output_buffer_bits);
+}
+
+int64_t Device::ReadValue(uint64_t addr) const {
+  if (config_.elem_bytes == 8) {
+    return static_cast<int64_t>(dram_->backing_store().Read64(addr));
+  }
+  int32_t v;
+  dram_->backing_store().Read(addr, &v, 4);
+  return v;
+}
+
+Status Device::CheckRange(uint64_t base, uint64_t len) const {
+  if (len == 0) return Status::InvalidArgument("empty range");
+  auto first = dram_->mapper().Decode(base);
+  NDP_RETURN_NOT_OK(first.status());
+  auto last = dram_->mapper().Decode(base + len - 1);
+  NDP_RETURN_NOT_OK(last.status());
+  if (first.value().channel != channel_index_ ||
+      last.value().channel != channel_index_ ||
+      first.value().rank != rank_index_ || last.value().rank != rank_index_) {
+    return Status::InvalidArgument(
+        "job data must be resident on this device's DIMM (channel " +
+        std::to_string(channel_index_) + ", rank " +
+        std::to_string(rank_index_) + ")");
+  }
+  return Status::OK();
+}
+
+Status Device::CheckIdleAndOwned() const {
+  if (busy_) return Status::DeviceBusy("a job is already executing");
+  if (config_.require_ownership &&
+      dram_->channel(channel_index_).rank(rank_index_).owner() !=
+          dram::RankOwner::kAccelerator) {
+    return Status::FailedPrecondition(
+        "rank ownership not held: set MR3/MPR before invoking JAFAR "
+        "(§2.2, Coordinating DRAM Access)");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Sequencer
+
+void Device::IssueWhenReady(dram::Command cmd,
+                            std::function<void(sim::Tick)> next,
+                            std::function<void()> on_stale) {
+  // In polite (no-scheduler) mode, JAFAR may only use the channel while the
+  // host memory controller is idle (§3.3).
+  if (!config_.require_ownership &&
+      dram_->controller(channel_index_).HasPendingWork()) {
+    ++stats_.polite_backoffs;
+    eq_->ScheduleAfter(BusCycles(8),
+                       [this, cmd, next = std::move(next), on_stale] {
+                         IssueWhenReady(cmd, next, on_stale);
+                       });
+    return;
+  }
+  // Bank-state validity may have changed between scheduling and issue when a
+  // third party shares the rank (host refresh or traffic in polite mode):
+  // column commands need their row open, ACT needs the bank closed.
+  if (cmd.type == dram::CommandType::kRead ||
+      cmd.type == dram::CommandType::kWrite) {
+    const dram::Bank& bank = channel().rank(rank_index_).bank(cmd.bank);
+    if (!bank.has_open_row() || bank.open_row() != cmd.row) {
+      NDP_CHECK_MSG(on_stale != nullptr, "row closed under exclusive access");
+      on_stale();
+      return;
+    }
+  } else if (cmd.type == dram::CommandType::kActivate) {
+    const dram::Bank& bank = channel().rank(rank_index_).bank(cmd.bank);
+    if (bank.has_open_row()) {
+      NDP_CHECK_MSG(on_stale != nullptr, "bank opened under exclusive access");
+      on_stale();
+      return;
+    }
+  }
+  sim::ClockDomain bus = channel().bus_clock();
+  sim::Tick t = std::max(channel().EarliestIssue(cmd),
+                         bus.NextEdgeAtOrAfter(eq_->Now()));
+  if (t == eq_->Now()) {
+    auto done = channel().Issue(cmd, t);
+    NDP_CHECK_MSG(done.ok(), done.status().ToString().c_str());
+    next(done.value());
+    return;
+  }
+  eq_->ScheduleAt(t, [this, cmd, next = std::move(next), on_stale] {
+    // Conditions may have shifted (other-rank traffic on the shared command
+    // bus, host activity in polite mode): re-evaluate.
+    IssueWhenReady(cmd, next, on_stale);
+  });
+}
+
+void Device::OpenRow(const dram::DramLocation& loc, std::function<void()> next) {
+  dram::Bank& bank = channel().rank(rank_index_).bank(loc.bank);
+  if (bank.has_open_row() && bank.open_row() == loc.row) {
+    next();
+    return;
+  }
+  if (bank.has_open_row()) {
+    dram::Command pre{dram::CommandType::kPrecharge, rank_index_, loc.bank};
+    IssueWhenReady(pre, [this, loc, next = std::move(next)](sim::Tick) {
+      OpenRow(loc, next);
+    });
+    return;
+  }
+  dram::Command act{dram::CommandType::kActivate, rank_index_, loc.bank,
+                    loc.row};
+  ++stats_.activates;
+  auto retry = [this, loc, next]() { OpenRow(loc, next); };
+  IssueWhenReady(act, [next = std::move(next)](sim::Tick) { next(); },
+                 /*on_stale=*/retry);
+}
+
+void Device::ReadBurst(uint64_t addr, std::function<void(sim::Tick)> next) {
+  auto loc = dram_->mapper().Decode(addr).ValueOrDie();
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, loc, next = std::move(next), attempt]() {
+    OpenRow(loc, [this, loc, next, attempt]() {
+      dram::Command rd{dram::CommandType::kRead, rank_index_, loc.bank,
+                       loc.row, loc.burst_col};
+      IssueWhenReady(
+          rd,
+          [this, next](sim::Tick done) {
+            ++stats_.bursts_read;
+            stats_.data_wait_ps += BusCycles(timing().cl);
+            next(done);
+          },
+          /*on_stale=*/[attempt] { (*attempt)(); });
+    });
+  };
+  (*attempt)();
+}
+
+void Device::WriteBurst(uint64_t addr, std::function<void(sim::Tick)> next) {
+  auto loc = dram_->mapper().Decode(addr).ValueOrDie();
+  auto attempt = std::make_shared<std::function<void()>>();
+  *attempt = [this, loc, next = std::move(next), attempt]() {
+    OpenRow(loc, [this, loc, next, attempt]() {
+      dram::Command wr{dram::CommandType::kWrite, rank_index_, loc.bank,
+                       loc.row, loc.burst_col};
+      IssueWhenReady(
+          wr,
+          [this, next](sim::Tick done) {
+            ++stats_.bursts_written;
+            next(done);
+          },
+          /*on_stale=*/[attempt] { (*attempt)(); });
+    });
+  };
+  (*attempt)();
+}
+
+// ---------------------------------------------------------------------------
+// Select / row-store
+
+Status Device::StartSelect(const SelectJob& job,
+                           std::function<void(sim::Tick)> on_done) {
+  NDP_RETURN_NOT_OK(CheckIdleAndOwned());
+  NDP_RETURN_NOT_OK(CheckRange(job.col_base, job.num_rows * config_.elem_bytes));
+  uint64_t bitmap_bytes = (job.num_rows + 7) / 8;
+  NDP_RETURN_NOT_OK(CheckRange(job.out_base, bitmap_bytes));
+  if (job.col_base % kBurstBytes != 0 || job.out_base % kBurstBytes != 0) {
+    return Status::InvalidArgument("col_base/out_base must be 64 B aligned");
+  }
+  busy_ = true;
+  select_ = job;
+  on_done_ = std::move(on_done);
+  cursor_rows_ = 0;
+  engine_ready_at_ = eq_->Now();
+  pending_bits_.ClearAll();
+  pending_bit_count_ = 0;
+  bitmap_write_cursor_ = 0;
+  last_matches_ = 0;
+  stats_.total_busy_ps -= eq_->Now();  // settled in FinishJob
+  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
+                         config_.clock.period_ps(),
+                     [this] { SelectStep(); });
+  return Status::OK();
+}
+
+Status Device::StartRowStore(const RowStoreJob& job,
+                             std::function<void(sim::Tick)> on_done) {
+  NDP_RETURN_NOT_OK(CheckIdleAndOwned());
+  if (job.tuple_bytes == 0 || job.tuple_bytes % 8 != 0) {
+    return Status::InvalidArgument("tuple_bytes must be a positive multiple of 8");
+  }
+  if (job.predicates.empty()) {
+    return Status::InvalidArgument("row-store job needs at least one predicate");
+  }
+  for (const RowPredicate& p : job.predicates) {
+    if (p.attr_offset_bytes + 8 > job.tuple_bytes) {
+      return Status::InvalidArgument("predicate attribute outside tuple");
+    }
+  }
+  NDP_RETURN_NOT_OK(
+      CheckRange(job.tuple_base, job.num_tuples * job.tuple_bytes));
+  NDP_RETURN_NOT_OK(CheckRange(job.out_base, (job.num_tuples + 7) / 8));
+  if (job.tuple_base % kBurstBytes != 0 || job.out_base % kBurstBytes != 0) {
+    return Status::InvalidArgument("tuple_base/out_base must be 64 B aligned");
+  }
+  busy_ = true;
+  rowstore_ = job;
+  on_done_ = std::move(on_done);
+  cursor_rows_ = 0;
+  engine_ready_at_ = eq_->Now();
+  pending_bits_.ClearAll();
+  pending_bit_count_ = 0;
+  bitmap_write_cursor_ = 0;
+  last_matches_ = 0;
+  stats_.total_busy_ps -= eq_->Now();
+  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
+                         config_.clock.period_ps(),
+                     [this] { SelectStep(); });
+  return Status::OK();
+}
+
+void Device::SelectStep() {
+  const bool is_rowstore = rowstore_.has_value();
+  const uint64_t total_rows =
+      is_rowstore ? rowstore_->num_tuples : select_->num_rows;
+  if (cursor_rows_ >= total_rows) {
+    // Final (possibly partial) bitmap flush, then done.
+    FlushBitmap([this] { FinishJob(); });
+    return;
+  }
+  const uint32_t row_bytes = is_rowstore ? rowstore_->tuple_bytes
+                                         : config_.elem_bytes;
+  const uint64_t base = is_rowstore ? rowstore_->tuple_base : select_->col_base;
+  // The burst containing the next unprocessed row.
+  uint64_t burst_addr = base + cursor_rows_ * row_bytes;
+  burst_addr -= burst_addr % kBurstBytes;
+  // Rows whose data completes within this burst.
+  uint64_t burst_end = burst_addr + kBurstBytes;
+  uint64_t first = cursor_rows_;
+  uint64_t last = std::min<uint64_t>(
+      total_rows, (burst_end - base + row_bytes - 1) / row_bytes);
+  uint64_t rows_here = last > first ? last - first : 0;
+
+  ReadBurst(burst_addr, [this, first, rows_here, is_rowstore,
+                         base](sim::Tick data_done) {
+    // Functional evaluation against the backing store contents.
+    uint64_t matches_here = 0;
+    for (uint64_t r = first; r < first + rows_here; ++r) {
+      bool pass;
+      if (is_rowstore) {
+        pass = true;
+        for (const RowPredicate& p : rowstore_->predicates) {
+          int64_t v = static_cast<int64_t>(dram_->backing_store().Read64(
+              base + r * rowstore_->tuple_bytes + p.attr_offset_bytes));
+          pass = pass && EvalCompare(p.op, v, p.range_low, p.range_high);
+        }
+      } else {
+        int64_t v = ReadValue(base + r * config_.elem_bytes);
+        pass = EvalCompare(select_->op, v, select_->range_low,
+                           select_->range_high);
+      }
+      pending_bits_.SetTo(pending_bit_count_++, pass);
+      if (pass) ++matches_here;
+    }
+    last_matches_ += matches_here;
+    stats_.matches += matches_here;
+    stats_.rows_processed += rows_here;
+    cursor_rows_ += rows_here;
+
+    // Datapath timing: one word per II from the IO buffer.
+    uint32_t words = kBurstBytes / 8;
+    sim::Tick start = std::max(data_done, engine_ready_at_);
+    sim::Tick proc = config_.BurstProcessingPs(words);
+    engine_ready_at_ = start + proc;
+    stats_.engine_busy_ps += proc;
+    stats_.energy_fj += config_.energy_per_word_fj * words;
+
+    if (pending_bit_count_ >= config_.output_buffer_bits) {
+      FlushBitmap([this] { ContinueScanWhenEngineReady(); });
+    } else {
+      ContinueScanWhenEngineReady();
+    }
+  });
+}
+
+void Device::ContinueWhenEngineReady(void (Device::*step)()) {
+  // Throttle command issue so a slow datapath (words_per_cycle < 1) does not
+  // overrun its input FIFO: the next burst's data (which completes CL+tBURST
+  // after its command) should not arrive before the engine can take it.
+  sim::Tick pipe_ps = BusCycles(timing().cl + timing().tburst);
+  sim::Tick earliest =
+      engine_ready_at_ > pipe_ps ? engine_ready_at_ - pipe_ps : 0;
+  if (earliest > eq_->Now()) {
+    eq_->ScheduleAt(earliest, [this, step] { (this->*step)(); });
+  } else {
+    (this->*step)();
+  }
+}
+
+void Device::ContinueScanWhenEngineReady() {
+  ContinueWhenEngineReady(&Device::SelectStep);
+}
+
+void Device::FlushBitmap(std::function<void()> next) {
+  if (pending_bit_count_ == 0) {
+    next();
+    return;
+  }
+  const bool is_rowstore = rowstore_.has_value();
+  uint64_t out_base = is_rowstore ? rowstore_->out_base : select_->out_base;
+  bool masked = !is_rowstore && select_->masked_writeback;
+  uint64_t mask = masked ? select_->writeback_mask : ~uint64_t{0};
+
+  uint64_t bytes = (pending_bit_count_ + 7) / 8;
+  uint64_t addr = out_base + bitmap_write_cursor_;
+  // Functional write of the buffered bits (word-at-a-time to honour masks).
+  for (uint64_t w = 0; w * 8 < bytes; ++w) {
+    uint64_t value = pending_bits_.Word(w);
+    if (masked || (bytes - w * 8) < 8 ||
+        pending_bit_count_ < (w + 1) * 64) {
+      // Partial word or masked layout: read-modify-write.
+      uint64_t keep_mask = mask;
+      if (pending_bit_count_ < (w + 1) * 64) {
+        uint64_t valid = pending_bit_count_ - w * 64;
+        keep_mask &= (valid >= 64) ? ~uint64_t{0}
+                                   : ((uint64_t{1} << valid) - 1);
+      }
+      uint64_t old = dram_->backing_store().Read64(addr + w * 8);
+      value = (old & ~keep_mask) | (value & keep_mask);
+    }
+    dram_->backing_store().Write64(addr + w * 8, value);
+  }
+
+  // Timing: one WR burst per 64 B of bitmap.
+  uint64_t bursts = (bytes + kBurstBytes - 1) / kBurstBytes;
+  bitmap_write_cursor_ += bytes;
+  pending_bits_.ClearAll();
+  pending_bit_count_ = 0;
+  WriteBurstChain(addr - addr % kBurstBytes, bursts, std::move(next));
+}
+
+void Device::WriteBurstChain(uint64_t addr, uint64_t bursts,
+                             std::function<void()> next) {
+  if (bursts == 0) {
+    next();
+    return;
+  }
+  WriteBurst(addr, [this, addr, bursts, next = std::move(next)](sim::Tick) {
+    WriteBurstChain(addr + kBurstBytes, bursts - 1, next);
+  });
+}
+
+void Device::FinishJob() {
+  sim::Tick now = eq_->Now();
+  stats_.total_busy_ps += now;
+  ++stats_.jobs_completed;
+  busy_ = false;
+  select_.reset();
+  aggregate_.reset();
+  project_.reset();
+  rowstore_.reset();
+  sort_.reset();
+  groupby_.reset();
+  auto cb = std::move(on_done_);
+  on_done_ = nullptr;
+  if (cb) cb(now);
+}
+
+// ---------------------------------------------------------------------------
+// Sort (§4 "Sorting": fixed-function bitonic block sorter)
+
+Status Device::StartSort(const SortJob& job,
+                         std::function<void(sim::Tick)> on_done) {
+  NDP_RETURN_NOT_OK(CheckIdleAndOwned());
+  if (config_.elem_bytes != 8) {
+    return Status::Unimplemented("sort engine operates on 64-bit words");
+  }
+  NDP_RETURN_NOT_OK(CheckRange(job.col_base, job.num_rows * 8));
+  NDP_RETURN_NOT_OK(CheckRange(job.out_base, job.num_rows * 8));
+  if (job.col_base % kBurstBytes != 0 || job.out_base % kBurstBytes != 0) {
+    return Status::InvalidArgument("sort addresses must be 64 B aligned");
+  }
+  busy_ = true;
+  sort_ = job;
+  on_done_ = std::move(on_done);
+  cursor_rows_ = 0;
+  engine_ready_at_ = eq_->Now();
+  stats_.total_busy_ps -= eq_->Now();
+  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
+                         config_.clock.period_ps(),
+                     [this] { SortStep(); });
+  return Status::OK();
+}
+
+void Device::ReadBurstChain(uint64_t addr, uint64_t bursts,
+                            std::function<void(sim::Tick)> on_last_data) {
+  NDP_CHECK(bursts > 0);
+  ReadBurst(addr, [this, addr, bursts,
+                   on_last_data = std::move(on_last_data)](sim::Tick done) {
+    if (bursts == 1) {
+      on_last_data(done);
+    } else {
+      ReadBurstChain(addr + kBurstBytes, bursts - 1, on_last_data);
+    }
+  });
+}
+
+void Device::SortStep() {
+  const SortJob& job = *sort_;
+  if (cursor_rows_ >= job.num_rows) {
+    FinishJob();
+    return;
+  }
+  uint64_t block_rows = std::min<uint64_t>(config_.sort_block_elems,
+                                           job.num_rows - cursor_rows_);
+  uint64_t in_addr = job.col_base + cursor_rows_ * 8;
+  uint64_t out_addr = job.out_base + cursor_rows_ * 8;
+  uint64_t bursts = (block_rows * 8 + kBurstBytes - 1) / kBurstBytes;
+  // 1. Stream the block into device SRAM.
+  ReadBurstChain(in_addr, bursts, [this, block_rows, in_addr, out_addr,
+                                   bursts](sim::Tick last_data) {
+    // 2. Run the bitonic network (functional model: an exact sort of the
+    //    block; timing: the network's stage count on the comparator array).
+    std::vector<int64_t> block(block_rows);
+    dram_->backing_store().Read(in_addr, block.data(), block_rows * 8);
+    if (sort_->descending) {
+      std::sort(block.begin(), block.end(), std::greater<int64_t>());
+    } else {
+      std::sort(block.begin(), block.end());
+    }
+    dram_->backing_store().Write(out_addr, block.data(), block_rows * 8);
+
+    uint64_t sort_cycles =
+        config_.SortBlockCycles(static_cast<uint32_t>(block_rows));
+    sim::Tick start = std::max(last_data, engine_ready_at_);
+    sim::Tick proc = sort_cycles * config_.clock.period_ps();
+    engine_ready_at_ = start + proc;
+    stats_.engine_busy_ps += proc;
+    stats_.rows_processed += block_rows;
+    stats_.energy_fj +=
+        config_.energy_per_word_fj * static_cast<double>(block_rows);
+
+    cursor_rows_ += block_rows;
+    // 3. Write the sorted run back once the network finishes, then continue
+    //    with the next block.
+    sim::Tick when = engine_ready_at_;
+    uint64_t out_bursts = bursts;
+    uint64_t out_base_addr = out_addr;
+    eq_->ScheduleAt(when, [this, out_base_addr, out_bursts] {
+      WriteBurstChain(out_base_addr, out_bursts, [this] { SortStep(); });
+    });
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Aggregate
+
+Status Device::StartAggregate(const AggregateJob& job,
+                              std::function<void(sim::Tick)> on_done) {
+  NDP_RETURN_NOT_OK(CheckIdleAndOwned());
+  if (config_.elem_bytes != 8) {
+    return Status::Unimplemented("aggregate engine operates on 64-bit words");
+  }
+  NDP_RETURN_NOT_OK(CheckRange(job.col_base, job.num_rows * config_.elem_bytes));
+  NDP_RETURN_NOT_OK(CheckRange(job.out_addr, 8));
+  if (job.bitmap_base != 0) {
+    NDP_RETURN_NOT_OK(CheckRange(job.bitmap_base, (job.num_rows + 7) / 8));
+  }
+  if (job.col_base % kBurstBytes != 0) {
+    return Status::InvalidArgument("col_base must be 64 B aligned");
+  }
+  busy_ = true;
+  aggregate_ = job;
+  on_done_ = std::move(on_done);
+  cursor_rows_ = 0;
+  engine_ready_at_ = eq_->Now();
+  switch (job.kind) {
+    case AggKind::kSum:
+    case AggKind::kCount: agg_acc_ = 0; break;
+    case AggKind::kMin: agg_acc_ = INT64_MAX; break;
+    case AggKind::kMax: agg_acc_ = INT64_MIN; break;
+  }
+  stats_.total_busy_ps -= eq_->Now();
+  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
+                         config_.clock.period_ps(),
+                     [this] { AggregateStep(); });
+  return Status::OK();
+}
+
+void Device::AggregateStep() {
+  const AggregateJob& job = *aggregate_;
+  if (cursor_rows_ >= job.num_rows) {
+    dram_->backing_store().Write64(job.out_addr,
+                                   static_cast<uint64_t>(agg_acc_));
+    WriteBurstChain(job.out_addr - job.out_addr % kBurstBytes, 1,
+                    [this] { FinishJob(); });
+    return;
+  }
+  // One bitmap burst covers 512 rows; fetch it lazily when filtering.
+  bool need_bitmap =
+      job.bitmap_base != 0 && cursor_rows_ % kBitsPerBurst == 0;
+  auto process_col_burst = [this]() {
+    const AggregateJob& j = *aggregate_;
+    uint64_t burst_addr = j.col_base + cursor_rows_ * config_.elem_bytes;
+    burst_addr -= burst_addr % kBurstBytes;
+    ReadBurst(burst_addr, [this](sim::Tick data_done) {
+      const AggregateJob& jb = *aggregate_;
+      uint64_t rows_here = std::min<uint64_t>(
+          kBurstBytes / config_.elem_bytes, jb.num_rows - cursor_rows_);
+      for (uint64_t r = cursor_rows_; r < cursor_rows_ + rows_here; ++r) {
+        if (jb.bitmap_base != 0) {
+          uint64_t word = dram_->backing_store().Read64(
+              jb.bitmap_base + (r / 64) * 8);
+          if (((word >> (r % 64)) & 1) == 0) continue;
+        }
+        int64_t v = static_cast<int64_t>(
+            dram_->backing_store().Read64(jb.col_base + r * config_.elem_bytes));
+        switch (jb.kind) {
+          case AggKind::kSum: agg_acc_ += v; break;
+          case AggKind::kCount: agg_acc_ += 1; break;
+          case AggKind::kMin: agg_acc_ = std::min(agg_acc_, v); break;
+          case AggKind::kMax: agg_acc_ = std::max(agg_acc_, v); break;
+        }
+        ++stats_.matches;
+      }
+      stats_.rows_processed += rows_here;
+      cursor_rows_ += rows_here;
+      uint32_t words = kBurstBytes / 8;
+      sim::Tick start = std::max(data_done, engine_ready_at_);
+      sim::Tick proc = config_.BurstProcessingPs(words);
+      engine_ready_at_ = start + proc;
+      stats_.engine_busy_ps += proc;
+      stats_.energy_fj += config_.energy_per_word_fj * words;
+      ContinueAggregateWhenEngineReady();
+    });
+  };
+  if (need_bitmap) {
+    uint64_t bm_addr = job.bitmap_base + (cursor_rows_ / 8);
+    bm_addr -= bm_addr % kBurstBytes;
+    ReadBurst(bm_addr, [process_col_burst](sim::Tick) { process_col_burst(); });
+  } else {
+    process_col_burst();
+  }
+}
+
+void Device::ContinueAggregateWhenEngineReady() {
+  ContinueWhenEngineReady(&Device::AggregateStep);
+}
+
+// ---------------------------------------------------------------------------
+// Grouped aggregation (§4: bucket-limited, hierarchical passes)
+
+Status Device::StartGroupBy(const GroupByJob& job,
+                            std::function<void(sim::Tick)> on_done) {
+  NDP_RETURN_NOT_OK(CheckIdleAndOwned());
+  if (config_.elem_bytes != 8) {
+    return Status::Unimplemented("group-by engine operates on 64-bit words");
+  }
+  NDP_RETURN_NOT_OK(CheckRange(job.key_base, job.num_rows * 8));
+  NDP_RETURN_NOT_OK(CheckRange(job.val_base, job.num_rows * 8));
+  NDP_RETURN_NOT_OK(
+      CheckRange(job.out_base, config_.groupby_buckets * 16));
+  if (job.bitmap_base != 0) {
+    NDP_RETURN_NOT_OK(CheckRange(job.bitmap_base, (job.num_rows + 7) / 8));
+    if (job.bitmap_base % kBurstBytes != 0) {
+      return Status::InvalidArgument("bitmap_base must be 64 B aligned");
+    }
+  }
+  if (job.key_base % kBurstBytes != 0 || job.val_base % kBurstBytes != 0 ||
+      job.out_base % kBurstBytes != 0) {
+    return Status::InvalidArgument("group-by addresses must be 64 B aligned");
+  }
+  busy_ = true;
+  groupby_ = job;
+  on_done_ = std::move(on_done);
+  cursor_rows_ = 0;
+  engine_ready_at_ = eq_->Now();
+  int64_t init = 0;
+  switch (job.kind) {
+    case AggKind::kSum:
+    case AggKind::kCount: init = 0; break;
+    case AggKind::kMin: init = INT64_MAX; break;
+    case AggKind::kMax: init = INT64_MIN; break;
+  }
+  groupby_agg_.assign(config_.groupby_buckets, init);
+  groupby_count_.assign(config_.groupby_buckets, 0);
+  stats_.total_busy_ps -= eq_->Now();
+  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
+                         config_.clock.period_ps(),
+                     [this] { GroupByStep(); });
+  return Status::OK();
+}
+
+void Device::GroupByStep() {
+  const GroupByJob& job = *groupby_;
+  if (cursor_rows_ >= job.num_rows) {
+    // Dump the bucket SRAM back to DRAM: buckets * 16 bytes.
+    for (uint32_t b = 0; b < config_.groupby_buckets; ++b) {
+      dram_->backing_store().Write64(job.out_base + b * 16,
+                                     static_cast<uint64_t>(groupby_agg_[b]));
+      dram_->backing_store().Write64(
+          job.out_base + b * 16 + 8,
+          static_cast<uint64_t>(groupby_count_[b]));
+    }
+    uint64_t bursts =
+        (config_.groupby_buckets * 16 + kBurstBytes - 1) / kBurstBytes;
+    WriteBurstChain(job.out_base, bursts, [this] { FinishJob(); });
+    return;
+  }
+  // Stream the two columns in DRAM-row-sized chunks (8 KB = 1024 values):
+  // alternating single bursts between the columns would ping-pong two rows
+  // of one bank (the columns often alias to the same bank), paying a
+  // precharge/activate pair per burst. Whole-row chunks amortize the row
+  // switch across 128 bursts — the device's SRAM double-buffers one row of
+  // keys against one row of values.
+  uint64_t chunk_rows = std::min<uint64_t>(1024, job.num_rows - cursor_rows_);
+  uint64_t bursts = (chunk_rows * 8 + kBurstBytes - 1) / kBurstBytes;
+  uint64_t key_addr = job.key_base + cursor_rows_ * 8;
+  uint64_t val_addr = job.val_base + cursor_rows_ * 8;
+  auto read_columns = [this, key_addr, val_addr, bursts, chunk_rows]() {
+    ReadBurstChain(key_addr, bursts, [this, val_addr, bursts,
+                                      chunk_rows](sim::Tick) {
+      ReadBurstChain(val_addr, bursts, [this,
+                                        chunk_rows](sim::Tick data_done) {
+        ProcessGroupByChunk(chunk_rows, data_done);
+      });
+    });
+  };
+  if (job.bitmap_base != 0) {
+    // One bitmap burst covers 512 rows; fetch the chunk's slice first.
+    uint64_t bm_addr = job.bitmap_base + cursor_rows_ / 8;
+    bm_addr -= bm_addr % kBurstBytes;
+    uint64_t bm_bursts = (chunk_rows + kBitsPerBurst - 1) / kBitsPerBurst;
+    ReadBurstChain(bm_addr, bm_bursts,
+                   [read_columns](sim::Tick) { read_columns(); });
+  } else {
+    read_columns();
+  }
+}
+
+void Device::ProcessGroupByChunk(uint64_t chunk_rows, sim::Tick data_done) {
+  const GroupByJob& j = *groupby_;
+  uint64_t rows_here = chunk_rows;
+  for (uint64_t r = cursor_rows_; r < cursor_rows_ + rows_here; ++r) {
+    if (j.bitmap_base != 0) {
+      uint64_t word =
+          dram_->backing_store().Read64(j.bitmap_base + (r / 64) * 8);
+      if (((word >> (r % 64)) & 1) == 0) continue;
+    }
+    int64_t key =
+        static_cast<int64_t>(dram_->backing_store().Read64(j.key_base + r * 8));
+    int64_t bucket = key - j.key_offset;
+    if (bucket < 0 || bucket >= static_cast<int64_t>(config_.groupby_buckets)) {
+      continue;  // outside this hierarchical pass's window
+    }
+    int64_t v = static_cast<int64_t>(
+        dram_->backing_store().Read64(j.val_base + r * 8));
+    switch (j.kind) {
+      case AggKind::kSum: groupby_agg_[bucket] += v; break;
+      case AggKind::kCount: groupby_agg_[bucket] += 1; break;
+      case AggKind::kMin:
+        groupby_agg_[bucket] = std::min(groupby_agg_[bucket], v);
+        break;
+      case AggKind::kMax:
+        groupby_agg_[bucket] = std::max(groupby_agg_[bucket], v);
+        break;
+    }
+    ++groupby_count_[bucket];
+    ++stats_.matches;
+  }
+  stats_.rows_processed += rows_here;
+  cursor_rows_ += rows_here;
+  // Engine: one key/value pair per cycle (hash + accumulate); chunk
+  // processing overlaps the next chunk's reads via the usual throttle.
+  uint32_t words = static_cast<uint32_t>(2 * rows_here);
+  sim::Tick start = std::max(data_done, engine_ready_at_);
+  sim::Tick proc = config_.BurstProcessingPs(words);
+  engine_ready_at_ = start + proc;
+  stats_.engine_busy_ps += proc;
+  stats_.energy_fj += config_.energy_per_word_fj * words;
+  ContinueWhenEngineReady(&Device::GroupByStep);
+}
+
+// ---------------------------------------------------------------------------
+// Project
+
+Status Device::StartProject(const ProjectJob& job,
+                            std::function<void(sim::Tick)> on_done) {
+  NDP_RETURN_NOT_OK(CheckIdleAndOwned());
+  if (config_.elem_bytes != 8) {
+    return Status::Unimplemented("project engine operates on 64-bit words");
+  }
+  NDP_RETURN_NOT_OK(CheckRange(job.col_base, job.num_rows * config_.elem_bytes));
+  NDP_RETURN_NOT_OK(CheckRange(job.bitmap_base, (job.num_rows + 7) / 8));
+  if (job.col_base % kBurstBytes != 0 || job.out_base % kBurstBytes != 0 ||
+      job.bitmap_base % kBurstBytes != 0) {
+    return Status::InvalidArgument("project addresses must be 64 B aligned");
+  }
+  busy_ = true;
+  project_ = job;
+  on_done_ = std::move(on_done);
+  cursor_rows_ = 0;
+  engine_ready_at_ = eq_->Now();
+  project_out_buffer_.clear();
+  project_emitted_ = 0;
+  stats_.total_busy_ps -= eq_->Now();
+  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
+                         config_.clock.period_ps(),
+                     [this] { ProjectStep(); });
+  return Status::OK();
+}
+
+void Device::ProjectStep() {
+  const ProjectJob& job = *project_;
+  if (cursor_rows_ >= job.num_rows) {
+    FlushProjectOutput([this] { FinishJob(); }, /*final_flush=*/true);
+    return;
+  }
+  bool need_bitmap = cursor_rows_ % kBitsPerBurst == 0;
+  auto process = [this]() {
+    const ProjectJob& j = *project_;
+    uint64_t burst_addr = j.col_base + cursor_rows_ * config_.elem_bytes;
+    burst_addr -= burst_addr % kBurstBytes;
+    ReadBurst(burst_addr, [this](sim::Tick data_done) {
+      const ProjectJob& jb = *project_;
+      uint64_t rows_here = std::min<uint64_t>(
+          kBurstBytes / config_.elem_bytes, jb.num_rows - cursor_rows_);
+      for (uint64_t r = cursor_rows_; r < cursor_rows_ + rows_here; ++r) {
+        uint64_t word =
+            dram_->backing_store().Read64(jb.bitmap_base + (r / 64) * 8);
+        if ((word >> (r % 64)) & 1) {
+          project_out_buffer_.push_back(static_cast<int64_t>(
+              dram_->backing_store().Read64(jb.col_base +
+                                            r * config_.elem_bytes)));
+          ++stats_.matches;
+        }
+      }
+      stats_.rows_processed += rows_here;
+      cursor_rows_ += rows_here;
+      uint32_t words = kBurstBytes / 8;
+      sim::Tick start = std::max(data_done, engine_ready_at_);
+      sim::Tick proc = config_.BurstProcessingPs(words);
+      engine_ready_at_ = start + proc;
+      stats_.engine_busy_ps += proc;
+      stats_.energy_fj += config_.energy_per_word_fj * words;
+      // Buffer qualifying values up to the device's output buffer capacity
+      // before dumping them back (§4: "when the internal buffers are full,
+      // JAFAR will dump the contents back to a pre-allocated location") —
+      // flushing per burst would pay the write-to-read turnaround each time.
+      if (project_out_buffer_.size() >= config_.output_buffer_bits / 8) {
+        FlushProjectOutput([this] { ProjectStep(); }, /*final_flush=*/false);
+      } else {
+        ProjectStep();
+      }
+    });
+  };
+  if (need_bitmap) {
+    uint64_t bm_addr = job.bitmap_base + (cursor_rows_ / 8);
+    bm_addr -= bm_addr % kBurstBytes;
+    ReadBurst(bm_addr, [process](sim::Tick) { process(); });
+  } else {
+    process();
+  }
+}
+
+void Device::FlushProjectOutput(std::function<void()> next, bool final_flush) {
+  const uint64_t words_per_burst = kBurstBytes / 8;
+  uint64_t available = project_out_buffer_.size();
+  uint64_t to_write = final_flush ? available
+                                  : (available / words_per_burst) * words_per_burst;
+  if (to_write == 0) {
+    next();
+    return;
+  }
+  uint64_t addr = project_->out_base + project_emitted_ * 8;
+  for (uint64_t i = 0; i < to_write; ++i) {
+    dram_->backing_store().Write64(
+        addr + i * 8, static_cast<uint64_t>(project_out_buffer_[i]));
+  }
+  project_out_buffer_.erase(project_out_buffer_.begin(),
+                            project_out_buffer_.begin() +
+                                static_cast<long>(to_write));
+  project_emitted_ += to_write;
+  uint64_t first_burst = addr - addr % kBurstBytes;
+  uint64_t last_byte = addr + to_write * 8 - 1;
+  uint64_t bursts = (last_byte - first_burst) / kBurstBytes + 1;
+  WriteBurstChain(first_burst, bursts, std::move(next));
+}
+
+}  // namespace ndp::jafar

@@ -1,0 +1,171 @@
+// The JAFAR device model: an integrated circuit mounted on the DIMM (§2.2,
+// "Physical Implementation") that issues its own ACT/RD/WR/PRE commands to
+// its rank through the shared channel — obeying exactly the same DDR3 timing
+// rules as the host memory controller — consumes words from the IO buffer at
+// the rate the accel schedule derived, and writes its output bitmap back to a
+// pre-programmed DRAM location every time the n-bit output buffer fills.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+#include "dram/dram_system.h"
+#include "jafar/config.h"
+#include "jafar/jobs.h"
+#include "sim/event_queue.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace ndp::jafar {
+
+/// Per-job and lifetime counters of one device.
+struct DeviceStats {
+  uint64_t jobs_completed = 0;
+  uint64_t rows_processed = 0;
+  uint64_t matches = 0;
+  uint64_t bursts_read = 0;
+  uint64_t bursts_written = 0;
+  uint64_t activates = 0;
+  sim::Tick data_wait_ps = 0;    ///< CAS-latency time spent waiting for data
+  sim::Tick engine_busy_ps = 0;  ///< time the filter datapath was computing
+  sim::Tick total_busy_ps = 0;   ///< wall time from job start to completion
+  double energy_fj = 0.0;
+  uint64_t polite_backoffs = 0;  ///< deferrals to host traffic (polite mode)
+
+  /// The §2.2 observation: fraction of each access latency spent waiting for
+  /// DRAM rather than computing.
+  double WaitFraction() const {
+    sim::Tick denom = data_wait_ps + engine_busy_ps;
+    return denom ? static_cast<double>(data_wait_ps) / static_cast<double>(denom)
+                 : 0.0;
+  }
+};
+
+/// \brief One JAFAR unit, bound to one rank of one channel.
+class Device {
+ public:
+  /// `dram` supplies both timing (channel) and functional contents (backing
+  /// store). `channel_index`/`rank_index` locate the DIMM this unit sits on.
+  Device(dram::DramSystem* dram, uint32_t channel_index, uint32_t rank_index,
+         DeviceConfig config);
+  NDP_DISALLOW_COPY_AND_ASSIGN(Device);
+
+  // -- Job entry points. One job at a time; on_done receives the completion
+  //    tick. All fail with DeviceBusy if a job is running, InvalidArgument if
+  //    the job's addresses leave this device's rank, and FailedPrecondition
+  //    if ownership is required but not held. ------------------------------
+
+  Status StartSelect(const SelectJob& job, std::function<void(sim::Tick)> on_done);
+  Status StartAggregate(const AggregateJob& job,
+                        std::function<void(sim::Tick)> on_done);
+  Status StartProject(const ProjectJob& job,
+                      std::function<void(sim::Tick)> on_done);
+  Status StartRowStore(const RowStoreJob& job,
+                       std::function<void(sim::Tick)> on_done);
+  Status StartSort(const SortJob& job, std::function<void(sim::Tick)> on_done);
+  Status StartGroupBy(const GroupByJob& job,
+                      std::function<void(sim::Tick)> on_done);
+
+  bool busy() const { return busy_; }
+  const DeviceStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DeviceStats{}; }
+  const DeviceConfig& config() const { return config_; }
+  uint32_t channel_index() const { return channel_index_; }
+  uint32_t rank_index() const { return rank_index_; }
+  dram::DramSystem* dram() { return dram_; }
+
+  /// Matches produced by the most recent completed select/row-store job.
+  uint64_t last_match_count() const { return last_matches_; }
+
+ private:
+  struct Step;  // one pending command in the sequencer
+
+  /// Validates that [base, base+len) lies within this device's rank and
+  /// returns OK, with decoded sanity checks.
+  Status CheckRange(uint64_t base, uint64_t len) const;
+
+  /// Reads one column value (64-bit word, or sign-extended 32-bit half when
+  /// elem_bytes == 4) from the functional backing store.
+  int64_t ReadValue(uint64_t addr) const;
+  Status CheckIdleAndOwned() const;
+
+  dram::Channel& channel() { return dram_->channel(channel_index_); }
+  const dram::DramTiming& timing() const { return dram_->timing(); }
+  sim::Tick BusCycles(uint32_t n) const {
+    return n * dram_->timing().tck_ps;
+  }
+
+  // -- Sequencer: issues one command chain; all jobs are built on these. ----
+
+  /// Issues `cmd` as soon as legal (and, in polite mode, as soon as the host
+  /// controller is idle), then calls `next(done_tick)`. For column commands,
+  /// if a third party (host refresh in polite mode) closed the target row
+  /// between scheduling and issue, `on_stale` is invoked instead so the
+  /// caller can re-open the row.
+  void IssueWhenReady(dram::Command cmd, std::function<void(sim::Tick)> next,
+                      std::function<void()> on_stale = nullptr);
+
+  /// Ensures `loc`'s bank has `loc.row` open (PRE/ACT as needed), then calls
+  /// `next`.
+  void OpenRow(const dram::DramLocation& loc, std::function<void()> next);
+
+  /// Reads the burst at `addr`; calls `next(data_done_tick)`.
+  void ReadBurst(uint64_t addr, std::function<void(sim::Tick)> next);
+
+  /// Writes the burst at `addr` (functional bytes must already be in the
+  /// backing store); calls `next(data_done_tick)`.
+  void WriteBurst(uint64_t addr, std::function<void(sim::Tick)> next);
+
+  // -- Select/row-store machinery -------------------------------------------
+
+  void SelectStep();
+  void ContinueWhenEngineReady(void (Device::*step)());
+  void ContinueScanWhenEngineReady();
+  void FlushBitmap(std::function<void()> next);
+  void WriteBurstChain(uint64_t addr, uint64_t bursts,
+                       std::function<void()> next);
+  void FinishJob();
+
+  void AggregateStep();
+  void ContinueAggregateWhenEngineReady();
+  void ProjectStep();
+  void FlushProjectOutput(std::function<void()> next, bool final_flush);
+  void SortStep();
+  void GroupByStep();
+  void ProcessGroupByChunk(uint64_t chunk_rows, sim::Tick data_done);
+  void ReadBurstChain(uint64_t addr, uint64_t bursts,
+                      std::function<void(sim::Tick)> on_last_data);
+
+  dram::DramSystem* dram_;
+  uint32_t channel_index_;
+  uint32_t rank_index_;
+  DeviceConfig config_;
+  sim::EventQueue* eq_;
+
+  bool busy_ = false;
+  std::function<void(sim::Tick)> on_done_;
+  DeviceStats stats_;
+  uint64_t last_matches_ = 0;
+
+  // Job state (one job at a time; union-like, only the active kind is used).
+  std::optional<SelectJob> select_;
+  std::optional<AggregateJob> aggregate_;
+  std::optional<ProjectJob> project_;
+  std::optional<RowStoreJob> rowstore_;
+  std::optional<SortJob> sort_;
+  std::optional<GroupByJob> groupby_;
+  std::vector<int64_t> groupby_agg_;
+  std::vector<int64_t> groupby_count_;
+
+  uint64_t cursor_rows_ = 0;       ///< rows processed so far
+  sim::Tick engine_ready_at_ = 0;  ///< datapath pipeline availability
+  BitVector pending_bits_;         ///< output buffer (n bits)
+  uint64_t pending_bit_count_ = 0;
+  uint64_t bitmap_write_cursor_ = 0;  ///< bytes of bitmap already written
+  int64_t agg_acc_ = 0;
+  std::vector<int64_t> project_out_buffer_;
+  uint64_t project_emitted_ = 0;
+};
+
+}  // namespace ndp::jafar

@@ -1,0 +1,216 @@
+#include "jafar/driver.h"
+
+#include <algorithm>
+
+#include "util/macros.h"
+
+namespace ndp::jafar {
+
+Driver::Driver(Device* device, dram::MemoryController* controller,
+               DriverConfig config)
+    : device_(device), controller_(controller), config_(config) {
+  NDP_CHECK(config_.page_bytes % 64 == 0);
+}
+
+void Driver::AcquireOwnership(std::function<void(sim::Tick)> done) {
+  controller_->TransferOwnership(device_->rank_index(),
+                                 dram::RankOwner::kAccelerator, std::move(done));
+}
+
+void Driver::ReleaseOwnership(std::function<void(sim::Tick)> done) {
+  controller_->TransferOwnership(device_->rank_index(), dram::RankOwner::kHost,
+                                 std::move(done));
+}
+
+Status Driver::SelectJafar(uint64_t col_addr, int64_t range_low,
+                           int64_t range_high, uint64_t out_addr,
+                           uint64_t num_input_rows, uint64_t flag_addr,
+                           std::function<void(const SelectResult&)> on_done) {
+  if (select_active_) {
+    return Status::DeviceBusy("a select_jafar call is already in flight");
+  }
+  if (num_input_rows == 0) {
+    return Status::InvalidArgument("num_input_rows must be positive");
+  }
+  if (col_addr % config_.page_bytes != 0) {
+    return Status::InvalidArgument("col_data must be page aligned (Figure 2: "
+                                   "one call per virtual memory page)");
+  }
+  // Program the control-register block, as the memory-mapped interface would.
+  regs_.Write(Reg::kColBase, col_addr);
+  regs_.Write(Reg::kNumRows, num_input_rows);
+  regs_.Write(Reg::kCompareOp, static_cast<uint64_t>(CompareOp::kBetween));
+  regs_.Write(Reg::kRangeLow, static_cast<uint64_t>(range_low));
+  regs_.Write(Reg::kRangeHigh, static_cast<uint64_t>(range_high));
+  regs_.Write(Reg::kOutBase, out_addr);
+  regs_.Write(Reg::kFlagAddr, flag_addr);
+  regs_.Write(Reg::kCommand, static_cast<uint64_t>(Command::kGoSelect));
+  regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kBusy));
+
+  select_active_ = true;
+  cur_col_ = col_addr;
+  cur_out_ = out_addr;
+  rows_left_ = num_input_rows;
+  lo_ = range_low;
+  hi_ = range_high;
+  flag_addr_ = flag_addr;
+  result_ = SelectResult{};
+  select_done_ = std::move(on_done);
+  RunNextPage();
+  return Status::OK();
+}
+
+void Driver::RunNextPage() {
+  NDP_CHECK(rows_left_ > 0);
+  uint64_t elem = device_->config().elem_bytes;
+  uint64_t rows_per_page = config_.page_bytes / elem;
+  uint64_t rows = std::min(rows_left_, rows_per_page);
+
+  SelectJob job;
+  job.col_base = cur_col_;
+  job.num_rows = rows;
+  job.op = CompareOp::kBetween;
+  job.range_low = lo_;
+  job.range_high = hi_;
+  job.out_base = cur_out_;
+  Status st = device_->StartSelect(job, [this, rows, elem](sim::Tick t) {
+    result_.num_output_rows += device_->last_match_count();
+    ++result_.pages;
+    rows_left_ -= rows;
+    cur_col_ += rows * elem;
+    cur_out_ += (rows + 7) / 8;
+    if (rows_left_ == 0) {
+      FinishSelect(t);
+    } else {
+      RunNextPage();
+    }
+  });
+  if (!st.ok()) {
+    // Surface the failure through the status register and abort the call.
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+    select_active_ = false;
+    auto cb = std::move(select_done_);
+    select_done_ = nullptr;
+    result_.num_output_rows = 0;
+    if (cb) cb(result_);
+  }
+}
+
+void Driver::FinishSelect(sim::Tick now) {
+  regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
+  select_active_ = false;
+  result_.completed_at = now;
+  // Completion flag for CPU polling (§2.2). Timing is folded into the final
+  // bitmap write-back burst; the flag word itself is a functional store.
+  if (flag_addr_ != 0) {
+    device_->dram()->backing_store().Write64(flag_addr_,
+                                             config_.done_flag_value);
+  }
+  auto cb = std::move(select_done_);
+  select_done_ = nullptr;
+  if (cb) cb(result_);
+}
+
+Status Driver::AggregateJafar(const AggregateJob& job,
+                              std::function<void(sim::Tick)> on_done) {
+  regs_.Write(Reg::kCommand, static_cast<uint64_t>(Command::kGoAggregate));
+  regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kBusy));
+  Status st = device_->StartAggregate(
+      job, [this, on_done = std::move(on_done)](sim::Tick t) {
+        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
+        if (on_done) on_done(t);
+      });
+  if (!st.ok()) {
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+  }
+  return st;
+}
+
+Status Driver::ProjectJafar(const ProjectJob& job,
+                            std::function<void(sim::Tick)> on_done) {
+  regs_.Write(Reg::kCommand, static_cast<uint64_t>(Command::kGoProject));
+  regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kBusy));
+  Status st = device_->StartProject(
+      job, [this, on_done = std::move(on_done)](sim::Tick t) {
+        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
+        if (on_done) on_done(t);
+      });
+  if (!st.ok()) {
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+  }
+  return st;
+}
+
+Status Driver::RowStoreJafar(const RowStoreJob& job,
+                             std::function<void(sim::Tick)> on_done) {
+  Status st = device_->StartRowStore(
+      job, [this, on_done = std::move(on_done)](sim::Tick t) {
+        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
+        if (on_done) on_done(t);
+      });
+  if (!st.ok()) {
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+  }
+  return st;
+}
+
+Status Driver::SortJafar(const SortJob& job,
+                         std::function<void(sim::Tick)> on_done) {
+  Status st = device_->StartSort(
+      job, [this, on_done = std::move(on_done)](sim::Tick t) {
+        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
+        if (on_done) on_done(t);
+      });
+  if (!st.ok()) {
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+  }
+  return st;
+}
+
+Status Driver::GroupByJafar(const GroupByJob& job,
+                            std::function<void(sim::Tick)> on_done) {
+  Status st = device_->StartGroupBy(
+      job, [this, on_done = std::move(on_done)](sim::Tick t) {
+        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
+        if (on_done) on_done(t);
+      });
+  if (!st.ok()) {
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+  }
+  return st;
+}
+
+Status Driver::HierarchicalGroupBy(GroupByJob job, uint32_t num_groups,
+                                   std::function<void(sim::Tick)> on_done) {
+  uint32_t buckets = device_->config().groupby_buckets;
+  uint32_t passes = (num_groups + buckets - 1) / buckets;
+  if (passes == 0) return Status::InvalidArgument("num_groups must be > 0");
+  // Each pass writes its bucket window to out_base + window * 16 bytes; the
+  // device result layout is already contiguous per window.
+  auto run_pass = std::make_shared<std::function<Status(uint32_t)>>();
+  auto done_cb =
+      std::make_shared<std::function<void(sim::Tick)>>(std::move(on_done));
+  uint64_t out_base = job.out_base;
+  *run_pass = [this, job, passes, buckets, out_base, run_pass,
+               done_cb](uint32_t pass) mutable -> Status {
+    GroupByJob p = job;
+    p.key_offset = static_cast<int64_t>(pass) * buckets;
+    p.out_base = out_base + static_cast<uint64_t>(pass) * buckets * 16;
+    return device_->StartGroupBy(
+        p, [this, pass, passes, run_pass, done_cb](sim::Tick t) {
+          if (pass + 1 < passes) {
+            // Later passes re-run the same validated job on an idle device;
+            // a failure here indicates a bug, not a caller error.
+            Status st = (*run_pass)(pass + 1);
+            NDP_CHECK_MSG(st.ok(), st.ToString().c_str());
+          } else {
+            regs_.Write(Reg::kStatus,
+                        static_cast<uint64_t>(DeviceStatus::kDone));
+            if (*done_cb) (*done_cb)(t);
+          }
+        });
+  };
+  return (*run_pass)(0);
+}
+
+}  // namespace ndp::jafar

@@ -1,0 +1,98 @@
+// Host-side driver for a JAFAR unit. Implements the paper's invocation model:
+//  * rank ownership hand-off through the memory controller's MR3/MPR write
+//    (§2.2, "Coordinating DRAM Access");
+//  * the Figure 2 API, `select_jafar(col_data, range_low, range_high,
+//    out_buf, num_input_rows, &num_output_rows)`, called once per (pinned)
+//    virtual-memory page because JAFAR relies on the CPU for translation;
+//  * completion signalling through a polled flag word in shared memory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "jafar/device.h"
+#include "jafar/registers.h"
+
+namespace ndp::jafar {
+
+struct DriverConfig {
+  /// Invocation granularity: Figure 2's API is per virtual-memory page.
+  uint64_t page_bytes = 4096;
+  /// Completion flag value written to SelectResult::flag_addr when done.
+  uint64_t done_flag_value = 1;
+};
+
+/// Result of a driver-level select call.
+struct SelectResult {
+  uint64_t num_output_rows = 0;  ///< population count of the bitmap
+  sim::Tick completed_at = 0;
+  uint64_t pages = 0;            ///< per-page device invocations performed
+};
+
+/// \brief The driver: owns the control-register ceremony and page chunking.
+class Driver {
+ public:
+  Driver(Device* device, dram::MemoryController* controller,
+         DriverConfig config = DriverConfig{});
+  NDP_DISALLOW_COPY_AND_ASSIGN(Driver);
+
+  /// Programs MR3 to grant the device's rank to the accelerator; `done` fires
+  /// when the MRS has taken effect.
+  void AcquireOwnership(std::function<void(sim::Tick)> done);
+  /// Returns the rank to the host memory controller.
+  void ReleaseOwnership(std::function<void(sim::Tick)> done);
+
+  /// Asynchronous Figure-2 select over `num_input_rows` 64-bit values at
+  /// physical address `col_addr` (page-aligned), bitmap to `out_addr`.
+  /// `flag_addr` (0 = none) receives the done flag for CPU polling.
+  /// Internally issues one device job per page.
+  Status SelectJafar(uint64_t col_addr, int64_t range_low, int64_t range_high,
+                     uint64_t out_addr, uint64_t num_input_rows,
+                     uint64_t flag_addr,
+                     std::function<void(const SelectResult&)> on_done);
+
+  /// Single-shot pass-throughs for the §4 extension engines.
+  Status AggregateJafar(const AggregateJob& job,
+                        std::function<void(sim::Tick)> on_done);
+  Status ProjectJafar(const ProjectJob& job,
+                      std::function<void(sim::Tick)> on_done);
+  Status RowStoreJafar(const RowStoreJob& job,
+                       std::function<void(sim::Tick)> on_done);
+  Status SortJafar(const SortJob& job, std::function<void(sim::Tick)> on_done);
+  Status GroupByJafar(const GroupByJob& job,
+                      std::function<void(sim::Tick)> on_done);
+
+  /// §4's hierarchical aggregation: covers a key domain of `num_groups`
+  /// (starting at key 0) that may exceed the device's bucket SRAM by running
+  /// one GroupBy pass per bucket window over the same data. The merged
+  /// results land contiguously at job.out_base (num_groups x 16 bytes).
+  /// `job.key_offset` is managed internally.
+  Status HierarchicalGroupBy(GroupByJob job, uint32_t num_groups,
+                             std::function<void(sim::Tick)> on_done);
+
+  /// The memory-mapped register block (exposed for inspection/testing).
+  const ControlRegisters& registers() const { return regs_; }
+
+  Device* device() { return device_; }
+
+ private:
+  void RunNextPage();
+  void FinishSelect(sim::Tick now);
+
+  Device* device_;
+  dram::MemoryController* controller_;
+  DriverConfig config_;
+  ControlRegisters regs_;
+
+  // In-flight paged select state.
+  bool select_active_ = false;
+  uint64_t cur_col_ = 0;
+  uint64_t cur_out_ = 0;
+  uint64_t rows_left_ = 0;
+  int64_t lo_ = 0, hi_ = 0;
+  uint64_t flag_addr_ = 0;
+  SelectResult result_;
+  std::function<void(const SelectResult&)> select_done_;
+};
+
+}  // namespace ndp::jafar

@@ -1,0 +1,29 @@
+#include "jafar/jobs.h"
+
+namespace ndp::jafar {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq: return "=";
+    case CompareOp::kLt: return "<";
+    case CompareOp::kGt: return ">";
+    case CompareOp::kLe: return "<=";
+    case CompareOp::kGe: return ">=";
+    case CompareOp::kBetween: return "between";
+  }
+  return "?";
+}
+
+bool EvalCompare(CompareOp op, int64_t value, int64_t lo, int64_t hi) {
+  switch (op) {
+    case CompareOp::kEq: return value == lo;
+    case CompareOp::kLt: return value < lo;
+    case CompareOp::kGt: return value > lo;
+    case CompareOp::kLe: return value <= lo;
+    case CompareOp::kGe: return value >= lo;
+    case CompareOp::kBetween: return value >= lo && value <= hi;
+  }
+  return false;
+}
+
+}  // namespace ndp::jafar

@@ -1,0 +1,120 @@
+// Job descriptors for the operations JAFAR can execute: the select of §2.2
+// plus the §4 extensions (aggregation, projection, row-store multi-predicate
+// filters). A job always targets physically contiguous data within one rank —
+// the driver (and ultimately the OS, per §4 "Memory Management") guarantees
+// this by pinning and translating pages before invocation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace ndp::jafar {
+
+/// Predicate comparison operators supported by the filter datapath (§2.2:
+/// =, <, >, <=, >= — ranges use both ALUs).
+enum class CompareOp : uint8_t {
+  kEq,
+  kLt,
+  kGt,
+  kLe,
+  kGe,
+  kBetween,  ///< range_low <= x <= range_high (inclusive, Figure 2)
+};
+
+const char* CompareOpToString(CompareOp op);
+
+/// Evaluates `op` on a value (host-side golden semantics, also used by the
+/// device's functional model).
+bool EvalCompare(CompareOp op, int64_t value, int64_t lo, int64_t hi);
+
+/// \brief Select: filter a column, produce a bitmap (Figure 2's API shape).
+struct SelectJob {
+  uint64_t col_base = 0;    ///< physical address of the column data
+  uint64_t num_rows = 0;
+  CompareOp op = CompareOp::kBetween;
+  int64_t range_low = 0;
+  int64_t range_high = 0;
+  uint64_t out_base = 0;    ///< physical address of the output bitmap
+  /// Word-granularity interleave handling (§2.2): when true, bitmap
+  /// write-back merges under a mask instead of overwriting whole words.
+  bool masked_writeback = false;
+  uint64_t writeback_mask = ~uint64_t{0};
+};
+
+/// Aggregation kinds (§4 "Aggregations").
+enum class AggKind : uint8_t { kSum, kMin, kMax, kCount };
+
+/// \brief Aggregate a column into a single 64-bit result written to out_addr.
+struct AggregateJob {
+  uint64_t col_base = 0;
+  uint64_t num_rows = 0;
+  AggKind kind = AggKind::kSum;
+  /// Optional pre-filter: aggregate only rows whose bitmap bit is set
+  /// (bitmap_base == 0 means aggregate everything).
+  uint64_t bitmap_base = 0;
+  uint64_t out_addr = 0;
+};
+
+/// \brief Projection (§4 "Projections"): emit col[i] for every set bit of a
+/// selection bitmap, densely packed at out_base.
+struct ProjectJob {
+  uint64_t col_base = 0;
+  uint64_t num_rows = 0;
+  uint64_t bitmap_base = 0;
+  uint64_t out_base = 0;
+};
+
+/// \brief Grouped aggregation (§4 "Aggregations": "due to hardware
+/// restrictions, there must be a limit to the number of hash buckets JAFAR
+/// can support, which suggests that a hierarchical aggregation approach will
+/// be required"). Keys are small integers (dictionary codes); the device
+/// aggregates groups in [key_offset, key_offset + DeviceConfig::
+/// groupby_buckets); rows outside the window are skipped, so the host can
+/// cover a larger key domain with several passes — the hierarchical scheme.
+struct GroupByJob {
+  uint64_t key_base = 0;   ///< group-key column (int64 codes)
+  uint64_t val_base = 0;   ///< value column
+  uint64_t num_rows = 0;
+  AggKind kind = AggKind::kSum;
+  int64_t key_offset = 0;  ///< first key handled by this pass
+  /// Optional pre-filter: only rows whose bitmap bit is set contribute
+  /// (0 = aggregate everything). Lets a JAFAR select feed a JAFAR group-by
+  /// without the data ever leaving memory — TPC-H Q1's filter + group-by.
+  uint64_t bitmap_base = 0;
+  /// Result layout at out_base: per bucket b, two 64-bit words
+  /// {aggregate, count} for key key_offset + b.
+  uint64_t out_base = 0;
+};
+
+/// \brief Sort (§4 "Sorting"): a fixed-function bitonic sorter over blocks of
+/// `DeviceConfig::sort_block_elems` elements ("ASIC sorters are generally
+/// costly in area, so implementations are typically limited to sorting a
+/// small number of elements at a time; larger datasets use divide and
+/// conquer"). The device emits sorted runs of one block each at out_base; run
+/// merging is left to the host (or a later device pass).
+struct SortJob {
+  uint64_t col_base = 0;
+  uint64_t num_rows = 0;
+  uint64_t out_base = 0;
+  bool descending = false;
+};
+
+/// One conjunct of a row-store filter.
+struct RowPredicate {
+  uint32_t attr_offset_bytes = 0;  ///< offset of the attribute within a tuple
+  CompareOp op = CompareOp::kBetween;
+  int64_t range_low = 0;
+  int64_t range_high = 0;
+};
+
+/// \brief Row-store select (§4 "NDP in Row-Stores and Hybrids"): apply a
+/// conjunction of predicates to each fixed-width tuple.
+struct RowStoreJob {
+  uint64_t tuple_base = 0;
+  uint64_t num_tuples = 0;
+  uint32_t tuple_bytes = 0;  ///< must be a multiple of 8
+  std::vector<RowPredicate> predicates;
+  uint64_t out_base = 0;  ///< bitmap, one bit per tuple
+};
+
+}  // namespace ndp::jafar

@@ -1,0 +1,63 @@
+// TickingComponent: base class for clocked components (memory controller,
+// JAFAR engines) that self-schedule on their own clock domain and go fully
+// quiescent when idle.
+#pragma once
+
+#include "sim/event_queue.h"
+#include "sim/time.h"
+
+namespace ndp::sim {
+
+/// \brief A component clocked by a ClockDomain.
+///
+/// Subclasses implement Tick(), which runs once per local clock edge while the
+/// component is "armed". Calling Wake() (e.g. on request arrival) arms the
+/// component; Tick() returning false disarms it until the next Wake(). Each
+/// edge is processed at most once even if Wake() is called repeatedly.
+class TickingComponent {
+ public:
+  TickingComponent(EventQueue* eq, ClockDomain clock) : eq_(eq), clock_(clock) {}
+  virtual ~TickingComponent() = default;
+  NDP_DISALLOW_COPY_AND_ASSIGN(TickingComponent);
+
+  /// Arms the component: it will tick on the next edge of its clock.
+  void Wake() {
+    if (armed_) return;
+    armed_ = true;
+    ScheduleNextTick();
+  }
+
+  EventQueue* event_queue() const { return eq_; }
+  const ClockDomain& clock() const { return clock_; }
+
+  /// Local cycle index of the component's clock at current sim time.
+  uint64_t CurrentCycle() const { return clock_.TickToCycle(eq_->Now()); }
+
+ protected:
+  /// One local clock edge. Return true to keep ticking, false to go idle.
+  virtual bool Tick() = 0;
+
+ private:
+  void ScheduleNextTick() {
+    ::ndp::sim::Tick edge = clock_.NextEdgeAtOrAfter(eq_->Now());
+    if (edge == last_edge_ && had_edge_) edge = clock_.NextEdgeAfter(eq_->Now());
+    eq_->ScheduleAt(edge, [this, edge] {
+      last_edge_ = edge;
+      had_edge_ = true;
+      bool again = Tick();
+      if (again) {
+        ScheduleNextTick();
+      } else {
+        armed_ = false;
+      }
+    });
+  }
+
+  EventQueue* eq_;
+  ClockDomain clock_;
+  bool armed_ = false;
+  bool had_edge_ = false;
+  ::ndp::sim::Tick last_edge_ = 0;
+};
+
+}  // namespace ndp::sim

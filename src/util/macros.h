@@ -1,0 +1,30 @@
+// Project-wide assertion macros. NDP_CHECK fires in all build types; it guards
+// invariants whose violation indicates a bug, not a recoverable condition.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define NDP_CHECK(cond)                                                     \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "NDP_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                        \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define NDP_CHECK_MSG(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "NDP_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                         \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+#define NDP_DCHECK(cond) NDP_CHECK(cond)
+
+#define NDP_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;          \
+  TypeName& operator=(const TypeName&) = delete

@@ -1,0 +1,70 @@
+// Deterministic pseudo-random number generation (PCG32). Every stochastic
+// component of the simulator and the data generators draws from a seeded Rng
+// so that all experiments are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/macros.h"
+
+namespace ndp {
+
+/// \brief PCG32 generator (O'Neill 2014): small state, good statistical
+/// quality, fully deterministic across platforms.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x853c49e6748fea9bULL, uint64_t stream = 1)
+      : state_(0), inc_((stream << 1u) | 1u) {
+    NextU32();
+    state_ += seed;
+    NextU32();
+  }
+
+  /// Uniform 32-bit value.
+  uint32_t NextU32() {
+    uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    uint32_t xorshifted = static_cast<uint32_t>(((old >> 18u) ^ old) >> 27u);
+    uint32_t rot = static_cast<uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((32u - rot) & 31u));
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64() {
+    return (static_cast<uint64_t>(NextU32()) << 32) | NextU32();
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire-style rejection to avoid
+  /// modulo bias. bound must be > 0.
+  uint32_t NextBounded(uint32_t bound) {
+    NDP_DCHECK(bound > 0);
+    uint32_t threshold = (-bound) % bound;
+    for (;;) {
+      uint32_t r = NextU32();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi) {
+    NDP_DCHECK(lo <= hi);
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<int64_t>(NextU64());  // full 64-bit range
+    uint64_t r = NextU64() % span;  // span <= 2^63, bias negligible for tests
+    return lo + static_cast<int64_t>(r);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli trial with probability p of returning true.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  uint64_t state_;
+  uint64_t inc_;
+};
+
+}  // namespace ndp

@@ -1,0 +1,51 @@
+#include "util/stats.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace ndp {
+
+double Histogram::Quantile(double q) const {
+  uint64_t total = stats_.count();
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(total));
+  uint64_t cum = 0;
+  size_t inner = counts_.size() - 2;
+  double width = (hi_ - lo_) / static_cast<double>(inner);
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    cum += counts_[b];
+    if (cum > target) {
+      if (b == 0) return lo_;
+      if (b == counts_.size() - 1) return hi_;
+      return lo_ + static_cast<double>(b - 1) * width + width / 2;
+    }
+  }
+  return hi_;
+}
+
+std::string Histogram::ToAscii(size_t max_width) const {
+  uint64_t peak = 0;
+  for (uint64_t c : counts_) peak = std::max(peak, c);
+  if (peak == 0) return "(empty histogram)\n";
+  std::string out;
+  size_t inner = counts_.size() - 2;
+  double width = (hi_ - lo_) / static_cast<double>(inner);
+  char line[256];
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    double left = (b == 0) ? -INFINITY : lo_ + static_cast<double>(b - 1) * width;
+    double right = (b == counts_.size() - 1) ? INFINITY : left + width;
+    if (b == 0) left = -INFINITY, right = lo_;
+    size_t bar = static_cast<size_t>(static_cast<double>(counts_[b]) /
+                                     static_cast<double>(peak) *
+                                     static_cast<double>(max_width));
+    std::snprintf(line, sizeof(line), "[%10.1f, %10.1f) %8llu |", left, right,
+                  static_cast<unsigned long long>(counts_[b]));
+    out += line;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ndp

@@ -1,0 +1,41 @@
+#include "util/status.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace ndp {
+
+const char* StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "InvalidArgument";
+    case StatusCode::kOutOfRange: return "OutOfRange";
+    case StatusCode::kNotFound: return "NotFound";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kFailedPrecondition: return "FailedPrecondition";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kUnimplemented: return "Unimplemented";
+    case StatusCode::kInternal: return "Internal";
+    case StatusCode::kDeviceBusy: return "DeviceBusy";
+    case StatusCode::kTimingViolation: return "TimingViolation";
+  }
+  return "Unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = StatusCodeToString(code_);
+  out += ": ";
+  out += msg_;
+  return out;
+}
+
+namespace internal {
+void DieOnErrorStatus(const Status& st) {
+  std::fprintf(stderr, "Result::ValueOrDie on error status: %s\n",
+               st.ToString().c_str());
+  std::abort();
+}
+}  // namespace internal
+
+}  // namespace ndp

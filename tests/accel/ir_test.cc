@@ -1,0 +1,62 @@
+#include "accel/ir.h"
+
+#include <gtest/gtest.h>
+
+#include "accel/schedule.h"
+
+namespace ndp::accel {
+namespace {
+
+TEST(IrTest, OpCodeNames) {
+  EXPECT_STREQ(OpCodeToString(OpCode::kLoad), "load");
+  EXPECT_STREQ(OpCodeToString(OpCode::kStore), "store");
+  EXPECT_STREQ(OpCodeToString(OpCode::kCmp), "cmp");
+  EXPECT_STREQ(OpCodeToString(OpCode::kAdd), "add");
+  EXPECT_STREQ(OpCodeToString(OpCode::kMul), "mul");
+  EXPECT_STREQ(OpCodeToString(OpCode::kBitOp), "bit");
+  EXPECT_STREQ(OpCodeToString(OpCode::kMux), "mux");
+}
+
+TEST(IrTest, ResourceClasses) {
+  EXPECT_EQ(ResourceFor(OpCode::kLoad), Resource::kMemRead);
+  EXPECT_EQ(ResourceFor(OpCode::kStore), Resource::kMemWrite);
+  EXPECT_EQ(ResourceFor(OpCode::kCmp), Resource::kAlu);
+  EXPECT_EQ(ResourceFor(OpCode::kAdd), Resource::kAlu);
+  EXPECT_EQ(ResourceFor(OpCode::kMul), Resource::kMultiplier);
+  EXPECT_EQ(ResourceFor(OpCode::kBitOp), Resource::kBitLogic);
+  EXPECT_EQ(ResourceFor(OpCode::kMux), Resource::kBitLogic);
+}
+
+TEST(IrTest, LatenciesAndEnergies) {
+  // Multiplies are the only multi-cycle op; everything has positive energy.
+  EXPECT_GT(LatencyFor(OpCode::kMul), LatencyFor(OpCode::kAdd));
+  for (OpCode op : {OpCode::kLoad, OpCode::kStore, OpCode::kCmp, OpCode::kAdd,
+                    OpCode::kMul, OpCode::kBitOp, OpCode::kMux}) {
+    EXPECT_GE(LatencyFor(op), 1u);
+    EXPECT_GT(EnergyFemtojoulesFor(op), 0.0);
+  }
+  // Memory ports dominate the energy budget, as in any pre-RTL model.
+  EXPECT_GT(EnergyFemtojoulesFor(OpCode::kLoad),
+            EnergyFemtojoulesFor(OpCode::kCmp));
+}
+
+TEST(IrTest, DatapathResourceCounts) {
+  DatapathResources res;
+  res.alus = 3;
+  res.multipliers = 1;
+  EXPECT_EQ(res.CountFor(Resource::kAlu), 3u);
+  EXPECT_EQ(res.CountFor(Resource::kMultiplier), 1u);
+  EXPECT_EQ(res.CountFor(Resource::kMemRead), res.mem_read_ports);
+}
+
+TEST(IrTest, ScheduleResultToStringMentionsKeyFields) {
+  auto r = ScheduleKernel(MakeSelectKernel(), DatapathResources{}, 32)
+               .ValueOrDie();
+  std::string s = r.ToString();
+  EXPECT_NE(s.find("cycles="), std::string::npos);
+  EXPECT_NE(s.find("ii="), std::string::npos);
+  EXPECT_NE(s.find("words/cycle="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndp::accel

@@ -1,0 +1,87 @@
+#include "core/dimm_array.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ndp::core {
+namespace {
+
+db::Column RandomColumn(size_t n, uint64_t seed = 1) {
+  db::Column col = db::Column::Int64("v");
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) col.Append(rng.NextInRange(0, 999999));
+  return col;
+}
+
+jafar::DeviceConfig Config() {
+  return jafar::DeviceConfig::Derive(dram::DramTiming::DDR3_1600(),
+                                     accel::DatapathResources{})
+      .ValueOrDie();
+}
+
+TEST(DimmArrayTest, BuildsOneDevicePerRank) {
+  DimmArray array(dram::DramTiming::DDR3_1600(), 2, 2, Config());
+  EXPECT_EQ(array.num_devices(), 4u);
+  array.AcquireAllOwnership();
+  for (uint32_t ch = 0; ch < 2; ++ch) {
+    for (uint32_t rk = 0; rk < 2; ++rk) {
+      EXPECT_EQ(array.dram().channel(ch).rank(rk).owner(),
+                dram::RankOwner::kAccelerator);
+    }
+  }
+}
+
+TEST(DimmArrayTest, PartitionsCoverAllRows) {
+  DimmArray array(dram::DramTiming::DDR3_1600(), 4, 1, Config());
+  db::Column col = RandomColumn(100000);
+  auto counts = array.LoadPartitioned(col);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, col.size());
+  // Partition boundaries are bitmap-word aligned.
+  uint64_t row = 0;
+  for (size_t i = 0; i + 1 < counts.size(); ++i) {
+    row += counts[i];
+    EXPECT_EQ(row % 64, 0u) << "partition " << i;
+  }
+}
+
+TEST(DimmArrayTest, ParallelSelectMatchesOracle) {
+  DimmArray array(dram::DramTiming::DDR3_1600(), 2, 2, Config());
+  array.AcquireAllOwnership();
+  db::Column col = RandomColumn(50000, 5);
+  array.LoadPartitioned(col);
+  auto result = array.RunParallelSelect(100000, 600000).ValueOrDie();
+  uint64_t oracle = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    bool pass = col[i] >= 100000 && col[i] <= 600000;
+    oracle += pass;
+    EXPECT_EQ(result.bitmap.Get(i), pass) << "row " << i;
+  }
+  EXPECT_EQ(result.matches, oracle);
+}
+
+TEST(DimmArrayTest, ParallelismShortensMakespan) {
+  db::Column col = RandomColumn(262144, 6);
+  auto run = [&](uint32_t channels) {
+    DimmArray array(dram::DramTiming::DDR3_1600(), channels, 1, Config());
+    array.AcquireAllOwnership();
+    array.LoadPartitioned(col);
+    return array.RunParallelSelect(0, 499999).ValueOrDie().duration_ps;
+  };
+  sim::Tick one = run(1);
+  sim::Tick four = run(4);
+  EXPECT_GT(one, 3 * four);
+  EXPECT_LT(one, 5 * four);
+}
+
+TEST(DimmArrayTest, SelectBeforeLoadFails) {
+  DimmArray array(dram::DramTiming::DDR3_1600(), 1, 1, Config());
+  array.AcquireAllOwnership();
+  EXPECT_EQ(array.RunParallelSelect(0, 1).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ndp::core

@@ -1,0 +1,92 @@
+#include "core/profiling.h"
+
+#include <gtest/gtest.h>
+
+#include "db/tpch.h"
+#include "db/tpch_queries.h"
+
+namespace ndp::core {
+namespace {
+
+TEST(IdleProfileTest, EstimatorMatchesPaperFormula) {
+  IdleProfile p;
+  p.total_bus_cycles = 10000;
+  p.rc_busy_cycles = 3000;
+  p.wc_busy_cycles = 1000;
+  p.reads = 10;
+  p.writes = 2;
+  // MC_empty = 10000 - 3000 - 1000 = 6000; mean = 6000 / 12 = 500.
+  EXPECT_DOUBLE_EQ(p.EstimatedMeanIdleCycles(), 500.0);
+  // §3.3 corollary: 500 cycles / 4 per block * 32 B = 4000 B ≈ 4 KB.
+  EXPECT_DOUBLE_EQ(p.BytesPerIdlePeriodPaperAccounting(), 4000.0);
+}
+
+TEST(IdleProfileTest, EdgeCases) {
+  IdleProfile p;
+  EXPECT_DOUBLE_EQ(p.EstimatedMeanIdleCycles(), 0.0);  // no requests
+  p.reads = 5;
+  p.total_bus_cycles = 10;
+  p.rc_busy_cycles = 50;  // busy exceeds total (overlap): clamps to 0
+  EXPECT_DOUBLE_EQ(p.EstimatedMeanIdleCycles(), 0.0);
+}
+
+TEST(IdlePeriodProfilerTest, ComputeHeavyTraceHasLongerIdlePeriods) {
+  auto profile_with_gap = [](uint64_t compute) {
+    SystemModel sys(PlatformConfig::Xeon());
+    IdlePeriodProfiler profiler(&sys);
+    std::vector<cpu::TraceEvent> events;
+    for (int i = 0; i < 3000; ++i) {
+      events.push_back({cpu::TraceEvent::Kind::kCompute, compute});
+      events.push_back(
+          {cpu::TraceEvent::Kind::kLoad, static_cast<uint64_t>(i) * 64});
+    }
+    return profiler.Profile("synthetic", events).ValueOrDie();
+  };
+  IdleProfile light = profile_with_gap(2);
+  IdleProfile heavy = profile_with_gap(200);
+  EXPECT_GT(heavy.EstimatedMeanIdleCycles(), light.EstimatedMeanIdleCycles());
+  EXPECT_GT(heavy.EstimatedMeanIdleCycles(), 10.0);
+}
+
+TEST(IdlePeriodProfilerTest, EstimatorIsPessimisticVsMeasured) {
+  // The paper calls its estimator a lower bound; the measured mean idle gap
+  // (both queues simultaneously empty) should be >= the estimate, up to
+  // sampling noise on short traces.
+  SystemModel sys(PlatformConfig::Xeon());
+  IdlePeriodProfiler profiler(&sys);
+  std::vector<cpu::TraceEvent> events;
+  for (int i = 0; i < 5000; ++i) {
+    events.push_back({cpu::TraceEvent::Kind::kCompute, 50});
+    events.push_back(
+        {cpu::TraceEvent::Kind::kLoad, static_cast<uint64_t>(i) * 64});
+    if (i % 4 == 0) {
+      events.push_back(
+          {cpu::TraceEvent::Kind::kStore, 1 << 26 | (static_cast<uint64_t>(i) * 64)});
+    }
+  }
+  IdleProfile p = profiler.Profile("mixed", events).ValueOrDie();
+  EXPECT_GT(p.reads, 0u);
+  EXPECT_GT(p.MeasuredMeanIdleCycles(), 0.6 * p.EstimatedMeanIdleCycles());
+}
+
+TEST(IdlePeriodProfilerTest, TpchQ6TraceProfilesEndToEnd) {
+  db::Catalog catalog;
+  db::tpch::TpchConfig cfg;
+  cfg.scale = 0.001;
+  db::tpch::Generate(cfg, &catalog);
+  db::TraceRecorder trace;
+  db::QueryContext ctx;
+  ctx.trace = &trace;
+  int64_t revenue = db::tpch::RunQ6(&ctx, &catalog);
+  EXPECT_GT(revenue, 0);
+
+  SystemModel sys(PlatformConfig::Xeon());
+  IdlePeriodProfiler profiler(&sys);
+  IdleProfile p = profiler.Profile("Q6", trace.events()).ValueOrDie();
+  EXPECT_GT(p.total_bus_cycles, 0u);
+  EXPECT_GT(p.reads + p.writes, 100u);
+  EXPECT_GT(p.EstimatedMeanIdleCycles(), 0.0);
+}
+
+}  // namespace
+}  // namespace ndp::core

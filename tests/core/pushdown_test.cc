@@ -1,0 +1,83 @@
+#include "core/pushdown.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ndp::core {
+namespace {
+
+db::Column RandomColumn(size_t n, uint64_t seed = 1) {
+  db::Column col = db::Column::Int64("v");
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) col.Append(rng.NextInRange(0, 999999));
+  return col;
+}
+
+TEST(CostModelTest, CpuCostGrowsWithSelectivity) {
+  PlatformConfig p = PlatformConfig::Gem5();
+  double lo = CostModel::CpuSelectPs(p, 1 << 20, 0.0);
+  double mid = CostModel::CpuSelectPs(p, 1 << 20, 0.5);
+  double hi = CostModel::CpuSelectPs(p, 1 << 20, 1.0);
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(lo, hi);
+}
+
+TEST(CostModelTest, CostsScaleLinearlyWithRows) {
+  PlatformConfig p = PlatformConfig::Gem5();
+  double c1 = CostModel::CpuSelectPs(p, 1 << 18, 0.5);
+  double c4 = CostModel::CpuSelectPs(p, 1 << 20, 0.5);
+  EXPECT_NEAR(c4 / c1, 4.0, 0.2);
+  double j1 = CostModel::JafarSelectPs(p, 1 << 18);
+  double j4 = CostModel::JafarSelectPs(p, 1 << 20);
+  EXPECT_NEAR(j4 / j1, 4.0, 0.3);
+}
+
+TEST(CostModelTest, EstimatesTrackSimulatedTimesWithinFactorTwo) {
+  PlatformConfig p = PlatformConfig::Gem5();
+  SystemModel sys(p);
+  db::Column col = RandomColumn(65536, 2);
+  auto cpu = sys.RunCpuSelect(col, 0, 499999, db::SelectMode::kBranching)
+                 .ValueOrDie();
+  auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+  double cpu_est = CostModel::CpuSelectPs(p, col.size(), 0.5);
+  double jaf_est = CostModel::JafarSelectPs(p, col.size());
+  EXPECT_GT(cpu_est, 0.5 * static_cast<double>(cpu.duration_ps));
+  EXPECT_LT(cpu_est, 2.0 * static_cast<double>(cpu.duration_ps));
+  EXPECT_GT(jaf_est, 0.5 * static_cast<double>(jaf.duration_ps));
+  EXPECT_LT(jaf_est, 2.0 * static_cast<double>(jaf.duration_ps));
+}
+
+TEST(PushdownPlannerTest, LargeScansGoToJafarTinyOnesStayOnCpu) {
+  SystemModel sys(PlatformConfig::Gem5());
+  PushdownPlanner planner(&sys);
+  PushdownDecision big = planner.Decide(1 << 20, 0.5);
+  EXPECT_TRUE(big.use_jafar) << big.reason;
+  PushdownDecision tiny = planner.Decide(256, 0.5);
+  EXPECT_FALSE(tiny.use_jafar) << tiny.reason;
+}
+
+TEST(PushdownPlannerTest, InstalledHookRoutesByDecision) {
+  SystemModel sys(PlatformConfig::Gem5());
+  PushdownPlanner planner(&sys);
+  db::QueryContext ctx;
+  planner.Install(&ctx);
+
+  // Large column: pushed down (operator label says jafar).
+  db::Column big = RandomColumn(32768, 7);
+  auto pos_big = db::ScanSelect(&ctx, big, db::Pred::Between(0, 499999));
+  ASSERT_FALSE(ctx.stats.empty());
+  EXPECT_EQ(ctx.stats.back().op, "scan_select[jafar]");
+
+  // Tiny column: planner declines, CPU path used, result still correct.
+  db::Column tiny = RandomColumn(128, 8);
+  auto pos_tiny = db::ScanSelect(&ctx, tiny, db::Pred::Between(0, 499999));
+  EXPECT_EQ(ctx.stats.back().op, "scan_select");
+  db::QueryContext plain;
+  EXPECT_EQ(pos_tiny,
+            db::ScanSelect(&plain, tiny, db::Pred::Between(0, 499999)));
+  EXPECT_EQ(pos_big, db::ScanSelect(&plain, big, db::Pred::Between(0, 499999)));
+}
+
+}  // namespace
+}  // namespace ndp::core

@@ -1,0 +1,160 @@
+#include "cpu/kernels.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace ndp::cpu {
+namespace {
+
+std::vector<Uop> Drain(UopStream* s) {
+  std::vector<Uop> out;
+  Uop u;
+  while (s->Next(&u)) out.push_back(u);
+  return out;
+}
+
+std::vector<int64_t> MakeValues(size_t n, uint64_t seed = 1) {
+  ndp::Rng rng(seed);
+  std::vector<int64_t> v(n);
+  for (auto& x : v) x = rng.NextInRange(0, 999999);
+  return v;
+}
+
+TEST(SelectScanStreamTest, BranchingUopCountScalesWithMatches) {
+  auto values = MakeValues(1000);
+  SelectScanStream all(values.data(), values.size(), 0, 999999, 0x1000000,
+                       0x2000000, /*predicated=*/false);
+  SelectScanStream none(values.data(), values.size(), -10, -1, 0x1000000,
+                        0x2000000, /*predicated=*/false);
+  auto uops_all = Drain(&all);
+  auto uops_none = Drain(&none);
+  EXPECT_EQ(all.matches(), 1000u);
+  EXPECT_EQ(none.matches(), 0u);
+  // The 100%-selectivity stream carries 4 extra bookkeeping µops per row.
+  EXPECT_EQ(uops_all.size(), uops_none.size() + 4 * 1000);
+}
+
+TEST(SelectScanStreamTest, PredicatedUopCountIsSelectivityIndependent) {
+  auto values = MakeValues(1000);
+  SelectScanStream all(values.data(), values.size(), 0, 999999, 0x1000000,
+                       0x2000000, /*predicated=*/true);
+  SelectScanStream none(values.data(), values.size(), -10, -1, 0x1000000,
+                        0x2000000, /*predicated=*/true);
+  EXPECT_EQ(Drain(&all).size(), Drain(&none).size());
+}
+
+TEST(SelectScanStreamTest, MatchCountAgreesWithScalarOracle) {
+  auto values = MakeValues(5000, 42);
+  int64_t lo = 200000, hi = 700000;
+  size_t expected = 0;
+  for (int64_t v : values) {
+    if (v >= lo && v <= hi) ++expected;
+  }
+  SelectScanStream s(values.data(), values.size(), lo, hi, 0x1000000,
+                     0x2000000, /*predicated=*/false);
+  Drain(&s);
+  EXPECT_EQ(s.matches(), expected);
+}
+
+TEST(SelectScanStreamTest, LoadAddressesAreSequential) {
+  auto values = MakeValues(16);
+  SelectScanStream s(values.data(), values.size(), 0, 999999, 0x1000000,
+                     0x2000000, /*predicated=*/false);
+  auto uops = Drain(&s);
+  uint64_t expected_addr = 0x1000000;
+  for (const Uop& u : uops) {
+    if (u.type == UopType::kLoad) {
+      EXPECT_EQ(u.addr, expected_addr);
+      expected_addr += 8;
+    }
+  }
+  EXPECT_EQ(expected_addr, 0x1000000 + 16 * 8);
+}
+
+TEST(SelectScanStreamTest, PredicateBranchOutcomeMatchesData) {
+  std::vector<int64_t> values = {5, 15, 25, 10};
+  SelectScanStream s(values.data(), values.size(), 10, 20, 0x1000, 0x2000,
+                     /*predicated=*/false);
+  std::vector<bool> outcomes;
+  for (const Uop& u : Drain(&s)) {
+    if (u.type == UopType::kBranch && u.pc == kPredicateBranchPc) {
+      outcomes.push_back(u.taken);
+    }
+  }
+  EXPECT_EQ(outcomes, (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(SelectScanStreamTest, LoopBranchTakenUntilLastRow) {
+  std::vector<int64_t> values = {1, 2, 3};
+  SelectScanStream s(values.data(), values.size(), 0, 10, 0x1000, 0x2000,
+                     /*predicated=*/false);
+  std::vector<bool> loop_outcomes;
+  for (const Uop& u : Drain(&s)) {
+    if (u.type == UopType::kBranch && u.pc == kLoopBranchPc) {
+      loop_outcomes.push_back(u.taken);
+    }
+  }
+  EXPECT_EQ(loop_outcomes, (std::vector<bool>{true, true, false}));
+}
+
+TEST(AggregateScanStreamTest, FourUopsPerRow) {
+  AggregateScanStream s(100, 0x1000);
+  EXPECT_EQ(Drain(&s).size(), 400u);
+}
+
+TEST(AggregateScanStreamTest, AccumulatorHasLoadDependence) {
+  AggregateScanStream s(2, 0x1000);
+  auto uops = Drain(&s);
+  ASSERT_EQ(uops[0].type, UopType::kLoad);
+  EXPECT_EQ(uops[1].type, UopType::kAlu);
+  EXPECT_EQ(uops[1].dep_distance, 1);
+}
+
+TEST(ProjectGatherStreamTest, GatherAddressesFollowPositions) {
+  std::vector<uint32_t> positions = {7, 0, 1023};
+  ProjectGatherStream s(positions.data(), positions.size(), 0x1000, 0x100000,
+                        0x200000);
+  std::vector<uint64_t> gather_addrs;
+  auto uops = Drain(&s);
+  for (size_t i = 0; i + 1 < uops.size(); ++i) {
+    if (uops[i].type == UopType::kLoad && uops[i + 1].type == UopType::kLoad) {
+      // The second load of each pair is the dependent gather.
+      EXPECT_EQ(uops[i + 1].dep_distance, 1);
+      gather_addrs.push_back(uops[i + 1].addr);
+    }
+  }
+  EXPECT_EQ(gather_addrs,
+            (std::vector<uint64_t>{0x100000 + 7 * 8, 0x100000 + 0 * 8,
+                                   0x100000 + 1023 * 8}));
+}
+
+TEST(ReplayStreamTest, ExpandsComputeAndMemoryEvents) {
+  std::vector<TraceEvent> events = {
+      {TraceEvent::Kind::kCompute, 3},
+      {TraceEvent::Kind::kLoad, 0x1000},
+      {TraceEvent::Kind::kStore, 0x2000},
+      {TraceEvent::Kind::kCompute, 1},
+  };
+  ReplayStream s(&events);
+  auto uops = Drain(&s);
+  ASSERT_EQ(uops.size(), 6u);
+  EXPECT_EQ(uops[0].type, UopType::kAlu);
+  EXPECT_EQ(uops[3].type, UopType::kLoad);
+  EXPECT_EQ(uops[3].addr, 0x1000u);
+  EXPECT_EQ(uops[4].type, UopType::kStore);
+  EXPECT_EQ(uops[4].addr, 0x2000u);
+  EXPECT_EQ(uops[5].type, UopType::kAlu);
+}
+
+TEST(ReplayStreamTest, EmptyTrace) {
+  std::vector<TraceEvent> events;
+  ReplayStream s(&events);
+  Uop u;
+  EXPECT_FALSE(s.Next(&u));
+}
+
+}  // namespace
+}  // namespace ndp::cpu

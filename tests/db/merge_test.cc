@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "cpu/kernels.h"
+#include "db/operators.h"
+#include "util/rng.h"
+
+namespace ndp::db {
+namespace {
+
+TEST(MergeSortedRunsTest, MergesToGlobalOrder) {
+  Rng rng(1);
+  std::vector<std::vector<int64_t>> runs(7);
+  std::vector<int64_t> all;
+  for (auto& run : runs) {
+    size_t n = 10 + rng.NextBounded(500);
+    for (size_t i = 0; i < n; ++i) run.push_back(rng.NextInRange(-1000, 1000));
+    std::sort(run.begin(), run.end());
+    all.insert(all.end(), run.begin(), run.end());
+  }
+  QueryContext ctx;
+  auto merged = MergeSortedRuns(&ctx, runs);
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(merged, all);
+}
+
+TEST(MergeSortedRunsTest, HandlesEmptyRuns) {
+  QueryContext ctx;
+  EXPECT_TRUE(MergeSortedRuns(&ctx, {}).empty());
+  EXPECT_TRUE(MergeSortedRuns(&ctx, {{}, {}}).empty());
+  EXPECT_EQ(MergeSortedRuns(&ctx, {{}, {1, 2}, {}}),
+            (std::vector<int64_t>{1, 2}));
+}
+
+TEST(MergeSortedRunsTest, RecordsTrace) {
+  TraceRecorder trace;
+  QueryContext ctx;
+  ctx.trace = &trace;
+  (void)MergeSortedRuns(&ctx, {{1, 3}, {2, 4}});
+  EXPECT_GT(trace.events().size(), 4u);
+  ASSERT_FALSE(ctx.stats.empty());
+  EXPECT_EQ(ctx.stats.back().op, "merge_runs");
+  EXPECT_EQ(ctx.stats.back().rows_out, 4u);
+}
+
+TEST(MergeSortStreamTest, EmitsPassesTimesRowsIterations) {
+  cpu::MergeSortStream s(64, 0, 1 << 20);
+  EXPECT_EQ(s.passes(), 6u);
+  cpu::Uop u;
+  size_t loads = 0, stores = 0, branches = 0;
+  while (s.Next(&u)) {
+    loads += u.type == cpu::UopType::kLoad;
+    stores += u.type == cpu::UopType::kStore;
+    branches += u.type == cpu::UopType::kBranch;
+  }
+  EXPECT_EQ(loads, 6u * 64);
+  EXPECT_EQ(stores, 6u * 64);
+  EXPECT_EQ(branches, 2u * 6 * 64);  // merge branch + loop branch
+}
+
+TEST(MergeSortStreamTest, PingPongsBuffers) {
+  cpu::MergeSortStream s(4, 0x1000, 0x2000);
+  cpu::Uop u;
+  std::vector<uint64_t> store_bases;
+  while (s.Next(&u)) {
+    if (u.type == cpu::UopType::kStore && u.addr % 0x1000 == 0) {
+      store_bases.push_back(u.addr & ~uint64_t{0xFFF});
+    }
+  }
+  ASSERT_GE(store_bases.size(), 2u);
+  EXPECT_EQ(store_bases[0], 0x2000u);  // pass 0 writes dst
+  EXPECT_EQ(store_bases[1], 0x1000u);  // pass 1 writes back to src
+}
+
+TEST(ConcatStreamTest, ChainsChildrenInOrder) {
+  std::vector<cpu::TraceEvent> a = {{cpu::TraceEvent::Kind::kLoad, 1}};
+  std::vector<cpu::TraceEvent> b = {{cpu::TraceEvent::Kind::kLoad, 2},
+                                    {cpu::TraceEvent::Kind::kLoad, 3}};
+  cpu::ReplayStream ra(&a), rb(&b);
+  cpu::ConcatStream s({&ra, &rb});
+  cpu::Uop u;
+  std::vector<uint64_t> addrs;
+  while (s.Next(&u)) addrs.push_back(u.addr);
+  EXPECT_EQ(addrs, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ndp::db

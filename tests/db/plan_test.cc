@@ -1,0 +1,199 @@
+#include "db/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "db/tpch.h"
+#include "db/tpch_queries.h"
+
+namespace ndp::db::plan {
+namespace {
+
+class PlanTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    catalog_ = new Catalog();
+    tpch::TpchConfig cfg;
+    cfg.scale = 0.002;
+    tpch::Generate(cfg, catalog_);
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* PlanTest::catalog_ = nullptr;
+
+TEST_F(PlanTest, ScanProducesAllRows) {
+  QueryContext ctx;
+  ScanNode scan(&catalog_->Tab("customer"), {"c_custkey", "c_acctbal"});
+  Batch b = scan.Execute(&ctx).ValueOrDie();
+  EXPECT_EQ(b.rows(), catalog_->Tab("customer").num_rows());
+  EXPECT_EQ(b.names, (std::vector<std::string>{"c_custkey", "c_acctbal"}));
+}
+
+TEST_F(PlanTest, ScanConjunctsLateMaterialize) {
+  QueryContext ctx;
+  ScanNode scan(&catalog_->Tab("lineitem"), {"l_extendedprice"});
+  scan.AddConjunct("l_quantity", Pred::Le(10));
+  Batch b = scan.Execute(&ctx).ValueOrDie();
+  const Table& li = catalog_->Tab("lineitem");
+  size_t expected = 0;
+  for (size_t i = 0; i < li.num_rows(); ++i) {
+    expected += li.Col("l_quantity")[i] <= 10;
+  }
+  EXPECT_EQ(b.rows(), expected);
+  // The gather only touched qualifying rows.
+  ASSERT_FALSE(ctx.stats.empty());
+  EXPECT_EQ(ctx.stats.back().rows_in, expected);
+}
+
+TEST_F(PlanTest, FilterAboveScanEqualsConjunctInScan) {
+  QueryContext ctx1, ctx2;
+  auto filtered = std::make_unique<FilterNode>(
+      std::make_unique<ScanNode>(&catalog_->Tab("lineitem"),
+                                 std::vector<std::string>{"l_quantity",
+                                                          "l_discount"}),
+      "l_quantity", Pred::Between(10, 20));
+  Batch a = filtered->Execute(&ctx1).ValueOrDie();
+
+  auto scan = std::make_unique<ScanNode>(
+      &catalog_->Tab("lineitem"),
+      std::vector<std::string>{"l_quantity", "l_discount"});
+  scan->AddConjunct("l_quantity", Pred::Between(10, 20));
+  Batch b = scan->Execute(&ctx2).ValueOrDie();
+  EXPECT_EQ(a.rows(), b.rows());
+  EXPECT_EQ(a.Col("l_discount"), b.Col("l_discount"));
+}
+
+TEST_F(PlanTest, OptimizerDissolvesFilterIntoScan) {
+  NodePtr root = std::make_unique<FilterNode>(
+      std::make_unique<FilterNode>(
+          std::make_unique<ScanNode>(
+              &catalog_->Tab("lineitem"),
+              std::vector<std::string>{"l_extendedprice"}),
+          "l_quantity", Pred::Lt(24)),
+      "l_discount", Pred::Between(5, 7));
+  root = PushFiltersIntoScans(std::move(root));
+  auto* scan = dynamic_cast<ScanNode*>(root.get());
+  ASSERT_NE(scan, nullptr) << root->ExplainString();
+  EXPECT_EQ(scan->num_conjuncts(), 2u);
+  // A filter on a non-table column must NOT be pushed.
+  NodePtr root2 = std::make_unique<FilterNode>(
+      std::make_unique<ScanNode>(&catalog_->Tab("lineitem"),
+                                 std::vector<std::string>{"l_quantity"}),
+      "not_a_column", Pred::Eq(1));
+  root2 = PushFiltersIntoScans(std::move(root2));
+  EXPECT_NE(dynamic_cast<FilterNode*>(root2.get()), nullptr);
+}
+
+TEST_F(PlanTest, Q6AsPlanMatchesHandWrittenQuery) {
+  // SELECT sum(extendedprice * discount / 100) FROM lineitem
+  // WHERE shipdate in [1994, 1995) AND discount in [5,7] AND quantity < 24.
+  int64_t from = tpch::DayNumber(1994, 1, 1);
+  int64_t to = tpch::DayNumber(1995, 1, 1) - 1;
+  NodePtr root = std::make_unique<FilterNode>(
+      std::make_unique<FilterNode>(
+          std::make_unique<FilterNode>(
+              std::make_unique<ScanNode>(
+                  &catalog_->Tab("lineitem"),
+                  std::vector<std::string>{"l_extendedprice", "l_discount"}),
+              "l_shipdate", Pred::Between(from, to)),
+          "l_discount", Pred::Between(5, 7)),
+      "l_quantity", Pred::Lt(24));
+  root = PushFiltersIntoScans(std::move(root));
+
+  std::vector<Expr> exprs = {{"revenue",
+                              {"l_extendedprice", "l_discount"},
+                              [](const std::vector<int64_t>& a) {
+                                return a[0] * a[1] / 100;
+                              }}};
+  auto project = std::make_unique<ProjectNode>(
+      std::move(root), std::vector<std::string>{}, exprs);
+  auto agg = std::make_unique<AggregateNode>(
+      std::move(project), std::vector<std::string>{},
+      std::vector<AggOutput>{{AggFn::kSum, "revenue", "total"}});
+
+  QueryContext pctx;
+  Batch result = agg->Execute(&pctx).ValueOrDie();
+  ASSERT_EQ(result.rows(), 1u);
+
+  QueryContext qctx;
+  EXPECT_EQ(result.Col("total")[0], tpch::RunQ6(&qctx, catalog_));
+}
+
+TEST_F(PlanTest, JoinAggregateSortPipeline) {
+  // Revenue of the BUILDING segment per order, top 5 — a Q3-like plan.
+  Table& cust = catalog_->Tab("customer");
+  int64_t building = cust.Col("c_mktsegment").CodeOf("BUILDING").ValueOrDie();
+
+  auto cust_scan = std::make_unique<ScanNode>(
+      &cust, std::vector<std::string>{"c_custkey"});
+  cust_scan->AddConjunct("c_mktsegment", Pred::Eq(building));
+  auto ord_scan = std::make_unique<ScanNode>(
+      &catalog_->Tab("orders"),
+      std::vector<std::string>{"o_custkey", "o_orderkey", "o_totalprice"});
+  auto join = std::make_unique<HashJoinNode>(
+      std::move(cust_scan), std::move(ord_scan), "c_custkey", "o_custkey");
+  auto agg = std::make_unique<AggregateNode>(
+      std::move(join), std::vector<std::string>{"o_orderkey"},
+      std::vector<AggOutput>{{AggFn::kSum, "o_totalprice", "revenue"},
+                             {AggFn::kCount, "", "n"}});
+  auto sort = std::make_unique<SortNode>(std::move(agg), "revenue",
+                                         /*descending=*/true, /*limit=*/5);
+  QueryContext ctx;
+  Batch top = sort->Execute(&ctx).ValueOrDie();
+  EXPECT_LE(top.rows(), 5u);
+  ASSERT_GE(top.rows(), 1u);
+  const auto& rev = top.Col("revenue");
+  for (size_t i = 1; i < rev.size(); ++i) EXPECT_GE(rev[i - 1], rev[i]);
+  // Each group has exactly one order row.
+  for (int64_t n : top.Col("n")) EXPECT_EQ(n, 1);
+}
+
+TEST_F(PlanTest, MultiKeyGroupByPacksAndUnpacks) {
+  auto scan = std::make_unique<ScanNode>(
+      &catalog_->Tab("lineitem"),
+      std::vector<std::string>{"l_returnflag", "l_linestatus", "l_quantity"});
+  auto agg = std::make_unique<AggregateNode>(
+      std::move(scan),
+      std::vector<std::string>{"l_returnflag", "l_linestatus"},
+      std::vector<AggOutput>{{AggFn::kCount, "", "n"}});
+  QueryContext ctx;
+  Batch groups = agg->Execute(&ctx).ValueOrDie();
+  EXPECT_EQ(groups.rows(), 4u);  // (A,F), (R,F), (N,F), (N,O)
+  int64_t total = 0;
+  for (int64_t n : groups.Col("n")) total += n;
+  EXPECT_EQ(static_cast<size_t>(total), catalog_->Tab("lineitem").num_rows());
+  // Key columns decoded back to their original domains.
+  for (int64_t rf : groups.Col("l_returnflag")) {
+    EXPECT_GE(rf, 0);
+    EXPECT_LE(rf, 2);
+  }
+}
+
+TEST_F(PlanTest, ExplainRendersTree) {
+  auto scan = std::make_unique<ScanNode>(
+      &catalog_->Tab("lineitem"), std::vector<std::string>{"l_quantity"});
+  scan->AddConjunct("l_shipdate", Pred::Le(100));
+  auto sort = std::make_unique<SortNode>(std::move(scan), "l_quantity", true, 3);
+  std::string s = sort->ExplainString();
+  EXPECT_NE(s.find("Sort l_quantity desc limit 3"), std::string::npos);
+  EXPECT_NE(s.find("Scan lineitem"), std::string::npos);
+  EXPECT_NE(s.find("l_shipdate <= 100"), std::string::npos);
+}
+
+TEST_F(PlanTest, MissingColumnsReportNotFound) {
+  QueryContext ctx;
+  ScanNode bad(&catalog_->Tab("customer"), {"nope"});
+  EXPECT_EQ(bad.Execute(&ctx).status().code(), StatusCode::kNotFound);
+  auto filter = std::make_unique<FilterNode>(
+      std::make_unique<ScanNode>(&catalog_->Tab("customer"),
+                                 std::vector<std::string>{"c_custkey"}),
+      "ghost", Pred::Eq(1));
+  EXPECT_EQ(filter->Execute(&ctx).status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ndp::db::plan

@@ -1,0 +1,101 @@
+#include "dram/address.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ndp::dram {
+namespace {
+
+DramOrganization SmallOrg(uint32_t channels = 1) {
+  DramOrganization org;
+  org.channels = channels;
+  org.ranks_per_channel = 2;
+  org.banks_per_rank = 8;
+  org.rows_per_bank = 64;
+  org.row_size_bytes = 8192;
+  return org;
+}
+
+class AddressRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, InterleaveScheme>> {};
+
+TEST_P(AddressRoundTripTest, EncodeDecodeRoundTrip) {
+  auto [channels, scheme] = GetParam();
+  DramOrganization org = SmallOrg(channels);
+  AddressMapper mapper(org, scheme);
+  Rng rng(99);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t addr = rng.NextU64() % org.TotalBytes();
+    auto loc = mapper.Decode(addr);
+    ASSERT_TRUE(loc.ok()) << loc.status().ToString();
+    EXPECT_EQ(mapper.Encode(loc.value()), addr);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, AddressRoundTripTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u),
+                       ::testing::Values(InterleaveScheme::kContiguous,
+                                         InterleaveScheme::kChannelBurst,
+                                         InterleaveScheme::kChannelWord)));
+
+TEST(AddressMapperTest, SequentialAddressesWalkARowThenSwitchBank) {
+  DramOrganization org = SmallOrg();
+  AddressMapper mapper(org, InterleaveScheme::kContiguous);
+  auto first = mapper.Decode(0).ValueOrDie();
+  EXPECT_EQ(first.bank, 0u);
+  EXPECT_EQ(first.row, 0u);
+  // The whole first row (8 KB) stays in bank 0, row 0.
+  auto mid = mapper.Decode(org.row_size_bytes - 1).ValueOrDie();
+  EXPECT_TRUE(first.SameRowBuffer(mid));
+  // The next byte moves to bank 1 (same row index) — bank-interleaved rows
+  // let a streaming agent overlap activation with data transfer.
+  auto next = mapper.Decode(org.row_size_bytes).ValueOrDie();
+  EXPECT_EQ(next.bank, 1u);
+  EXPECT_EQ(next.row, 0u);
+}
+
+TEST(AddressMapperTest, ContiguousFillsWholeChannelFirst) {
+  DramOrganization org = SmallOrg(2);
+  AddressMapper mapper(org, InterleaveScheme::kContiguous);
+  uint64_t half = org.TotalBytes() / 2;
+  EXPECT_EQ(mapper.Decode(half - 1).ValueOrDie().channel, 0u);
+  EXPECT_EQ(mapper.Decode(half).ValueOrDie().channel, 1u);
+}
+
+TEST(AddressMapperTest, WordInterleaveAlternatesEvery8Bytes) {
+  DramOrganization org = SmallOrg(2);
+  AddressMapper mapper(org, InterleaveScheme::kChannelWord);
+  EXPECT_EQ(mapper.Decode(0).ValueOrDie().channel, 0u);
+  EXPECT_EQ(mapper.Decode(8).ValueOrDie().channel, 1u);
+  EXPECT_EQ(mapper.Decode(16).ValueOrDie().channel, 0u);
+  EXPECT_EQ(mapper.Decode(7).ValueOrDie().channel, 0u);
+}
+
+TEST(AddressMapperTest, BurstInterleaveAlternatesEvery64Bytes) {
+  DramOrganization org = SmallOrg(2);
+  AddressMapper mapper(org, InterleaveScheme::kChannelBurst);
+  EXPECT_EQ(mapper.Decode(0).ValueOrDie().channel, 0u);
+  EXPECT_EQ(mapper.Decode(63).ValueOrDie().channel, 0u);
+  EXPECT_EQ(mapper.Decode(64).ValueOrDie().channel, 1u);
+  EXPECT_EQ(mapper.Decode(128).ValueOrDie().channel, 0u);
+}
+
+TEST(AddressMapperTest, OutOfRangeRejected) {
+  DramOrganization org = SmallOrg();
+  AddressMapper mapper(org, InterleaveScheme::kContiguous);
+  EXPECT_FALSE(mapper.Decode(org.TotalBytes()).ok());
+  EXPECT_TRUE(mapper.Decode(org.TotalBytes() - 1).ok());
+}
+
+TEST(AddressMapperTest, OrganizationArithmetic) {
+  DramOrganization org = SmallOrg();
+  EXPECT_EQ(org.BytesPerBurst(), 64u);
+  EXPECT_EQ(org.BurstsPerRow(), 128u);
+  EXPECT_EQ(org.BytesPerRank(), 8ull * 64 * 8192);
+  EXPECT_EQ(org.TotalBytes(), 2 * org.BytesPerRank());
+}
+
+}  // namespace
+}  // namespace ndp::dram

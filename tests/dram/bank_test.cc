@@ -1,0 +1,117 @@
+#include "dram/bank.h"
+
+#include <gtest/gtest.h>
+
+namespace ndp::dram {
+namespace {
+
+class BankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    timing_ = DramTiming::DDR3_1600();
+    bank_.Configure(&timing_);
+  }
+  sim::Tick Cyc(uint32_t n) const { return n * timing_.tck_ps; }
+
+  DramTiming timing_;
+  Bank bank_;
+};
+
+TEST_F(BankTest, ActivateOpensRow) {
+  EXPECT_FALSE(bank_.has_open_row());
+  ASSERT_TRUE(bank_.Activate(0, 42).ok());
+  EXPECT_TRUE(bank_.has_open_row());
+  EXPECT_EQ(bank_.open_row(), 42u);
+  EXPECT_EQ(bank_.activate_count(), 1u);
+}
+
+TEST_F(BankTest, ReadBeforeTrcdIsViolation) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  auto r = bank_.Read(Cyc(timing_.trcd) - 1);
+  EXPECT_EQ(r.status().code(), StatusCode::kTimingViolation);
+  auto ok = bank_.Read(Cyc(timing_.trcd));
+  EXPECT_TRUE(ok.ok());
+}
+
+TEST_F(BankTest, ReadDataArrivesAfterClPlusBurst) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  sim::Tick issue = Cyc(timing_.trcd);
+  auto done = bank_.Read(issue);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value(), issue + Cyc(timing_.cl + timing_.tburst));
+}
+
+TEST_F(BankTest, ReadWithNoOpenRowIsViolation) {
+  auto r = bank_.Read(Cyc(100));
+  EXPECT_EQ(r.status().code(), StatusCode::kTimingViolation);
+}
+
+TEST_F(BankTest, PrechargeBeforeTrasIsViolation) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  EXPECT_EQ(bank_.Precharge(Cyc(timing_.tras) - 1).code(),
+            StatusCode::kTimingViolation);
+  EXPECT_TRUE(bank_.Precharge(Cyc(timing_.tras)).ok());
+  EXPECT_FALSE(bank_.has_open_row());
+}
+
+TEST_F(BankTest, ActivateAfterPrechargeWaitsTrp) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  sim::Tick pre_at = Cyc(timing_.tras);
+  ASSERT_TRUE(bank_.Precharge(pre_at).ok());
+  EXPECT_EQ(bank_.Activate(pre_at + Cyc(timing_.trp) - 1, 2).code(),
+            StatusCode::kTimingViolation);
+  EXPECT_TRUE(bank_.Activate(pre_at + Cyc(timing_.trp), 2).ok());
+  EXPECT_EQ(bank_.open_row(), 2u);
+}
+
+TEST_F(BankTest, BackToBackActivateRespectsTrc) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  ASSERT_TRUE(bank_.Precharge(Cyc(timing_.tras)).ok());
+  // Even though tRAS+tRP has passed, ACT-to-ACT must also respect tRC.
+  EXPECT_GE(bank_.CanActivateAt(), Cyc(timing_.trc));
+}
+
+TEST_F(BankTest, DoubleActivateIsViolation) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  EXPECT_EQ(bank_.Activate(Cyc(timing_.trc), 2).code(),
+            StatusCode::kTimingViolation);
+}
+
+TEST_F(BankTest, WriteRecoveryDelaysPrecharge) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  sim::Tick wr_at = Cyc(timing_.trcd);
+  auto done = bank_.Write(wr_at);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value(), wr_at + Cyc(timing_.cwl + timing_.tburst));
+  sim::Tick min_pre = done.value() + Cyc(timing_.twr);
+  EXPECT_GE(bank_.CanPrechargeAt(), min_pre);
+  EXPECT_EQ(bank_.Precharge(min_pre - 1).code(), StatusCode::kTimingViolation);
+  EXPECT_TRUE(bank_.Precharge(min_pre).ok());
+}
+
+TEST_F(BankTest, ReadToPrechargeRespectsTrtp) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  // Read late enough that tRTP (not tRAS) is the binding constraint.
+  sim::Tick rd_at = Cyc(timing_.tras);
+  ASSERT_TRUE(bank_.Read(rd_at).ok());
+  EXPECT_GE(bank_.CanPrechargeAt(), rd_at + Cyc(timing_.trtp));
+}
+
+TEST_F(BankTest, RefreshRequiresPrechargedBank) {
+  ASSERT_TRUE(bank_.Activate(0, 1).ok());
+  EXPECT_EQ(bank_.Refresh(Cyc(timing_.tras)).code(),
+            StatusCode::kTimingViolation);
+  ASSERT_TRUE(bank_.Precharge(Cyc(timing_.tras)).ok());
+  sim::Tick ref_at = bank_.CanActivateAt();
+  EXPECT_TRUE(bank_.Refresh(ref_at).ok());
+  // No ACT until tRFC elapses.
+  EXPECT_GE(bank_.CanActivateAt(), ref_at + Cyc(timing_.trfc));
+}
+
+TEST_F(BankTest, PrechargeIdleBankIsNop) {
+  EXPECT_TRUE(bank_.Precharge(0).ok());
+  EXPECT_FALSE(bank_.has_open_row());
+}
+
+}  // namespace
+}  // namespace ndp::dram

@@ -1,0 +1,74 @@
+#include "dram/channel.h"
+
+#include <gtest/gtest.h>
+
+namespace ndp::dram {
+namespace {
+
+class ChannelTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    timing_ = DramTiming::DDR3_1600();
+    org_ = DramOrganization{};
+    org_.ranks_per_channel = 2;
+    channel_.Configure(&timing_, &org_);
+  }
+  sim::Tick Cyc(uint32_t n) const { return n * timing_.tck_ps; }
+
+  DramTiming timing_;
+  DramOrganization org_;
+  Channel channel_;
+};
+
+TEST_F(ChannelTest, CommandBusAllowsOneCommandPerCycle) {
+  Command act0{CommandType::kActivate, 0, 0, 0};
+  Command act1{CommandType::kActivate, 1, 0, 0};  // different rank: no tRRD
+  ASSERT_TRUE(channel_.Issue(act0, 0).ok());
+  // Same tick is occupied by the first command.
+  EXPECT_EQ(channel_.Issue(act1, 0).status().code(),
+            StatusCode::kTimingViolation);
+  EXPECT_TRUE(channel_.Issue(act1, Cyc(1)).ok());
+}
+
+TEST_F(ChannelTest, DataBusSerializesBurstsAcrossRanks) {
+  // Open a row in each rank, then issue reads back-to-back: the second read's
+  // data must not overlap the first burst on the shared data bus.
+  ASSERT_TRUE(channel_.Issue(Command{CommandType::kActivate, 0, 0, 0}, 0).ok());
+  ASSERT_TRUE(channel_.Issue(Command{CommandType::kActivate, 1, 0, 0}, Cyc(1)).ok());
+  sim::Tick rd0_at = Cyc(timing_.trcd);
+  auto d0 = channel_.Issue(Command{CommandType::kRead, 0, 0, 0, 0}, rd0_at);
+  ASSERT_TRUE(d0.ok());
+  Command rd1{CommandType::kRead, 1, 0, 0, 0};
+  sim::Tick rd1_at = channel_.EarliestIssue(rd1);
+  auto d1 = channel_.Issue(rd1, rd1_at);
+  ASSERT_TRUE(d1.ok());
+  // Data windows: [done - tBURST, done). They must not overlap.
+  EXPECT_GE(d1.value() - Cyc(timing_.tburst), d0.value());
+}
+
+TEST_F(ChannelTest, EarliestIssueIsEdgeAligned) {
+  Command act{CommandType::kActivate, 0, 0, 0};
+  sim::Tick t = channel_.EarliestIssue(act);
+  EXPECT_EQ(t % timing_.tck_ps, 0u);
+}
+
+TEST_F(ChannelTest, SameRankTimingStillEnforcedThroughChannel) {
+  ASSERT_TRUE(channel_.Issue(Command{CommandType::kActivate, 0, 0, 0}, 0).ok());
+  Command rd{CommandType::kRead, 0, 0, 0, 0};
+  EXPECT_GE(channel_.EarliestIssue(rd), Cyc(timing_.trcd));
+}
+
+TEST_F(ChannelTest, DataBusBusyTicksAccumulate) {
+  ASSERT_TRUE(channel_.Issue(Command{CommandType::kActivate, 0, 0, 0}, 0).ok());
+  ASSERT_TRUE(
+      channel_.Issue(Command{CommandType::kRead, 0, 0, 0, 0}, Cyc(timing_.trcd))
+          .ok());
+  ASSERT_TRUE(channel_
+                  .Issue(Command{CommandType::kRead, 0, 0, 0, 1},
+                         Cyc(timing_.trcd + timing_.tccd))
+                  .ok());
+  EXPECT_EQ(channel_.data_bus_busy_ticks(), 2 * Cyc(timing_.tburst));
+}
+
+}  // namespace
+}  // namespace ndp::dram

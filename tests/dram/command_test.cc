@@ -1,0 +1,53 @@
+#include "dram/command.h"
+
+#include <gtest/gtest.h>
+
+#include "dram/address.h"
+
+namespace ndp::dram {
+namespace {
+
+TEST(CommandTest, TypeNames) {
+  EXPECT_STREQ(CommandTypeToString(CommandType::kActivate), "ACT");
+  EXPECT_STREQ(CommandTypeToString(CommandType::kRead), "RD");
+  EXPECT_STREQ(CommandTypeToString(CommandType::kWrite), "WR");
+  EXPECT_STREQ(CommandTypeToString(CommandType::kPrecharge), "PRE");
+  EXPECT_STREQ(CommandTypeToString(CommandType::kRefresh), "REF");
+  EXPECT_STREQ(CommandTypeToString(CommandType::kModeRegSet), "MRS");
+}
+
+TEST(CommandTest, ToStringForBankCommands) {
+  Command rd{CommandType::kRead, 1, 3, 42, 7};
+  EXPECT_EQ(rd.ToString(), "RD r1 b3 row42 col7");
+}
+
+TEST(CommandTest, ToStringForModeRegisterSet) {
+  Command mrs{CommandType::kModeRegSet, 0};
+  mrs.mode_register = 3;
+  mrs.mode_value = 0x4;
+  EXPECT_EQ(mrs.ToString(), "MRS r0 MR3=0x4");
+}
+
+TEST(InterleaveSchemeTest, Names) {
+  EXPECT_STREQ(InterleaveSchemeToString(InterleaveScheme::kContiguous),
+               "contiguous");
+  EXPECT_STREQ(InterleaveSchemeToString(InterleaveScheme::kChannelBurst),
+               "channel-interleaved-64B");
+  EXPECT_STREQ(InterleaveSchemeToString(InterleaveScheme::kChannelWord),
+               "channel-interleaved-8B");
+}
+
+TEST(DramTimingTest, SpeedGradePresetsAreConsistent) {
+  for (const DramTiming& t :
+       {DramTiming::DDR3_1066(), DramTiming::DDR3_1600(),
+        DramTiming::DDR3_1866()}) {
+    EXPECT_EQ(t.trc, t.tras + t.trp) << t.name;
+    EXPECT_EQ(t.tburst, 4u) << t.name;  // BL8 on a dual-pumped bus
+    EXPECT_GT(t.trefi, t.trfc) << t.name;
+    // The paper's ~13 ns CAS observation holds across grades.
+    EXPECT_NEAR(t.CasLatencyNs(), 13.5, 1.0) << t.name;
+  }
+}
+
+}  // namespace
+}  // namespace ndp::dram

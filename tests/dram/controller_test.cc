@@ -1,0 +1,276 @@
+#include "dram/controller.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/dram_system.h"
+
+namespace ndp::dram {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Rebuild(ControllerConfig{}); }
+
+  void Rebuild(ControllerConfig cfg) {
+    eq_ = std::make_unique<sim::EventQueue>();
+    DramOrganization org;
+    org.ranks_per_channel = 2;
+    org.rows_per_bank = 1024;
+    dram_ = std::make_unique<DramSystem>(eq_.get(), DramTiming::DDR3_1600(),
+                                         org, InterleaveScheme::kContiguous,
+                                         cfg);
+  }
+
+  sim::Tick Cyc(uint32_t n) const { return n * dram_->timing().tck_ps; }
+
+  /// Issues a read and runs the sim until it completes; returns latency.
+  sim::Tick TimedRead(uint64_t addr) {
+    bool done = false;
+    sim::Tick start = eq_->Now();
+    sim::Tick end = 0;
+    Request req;
+    req.addr = addr;
+    req.on_complete = [&](sim::Tick t) {
+      done = true;
+      end = t;
+    };
+    EXPECT_TRUE(dram_->EnqueueRequest(req).ok());
+    EXPECT_TRUE(eq_->RunUntilTrue([&] { return done; }));
+    return end - start;
+  }
+
+  std::unique_ptr<sim::EventQueue> eq_;
+  std::unique_ptr<DramSystem> dram_;
+};
+
+TEST_F(ControllerTest, ColdReadLatencyIsActPlusCasPlusBurst) {
+  const DramTiming& t = dram_->timing();
+  sim::Tick lat = TimedRead(0);
+  // ACT at cycle 0 is not possible before the controller's first tick; allow
+  // a one-cycle scheduling quantum.
+  sim::Tick ideal = Cyc(t.trcd + t.cl + t.tburst);
+  EXPECT_GE(lat, ideal);
+  EXPECT_LE(lat, ideal + Cyc(2));
+}
+
+TEST_F(ControllerTest, RowHitIsFasterThanRowMiss) {
+  sim::Tick miss = TimedRead(0);
+  sim::Tick hit = TimedRead(64);  // same row, next burst
+  const DramTiming& t = dram_->timing();
+  EXPECT_LT(hit, miss);
+  EXPECT_LE(hit, Cyc(t.cl + t.tburst) + Cyc(2));
+  auto c = dram_->TotalCounters();
+  EXPECT_EQ(c.reads_served, 2u);
+  EXPECT_EQ(c.row_hits, 1u);
+}
+
+TEST_F(ControllerTest, RowConflictRequiresPrechargeActivate) {
+  (void)TimedRead(0);
+  // Same bank, different row: conflict path PRE + ACT + RD.
+  uint64_t other_row = 8192ull * 16;  // 16 banks ahead = same bank, row+2
+  auto loc0 = dram_->mapper().Decode(0).ValueOrDie();
+  auto loc1 = dram_->mapper().Decode(other_row).ValueOrDie();
+  ASSERT_EQ(loc0.bank, loc1.bank);
+  ASSERT_EQ(loc0.rank, loc1.rank);
+  ASSERT_NE(loc0.row, loc1.row);
+  sim::Tick conflict = TimedRead(other_row);
+  const DramTiming& t = dram_->timing();
+  EXPECT_GE(conflict, Cyc(t.trp + t.trcd + t.cl + t.tburst));
+  EXPECT_EQ(dram_->TotalCounters().row_conflicts, 1u);
+}
+
+TEST_F(ControllerTest, FrFcfsPrefersRowHits) {
+  // Queue: conflict-row request first, then a row-hit request. FR-FCFS should
+  // complete the row hit before the conflicting one.
+  (void)TimedRead(0);  // open row 0 of bank 0
+  std::vector<int> completion_order;
+  bool both = false;
+  int completed = 0;
+  Request conflict;
+  conflict.addr = 8192ull * 16;  // same bank, different row
+  conflict.on_complete = [&](sim::Tick) {
+    completion_order.push_back(1);
+    both = ++completed == 2;
+  };
+  Request hit;
+  hit.addr = 128;  // open row
+  hit.on_complete = [&](sim::Tick) {
+    completion_order.push_back(2);
+    both = ++completed == 2;
+  };
+  ASSERT_TRUE(dram_->EnqueueRequest(conflict).ok());
+  ASSERT_TRUE(dram_->EnqueueRequest(hit).ok());
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return both; }));
+  EXPECT_EQ(completion_order, (std::vector<int>{2, 1}));
+}
+
+TEST_F(ControllerTest, WritesAreDrainedWhenReadsIdle) {
+  Request wr;
+  wr.addr = 4096;
+  wr.is_write = true;
+  bool done = false;
+  wr.on_complete = [&](sim::Tick) { done = true; };
+  ASSERT_TRUE(dram_->EnqueueRequest(wr).ok());
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return done; }));
+  EXPECT_EQ(dram_->TotalCounters().writes_served, 1u);
+}
+
+TEST_F(ControllerTest, BusyCountersMatchPaperDefinition) {
+  // One isolated read: RC_busy should cover queue-entry to issue; afterwards
+  // both queues empty -> no further busy time accrues.
+  (void)TimedRead(0);
+  auto c1 = dram_->TotalCounters();
+  EXPECT_GT(c1.read_queue_busy_ticks, 0u);
+  EXPECT_EQ(c1.write_queue_busy_ticks, 0u);
+  sim::Tick busy_after_read = c1.read_queue_busy_ticks;
+  // Let simulated time pass with no traffic: busy time must not grow.
+  eq_->RunUntil(eq_->Now() + Cyc(1000));
+  auto c2 = dram_->TotalCounters();
+  EXPECT_EQ(c2.read_queue_busy_ticks, busy_after_read);
+}
+
+TEST_F(ControllerTest, QueueCapacityBackpressure) {
+  ControllerConfig cfg;
+  cfg.read_queue_capacity = 2;
+  Rebuild(cfg);
+  Request r;
+  r.addr = 0;
+  ASSERT_TRUE(dram_->EnqueueRequest(r).ok());
+  r.addr = 64;
+  ASSERT_TRUE(dram_->EnqueueRequest(r).ok());
+  r.addr = 128;
+  EXPECT_EQ(dram_->EnqueueRequest(r).code(), StatusCode::kResourceExhausted);
+  EXPECT_FALSE(dram_->CanAccept(r));
+}
+
+TEST_F(ControllerTest, RefreshEventuallyIssues) {
+  // Run past several tREFI intervals with no traffic; refresh must fire.
+  const DramTiming& t = dram_->timing();
+  eq_->RunUntil(Cyc(t.trefi * 3));
+  uint64_t refreshes = 0;
+  for (uint32_t r = 0; r < dram_->channel(0).num_ranks(); ++r) {
+    refreshes += dram_->channel(0).rank(r).refreshes_issued();
+  }
+  EXPECT_GE(refreshes, 2u);
+}
+
+TEST_F(ControllerTest, RefreshDisabledMeansNoRefreshCommands) {
+  ControllerConfig cfg;
+  cfg.refresh_enabled = false;
+  Rebuild(cfg);
+  eq_->RunUntil(Cyc(dram_->timing().trefi * 3));
+  EXPECT_EQ(dram_->channel(0).rank(0).refreshes_issued(), 0u);
+}
+
+TEST_F(ControllerTest, OwnershipTransferBlocksAndResumesRequests) {
+  // Hand rank 0 to the accelerator, enqueue a read to it, verify it does not
+  // complete, return ownership, verify it completes.
+  MemoryController& mc = dram_->controller(0);
+  bool granted = false;
+  mc.TransferOwnership(0, RankOwner::kAccelerator,
+                       [&](sim::Tick) { granted = true; });
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return granted; }));
+  EXPECT_EQ(dram_->channel(0).rank(0).owner(), RankOwner::kAccelerator);
+
+  bool read_done = false;
+  Request r;
+  r.addr = 0;  // rank 0
+  r.on_complete = [&](sim::Tick) { read_done = true; };
+  ASSERT_TRUE(dram_->EnqueueRequest(r).ok());
+  eq_->RunUntil(eq_->Now() + Cyc(500));
+  EXPECT_FALSE(read_done);  // held while JAFAR owns the rank
+
+  bool returned = false;
+  mc.TransferOwnership(0, RankOwner::kHost, [&](sim::Tick) { returned = true; });
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return read_done; }));
+  EXPECT_TRUE(returned);
+}
+
+TEST_F(ControllerTest, RequestsToOtherRankProceedDuringOwnership) {
+  MemoryController& mc = dram_->controller(0);
+  bool granted = false;
+  mc.TransferOwnership(0, RankOwner::kAccelerator,
+                       [&](sim::Tick) { granted = true; });
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return granted; }));
+  // Rank 1 is still host-owned; a read to it must complete normally. Ranks
+  // are contiguous regions in the rank:row:bank:col layout.
+  uint64_t rank1_addr = dram_->organization().BytesPerRank();
+  ASSERT_EQ(dram_->mapper().Decode(rank1_addr).ValueOrDie().rank, 1u);
+  bool done = false;
+  Request r;
+  r.addr = rank1_addr;
+  r.on_complete = [&](sim::Tick) { done = true; };
+  ASSERT_TRUE(dram_->EnqueueRequest(r).ok());
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return done; }));
+}
+
+TEST_F(ControllerTest, IdleHistogramRecordsGapsBetweenBursts) {
+  (void)TimedRead(0);
+  // Leave a deliberate gap, then another request: the gap should land in the
+  // idle-period histogram.
+  eq_->RunUntil(eq_->Now() + Cyc(600));
+  (void)TimedRead(64);
+  const Histogram& h = dram_->controller(0).idle_period_histogram();
+  EXPECT_GE(h.stats().count(), 1u);
+  EXPECT_GT(h.stats().max(), 500.0);  // cycles
+}
+
+TEST_F(ControllerTest, SequentialStreamIsRowHitDominated) {
+  // 64 sequential bursts: expect 1 activate and 63 row hits per row span.
+  int completed = 0;
+  for (int i = 0; i < 64; ++i) {
+    Request r;
+    r.addr = static_cast<uint64_t>(i) * 64;
+    r.on_complete = [&](sim::Tick) { ++completed; };
+    ASSERT_TRUE(dram_->EnqueueRequest(r).ok());
+    // Run a little to avoid overflowing the queue.
+    eq_->RunUntil(eq_->Now() + Cyc(8));
+  }
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return completed == 64; }));
+  auto c = dram_->TotalCounters();
+  EXPECT_EQ(c.reads_served, 64u);
+  EXPECT_GE(c.row_hits, 60u);
+  EXPECT_LE(c.row_misses, 2u);
+}
+
+TEST_F(ControllerTest, ClosedPagePolicyPrechargesIdleRows) {
+  ControllerConfig cfg;
+  cfg.page_policy = PagePolicy::kClosed;
+  cfg.refresh_enabled = false;
+  Rebuild(cfg);
+  (void)TimedRead(0);
+  // With no queued request wanting the row, the controller closes it.
+  eq_->RunUntil(eq_->Now() + Cyc(200));
+  EXPECT_FALSE(dram_->channel(0).rank(0).bank(0).has_open_row());
+  // A second read to the same row is now a plain row miss (ACT+RD), slower
+  // than an open-page row hit but with no precharge on its critical path.
+  const DramTiming& t = dram_->timing();
+  sim::Tick lat = TimedRead(64);
+  EXPECT_GE(lat, Cyc(t.trcd + t.cl + t.tburst));
+  EXPECT_LE(lat, Cyc(t.trcd + t.cl + t.tburst) + Cyc(3));
+}
+
+TEST_F(ControllerTest, ClosedPageKeepsRowsWantedByQueuedRequests) {
+  ControllerConfig cfg;
+  cfg.page_policy = PagePolicy::kClosed;
+  cfg.refresh_enabled = false;
+  Rebuild(cfg);
+  // Back-to-back requests to one row: the row must not be closed between
+  // them (the policy checks the queues), so the second is a row hit.
+  int completed = 0;
+  for (int i = 0; i < 8; ++i) {
+    Request r;
+    r.addr = static_cast<uint64_t>(i) * 64;
+    r.on_complete = [&](sim::Tick) { ++completed; };
+    ASSERT_TRUE(dram_->EnqueueRequest(r).ok());
+  }
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return completed == 8; }));
+  auto c = dram_->TotalCounters();
+  EXPECT_EQ(c.row_hits, 7u);
+  EXPECT_EQ(c.row_misses, 1u);
+}
+
+}  // namespace
+}  // namespace ndp::dram

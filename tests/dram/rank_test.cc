@@ -1,0 +1,132 @@
+#include "dram/rank.h"
+
+#include <gtest/gtest.h>
+
+namespace ndp::dram {
+namespace {
+
+class RankTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    timing_ = DramTiming::DDR3_1600();
+    org_ = DramOrganization{};
+    rank_.Configure(&timing_, &org_);
+  }
+  sim::Tick Cyc(uint32_t n) const { return n * timing_.tck_ps; }
+  Command Act(uint32_t bank, uint32_t row = 0) {
+    return Command{CommandType::kActivate, 0, bank, row};
+  }
+  Command Rd(uint32_t bank, uint32_t col = 0) {
+    return Command{CommandType::kRead, 0, bank, 0, col};
+  }
+  Command Wr(uint32_t bank, uint32_t col = 0) {
+    return Command{CommandType::kWrite, 0, bank, 0, col};
+  }
+
+  DramTiming timing_;
+  DramOrganization org_;
+  Rank rank_;
+};
+
+TEST_F(RankTest, TrrdSeparatesActivatesToDifferentBanks) {
+  ASSERT_TRUE(rank_.Issue(Act(0), 0).ok());
+  EXPECT_EQ(rank_.EarliestIssue(Act(1)), Cyc(timing_.trrd));
+  EXPECT_EQ(rank_.Issue(Act(1), Cyc(timing_.trrd) - timing_.tck_ps)
+                .status()
+                .code(),
+            StatusCode::kTimingViolation);
+  EXPECT_TRUE(rank_.Issue(Act(1), Cyc(timing_.trrd)).ok());
+}
+
+TEST_F(RankTest, TfawLimitsFourActivatesPerWindow) {
+  // Issue four ACTs at the tRRD rate; the fifth must wait for the tFAW window
+  // measured from the first.
+  sim::Tick t = 0;
+  for (uint32_t b = 0; b < 4; ++b) {
+    ASSERT_TRUE(rank_.Issue(Act(b), t).ok());
+    t += Cyc(timing_.trrd);
+  }
+  sim::Tick fifth = rank_.EarliestIssue(Act(4));
+  EXPECT_EQ(fifth, Cyc(timing_.tfaw));
+  EXPECT_GT(fifth, t);  // tFAW binds harder than tRRD here (24 > 4*5 = 20)
+  EXPECT_TRUE(rank_.Issue(Act(4), fifth).ok());
+}
+
+TEST_F(RankTest, TccdSeparatesColumnCommandsAcrossBanks) {
+  ASSERT_TRUE(rank_.Issue(Act(0), 0).ok());
+  ASSERT_TRUE(rank_.Issue(Act(1), Cyc(timing_.trrd)).ok());
+  sim::Tick rd0 = Cyc(timing_.trcd);
+  ASSERT_TRUE(rank_.Issue(Rd(0), rd0).ok());
+  // A read to ANOTHER bank still waits tCCD.
+  EXPECT_GE(rank_.EarliestIssue(Rd(1)), rd0 + Cyc(timing_.tccd));
+}
+
+TEST_F(RankTest, TwtrSeparatesWriteThenRead) {
+  ASSERT_TRUE(rank_.Issue(Act(0), 0).ok());
+  sim::Tick wr_at = Cyc(timing_.trcd);
+  auto done = rank_.Issue(Wr(0), wr_at);
+  ASSERT_TRUE(done.ok());
+  sim::Tick min_rd = done.value() + Cyc(timing_.twtr);
+  EXPECT_GE(rank_.EarliestIssue(Rd(0)), min_rd);
+  // Write-to-write needs only tCCD, much sooner than tWTR.
+  EXPECT_LE(rank_.EarliestIssue(Wr(0)), wr_at + Cyc(timing_.tccd));
+}
+
+TEST_F(RankTest, RefreshIsRankWide) {
+  ASSERT_TRUE(rank_.Issue(Act(3), 0).ok());
+  // Cannot refresh with an open row anywhere in the rank.
+  Command ref{CommandType::kRefresh, 0};
+  sim::Tick t = Cyc(timing_.tras);
+  EXPECT_FALSE(rank_.Issue(ref, rank_.EarliestIssue(ref)).ok());
+  ASSERT_TRUE(rank_.Issue(Command{CommandType::kPrecharge, 0, 3}, t).ok());
+  sim::Tick ref_at = rank_.EarliestIssue(ref);
+  auto done = rank_.Issue(ref, ref_at);
+  ASSERT_TRUE(done.ok());
+  EXPECT_EQ(done.value(), ref_at + Cyc(timing_.trfc));
+  // Every bank is blocked until tRFC passes.
+  for (uint32_t b = 0; b < rank_.num_banks(); ++b) {
+    EXPECT_GE(rank_.bank(b).CanActivateAt(), ref_at + Cyc(timing_.trfc));
+  }
+}
+
+TEST_F(RankTest, ModeRegisterSetTogglesOwnership) {
+  EXPECT_EQ(rank_.owner(), RankOwner::kHost);
+  Command mrs{CommandType::kModeRegSet, 0};
+  mrs.mode_register = 3;
+  mrs.mode_value = kMr3MprEnableBit;
+  ASSERT_TRUE(rank_.Issue(mrs, 0).ok());
+  EXPECT_EQ(rank_.owner(), RankOwner::kAccelerator);
+  EXPECT_EQ(rank_.mode_register(3), kMr3MprEnableBit);
+
+  mrs.mode_value = 0;
+  sim::Tick t = rank_.EarliestIssue(mrs);
+  EXPECT_GE(t, Cyc(timing_.tmrd));  // tMRD after the previous MRS
+  ASSERT_TRUE(rank_.Issue(mrs, t).ok());
+  EXPECT_EQ(rank_.owner(), RankOwner::kHost);
+}
+
+TEST_F(RankTest, MrsRequiresAllBanksPrecharged) {
+  ASSERT_TRUE(rank_.Issue(Act(0), 0).ok());
+  Command mrs{CommandType::kModeRegSet, 0};
+  mrs.mode_register = 3;
+  mrs.mode_value = kMr3MprEnableBit;
+  EXPECT_FALSE(rank_.Issue(mrs, Cyc(2)).ok());
+}
+
+TEST_F(RankTest, CountersTrackIssuedCommands) {
+  ASSERT_TRUE(rank_.Issue(Act(0), 0).ok());
+  ASSERT_TRUE(rank_.Issue(Rd(0), Cyc(timing_.trcd)).ok());
+  ASSERT_TRUE(rank_.Issue(Wr(0), Cyc(timing_.trcd + timing_.tccd)).ok());
+  EXPECT_EQ(rank_.activates_issued(), 1u);
+  EXPECT_EQ(rank_.reads_issued(), 1u);
+  EXPECT_EQ(rank_.writes_issued(), 1u);
+}
+
+TEST_F(RankTest, AllBanksIdleReflectsOpenRows) {
+  EXPECT_TRUE(rank_.AllBanksIdle());
+  ASSERT_TRUE(rank_.Issue(Act(5), 0).ok());
+  EXPECT_FALSE(rank_.AllBanksIdle());
+}
+
+}  // namespace
+}  // namespace ndp::dram

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "sim/time.h"
+
+namespace ndp::sim {
+namespace {
+
+TEST(ClockDomainTest, CycleTickRoundTrip) {
+  ClockDomain c(1250);  // 800 MHz DDR3 bus
+  EXPECT_EQ(c.CycleToTick(0), 0u);
+  EXPECT_EQ(c.CycleToTick(4), 5000u);
+  EXPECT_EQ(c.TickToCycle(5000), 4u);
+  EXPECT_EQ(c.TickToCycle(6249), 4u);
+  EXPECT_EQ(c.TickToCycle(6250), 5u);
+}
+
+TEST(ClockDomainTest, NextEdgeAtOrAfter) {
+  ClockDomain c(1000);  // 1 GHz
+  EXPECT_EQ(c.NextEdgeAtOrAfter(0), 0u);
+  EXPECT_EQ(c.NextEdgeAtOrAfter(1), 1000u);
+  EXPECT_EQ(c.NextEdgeAtOrAfter(1000), 1000u);
+  EXPECT_EQ(c.NextEdgeAtOrAfter(1001), 2000u);
+}
+
+TEST(ClockDomainTest, NextEdgeAfterIsStrict) {
+  ClockDomain c(1000);
+  EXPECT_EQ(c.NextEdgeAfter(0), 1000u);
+  EXPECT_EQ(c.NextEdgeAfter(999), 1000u);
+  EXPECT_EQ(c.NextEdgeAfter(1000), 2000u);
+}
+
+TEST(ClockDomainTest, FromMHz) {
+  EXPECT_EQ(ClockDomain::FromMHz(1000).period_ps(), 1000u);
+  EXPECT_EQ(ClockDomain::FromMHz(2000).period_ps(), 500u);
+  EXPECT_EQ(ClockDomain::FromMHz(800).period_ps(), 1250u);
+  EXPECT_EQ(ClockDomain::FromMHz(200).period_ps(), 5000u);
+}
+
+TEST(ClockDomainTest, FrequencyGhz) {
+  EXPECT_DOUBLE_EQ(ClockDomain(500).frequency_ghz(), 2.0);
+  EXPECT_DOUBLE_EQ(ClockDomain(1250).frequency_ghz(), 0.8);
+}
+
+TEST(ClockDomainTest, PaperClockRelationshipsHold) {
+  // §2.2: JAFAR's clock is twice the data bus clock; the internal array clock
+  // is a quarter of the bus clock.
+  ClockDomain bus(1250);
+  ClockDomain jafar(bus.period_ps() / 2);
+  ClockDomain array(bus.period_ps() * 4);
+  EXPECT_DOUBLE_EQ(jafar.frequency_ghz(), 1.6);
+  EXPECT_DOUBLE_EQ(array.frequency_ghz(), 0.2);
+  // One 8-word burst occupies 4 bus cycles = 8 JAFAR cycles: one word/cycle.
+  EXPECT_EQ(bus.CycleToTick(4), jafar.CycleToTick(8));
+}
+
+}  // namespace
+}  // namespace ndp::sim

@@ -1,0 +1,81 @@
+#include "sim/ticking.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ndp::sim {
+namespace {
+
+// Ticks for a fixed number of edges, recording the tick of each.
+class CountingComponent : public TickingComponent {
+ public:
+  CountingComponent(EventQueue* eq, ClockDomain clock, int budget)
+      : TickingComponent(eq, clock), budget_(budget) {}
+
+  void AddBudget(int n) { budget_ += n; }
+
+  std::vector<uint64_t> edges;
+
+ protected:
+  bool Tick() override {
+    edges.push_back(event_queue()->Now());
+    return static_cast<int>(edges.size()) < budget_;
+  }
+
+ private:
+  int budget_;
+};
+
+TEST(TickingTest, TicksOnConsecutiveClockEdges) {
+  EventQueue eq;
+  CountingComponent c(&eq, ClockDomain(100), 4);
+  c.Wake();
+  eq.RunUntilEmpty();
+  EXPECT_EQ(c.edges, (std::vector<uint64_t>{0, 100, 200, 300}));
+}
+
+TEST(TickingTest, GoesIdleAndCanBeRewoken) {
+  EventQueue eq;
+  CountingComponent c(&eq, ClockDomain(100), 2);
+  c.Wake();
+  eq.RunUntilEmpty();
+  ASSERT_EQ(c.edges.size(), 2u);
+  // Re-wake later: resumes at the next edge at or after the wake time.
+  c.AddBudget(2);
+  eq.ScheduleAt(1050, [&] { c.Wake(); });
+  eq.RunUntilEmpty();
+  ASSERT_EQ(c.edges.size(), 4u);
+  EXPECT_EQ(c.edges[2], 1100u);
+  EXPECT_EQ(c.edges[3], 1200u);
+}
+
+TEST(TickingTest, DoubleWakeDoesNotDoubleTick) {
+  EventQueue eq;
+  CountingComponent c(&eq, ClockDomain(100), 3);
+  c.Wake();
+  c.Wake();
+  c.Wake();
+  eq.RunUntilEmpty();
+  EXPECT_EQ(c.edges, (std::vector<uint64_t>{0, 100, 200}));
+}
+
+TEST(TickingTest, WakeOffEdgeAlignsToNextEdge) {
+  EventQueue eq;
+  CountingComponent c(&eq, ClockDomain(100), 1);
+  eq.ScheduleAt(250, [&] { c.Wake(); });
+  eq.RunUntilEmpty();
+  ASSERT_EQ(c.edges.size(), 1u);
+  EXPECT_EQ(c.edges[0], 300u);
+}
+
+TEST(TickingTest, CurrentCycleTracksClock) {
+  EventQueue eq;
+  CountingComponent c(&eq, ClockDomain(250), 3);
+  c.Wake();
+  eq.RunUntilEmpty();
+  EXPECT_EQ(c.CurrentCycle(), 2u);  // now == 500, period 250
+}
+
+}  // namespace
+}  // namespace ndp::sim

@@ -1,0 +1,97 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace ndp {
+namespace {
+
+TEST(BitVectorTest, StartsCleared) {
+  BitVector bv(130);
+  EXPECT_EQ(bv.size(), 130u);
+  EXPECT_EQ(bv.num_words(), 3u);
+  EXPECT_EQ(bv.CountOnes(), 0u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bv.Get(i));
+}
+
+TEST(BitVectorTest, SetClearGet) {
+  BitVector bv(100);
+  bv.Set(0);
+  bv.Set(63);
+  bv.Set(64);
+  bv.Set(99);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(63));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(99));
+  EXPECT_EQ(bv.CountOnes(), 4u);
+  bv.Clear(63);
+  EXPECT_FALSE(bv.Get(63));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+}
+
+TEST(BitVectorTest, SetToMirrorsBool) {
+  BitVector bv(8);
+  bv.SetTo(3, true);
+  EXPECT_TRUE(bv.Get(3));
+  bv.SetTo(3, false);
+  EXPECT_FALSE(bv.Get(3));
+}
+
+TEST(BitVectorTest, WordAccess) {
+  BitVector bv(128);
+  bv.SetWord(1, 0xF0F0F0F0F0F0F0F0ull);
+  EXPECT_EQ(bv.Word(1), 0xF0F0F0F0F0F0F0F0ull);
+  EXPECT_EQ(bv.CountOnes(), 32u);
+  EXPECT_FALSE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(68));
+}
+
+TEST(BitVectorTest, MergeWordOnlyTouchesMaskedBits) {
+  // The masked write-back JAFAR uses under word-interleaved layouts (§2.2).
+  BitVector bv(64);
+  bv.SetWord(0, 0x00000000FFFFFFFFull);
+  bv.MergeWord(0, 0xAAAAAAAA00000000ull, 0xFFFFFFFF00000000ull);
+  EXPECT_EQ(bv.Word(0), 0xAAAAAAAAFFFFFFFFull);
+  // Bits outside the mask must be preserved even if the value disagrees.
+  bv.MergeWord(0, 0x0000000000000000ull, 0x00000000000000FFull);
+  EXPECT_EQ(bv.Word(0), 0xAAAAAAAAFFFFFF00ull);
+}
+
+TEST(BitVectorTest, AppendSetPositionsMatchesGet) {
+  Rng rng(7);
+  BitVector bv(1000);
+  std::vector<uint32_t> expected;
+  for (size_t i = 0; i < 1000; ++i) {
+    if (rng.NextBool(0.3)) {
+      bv.Set(i);
+      expected.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  std::vector<uint32_t> got;
+  bv.AppendSetPositions(&got);
+  EXPECT_EQ(got, expected);
+}
+
+TEST(BitVectorTest, EqualityAndResize) {
+  BitVector a(10), b(10);
+  a.Set(5);
+  EXPECT_FALSE(a == b);
+  b.Set(5);
+  EXPECT_TRUE(a == b);
+  a.Resize(20);
+  EXPECT_EQ(a.CountOnes(), 0u);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(BitVectorTest, BytesViewLittleEndianLayout) {
+  BitVector bv(16);
+  bv.Set(0);
+  bv.Set(9);
+  EXPECT_EQ(bv.bytes()[0], 0x01);
+  EXPECT_EQ(bv.bytes()[1], 0x02);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,42 @@
+#include "util/logging.h"
+
+#include <gtest/gtest.h>
+
+namespace ndp {
+namespace {
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = GetLogLevel(); }
+  void TearDown() override { SetLogLevel(saved_); }
+  LogLevel saved_;
+};
+
+TEST_F(LoggingTest, LevelFiltering) {
+  SetLogLevel(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  NDP_LOG_DEBUG("hidden %d", 1);
+  NDP_LOG_INFO("also hidden");
+  NDP_LOG_ERROR("visible %s", "error");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("[ERROR] visible error"), std::string::npos);
+}
+
+TEST_F(LoggingTest, TraceLevelShowsEverything) {
+  SetLogLevel(LogLevel::kTrace);
+  ::testing::internal::CaptureStderr();
+  NDP_LOG_TRACE("t");
+  NDP_LOG_WARN("w");
+  std::string out = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(out.find("[TRACE] t"), std::string::npos);
+  EXPECT_NE(out.find("[WARN] w"), std::string::npos);
+}
+
+TEST_F(LoggingTest, GetSetRoundTrip) {
+  SetLogLevel(LogLevel::kInfo);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kInfo);
+}
+
+}  // namespace
+}  // namespace ndp

@@ -1,0 +1,73 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace ndp {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MeanMinMaxSum) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 6.0, 8.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 4u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 8.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 20.0);
+}
+
+TEST(RunningStatsTest, SampleVariance) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(RunningStatsTest, ResetClears) {
+  RunningStats s;
+  s.Add(3.0);
+  s.Reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(HistogramTest, BucketsAndOverflow) {
+  Histogram h(0, 100, 10);
+  h.Add(-5);    // underflow
+  h.Add(5);     // bucket 1
+  h.Add(95);    // bucket 10
+  h.Add(150);   // overflow
+  EXPECT_EQ(h.bucket_count(0), 1u);
+  EXPECT_EQ(h.bucket_count(1), 1u);
+  EXPECT_EQ(h.bucket_count(10), 1u);
+  EXPECT_EQ(h.bucket_count(11), 1u);
+  EXPECT_EQ(h.stats().count(), 4u);
+}
+
+TEST(HistogramTest, QuantileApproximation) {
+  Histogram h(0, 100, 100);
+  for (int i = 0; i < 100; ++i) h.Add(i + 0.5);
+  EXPECT_NEAR(h.Quantile(0.5), 50.0, 2.0);
+  EXPECT_NEAR(h.Quantile(0.9), 90.0, 2.0);
+}
+
+TEST(HistogramTest, AsciiRenderNonEmpty) {
+  Histogram h(0, 10, 5);
+  h.Add(1);
+  h.Add(1);
+  h.Add(7);
+  std::string art = h.ToAscii();
+  EXPECT_NE(art.find('#'), std::string::npos);
+}
+
+TEST(HistogramTest, EmptyAsciiRender) {
+  Histogram h(0, 10, 5);
+  EXPECT_EQ(h.ToAscii(), "(empty histogram)\n");
+}
+
+}  // namespace
+}  // namespace ndp
