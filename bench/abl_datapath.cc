@@ -3,8 +3,10 @@
 // device throughput and end-to-end select time. Validates the paper's choice
 // of two parallel ALUs for range filters (§2.2).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/parallel_sweep.h"
 #include "core/api.h"
 
 using namespace ndp;
@@ -16,31 +18,46 @@ int main() {
       std::to_string(rows) + " rows");
   db::Column col = bench::UniformColumn(rows);
 
-  std::printf("\n%-8s %-10s %-10s %-12s %-14s %-12s %-12s\n", "alus",
-              "rd_ports", "pipelined", "sched_II", "words/cycle", "energy_fJ",
-              "select_ms");
   struct Point {
     uint32_t alus;
     uint32_t ports;
     bool pipelined;
   };
-  for (const Point& pt : std::initializer_list<Point>{
-           {1, 1, true}, {2, 1, true}, {4, 1, true}, {2, 2, true},
-           {2, 1, false}}) {
-    accel::DatapathResources res;
-    res.alus = pt.alus;
-    res.mem_read_ports = pt.ports;
-    res.pipelined = pt.pipelined;
-    auto sched = accel::ScheduleKernel(accel::MakeSelectKernel(), res, 128)
-                     .ValueOrDie();
-    core::PlatformConfig p = core::PlatformConfig::Gem5();
-    p.jafar_datapath = res;
-    core::SystemModel sys(p);
-    auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+  const std::vector<Point> points = {
+      {1, 1, true}, {2, 1, true}, {4, 1, true}, {2, 2, true}, {2, 1, false}};
+
+  struct PointResult {
+    double sched_ii = 0;
+    double words_per_cycle = 0;
+    double energy_fj = 0;
+    uint64_t jafar_ps = 0;
+  };
+  std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
+      points.size(), [&](size_t i) {
+        const Point& pt = points[i];
+        accel::DatapathResources res;
+        res.alus = pt.alus;
+        res.mem_read_ports = pt.ports;
+        res.pipelined = pt.pipelined;
+        auto sched = accel::ScheduleKernel(accel::MakeSelectKernel(), res, 128)
+                         .ValueOrDie();
+        core::PlatformConfig p = core::PlatformConfig::Gem5();
+        p.jafar_datapath = res;
+        core::SystemModel sys(p);
+        auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+        return PointResult{sched.steady_state_ii, sched.words_per_cycle,
+                           sched.dynamic_energy_fj, jaf.duration_ps};
+      });
+
+  std::printf("\n%-8s %-10s %-10s %-12s %-14s %-12s %-12s\n", "alus",
+              "rd_ports", "pipelined", "sched_II", "words/cycle", "energy_fJ",
+              "select_ms");
+  for (size_t i = 0; i < points.size(); ++i) {
+    const Point& pt = points[i];
+    const PointResult& r = results[i];
     std::printf("%-8u %-10u %-10s %-12.2f %-14.2f %-12.1f %-12.3f\n", pt.alus,
-                pt.ports, pt.pipelined ? "yes" : "no", sched.steady_state_ii,
-                sched.words_per_cycle,
-                sched.dynamic_energy_fj / 128.0, bench::Ms(jaf.duration_ps));
+                pt.ports, pt.pipelined ? "yes" : "no", r.sched_ii,
+                r.words_per_cycle, r.energy_fj / 128.0, bench::Ms(r.jafar_ps));
   }
   std::printf(
       "\nExpected: 2 ALUs reach II=1 (one word/cycle, matching the bus burst\n"

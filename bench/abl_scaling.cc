@@ -2,8 +2,10 @@
 // more than one DIMM is an essential future step"). Partitions one column
 // across 1..8 JAFAR-equipped DIMMs and runs the selects in parallel.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/parallel_sweep.h"
 #include "core/api.h"
 #include "core/dimm_array.h"
 
@@ -23,23 +25,35 @@ int main() {
     oracle += col[i] >= 0 && col[i] <= 499999;
   }
 
+  const std::vector<uint32_t> channel_counts = {1, 2, 4, 8};
+  struct PointResult {
+    uint32_t channels = 0;
+    uint32_t devices = 0;
+    double ms = 0;
+  };
+  std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
+      channel_counts.size(), [&](size_t i) {
+        PointResult r;
+        r.channels = channel_counts[i];
+        core::DimmArray array(dram::DramTiming::DDR3_1600(), r.channels, 1,
+                              cfg, /*rows_per_bank=*/8192);
+        array.AcquireAllOwnership();
+        array.LoadPartitioned(col);
+        auto result = array.RunParallelSelect(0, 499999).ValueOrDie();
+        NDP_CHECK(result.matches == oracle);
+        NDP_CHECK(result.bitmap.CountOnes() == oracle);
+        r.devices = array.num_devices();
+        r.ms = bench::Ms(result.duration_ps);
+        return r;
+      });
+
   std::printf("\n%-10s %-10s %-12s %-10s %-12s\n", "channels", "devices",
               "time_ms", "speedup", "efficiency");
-  double base_ms = 0;
-  for (uint32_t channels : {1u, 2u, 4u, 8u}) {
-    core::DimmArray array(dram::DramTiming::DDR3_1600(), channels, 1, cfg,
-                          /*rows_per_bank=*/8192);
-    array.AcquireAllOwnership();
-    array.LoadPartitioned(col);
-    auto result = array.RunParallelSelect(0, 499999).ValueOrDie();
-    NDP_CHECK(result.matches == oracle);
-    NDP_CHECK(result.bitmap.CountOnes() == oracle);
-    double ms = bench::Ms(result.duration_ps);
-    if (channels == 1) base_ms = ms;
-    double speedup = base_ms / ms;
-    std::printf("%-10u %-10u %-12.3f %-10.2f %-12.2f\n", channels,
-                array.num_devices(), ms, speedup,
-                speedup / channels);
+  double base_ms = results.front().ms;
+  for (const PointResult& r : results) {
+    double speedup = base_ms / r.ms;
+    std::printf("%-10u %-10u %-12.3f %-10.2f %-12.2f\n", r.channels, r.devices,
+                r.ms, speedup, speedup / r.channels);
   }
   std::printf(
       "\nExpected: near-linear scaling — each JAFAR streams its own DIMM and\n"

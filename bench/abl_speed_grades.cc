@@ -3,8 +3,10 @@
 // half-bus-cycle), so faster grades speed it up proportionally; the CPU is
 // partly pipeline-bound and benefits less.
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/parallel_sweep.h"
 #include "core/api.h"
 
 using namespace ndp;
@@ -15,22 +17,32 @@ int main() {
                      " rows, 50% selectivity)");
   db::Column col = bench::UniformColumn(rows);
 
+  const std::vector<dram::DramTiming> grades = {dram::DramTiming::DDR3_1066(),
+                                                dram::DramTiming::DDR3_1600(),
+                                                dram::DramTiming::DDR3_1866()};
+  struct PointResult {
+    uint64_t cpu_ps = 0, jafar_ps = 0;
+  };
+  std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
+      grades.size(), [&](size_t i) {
+        core::PlatformConfig p = core::PlatformConfig::Gem5();
+        p.dram_timing = grades[i];
+        core::SystemModel sys(p);
+        auto cpu = sys.RunCpuSelect(col, 0, 499999, db::SelectMode::kBranching)
+                       .ValueOrDie();
+        auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+        return PointResult{cpu.duration_ps, jaf.duration_ps};
+      });
+
   std::printf("\n%-22s %-10s %-12s %-12s %-10s\n", "grade", "CAS_ns",
               "cpu_ms", "jafar_ms", "speedup");
-  for (const dram::DramTiming& t :
-       {dram::DramTiming::DDR3_1066(), dram::DramTiming::DDR3_1600(),
-        dram::DramTiming::DDR3_1866()}) {
-    core::PlatformConfig p = core::PlatformConfig::Gem5();
-    p.dram_timing = t;
-    core::SystemModel sys(p);
-    auto cpu = sys.RunCpuSelect(col, 0, 499999, db::SelectMode::kBranching)
-                   .ValueOrDie();
-    auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+  for (size_t i = 0; i < grades.size(); ++i) {
+    const dram::DramTiming& t = grades[i];
+    const PointResult& r = results[i];
     std::printf("%-22s %-10.2f %-12.3f %-12.3f %-10.2f\n", t.name.c_str(),
-                t.CasLatencyNs(), bench::Ms(cpu.duration_ps),
-                bench::Ms(jaf.duration_ps),
-                static_cast<double>(cpu.duration_ps) /
-                    static_cast<double>(jaf.duration_ps));
+                t.CasLatencyNs(), bench::Ms(r.cpu_ps), bench::Ms(r.jafar_ps),
+                static_cast<double>(r.cpu_ps) /
+                    static_cast<double>(r.jafar_ps));
   }
   return 0;
 }

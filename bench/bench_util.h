@@ -1,6 +1,7 @@
 // Shared helpers for the benchmark harnesses.
 #pragma once
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -12,16 +13,33 @@
 namespace ndp::bench {
 
 /// Reads an environment override (e.g. FIG3_ROWS) or returns `fallback`.
+/// Aborts on malformed input instead of silently treating it as 0 — a typo'd
+/// FIG3_ROWS would otherwise quietly run a degenerate experiment.
 inline uint64_t EnvU64(const char* name, uint64_t fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  return std::strtoull(v, nullptr, 10);
+  char* end = nullptr;
+  errno = 0;
+  uint64_t parsed = std::strtoull(v, &end, 10);
+  // strtoull legally wraps a leading '-' instead of failing; reject it too.
+  if (errno != 0 || end == v || *end != '\0' || *v == '-') {
+    std::fprintf(stderr, "%s: not a valid unsigned integer: \"%s\"\n", name, v);
+    std::abort();
+  }
+  return parsed;
 }
 
 inline double EnvDouble(const char* name, double fallback) {
   const char* v = std::getenv(name);
   if (v == nullptr || *v == '\0') return fallback;
-  return std::strtod(v, nullptr);
+  char* end = nullptr;
+  errno = 0;
+  double parsed = std::strtod(v, &end);
+  if (errno != 0 || end == v || *end != '\0') {
+    std::fprintf(stderr, "%s: not a valid number: \"%s\"\n", name, v);
+    std::abort();
+  }
+  return parsed;
 }
 
 /// The paper's Figure 3 dataset: uniformly distributed random integers in

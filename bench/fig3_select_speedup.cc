@@ -7,10 +7,16 @@
 // the CPU baseline does NOT use predication. Expected shape: speedup grows
 // from ~5x at 0% selectivity to ~9x at 100%.
 //
-// Environment overrides: FIG3_ROWS (default 4194304), FIG3_STEP (default 10).
+// Points run in parallel across NDP_BENCH_THREADS workers; each point owns a
+// fresh SystemModel, so the output is byte-identical at any thread count.
+//
+// Environment overrides: FIG3_ROWS (default 4194304), FIG3_STEP (default 10),
+// NDP_BENCH_THREADS (default hardware concurrency).
 #include <cstdio>
+#include <vector>
 
 #include "bench/bench_util.h"
+#include "bench/parallel_sweep.h"
 #include "core/api.h"
 
 int main() {
@@ -24,45 +30,68 @@ int main() {
       std::to_string(rows) + " uniform random rows)");
 
   db::Column col = bench::UniformColumn(rows);
+
+  std::vector<uint64_t> pcts;
+  for (uint64_t pct = 0; pct <= 100; pct += step) pcts.push_back(pct);
+
+  struct PointResult {
+    uint64_t pct = 0;
+    uint64_t cpu_ps = 0, jafar_ps = 0;
+    uint64_t cpu_matches = 0, jafar_matches = 0;
+    uint64_t cpu_mispredicts = 0, pages = 0;
+    double accel_frac = 0;
+  };
+  std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
+      pcts.size(), [&](size_t i) {
+        // Each point runs on a fresh system so bank/cache state is identical.
+        PointResult r;
+        r.pct = pcts[i];
+        core::SystemModel sys(core::PlatformConfig::Gem5());
+        // Selectivity via the range's upper bound over the [0, 1M) domain.
+        int64_t hi = static_cast<int64_t>(r.pct * 10000) - 1;
+        auto cpu = sys.RunCpuSelect(col, 0, hi, db::SelectMode::kBranching)
+                       .ValueOrDie();
+        auto jaf = sys.RunJafarSelect(col, 0, hi).ValueOrDie();
+        r.cpu_ps = cpu.duration_ps;
+        r.jafar_ps = jaf.duration_ps;
+        r.cpu_matches = cpu.matches;
+        r.jafar_matches = jaf.matches;
+        r.cpu_mispredicts = cpu.stats.mispredicts;
+        // Fraction of the JAFAR run spent inside the accelerated region, i.e.
+        // excluding per-page invocation overhead and the ownership hand-off
+        // (§3.1: the paper reports 93%).
+        r.pages = jaf.stats.jobs_completed;
+        sim::Tick overhead_ps =
+            r.pages * sys.jafar().config().invocation_overhead_cycles *
+                sys.jafar().config().clock.period_ps() +
+            jaf.ownership_ps;
+        r.accel_frac = 1.0 - static_cast<double>(overhead_ps) /
+                                 static_cast<double>(jaf.duration_ps);
+        return r;
+      });
+
   std::printf(
       "\n%-12s %-14s %-14s %-10s %-12s %-12s %-10s\n", "selectivity",
       "cpu_time_ms", "jafar_time_ms", "speedup", "cpu_misp", "jafar_pages",
       "accel_frac");
-
   double min_speedup = 1e30, max_speedup = 0;
-  for (uint64_t pct = 0; pct <= 100; pct += step) {
-    // Each point runs on a fresh system so bank/cache state is identical.
-    core::SystemModel sys(core::PlatformConfig::Gem5());
-    // Selectivity via the range's upper bound over the [0, 1M) value domain.
-    int64_t hi = static_cast<int64_t>(pct * 10000) - 1;
-    auto cpu = sys.RunCpuSelect(col, 0, hi, db::SelectMode::kBranching)
-                   .ValueOrDie();
-    auto jaf = sys.RunJafarSelect(col, 0, hi).ValueOrDie();
-    if (cpu.matches != jaf.matches) {
+  for (const PointResult& r : results) {
+    if (r.cpu_matches != r.jafar_matches) {
       std::fprintf(stderr, "MISMATCH at %llu%%: cpu=%llu jafar=%llu\n",
-                   (unsigned long long)pct, (unsigned long long)cpu.matches,
-                   (unsigned long long)jaf.matches);
+                   (unsigned long long)r.pct,
+                   (unsigned long long)r.cpu_matches,
+                   (unsigned long long)r.jafar_matches);
       return 1;
     }
-    double speedup = static_cast<double>(cpu.duration_ps) /
-                     static_cast<double>(jaf.duration_ps);
+    double speedup =
+        static_cast<double>(r.cpu_ps) / static_cast<double>(r.jafar_ps);
     min_speedup = std::min(min_speedup, speedup);
     max_speedup = std::max(max_speedup, speedup);
-    // Fraction of the JAFAR run spent inside the accelerated region, i.e.
-    // excluding per-page invocation overhead and the ownership hand-off
-    // (§3.1: the paper reports 93%).
-    uint64_t pages = jaf.stats.jobs_completed;
-    sim::Tick overhead_ps =
-        pages * sys.jafar().config().invocation_overhead_cycles *
-            sys.jafar().config().clock.period_ps() +
-        jaf.ownership_ps;
-    double accel_frac = 1.0 - static_cast<double>(overhead_ps) /
-                                  static_cast<double>(jaf.duration_ps);
     std::printf("%9llu%%  %-14.3f %-14.3f %-10.2f %-12llu %-12llu %-10.3f\n",
-                (unsigned long long)pct, bench::Ms(cpu.duration_ps),
-                bench::Ms(jaf.duration_ps), speedup,
-                (unsigned long long)cpu.stats.mispredicts,
-                (unsigned long long)pages, accel_frac);
+                (unsigned long long)r.pct, bench::Ms(r.cpu_ps),
+                bench::Ms(r.jafar_ps), speedup,
+                (unsigned long long)r.cpu_mispredicts,
+                (unsigned long long)r.pages, r.accel_frac);
   }
 
   std::printf(
@@ -70,7 +99,7 @@ int main() {
   std::printf("Measured: %.2fx .. %.2fx (ratio %.2f; paper ratio 9/5 = 1.80)\n",
               min_speedup, max_speedup, max_speedup / min_speedup);
 
-  // §2.2 wait-time observation, from the device counters of the last run.
+  // §2.2 wait-time observation, from the device counters of a 50% run.
   core::SystemModel sys(core::PlatformConfig::Gem5());
   auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
   std::printf(

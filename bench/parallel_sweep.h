@@ -1,0 +1,59 @@
+// Deterministic parallel sweep harness for the benchmark drivers.
+//
+// Each sweep point builds its own SystemModel + EventQueue, so points share no
+// mutable state and every point's simulation is bit-identical no matter how
+// many worker threads run it or in what order the pool picks points up.
+// Results are collected into a vector indexed by point and printed by the
+// caller in point order after the join, so stdout is also byte-identical
+// across thread counts (the property the BENCH determinism check relies on).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace ndp::bench {
+
+/// Worker-thread count for sweeps: NDP_BENCH_THREADS if set (0 means serial,
+/// i.e. 1), else the hardware concurrency.
+inline unsigned SweepThreads() {
+  uint64_t n = EnvU64("NDP_BENCH_THREADS", 0);
+  if (n == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+  }
+  return static_cast<unsigned>(n);
+}
+
+/// Runs `fn(point_index)` for every index in [0, num_points) across
+/// `num_threads` workers and returns the results in point order. `fn` must be
+/// self-contained per point: it builds its own model state and returns a
+/// result value; it must not touch shared mutable state (stdout included —
+/// print from the returned results instead).
+template <typename Result, typename Fn>
+std::vector<Result> ParallelSweep(size_t num_points, Fn&& fn,
+                                  unsigned num_threads = SweepThreads()) {
+  std::vector<Result> results(num_points);
+  if (num_points == 0) return results;
+  if (num_threads <= 1) {
+    for (size_t i = 0; i < num_points; ++i) results[i] = fn(i);
+    return results;
+  }
+  if (num_threads > num_points) num_threads = static_cast<unsigned>(num_points);
+  std::atomic<size_t> next{0};
+  auto worker = [&] {
+    for (size_t i = next.fetch_add(1); i < num_points; i = next.fetch_add(1)) {
+      results[i] = fn(i);
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(num_threads);
+  for (unsigned t = 0; t < num_threads; ++t) pool.emplace_back(worker);
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+}  // namespace ndp::bench

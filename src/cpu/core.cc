@@ -15,6 +15,10 @@ Core::Core(sim::EventQueue* eq, CoreConfig config, MemSink* l1)
   NDP_CHECK(config_.rob_entries + config_.issue_width < kRingSize);
 }
 
+Core::~Core() {
+  if (drain_retry_.scheduled()) event_queue()->Cancel(&drain_retry_);
+}
+
 ndp::Status Core::Run(UopStream* stream, std::function<void(sim::Tick)> on_done) {
   if (stream_ != nullptr) {
     return ndp::Status::FailedPrecondition("core is already running a kernel");
@@ -147,8 +151,29 @@ void Core::DrainStore(uint64_t addr) {
     --outstanding_stores_;
     return;
   }
-  event_queue()->ScheduleAfter(clock().period_ps(),
-                               [this, addr] { DrainStore(addr); });
+  pending_drains_.push_back(addr);
+  if (!drain_retry_.scheduled()) {
+    event_queue()->Schedule(event_queue()->Now() + clock().period_ps(),
+                            &drain_retry_);
+  }
+}
+
+void Core::RetryDrains() {
+  // Each pending store gets one L1 attempt per cycle, as when each carried
+  // its own retry closure.
+  for (size_t i = pending_drains_.size(); i > 0; --i) {
+    uint64_t addr = pending_drains_.front();
+    pending_drains_.pop_front();
+    if (l1_->TryAccess(addr, /*is_write=*/true, nullptr)) {
+      --outstanding_stores_;
+    } else {
+      pending_drains_.push_back(addr);
+    }
+  }
+  if (!pending_drains_.empty()) {
+    event_queue()->Schedule(event_queue()->Now() + clock().period_ps(),
+                            &drain_retry_);
+  }
 }
 
 void Core::FinishIfDone(sim::Tick now) {

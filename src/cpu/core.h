@@ -60,6 +60,7 @@ struct CoreStats {
 class Core : public sim::TickingComponent {
  public:
   Core(sim::EventQueue* eq, CoreConfig config, MemSink* l1);
+  ~Core() override;
   NDP_DISALLOW_COPY_AND_ASSIGN(Core);
 
   /// Begins executing `stream`; `on_done(tick)` fires when the last µop has
@@ -92,6 +93,7 @@ class Core : public sim::TickingComponent {
   void ResolveCompletion(RobEntry* e);
   bool DispatchOne(sim::Tick now);
   void DrainStore(uint64_t addr);
+  void RetryDrains();
   void FinishIfDone(sim::Tick now);
 
   static constexpr size_t kRingSize = 512;
@@ -112,6 +114,10 @@ class Core : public sim::TickingComponent {
   std::optional<uint64_t> fetch_blocked_on_seq_;
   sim::Tick fetch_stalled_until_ = 0;
   uint32_t outstanding_stores_ = 0;
+  /// Stores rejected by the L1 awaiting retry; one persistent event retries
+  /// them all each cycle instead of a closure per store per cycle.
+  std::deque<uint64_t> pending_drains_;
+  sim::MemberEventNode<Core, &Core::RetryDrains> drain_retry_{this};
   bool stream_exhausted_ = false;
   sim::Tick last_retire_tick_ = 0;
 

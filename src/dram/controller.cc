@@ -25,6 +25,10 @@ MemoryController::MemoryController(sim::EventQueue* eq, Channel* channel,
   if (config_.refresh_enabled) ScheduleRefreshWake();
 }
 
+MemoryController::~MemoryController() {
+  if (refresh_wake_.scheduled()) event_queue()->Cancel(&refresh_wake_);
+}
+
 Status MemoryController::Enqueue(const Request& req) {
   NDP_ASSIGN_OR_RETURN(DramLocation loc, mapper_->Decode(req.addr));
   sim::Tick now = event_queue()->Now();
@@ -101,8 +105,12 @@ void MemoryController::ResetCounters() {
 void MemoryController::ScheduleRefreshWake() {
   sim::Tick due = *std::min_element(next_refresh_due_.begin(),
                                     next_refresh_due_.end());
-  sim::Tick now = event_queue()->Now();
-  event_queue()->ScheduleAt(std::max(due, now), [this] { Wake(); });
+  sim::Tick at = std::max(due, event_queue()->Now());
+  if (refresh_wake_.scheduled()) {
+    if (refresh_wake_.when() <= at) return;  // an earlier wake is pending
+    event_queue()->Cancel(&refresh_wake_);
+  }
+  event_queue()->Schedule(at, &refresh_wake_);
 }
 
 bool MemoryController::TryRefresh(sim::Tick now) {

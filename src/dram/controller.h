@@ -59,6 +59,7 @@ class MemoryController : public sim::TickingComponent {
  public:
   MemoryController(sim::EventQueue* eq, Channel* channel,
                    const AddressMapper* mapper, ControllerConfig config);
+  ~MemoryController() override;
 
   /// Enqueues a request. Fails with ResourceExhausted when the target queue is
   /// full; the caller must retry later (MSHR-style backpressure).
@@ -121,6 +122,7 @@ class MemoryController : public sim::TickingComponent {
 
   void NoteQueueStateChange(sim::Tick now);
   void ScheduleRefreshWake();
+  void RefreshWake() { Wake(); }
 
   Channel* channel_;
   const AddressMapper* mapper_;
@@ -136,6 +138,10 @@ class MemoryController : public sim::TickingComponent {
   bool refresh_in_progress_ = false;
   std::vector<sim::Tick> next_refresh_due_;
   uint32_t refresh_rank_ = 0;
+  /// Persistent wake-up for the next refresh deadline; rescheduling it is
+  /// allocation-free (one of these exists for the controller's lifetime).
+  sim::MemberEventNode<MemoryController, &MemoryController::RefreshWake>
+      refresh_wake_{this};
 
   // Busy-time accounting (transition-timestamp based, exact).
   ControllerCounters counters_;

@@ -1,0 +1,99 @@
+// The seed event kernel — std::priority_queue of std::function events —
+// preserved verbatim for two purposes:
+//
+//   1. Ordering oracle: the timing-wheel kernel (sim/event_queue.h) must
+//      execute any schedule in exactly the order this queue does; the
+//      property test in tests/sim/wheel_property_test.cc checks that.
+//   2. Perf baseline: bench/microbench measures events/sec on both kernels
+//      and records the ratio in BENCH_sim.json, so the speedup claim stays
+//      verifiable across PRs.
+//
+// Do not use this in simulator code; it is quadratically slower in practice
+// (one closure construction plus two O(log n) 48-byte heap sifts per event).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/time.h"
+#include "util/macros.h"
+
+namespace ndp::sim {
+
+/// \brief Priority queue of timed events with deterministic FIFO tie-breaking.
+class ReferenceEventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  ReferenceEventQueue() = default;
+  NDP_DISALLOW_COPY_AND_ASSIGN(ReferenceEventQueue);
+
+  /// Current simulated time. Monotonically non-decreasing.
+  Tick Now() const { return now_; }
+
+  /// Schedules `cb` to run at absolute time `when` (>= Now()).
+  void ScheduleAt(Tick when, Callback cb) {
+    NDP_CHECK_MSG(when >= now_, "cannot schedule into the past");
+    heap_.push(Event{when, next_seq_++, std::move(cb)});
+  }
+
+  /// Schedules `cb` to run `delay` ticks from now.
+  void ScheduleAfter(Tick delay, Callback cb) {
+    ScheduleAt(now_ + delay, std::move(cb));
+  }
+
+  bool empty() const { return heap_.empty(); }
+  size_t size() const { return heap_.size(); }
+
+  /// Runs a single event. Returns false if the queue is empty.
+  bool Step() {
+    if (heap_.empty()) return false;
+    // Moving out of a priority_queue top requires const_cast; the element is
+    // popped immediately after so the broken ordering is never observed.
+    Event ev = std::move(const_cast<Event&>(heap_.top()));
+    heap_.pop();
+    NDP_CHECK(ev.when >= now_);
+    now_ = ev.when;
+    ev.cb();
+    return true;
+  }
+
+  /// Runs events until the queue is empty. Returns events executed.
+  uint64_t RunUntilEmpty() {
+    uint64_t n = 0;
+    while (Step()) ++n;
+    return n;
+  }
+
+  /// Runs all events with time <= `until`, then advances Now() to `until`.
+  uint64_t RunUntil(Tick until) {
+    uint64_t n = 0;
+    while (!heap_.empty() && heap_.top().when <= until) {
+      Step();
+      ++n;
+    }
+    if (now_ < until) now_ = until;
+    return n;
+  }
+
+ private:
+  struct Event {
+    Tick when;
+    uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  Tick now_ = 0;
+  uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> heap_;
+};
+
+}  // namespace ndp::sim

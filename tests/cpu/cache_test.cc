@@ -50,6 +50,8 @@ class FixedLatencySink : public MemSink {
 class CacheTest : public ::testing::Test {
  protected:
   void Build(CacheConfig cfg, sim::Tick mem_latency = 50000) {
+    cache_.reset();  // components cancel their event nodes; queue must outlive them
+    sink_.reset();
     eq_ = std::make_unique<sim::EventQueue>();
     sink_ = std::make_unique<FixedLatencySink>(eq_.get(), mem_latency);
     cache_ = std::make_unique<Cache>(eq_.get(), sim::ClockDomain(1000), cfg,

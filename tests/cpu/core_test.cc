@@ -78,6 +78,8 @@ sim::Tick RunKernel(Core* core, sim::EventQueue* eq, UopStream* stream) {
 class CoreTest : public ::testing::Test {
  protected:
   void Build(CoreConfig cfg, sim::Tick mem_latency = 0) {
+    core_.reset();  // components cancel their event nodes; queue must outlive them
+    mem_.reset();
     eq_ = std::make_unique<sim::EventQueue>();
     mem_ = std::make_unique<PerfectMemory>(eq_.get(), mem_latency);
     core_ = std::make_unique<Core>(eq_.get(), cfg, mem_.get());

@@ -14,6 +14,7 @@ class ControllerTest : public ::testing::Test {
   void SetUp() override { Rebuild(ControllerConfig{}); }
 
   void Rebuild(ControllerConfig cfg) {
+    dram_.reset();  // components cancel their event nodes; queue must outlive them
     eq_ = std::make_unique<sim::EventQueue>();
     DramOrganization org;
     org.ranks_per_channel = 2;

@@ -1,0 +1,78 @@
+// Determinism regression tests: the entire simulation stack must be a pure
+// function of its inputs. Two fresh systems running the Figure 3 pipeline on
+// the same column must agree bit for bit — durations, match counts, every
+// component counter — and a ParallelSweep must produce identical results at
+// any worker-thread count (the property that makes the parallel benches'
+// output byte-identical across NDP_BENCH_THREADS settings).
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "bench/parallel_sweep.h"
+#include "core/api.h"
+#include "gtest/gtest.h"
+
+namespace ndp {
+namespace {
+
+struct PipelineResult {
+  sim::Tick cpu_ps = 0;
+  sim::Tick jafar_ps = 0;
+  sim::Tick ownership_ps = 0;
+  uint64_t cpu_matches = 0;
+  uint64_t jafar_matches = 0;
+  std::string stats_dump;
+
+  bool operator==(const PipelineResult& o) const {
+    return cpu_ps == o.cpu_ps && jafar_ps == o.jafar_ps &&
+           ownership_ps == o.ownership_ps && cpu_matches == o.cpu_matches &&
+           jafar_matches == o.jafar_matches && stats_dump == o.stats_dump;
+  }
+};
+
+PipelineResult RunPipeline(const db::Column& col, int64_t hi) {
+  core::SystemModel sys(core::PlatformConfig::Gem5());
+  auto cpu = sys.RunCpuSelect(col, 0, hi, db::SelectMode::kBranching)
+                 .ValueOrDie();
+  auto jaf = sys.RunJafarSelect(col, 0, hi).ValueOrDie();
+  PipelineResult r;
+  r.cpu_ps = cpu.duration_ps;
+  r.jafar_ps = jaf.duration_ps;
+  r.ownership_ps = jaf.ownership_ps;
+  r.cpu_matches = cpu.matches;
+  r.jafar_matches = jaf.matches;
+  r.stats_dump = sys.DumpStats();
+  return r;
+}
+
+TEST(DeterminismTest, Fig3PipelineIsBitIdenticalAcrossRuns) {
+  db::Column col = bench::UniformColumn(64 * 1024);
+  PipelineResult first = RunPipeline(col, 499999);
+  PipelineResult second = RunPipeline(col, 499999);
+  EXPECT_EQ(first.cpu_ps, second.cpu_ps);
+  EXPECT_EQ(first.jafar_ps, second.jafar_ps);
+  EXPECT_EQ(first.ownership_ps, second.ownership_ps);
+  EXPECT_EQ(first.cpu_matches, second.cpu_matches);
+  EXPECT_EQ(first.jafar_matches, second.jafar_matches);
+  EXPECT_EQ(first.stats_dump, second.stats_dump);  // every component counter
+}
+
+TEST(DeterminismTest, ParallelSweepIsThreadCountInvariant) {
+  db::Column col = bench::UniformColumn(16 * 1024);
+  const std::vector<int64_t> his = {-1, 99999, 499999, 899999, 999999};
+  auto run_point = [&](size_t i) { return RunPipeline(col, his[i]); };
+  std::vector<PipelineResult> serial =
+      bench::ParallelSweep<PipelineResult>(his.size(), run_point,
+                                           /*num_threads=*/1);
+  std::vector<PipelineResult> parallel =
+      bench::ParallelSweep<PipelineResult>(his.size(), run_point,
+                                           /*num_threads=*/4);
+  ASSERT_EQ(serial.size(), parallel.size());
+  for (size_t i = 0; i < serial.size(); ++i) {
+    EXPECT_EQ(serial[i], parallel[i]) << "sweep point " << i;
+  }
+}
+
+}  // namespace
+}  // namespace ndp

@@ -22,6 +22,8 @@ class DeviceTest : public ::testing::Test {
   }
 
   void Rebuild(DeviceConfig cfg) {
+    device_.reset();  // components cancel their event nodes; queue must outlive them
+    dram_.reset();
     eq_ = std::make_unique<sim::EventQueue>();
     dram::DramOrganization org;
     org.ranks_per_channel = 2;

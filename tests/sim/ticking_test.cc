@@ -77,5 +77,95 @@ TEST(TickingTest, CurrentCycleTracksClock) {
   EXPECT_EQ(c.CurrentCycle(), 2u);  // now == 500, period 250
 }
 
+// Calls Wake() from inside Tick(), then returns `tick_result`: the re-arm
+// must land on the NEXT edge (never the current one) and never double-book.
+class SelfWakingComponent : public TickingComponent {
+ public:
+  SelfWakingComponent(EventQueue* eq, ClockDomain clock, int budget,
+                      bool tick_result)
+      : TickingComponent(eq, clock),
+        budget_(budget),
+        tick_result_(tick_result) {}
+
+  std::vector<uint64_t> edges;
+
+ protected:
+  bool Tick() override {
+    edges.push_back(event_queue()->Now());
+    if (static_cast<int>(edges.size()) >= budget_) return false;
+    Wake();  // re-arm from inside the edge being processed
+    return tick_result_;
+  }
+
+ private:
+  int budget_;
+  bool tick_result_;
+};
+
+TEST(TickingTest, WakeInsideTickWithFalseReturnStillTicksNextEdge) {
+  // Tick() arms itself and returns false ("idle"): the explicit Wake() wins,
+  // and it must target the next edge, not re-fire the current one.
+  EventQueue eq;
+  SelfWakingComponent c(&eq, ClockDomain(100), 3, /*tick_result=*/false);
+  c.Wake();
+  eq.RunUntilEmpty();
+  EXPECT_EQ(c.edges, (std::vector<uint64_t>{0, 100, 200}));
+}
+
+TEST(TickingTest, WakeInsideTickWithTrueReturnTicksOncePerEdge) {
+  // Tick() arms itself AND returns true: the two re-arm paths must collapse
+  // into a single next-edge event (one tick per edge, no double fire).
+  EventQueue eq;
+  SelfWakingComponent c(&eq, ClockDomain(100), 3, /*tick_result=*/true);
+  c.Wake();
+  eq.RunUntilEmpty();
+  EXPECT_EQ(c.edges, (std::vector<uint64_t>{0, 100, 200}));
+}
+
+TEST(TickingTest, SameTickWakeAfterIdleDoesNotRefireEdge) {
+  // The component goes idle on an edge; another event at that same tick
+  // wakes it. The wake must schedule the NEXT edge — the current edge was
+  // already processed (the node's when() remembers it).
+  EventQueue eq;
+  CountingComponent c(&eq, ClockDomain(100), 1);
+  c.Wake();
+  eq.ScheduleAt(0, [&] {
+    c.AddBudget(1);
+    c.Wake();  // runs at tick 0, after (or before) c's edge at 0
+  });
+  eq.RunUntilEmpty();
+  EXPECT_EQ(c.edges, (std::vector<uint64_t>{0, 100}));
+}
+
+TEST(TickingTest, DestructorCancelsPendingTick) {
+  EventQueue eq;
+  {
+    CountingComponent c(&eq, ClockDomain(100), 4);
+    c.Wake();
+    ASSERT_EQ(eq.size(), 1u);
+  }
+  EXPECT_TRUE(eq.empty());  // node cancelled; no dangling event fires
+  eq.RunUntilEmpty();
+}
+
+TEST(TickingTest, MemberEventNodeReschedulesWithoutAllocation) {
+  struct Widget {
+    explicit Widget(EventQueue* q) : eq(q) {}
+    void Poke() {
+      fired.push_back(eq->Now());
+      if (fired.size() < 3) eq->Schedule(eq->Now() + 50, &node);
+    }
+    EventQueue* eq;
+    std::vector<uint64_t> fired;
+    MemberEventNode<Widget, &Widget::Poke> node{this};
+  };
+  EventQueue eq;
+  Widget w(&eq);
+  eq.Schedule(10, &w.node);
+  eq.RunUntilEmpty();
+  EXPECT_EQ(w.fired, (std::vector<uint64_t>{10, 60, 110}));
+  EXPECT_FALSE(w.node.scheduled());
+}
+
 }  // namespace
 }  // namespace ndp::sim

@@ -1,0 +1,259 @@
+// Property tests for the timing-wheel EventQueue against the seed heap
+// kernel (sim/reference_queue.h), which is kept as the ordering oracle: both
+// kernels must execute any schedule in exactly the same order, including FIFO
+// ties at equal times — plus unit tests for the wheel's level transitions
+// (span rollover, overflow promotion) and intrusive-node edge cases.
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "sim/event_queue.h"
+#include "sim/reference_queue.h"
+#include "util/rng.h"
+
+namespace ndp::sim {
+namespace {
+
+using ExecLog = std::vector<std::pair<uint64_t, Tick>>;  // (event id, time)
+
+/// Drives `queue` through a randomized schedule derived purely from `seed`:
+/// an initial batch of events at times spread across the bucket/L0/L1/
+/// overflow ranges (with deliberate exact-time ties), where each event may
+/// re-entrantly schedule children as a pure function of its id. Works on any
+/// queue type with ScheduleAt/RunUntil/RunUntilEmpty/Now — i.e. both kernels
+/// — so their logs must match event for event.
+template <typename Queue>
+ExecLog RunRandomSchedule(uint64_t seed, bool chunked_run) {
+  Queue q;
+  ExecLog log;
+  uint64_t next_id = 0;
+
+  // Re-entrant child scheduling: a fired event spawns 0..2 children with
+  // id-derived delays, so the schedule's shape depends only on `seed`.
+  std::function<void(uint64_t, int)> fire = [&](uint64_t id, int depth) {
+    log.emplace_back(id, q.Now());
+    if (depth >= 3) return;
+    Rng rng(id * 0x9E3779B97F4A7C15ull + seed);
+    uint32_t children = rng.NextBounded(3);
+    for (uint32_t c = 0; c < children; ++c) {
+      uint64_t child = next_id++;
+      // Mix delays across slot/span/horizon scales, incl. same-tick (0).
+      Tick delay;
+      switch (rng.NextBounded(4)) {
+        case 0: delay = 0; break;
+        case 1: delay = rng.NextBounded(4096); break;
+        case 2: delay = rng.NextBounded(4 * EventQueue::kSpanTicks); break;
+        default: delay = rng.NextBounded(80u * 1024 * 1024); break;
+      }
+      q.ScheduleAt(q.Now() + delay, [&fire, child, depth] {
+        fire(child, depth + 1);
+      });
+    }
+  };
+
+  Rng rng(seed);
+  Tick prev = 0;
+  for (int i = 0; i < 200; ++i) {
+    uint64_t id = next_id++;
+    Tick when;
+    switch (rng.NextBounded(5)) {
+      case 0: when = rng.NextBounded(4096); break;                  // bucket/L0
+      case 1: when = rng.NextBounded(4 * EventQueue::kSpanTicks); break;  // L1
+      case 2: when = rng.NextBounded(100u * 1024 * 1024); break;  // overflow
+      case 3: when = prev; break;                                 // exact tie
+      default:
+        // Span/horizon boundaries, exercising rollover arithmetic.
+        when = (1 + rng.NextBounded(300)) * EventQueue::kSpanTicks -
+               rng.NextBounded(2);
+        break;
+    }
+    prev = when;
+    q.ScheduleAt(when, [&fire, id] { fire(id, 0); });
+  }
+
+  if (chunked_run) {
+    // Interleave bounded runs (which leave the cursor mid-wheel and Now()
+    // ahead of it) with more draining; must not disturb ordering.
+    Tick t = 0;
+    while (!q.empty()) {
+      t += 1 + rng.NextBounded(3 * EventQueue::kSpanTicks);
+      q.RunUntil(t);
+    }
+  } else {
+    q.RunUntilEmpty();
+  }
+  return log;
+}
+
+class WheelVsReferenceProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WheelVsReferenceProperty, ExecutionOrderMatchesHeapOracle) {
+  ExecLog wheel = RunRandomSchedule<EventQueue>(GetParam(), false);
+  ExecLog heap = RunRandomSchedule<ReferenceEventQueue>(GetParam(), false);
+  ASSERT_EQ(wheel.size(), heap.size());
+  ASSERT_EQ(wheel, heap);
+}
+
+TEST_P(WheelVsReferenceProperty, ChunkedRunUntilMatchesHeapOracle) {
+  ExecLog wheel = RunRandomSchedule<EventQueue>(GetParam(), true);
+  ExecLog heap = RunRandomSchedule<ReferenceEventQueue>(GetParam(), true);
+  ASSERT_EQ(wheel, heap);
+}
+
+TEST_P(WheelVsReferenceProperty, ChunkedAndFullRunsAreEquivalent) {
+  ExecLog full = RunRandomSchedule<EventQueue>(GetParam(), false);
+  ExecLog chunked = RunRandomSchedule<EventQueue>(GetParam(), true);
+  ASSERT_EQ(full, chunked);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WheelVsReferenceProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55, 89));
+
+// ---------------------------------------------------------------------------
+// Wheel-internals unit tests (intrusive nodes).
+// ---------------------------------------------------------------------------
+
+class RecordingNode final : public EventNode {
+ public:
+  RecordingNode(uint64_t id, ExecLog* log, EventQueue* eq)
+      : id_(id), log_(log), eq_(eq) {}
+
+ protected:
+  void Fire() override { log_->emplace_back(id_, eq_->Now()); }
+
+ private:
+  uint64_t id_;
+  ExecLog* log_;
+  EventQueue* eq_;
+};
+
+TEST(TimingWheelTest, FifoTieBreakAcrossSoloDemotion) {
+  // First node parks in the solo slot; the second demotes it into the wheel.
+  // Equal times must still fire in schedule order.
+  EventQueue eq;
+  ExecLog log;
+  RecordingNode a(1, &log, &eq), b(2, &log, &eq), c(3, &log, &eq);
+  eq.Schedule(500, &a);
+  eq.Schedule(500, &b);
+  eq.Schedule(500, &c);
+  eq.RunUntilEmpty();
+  ExecLog expected = {{1, 500}, {2, 500}, {3, 500}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(TimingWheelTest, SpanRolloverPreservesOrder) {
+  // Nodes straddling an L0 span boundary (kSpanTicks) fire in time order
+  // even though the later one is filed into L1 first.
+  EventQueue eq;
+  ExecLog log;
+  RecordingNode far(1, &log, &eq), near(2, &log, &eq);
+  eq.Schedule(EventQueue::kSpanTicks + 10, &far);  // next span -> L1
+  eq.Schedule(EventQueue::kSpanTicks - 10, &near);  // current span -> L0
+  eq.RunUntilEmpty();
+  ExecLog expected = {{2, EventQueue::kSpanTicks - 10},
+                      {1, EventQueue::kSpanTicks + 10}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(TimingWheelTest, OverflowPromotionBeyondHorizon) {
+  // An event beyond the L1 horizon (kL1Slots spans) starts in the overflow
+  // heap and must be promoted into the wheel as the cursor approaches.
+  EventQueue eq;
+  ExecLog log;
+  const Tick horizon = EventQueue::kL1Slots * EventQueue::kSpanTicks;
+  RecordingNode beyond(1, &log, &eq), near(2, &log, &eq);
+  eq.Schedule(3 * horizon + 7, &beyond);
+  eq.Schedule(100, &near);
+  eq.RunUntilEmpty();
+  ExecLog expected = {{2, 100}, {1, 3 * horizon + 7}};
+  EXPECT_EQ(log, expected);
+  EXPECT_EQ(eq.Now(), 3 * horizon + 7);
+}
+
+TEST(TimingWheelTest, OverflowTiesPreserveScheduleOrder) {
+  EventQueue eq;
+  ExecLog log;
+  const Tick far = 5 * EventQueue::kL1Slots * EventQueue::kSpanTicks + 3;
+  RecordingNode a(1, &log, &eq), b(2, &log, &eq), c(3, &log, &eq);
+  eq.Schedule(far, &a);
+  eq.Schedule(far, &b);
+  eq.Schedule(far, &c);
+  eq.RunUntilEmpty();
+  ExecLog expected = {{1, far}, {2, far}, {3, far}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(TimingWheelTest, CancelFromEveryLevel) {
+  EventQueue eq;
+  ExecLog log;
+  RecordingNode solo(1, &log, &eq);
+  eq.Schedule(10, &solo);
+  eq.Cancel(&solo);  // solo slot
+  EXPECT_TRUE(eq.empty());
+  EXPECT_FALSE(solo.scheduled());
+
+  RecordingNode l0(2, &log, &eq), l1(3, &log, &eq), over(4, &log, &eq),
+      keep(5, &log, &eq);
+  eq.Schedule(2000, &l0);                                      // L0
+  eq.Schedule(2 * EventQueue::kSpanTicks, &l1);                // L1
+  eq.Schedule(400 * EventQueue::kSpanTicks, &over);            // overflow
+  eq.Schedule(3000, &keep);
+  eq.Cancel(&l0);
+  eq.Cancel(&l1);
+  eq.Cancel(&over);
+  EXPECT_EQ(eq.size(), 1u);
+  eq.RunUntilEmpty();
+  ExecLog expected = {{5, 3000}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(TimingWheelTest, CancelFromBucketAfterPartialDrain) {
+  // Two nodes share a quantum; popping the first drains the second into the
+  // bucket heap, from which it must still be cancellable.
+  EventQueue eq;
+  ExecLog log;
+  RecordingNode a(1, &log, &eq), b(2, &log, &eq);
+  eq.Schedule(2048, &a);
+  eq.Schedule(2050, &b);
+  ASSERT_TRUE(eq.Step());
+  eq.Cancel(&b);
+  EXPECT_TRUE(eq.empty());
+  ExecLog expected = {{1, 2048}};
+  EXPECT_EQ(log, expected);
+}
+
+TEST(TimingWheelTest, NodeCanRescheduleItselfFromFire) {
+  // A self-rescheduling chain across span boundaries — the TickingComponent
+  // pattern — with when() visible as the last-fired time after each hop.
+  class ChainNode final : public EventNode {
+   public:
+    ChainNode(EventQueue* eq, ExecLog* log) : eq_(eq), log_(log) {}
+
+   protected:
+    void Fire() override {
+      log_->emplace_back(log_->size(), eq_->Now());
+      if (log_->size() < 5) {
+        eq_->Schedule(eq_->Now() + EventQueue::kSpanTicks / 2, this);
+      }
+    }
+
+   private:
+    EventQueue* eq_;
+    ExecLog* log_;
+  };
+  EventQueue eq;
+  ExecLog log;
+  ChainNode n(&eq, &log);
+  eq.Schedule(0, &n);
+  eq.RunUntilEmpty();
+  ASSERT_EQ(log.size(), 5u);
+  for (size_t i = 0; i < log.size(); ++i) {
+    EXPECT_EQ(log[i].second, i * (EventQueue::kSpanTicks / 2));
+  }
+  EXPECT_EQ(n.when(), 4 * (EventQueue::kSpanTicks / 2));  // last-fired time
+  EXPECT_FALSE(n.scheduled());
+}
+
+}  // namespace
+}  // namespace ndp::sim
