@@ -42,6 +42,18 @@ int main() {
   };
   double jafar_sum_ms = run_agg(jafar::AggKind::kSum, 0);
 
+  // Functional check against the host-side oracle, read back before the
+  // filtered run overwrites out_addr.
+  int64_t oracle = 0;
+  for (size_t i = 0; i < col.size(); ++i) oracle += col[i];
+  int64_t got =
+      static_cast<int64_t>(sys.dram().backing_store().Read64(out_addr));
+  if (got != oracle) {
+    std::fprintf(stderr, "MISMATCH: jafar sum=%lld oracle=%lld\n",
+                 (long long)got, (long long)oracle);
+    return 1;
+  }
+
   // Filtered aggregate: JAFAR select produces the bitmap, then aggregates
   // under it — the whole filter+agg pipeline stays in memory.
   uint64_t bitmap = sys.Allocate((rows + 7) / 8 + 64, 4096);
@@ -60,13 +72,6 @@ int main() {
   sys.eq().RunUntilTrue([&] { return sel_done; });
   double filtered_ms =
       bench::Ms(sel_end - sel_start) + run_agg(jafar::AggKind::kSum, bitmap);
-
-  // Functional check against the host-side oracle.
-  int64_t oracle = 0;
-  for (size_t i = 0; i < col.size(); ++i) oracle += col[i];
-  int64_t got = static_cast<int64_t>(sys.dram().backing_store().Read64(out_addr));
-  (void)got;  // last run was filtered; just verify unfiltered sum separately
-  (void)oracle;
 
   std::printf("\n%-44s %-12s %-10s\n", "configuration", "time_ms", "speedup");
   std::printf("%-44s %-12.3f %-10s\n", "CPU aggregate scan (sum)",

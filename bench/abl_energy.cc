@@ -10,8 +10,10 @@
 // energy comes from the accel model (~214 fJ/word), on-DIMM movement
 // 0.5 nJ/burst.
 #include <cstdio>
+#include <string>
 
 #include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "core/api.h"
 
 using namespace ndp;
@@ -32,19 +34,28 @@ int main() {
   db::Column col = bench::UniformColumn(rows);
 
   core::SystemModel sys(core::PlatformConfig::Gem5());
-  sys.dram().ResetCounters();
   auto cpu = sys.RunCpuSelect(col, 0, 499999, db::SelectMode::kBranching)
                  .ValueOrDie();
-  auto mc = sys.dram().TotalCounters();
-  const auto& l1 = sys.caches().level(0).stats();
-  const auto& l2 = sys.caches().level(1).stats();
+  // All accounting reads the run's registry delta — nothing was reset, so a
+  // preceding warm-up or co-running measurement would not skew it.
+  const StatsSnapshot& d = cpu.counters;
+  auto mc_sum = [&](const char* name) {
+    double total = 0;
+    for (uint32_t c = 0; c < sys.dram().num_channels(); ++c) {
+      total += d.Value("system.dram.ctrl" + std::to_string(c) + "." + name);
+    }
+    return total;
+  };
+  double l1_accesses =
+      d.Value("system.cpu.l1.hits") + d.Value("system.cpu.l1.misses");
+  double l2_accesses =
+      d.Value("system.cpu.l2.hits") + d.Value("system.cpu.l2.misses");
+  double bursts_moved = mc_sum("reads_served") + mc_sum("writes_served");
   double cpu_uj =
       (static_cast<double>(cpu.stats.uops_retired) * kCpuPjPerUop +
-       static_cast<double>(l1.hits + l1.misses) * kL1PjPerAccess +
-       static_cast<double>(l2.hits + l2.misses) * kL2PjPerAccess) /
+       l1_accesses * kL1PjPerAccess + l2_accesses * kL2PjPerAccess) /
           1e6 +
-      static_cast<double>(mc.reads_served + mc.writes_served) *
-          (kDramArrayNjPerBurst + kBusNjPerBurst) / 1e3;
+      bursts_moved * (kDramArrayNjPerBurst + kBusNjPerBurst) / 1e3;
 
   core::SystemModel sys2(core::PlatformConfig::Gem5());
   auto jaf = sys2.RunJafarSelect(col, 0, 499999).ValueOrDie();
@@ -59,11 +70,9 @@ int main() {
               "%.1f uJ\n",
               "CPU select", cpu_uj, bench::Ms(cpu.duration_ps),
               static_cast<double>(cpu.stats.uops_retired) * kCpuPjPerUop / 1e6,
-              (static_cast<double>(l1.hits + l1.misses) * kL1PjPerAccess +
-               static_cast<double>(l2.hits + l2.misses) * kL2PjPerAccess) /
+              (l1_accesses * kL1PjPerAccess + l2_accesses * kL2PjPerAccess) /
                   1e6,
-              static_cast<double>(mc.reads_served + mc.writes_served) *
-                  (kDramArrayNjPerBurst + kBusNjPerBurst) / 1e3);
+              bursts_moved * (kDramArrayNjPerBurst + kBusNjPerBurst) / 1e3);
   std::printf("%-28s %-14.1f %-14.3f datapath %.3f + DRAM-on-DIMM %.1f uJ\n",
               "JAFAR select", jafar_uj, bench::Ms(jaf.duration_ps),
               jaf.stats.energy_fj / 1e9,
@@ -75,5 +84,30 @@ int main() {
       "Expected: JAFAR saves both the off-chip transfer energy of every\n"
       "burst and the host pipeline energy of ~8-11 µops/row; the DRAM array\n"
       "energy is paid either way.\n");
-  return 0;
+
+  bench::Reporter report("abl_energy");
+  report.Config("rows", static_cast<double>(rows))
+      .Config("selectivity_pct", 50.0)
+      .Config("cpu_pj_per_uop", kCpuPjPerUop)
+      .Config("l1_pj_per_access", kL1PjPerAccess)
+      .Config("l2_pj_per_access", kL2PjPerAccess)
+      .Config("dram_array_nj_per_burst", kDramArrayNjPerBurst)
+      .Config("bus_nj_per_burst", kBusNjPerBurst)
+      .Config("dimm_move_nj_per_burst", kDimmMoveNjPerBurst);
+  report.AddPoint("cpu_select")
+      .Metric("energy_uj", cpu_uj)
+      .Metric("time_ms", bench::Ms(cpu.duration_ps))
+      .Metric("uops_retired", static_cast<double>(cpu.stats.uops_retired))
+      .Metric("l1_accesses", l1_accesses)
+      .Metric("l2_accesses", l2_accesses)
+      .Metric("bursts_moved", bursts_moved)
+      .Counters("", cpu.counters);
+  report.AddPoint("jafar_select")
+      .Metric("energy_uj", jafar_uj)
+      .Metric("time_ms", bench::Ms(jaf.duration_ps))
+      .Metric("datapath_fj", jaf.stats.energy_fj)
+      .Metric("bursts_moved", static_cast<double>(jaf.stats.bursts_read +
+                                                  jaf.stats.bursts_written))
+      .Counters("", jaf.counters);
+  return report.WriteJson() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/parallel_sweep.h"
+#include "bench/reporter.h"
 #include "core/api.h"
 #include "core/dimm_array.h"
 
@@ -30,6 +31,7 @@ int main() {
     uint32_t channels = 0;
     uint32_t devices = 0;
     double ms = 0;
+    StatsSnapshot counters;
   };
   std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
       channel_counts.size(), [&](size_t i) {
@@ -44,8 +46,13 @@ int main() {
         NDP_CHECK(result.bitmap.CountOnes() == oracle);
         r.devices = array.num_devices();
         r.ms = bench::Ms(result.duration_ps);
+        r.counters = result.counters;
         return r;
       });
+
+  bench::Reporter report("abl_scaling");
+  report.Config("rows", static_cast<double>(rows))
+      .Config("selectivity_pct", 50.0);
 
   std::printf("\n%-10s %-10s %-12s %-10s %-12s\n", "channels", "devices",
               "time_ms", "speedup", "efficiency");
@@ -54,10 +61,17 @@ int main() {
     double speedup = base_ms / r.ms;
     std::printf("%-10u %-10u %-12.3f %-10.2f %-12.2f\n", r.channels, r.devices,
                 r.ms, speedup, speedup / r.channels);
+    report.AddPoint(std::to_string(r.channels) + "ch")
+        .Metric("channels", r.channels)
+        .Metric("devices", r.devices)
+        .Metric("time_ms", r.ms)
+        .Metric("speedup", speedup)
+        .Metric("efficiency", speedup / r.channels)
+        .Counters("", r.counters);
   }
   std::printf(
       "\nExpected: near-linear scaling — each JAFAR streams its own DIMM and\n"
       "the bitmaps merge without cross-DIMM traffic; efficiency dips only\n"
       "from the fixed invocation overhead on the shrinking partitions.\n");
-  return 0;
+  return report.WriteJson() ? 0 : 1;
 }

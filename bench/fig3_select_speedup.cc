@@ -17,6 +17,7 @@
 
 #include "bench/bench_util.h"
 #include "bench/parallel_sweep.h"
+#include "bench/reporter.h"
 #include "core/api.h"
 
 int main() {
@@ -40,6 +41,7 @@ int main() {
     uint64_t cpu_matches = 0, jafar_matches = 0;
     uint64_t cpu_mispredicts = 0, pages = 0;
     double accel_frac = 0;
+    StatsSnapshot cpu_counters, jafar_counters;
   };
   std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
       pcts.size(), [&](size_t i) {
@@ -67,8 +69,15 @@ int main() {
             jaf.ownership_ps;
         r.accel_frac = 1.0 - static_cast<double>(overhead_ps) /
                                  static_cast<double>(jaf.duration_ps);
+        r.cpu_counters = cpu.counters;
+        r.jafar_counters = jaf.counters;
         return r;
       });
+
+  bench::Reporter report("fig3");
+  report.Config("rows", static_cast<double>(rows))
+      .Config("step", static_cast<double>(step))
+      .Config("platform", "gem5");
 
   std::printf(
       "\n%-12s %-14s %-14s %-10s %-12s %-12s %-10s\n", "selectivity",
@@ -92,6 +101,17 @@ int main() {
                 bench::Ms(r.jafar_ps), speedup,
                 (unsigned long long)r.cpu_mispredicts,
                 (unsigned long long)r.pages, r.accel_frac);
+    report.AddPoint(std::to_string(r.pct) + "%")
+        .Metric("selectivity_pct", static_cast<double>(r.pct))
+        .Metric("cpu_time_ms", bench::Ms(r.cpu_ps))
+        .Metric("jafar_time_ms", bench::Ms(r.jafar_ps))
+        .Metric("speedup", speedup)
+        .Metric("matches", static_cast<double>(r.cpu_matches))
+        .Metric("cpu_mispredicts", static_cast<double>(r.cpu_mispredicts))
+        .Metric("jafar_pages", static_cast<double>(r.pages))
+        .Metric("accel_frac", r.accel_frac)
+        .Counters("cpu", r.cpu_counters)
+        .Counters("jafar", r.jafar_counters);
   }
 
   std::printf(
@@ -106,5 +126,6 @@ int main() {
       "JAFAR wait fraction: %.2f of each access spent waiting on DRAM "
       "(paper: ~9 of 13 ns = 0.69)\n",
       jaf.stats.WaitFraction());
-  return 0;
+  report.Config("wait_fraction_at_50pct", jaf.stats.WaitFraction());
+  return report.WriteJson() ? 0 : 1;
 }

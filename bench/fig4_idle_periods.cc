@@ -22,6 +22,7 @@
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "core/api.h"
 
 int main() {
@@ -48,6 +49,12 @@ int main() {
               "est_idle_cycles", "meas_idle_cycles", "reads", "writes",
               "kB_per_idle");
 
+  bench::Reporter report("fig4");
+  report.Config("tpch_scale", scale)
+      .Config("sample", static_cast<double>(sample))
+      .Config("compute_scale", static_cast<double>(compute_scale))
+      .Config("platform", "xeon");
+
   double sum_est = 0;
   int n = 0;
   for (int q : {1, 3, 6, 18, 22}) {
@@ -73,6 +80,17 @@ int main() {
                 (unsigned long long)profile.reads,
                 (unsigned long long)profile.writes,
                 profile.BytesPerIdlePeriodPaperAccounting() / 1024.0);
+    report.AddPoint("Q" + std::to_string(q))
+        .Metric("est_idle_cycles", est)
+        .Metric("meas_idle_cycles", profile.MeasuredMeanIdleCycles())
+        .Metric("total_bus_cycles", static_cast<double>(profile.total_bus_cycles))
+        .Metric("rc_busy_cycles", static_cast<double>(profile.rc_busy_cycles))
+        .Metric("wc_busy_cycles", static_cast<double>(profile.wc_busy_cycles))
+        .Metric("reads", static_cast<double>(profile.reads))
+        .Metric("writes", static_cast<double>(profile.writes))
+        .Metric("kb_per_idle",
+                profile.BytesPerIdlePeriodPaperAccounting() / 1024.0)
+        .Counters("", profile.counters);
   }
   double avg = sum_est / n;
   std::printf("%-8s %-16.0f\n", "average", avg);
@@ -81,5 +99,6 @@ int main() {
       "       at 4 bus cycles per request, JAFAR could process ~%0.f blocks\n"
       "       (~%.1f kB) per average idle period (paper: 125 blocks ~ 4 kB).\n",
       avg / 4.0, avg / 4.0 * 32.0 / 1024.0);
-  return 0;
+  report.Config("avg_est_idle_cycles", avg);
+  return report.WriteJson() ? 0 : 1;
 }

@@ -1,0 +1,74 @@
+// Validates BENCH_*.json artifacts: each file named on the command line must
+// parse as JSON and carry the Reporter schema — a string "name", an object
+// "config", and a non-empty array "points" whose elements each have a string
+// "label" and an object "metrics". Exit 0 iff every file checks out; used by
+// the bench_json_valid ctest targets.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "util/json.h"
+
+namespace {
+
+bool CheckFile(const char* path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path);
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string text = buf.str();
+
+  ndp::Result<ndp::json::Value> parsed = ndp::json::Value::Parse(text);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "%s: parse error: %s\n", path,
+                 parsed.status().ToString().c_str());
+    return false;
+  }
+  const ndp::json::Value& root = parsed.value();
+  if (!root.is_object()) {
+    std::fprintf(stderr, "%s: root is not an object\n", path);
+    return false;
+  }
+  const ndp::json::Value* name = root.Find("name");
+  if (name == nullptr || !name->is_string() || name->AsString().empty()) {
+    std::fprintf(stderr, "%s: missing string \"name\"\n", path);
+    return false;
+  }
+  const ndp::json::Value* config = root.Find("config");
+  if (config == nullptr || !config->is_object()) {
+    std::fprintf(stderr, "%s: missing object \"config\"\n", path);
+    return false;
+  }
+  const ndp::json::Value* points = root.Find("points");
+  if (points == nullptr || !points->is_array() || points->size() == 0) {
+    std::fprintf(stderr, "%s: missing non-empty array \"points\"\n", path);
+    return false;
+  }
+  for (const ndp::json::Value& p : points->items()) {
+    const ndp::json::Value* label = p.is_object() ? p.Find("label") : nullptr;
+    const ndp::json::Value* metrics = p.is_object() ? p.Find("metrics") : nullptr;
+    if (label == nullptr || !label->is_string() || metrics == nullptr ||
+        !metrics->is_object()) {
+      std::fprintf(stderr, "%s: malformed point\n", path);
+      return false;
+    }
+  }
+  std::printf("%s: ok (%zu points)\n", path, points->size());
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH_file.json...\n", argv[0]);
+    return 2;
+  }
+  bool all_ok = true;
+  for (int i = 1; i < argc; ++i) all_ok = CheckFile(argv[i]) && all_ok;
+  return all_ok ? 0 : 1;
+}

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "accel/schedule.h"
+#include "bench/bench_util.h"
+#include "bench/reporter.h"
 #include "cpu/kernels.h"
 #include "db/operators.h"
 #include "dram/dram_system.h"
@@ -246,27 +248,23 @@ KernelMeasurement Measure(RunFn&& run, size_t num_tickers, sim::Tick span) {
   return best;
 }
 
-void WriteScenario(std::FILE* f, const char* name, size_t num_tickers,
-                   sim::Tick span, bool last) {
+void AddScenario(bench::Reporter* report, const char* name, size_t num_tickers,
+                 sim::Tick span) {
   KernelMeasurement wheel = Measure(WheelTickerRun, num_tickers, span);
   KernelMeasurement heap = Measure(HeapTickerRun, num_tickers, span);
   double speedup = wheel.events_per_sec / heap.events_per_sec;
-  std::fprintf(f,
-               "  \"%s\": {\n"
-               "    \"tickers\": %zu,\n"
-               "    \"sim_span_ps\": %llu,\n"
-               "    \"wheel\": {\"events\": %llu, \"wall_seconds\": %.6f, "
-               "\"events_per_sec\": %.0f, \"sim_ticks_per_sec\": %.0f},\n"
-               "    \"heap\": {\"events\": %llu, \"wall_seconds\": %.6f, "
-               "\"events_per_sec\": %.0f, \"sim_ticks_per_sec\": %.0f},\n"
-               "    \"events_per_sec_speedup\": %.2f\n"
-               "  }%s\n",
-               name, num_tickers, (unsigned long long)span,
-               (unsigned long long)wheel.events, wheel.wall_seconds,
-               wheel.events_per_sec, wheel.sim_ticks_per_sec,
-               (unsigned long long)heap.events, heap.wall_seconds,
-               heap.events_per_sec, heap.sim_ticks_per_sec, speedup,
-               last ? "" : ",");
+  report->AddPoint(name)
+      .Metric("tickers", static_cast<double>(num_tickers))
+      .Metric("sim_span_ps", static_cast<double>(span))
+      .Metric("wheel_events", static_cast<double>(wheel.events))
+      .Metric("wheel_wall_seconds", wheel.wall_seconds)
+      .Metric("wheel_events_per_sec", wheel.events_per_sec)
+      .Metric("wheel_sim_ticks_per_sec", wheel.sim_ticks_per_sec)
+      .Metric("heap_events", static_cast<double>(heap.events))
+      .Metric("heap_wall_seconds", heap.wall_seconds)
+      .Metric("heap_events_per_sec", heap.events_per_sec)
+      .Metric("heap_sim_ticks_per_sec", heap.sim_ticks_per_sec)
+      .Metric("events_per_sec_speedup", speedup);
   std::printf(
       "%-14s %zu tickers: wheel %.1fM events/s, heap %.1fM events/s "
       "(%.2fx)\n",
@@ -274,25 +272,21 @@ void WriteScenario(std::FILE* f, const char* name, size_t num_tickers,
       speedup);
 }
 
-void WriteBenchSimJson() {
+bool WriteBenchSimJson() {
   std::printf(
       "\nSim-kernel throughput (timing wheel vs. seed heap kernel)\n"
       "---------------------------------------------------------\n");
-  std::FILE* f = std::fopen("BENCH_sim.json", "w");
-  if (f == nullptr) {
-    std::fprintf(stderr, "cannot open BENCH_sim.json for writing\n");
-    return;
-  }
-  std::fprintf(f, "{\n");
   // Solo: one armed component — the queue's single-event fast path (a JAFAR
   // engine streaming while the CPU spin-waits). Multi: every clock domain of
-  // a full-system run ticking concurrently.
-  const sim::Tick span = 1u << 28;  // ~268 us simulated, ~1M events for solo
-  WriteScenario(f, "solo_ticker", 1, span, /*last=*/false);
-  WriteScenario(f, "multi_ticker", 8, span / 4, /*last=*/true);
-  std::fprintf(f, "}\n");
-  std::fclose(f);
-  std::printf("wrote BENCH_sim.json\n");
+  // a full-system run ticking concurrently. BENCH_SIM_SPAN shrinks the
+  // simulated span for smoke runs.
+  const sim::Tick span =
+      bench::EnvU64("BENCH_SIM_SPAN", 1u << 28);  // ~268 us sim, ~1M events
+  bench::Reporter report("sim");
+  report.Config("sim_span_ps", static_cast<double>(span));
+  AddScenario(&report, "solo_ticker", 1, span);
+  AddScenario(&report, "multi_ticker", 8, span / 4);
+  return report.WriteJson();
 }
 
 }  // namespace
@@ -302,6 +296,5 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
-  ndp::WriteBenchSimJson();
-  return 0;
+  return ndp::WriteBenchSimJson() ? 0 : 1;
 }

@@ -1,0 +1,142 @@
+// Machine-readable benchmark reporting. Every bench builds a Reporter,
+// records its configuration and one Point per sweep step (metrics plus,
+// optionally, the registry counter deltas of the runs behind the step), and
+// finishes with WriteJson(): a BENCH_<name>.json file next to the binary that
+// downstream tooling (plotters, regression trackers, the bench_json_valid
+// ctest) can consume without scraping the human-oriented table.
+//
+// JSON layout:
+//   {
+//     "name": "<bench name>",
+//     "config": { "<key>": <value>, ... },        // env knobs, sizes, modes
+//     "points": [
+//       { "label": "<point label>",
+//         "metrics": { "<key>": <number>, ... },
+//         "counters": { "<path>": <number>, ... } // optional snapshot delta
+//       }, ...
+//     ]
+//   }
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/json.h"
+#include "util/stats_registry.h"
+
+namespace ndp::bench {
+
+/// \brief One sweep step of a benchmark.
+class Point {
+ public:
+  explicit Point(std::string label) : label_(std::move(label)) {}
+
+  Point& Metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+    return *this;
+  }
+
+  /// Attaches a registry snapshot delta; paths are prefixed with
+  /// "<prefix>." when `prefix` is non-empty (to distinguish e.g. the CPU
+  /// run's counters from the JAFAR run's within one point).
+  Point& Counters(const std::string& prefix, const StatsSnapshot& delta) {
+    for (const auto& [path, entry] : delta.entries()) {
+      counters_.emplace_back(prefix.empty() ? path : prefix + "." + path,
+                             entry.value);
+    }
+    return *this;
+  }
+
+  const std::string& label() const { return label_; }
+  double metric(const std::string& key, double fallback = 0.0) const {
+    for (const auto& [k, v] : metrics_) {
+      if (k == key) return v;
+    }
+    return fallback;
+  }
+
+  json::Value ToJson() const {
+    json::Value p = json::Value::Object();
+    p.Set("label", json::Value::Str(label_));
+    json::Value metrics = json::Value::Object();
+    for (const auto& [k, v] : metrics_) metrics.Set(k, json::Value::Number(v));
+    p.Set("metrics", std::move(metrics));
+    if (!counters_.empty()) {
+      json::Value counters = json::Value::Object();
+      for (const auto& [k, v] : counters_) {
+        counters.Set(k, json::Value::Number(v));
+      }
+      p.Set("counters", std::move(counters));
+    }
+    return p;
+  }
+
+ private:
+  std::string label_;
+  std::vector<std::pair<std::string, double>> metrics_;
+  std::vector<std::pair<std::string, double>> counters_;
+};
+
+/// \brief Accumulates a benchmark's config and points; renders JSON.
+class Reporter {
+ public:
+  explicit Reporter(std::string name) : name_(std::move(name)) {}
+
+  Reporter& Config(const std::string& key, double value) {
+    config_.Set(key, json::Value::Number(value));
+    return *this;
+  }
+  Reporter& Config(const std::string& key, const std::string& value) {
+    config_.Set(key, json::Value::Str(value));
+    return *this;
+  }
+
+  /// Starts a new point; returns it for Metric()/Counters() chaining. The
+  /// reference stays valid until the next AddPoint (deque-like storage).
+  Point& AddPoint(const std::string& label) {
+    points_.push_back(std::make_unique<Point>(label));
+    return *points_.back();
+  }
+
+  const std::vector<std::unique_ptr<Point>>& points() const { return points_; }
+
+  json::Value ToJson() const {
+    json::Value root = json::Value::Object();
+    root.Set("name", json::Value::Str(name_));
+    root.Set("config", config_);
+    json::Value pts = json::Value::Array();
+    for (const auto& p : points_) pts.Append(p->ToJson());
+    root.Set("points", std::move(pts));
+    return root;
+  }
+
+  /// Writes BENCH_<name>.json into the working directory (or `dir` when
+  /// given). Returns false (with a message on stderr) if the file cannot be
+  /// written; benches treat that as a failure so CI notices.
+  bool WriteJson(const std::string& dir = "") const {
+    std::string path = dir.empty() ? "" : dir + "/";
+    path += "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return false;
+    }
+    std::string text = ToJson().Dump(/*indent=*/2);
+    text += "\n";
+    size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    bool ok = written == text.size() && std::fclose(f) == 0;
+    if (ok) std::printf("wrote %s\n", path.c_str());
+    return ok;
+  }
+
+ private:
+  std::string name_;
+  json::Value config_ = json::Value::Object();
+  std::vector<std::unique_ptr<Point>> points_;
+};
+
+}  // namespace ndp::bench

@@ -13,12 +13,15 @@ DimmArray::DimmArray(dram::DramTiming timing, uint32_t channels,
   org.ranks_per_channel = ranks_per_channel;
   org.rows_per_bank = rows_per_bank;
   dram::ControllerConfig mc;
+  StatsScope root(&stats_, "array");
   dram_ = std::make_unique<dram::DramSystem>(
-      &eq_, timing_, org, dram::InterleaveScheme::kContiguous, mc);
+      &eq_, timing_, org, dram::InterleaveScheme::kContiguous, mc,
+      root.Sub("dram"));
   for (uint32_t ch = 0; ch < channels; ++ch) {
     for (uint32_t rk = 0; rk < ranks_per_channel; ++rk) {
-      devices_.push_back(
-          std::make_unique<jafar::Device>(dram_.get(), ch, rk, device_config));
+      devices_.push_back(std::make_unique<jafar::Device>(
+          dram_.get(), ch, rk, device_config,
+          root.Sub("dev" + std::to_string(devices_.size()))));
     }
   }
 }
@@ -75,6 +78,7 @@ Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
     return Status::FailedPrecondition("LoadPartitioned was not called");
   }
   uint32_t done = 0;
+  StatsSnapshot before = stats_.Snapshot();
   sim::Tick start = eq_.Now();
   sim::Tick makespan_end = start;
   for (const Partition& part : partitions_) {
@@ -97,6 +101,7 @@ Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
 
   ParallelResult result;
   result.duration_ps = makespan_end - start;
+  result.counters = stats_.Snapshot().DeltaSince(before);
   result.bitmap.Resize(total_rows_);
   for (const Partition& part : partitions_) {
     NDP_CHECK(part.first_row % 64 == 0);

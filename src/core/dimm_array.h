@@ -13,6 +13,7 @@
 #include "dram/dram_system.h"
 #include "jafar/device.h"
 #include "util/bitvector.h"
+#include "util/stats_registry.h"
 
 namespace ndp::core {
 
@@ -42,11 +43,16 @@ class DimmArray {
     sim::Tick duration_ps = 0;   ///< makespan across devices
     uint64_t matches = 0;
     BitVector bitmap;            ///< merged, in logical row order
+    /// Registry delta over the parallel run ("array.dram.*", "array.dev<i>.*").
+    StatsSnapshot counters;
   };
 
   /// Runs `lo <= v <= hi` on every partition in parallel and merges the
   /// bitmaps. LoadPartitioned must have been called.
   Result<ParallelResult> RunParallelSelect(int64_t lo, int64_t hi);
+
+  /// Registry over all controllers and devices (paths under "array.").
+  const StatsRegistry& stats() const { return stats_; }
 
  private:
   struct Partition {
@@ -59,6 +65,7 @@ class DimmArray {
 
   sim::EventQueue eq_;
   dram::DramTiming timing_;
+  StatsRegistry stats_;  ///< declared before the components registered in it
   std::unique_ptr<dram::DramSystem> dram_;
   jafar::DeviceConfig device_config_;
   std::vector<std::unique_ptr<jafar::Device>> devices_;

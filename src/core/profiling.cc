@@ -31,40 +31,40 @@ Result<IdleProfile> IdlePeriodProfiler::Profile(
     NDP_RETURN_NOT_OK(
         system_->ReplayTrace(events, /*cold_caches=*/w == 0).status());
   }
-  system_->dram().ResetCounters();
-  sim::Tick start = system_->eq().Now();
+  // The replay's registry delta covers exactly the timed window — no counter
+  // reset needed, so profiling composes with any surrounding measurement.
   NDP_ASSIGN_OR_RETURN(
       SystemModel::CpuRunResult run,
       system_->ReplayTrace(events, /*cold_caches=*/warm_runs == 0));
-  sim::Tick end = system_->eq().Now();
+  const StatsSnapshot& d = run.counters;
 
   IdleProfile p;
   p.label = label;
   uint64_t bus_period = system_->config().dram_timing.tck_ps;
-  p.total_bus_cycles = (end - start) / bus_period;
+  p.total_bus_cycles = run.duration_ps / bus_period;
   uint32_t channels = system_->dram().num_channels();
+  double idle_sum = 0;
+  uint64_t idle_count = 0;
   for (uint32_t ch = 0; ch < channels; ++ch) {
-    dram::ControllerCounters c = system_->dram().controller(ch).counters();
+    std::string prefix = "system.dram.ctrl" + std::to_string(ch) + ".";
     ChannelProfile cp;
-    cp.rc_busy_cycles = c.read_queue_busy_ticks / bus_period;
-    cp.wc_busy_cycles = c.write_queue_busy_ticks / bus_period;
-    cp.reads = c.reads_served;
-    cp.writes = c.writes_served;
+    cp.rc_busy_cycles = d.Count(prefix + "rc_busy_cycles");
+    cp.wc_busy_cycles = d.Count(prefix + "wc_busy_cycles");
+    cp.reads = d.Count(prefix + "reads_served");
+    cp.writes = d.Count(prefix + "writes_served");
     p.channels.push_back(cp);
     p.rc_busy_cycles += cp.rc_busy_cycles;
     p.wc_busy_cycles += cp.wc_busy_cycles;
     p.reads += cp.reads;
     p.writes += cp.writes;
+    // Exact idle-gap statistics over the window: the histogram's .sum/.count
+    // are monotonic, so their deltas give the in-window mean.
+    idle_sum += d.Value(prefix + "idle_cycles.sum");
+    idle_count += d.Count(prefix + "idle_cycles.count");
   }
-
-  // Exact idle-gap statistics (averaged across channels).
-  double mean_sum = 0;
-  for (uint32_t ch = 0; ch < channels; ++ch) {
-    mean_sum +=
-        system_->dram().controller(ch).idle_period_histogram().stats().mean();
-  }
-  p.measured_mean_idle_cycles = channels ? mean_sum / channels : 0;
-  (void)run;
+  p.measured_mean_idle_cycles =
+      idle_count ? idle_sum / static_cast<double>(idle_count) : 0;
+  p.counters = run.counters;
   return p;
 }
 

@@ -40,9 +40,13 @@ struct IdleProfile {
   /// per memory controller and averaged over controllers that saw traffic —
   /// matching the paper's per-IMC sampling.
   double EstimatedMeanIdleCycles() const;
-  /// Exact measurement from the simulator's idle histogram.
+  /// Exact measurement from the simulator's idle histogram (windowed to the
+  /// profiled replay via histogram sum/count snapshot deltas).
   double MeasuredMeanIdleCycles() const { return measured_mean_idle_cycles; }
   double measured_mean_idle_cycles = 0;
+
+  /// Full-registry delta over the profiled window (caches, core, JAFAR too).
+  StatsSnapshot counters;
 
   /// §3.3 corollary: data JAFAR could process per idle period (bytes), at
   /// one 32-byte block per 4 bus cycles... the paper uses 32 B blocks; our

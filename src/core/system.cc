@@ -6,18 +6,23 @@
 namespace ndp::core {
 
 SystemModel::SystemModel(PlatformConfig config) : config_(std::move(config)) {
+  StatsScope root(&stats_, "system");
+  root.Counter("ticks_ps",
+               std::function<uint64_t()>([this] { return eq_.Now(); }));
   dram_ = std::make_unique<dram::DramSystem>(
       &eq_, config_.dram_timing, config_.dram_org, config_.interleave,
-      config_.controller);
+      config_.controller, root.Sub("dram"));
   hierarchy_ = std::make_unique<cpu::CacheHierarchy>(
       &eq_, config_.core.clock, config_.caches, dram_.get(),
-      config_.frontside_ps);
-  core_ = std::make_unique<cpu::Core>(&eq_, config_.core, hierarchy_->top());
+      config_.frontside_ps, root.Sub("cpu"));
+  core_ = std::make_unique<cpu::Core>(&eq_, config_.core, hierarchy_->top(),
+                                      root.Sub("cpu").Sub("core"));
   device_config_ =
       jafar::DeviceConfig::Derive(config_.dram_timing, config_.jafar_datapath)
           .ValueOrDie();
   device_config_.output_buffer_bits = config_.jafar_output_buffer_bits;
-  device_ = std::make_unique<jafar::Device>(dram_.get(), 0, 0, device_config_);
+  device_ = std::make_unique<jafar::Device>(dram_.get(), 0, 0, device_config_,
+                                            root.Sub("jafar").Sub("dev0"));
   driver_ = std::make_unique<jafar::Driver>(device_.get(),
                                             &dram_->controller(0));
 }
@@ -54,11 +59,12 @@ Result<SystemModel::CpuRunResult> SystemModel::RunCpuSelect(
   uint64_t col_base = PinColumn(col);
   uint64_t out_base = Allocate(col.size() * 4);
   if (cold_caches) hierarchy_->InvalidateAll();
-  core_->ResetStats();
 
   cpu::SelectScanStream stream(col.data(), col.size(), lo, hi, col_base,
                                out_base,
                                mode == db::SelectMode::kPredicated);
+  cpu::CoreStats core_before = core_->stats();
+  StatsSnapshot before = stats_.Snapshot();
   bool done = false;
   sim::Tick start = eq_.Now();
   NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
@@ -66,7 +72,8 @@ Result<SystemModel::CpuRunResult> SystemModel::RunCpuSelect(
 
   CpuRunResult r;
   r.duration_ps = end - start;
-  r.stats = core_->stats();
+  r.stats = core_->stats().DeltaSince(core_before);
+  r.counters = stats_.Snapshot().DeltaSince(before);
   r.matches = stream.matches();
   return r;
 }
@@ -76,15 +83,17 @@ Result<SystemModel::CpuRunResult> SystemModel::RunCpuAggregate(
   if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
   uint64_t col_base = PinColumn(col);
   if (cold_caches) hierarchy_->InvalidateAll();
-  core_->ResetStats();
   cpu::AggregateScanStream stream(col.size(), col_base);
+  cpu::CoreStats core_before = core_->stats();
+  StatsSnapshot before = stats_.Snapshot();
   bool done = false;
   sim::Tick start = eq_.Now();
   NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
   sim::Tick end = PumpUntil(&done);
   CpuRunResult r;
   r.duration_ps = end - start;
-  r.stats = core_->stats();
+  r.stats = core_->stats().DeltaSince(core_before);
+  r.counters = stats_.Snapshot().DeltaSince(before);
   return r;
 }
 
@@ -96,16 +105,18 @@ Result<SystemModel::CpuRunResult> SystemModel::RunCpuProject(
   uint64_t pos_base = Allocate(positions.size() * 4);
   uint64_t out_base = Allocate(positions.size() * 8);
   if (cold_caches) hierarchy_->InvalidateAll();
-  core_->ResetStats();
   cpu::ProjectGatherStream stream(positions.data(), positions.size(), pos_base,
                                   col_base, out_base);
+  cpu::CoreStats core_before = core_->stats();
+  StatsSnapshot before = stats_.Snapshot();
   bool done = false;
   sim::Tick start = eq_.Now();
   NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
   sim::Tick end = PumpUntil(&done);
   CpuRunResult r;
   r.duration_ps = end - start;
-  r.stats = core_->stats();
+  r.stats = core_->stats().DeltaSince(core_before);
+  r.counters = stats_.Snapshot().DeltaSince(before);
   r.matches = positions.size();
   return r;
 }
@@ -114,15 +125,17 @@ Result<SystemModel::CpuRunResult> SystemModel::ReplayTrace(
     const std::vector<cpu::TraceEvent>& events, bool cold_caches) {
   if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
   if (cold_caches) hierarchy_->InvalidateAll();
-  core_->ResetStats();
   cpu::ReplayStream stream(&events);
+  cpu::CoreStats core_before = core_->stats();
+  StatsSnapshot before = stats_.Snapshot();
   bool done = false;
   sim::Tick start = eq_.Now();
   NDP_RETURN_NOT_OK(core_->Run(&stream, [&done](sim::Tick) { done = true; }));
   sim::Tick end = PumpUntil(&done);
   CpuRunResult r;
   r.duration_ps = end - start;
-  r.stats = core_->stats();
+  r.stats = core_->stats().DeltaSince(core_before);
+  r.counters = stats_.Snapshot().DeltaSince(before);
   return r;
 }
 
@@ -130,14 +143,16 @@ Result<SystemModel::CpuRunResult> SystemModel::RunStream(
     cpu::UopStream* stream, bool cold_caches) {
   if (core_->busy()) return Status::DeviceBusy("core is running a kernel");
   if (cold_caches) hierarchy_->InvalidateAll();
-  core_->ResetStats();
+  cpu::CoreStats core_before = core_->stats();
+  StatsSnapshot before = stats_.Snapshot();
   bool done = false;
   sim::Tick start = eq_.Now();
   NDP_RETURN_NOT_OK(core_->Run(stream, [&done](sim::Tick) { done = true; }));
   sim::Tick end = PumpUntil(&done);
   CpuRunResult r;
   r.duration_ps = end - start;
-  r.stats = core_->stats();
+  r.stats = core_->stats().DeltaSince(core_before);
+  r.counters = stats_.Snapshot().DeltaSince(before);
   return r;
 }
 
@@ -149,7 +164,8 @@ Result<SystemModel::JafarRunResult> SystemModel::RunJafarSelect(
 
   JafarRunResult r;
   r.bitmap_addr = bitmap_base;
-  jafar::DeviceStats before = device_->stats();
+  jafar::DeviceStats device_before = device_->stats();
+  StatsSnapshot before = stats_.Snapshot();
   sim::Tick start = eq_.Now();
 
   // Acquire rank ownership through the memory controller (MR3/MPR, §2.2).
@@ -179,68 +195,15 @@ Result<SystemModel::JafarRunResult> SystemModel::RunJafarSelect(
 
   r.duration_ps = end - start;
   r.matches = select_result.num_output_rows;
-  // Per-run device stats (delta against the snapshot).
-  r.stats = device_->stats();
-  r.stats.jobs_completed -= before.jobs_completed;
-  r.stats.rows_processed -= before.rows_processed;
-  r.stats.matches -= before.matches;
-  r.stats.bursts_read -= before.bursts_read;
-  r.stats.bursts_written -= before.bursts_written;
-  r.stats.activates -= before.activates;
-  r.stats.data_wait_ps -= before.data_wait_ps;
-  r.stats.engine_busy_ps -= before.engine_busy_ps;
-  r.stats.total_busy_ps -= before.total_busy_ps;
-  r.stats.energy_fj -= before.energy_fj;
+  // Per-run stats as deltas against the before-run snapshots.
+  r.stats = device_->stats().DeltaSince(device_before);
+  r.counters = stats_.Snapshot().DeltaSince(before);
   return r;
 }
 
 std::string SystemModel::DumpStats() const {
-  char line[160];
-  std::string out;
-  auto emit = [&](const char* name, double v) {
-    std::snprintf(line, sizeof(line), "%-40s %.0f\n", name, v);
-    out += line;
-  };
-  out += "---------- simulated system statistics ----------\n";
-  emit("sim.ticks_ps", static_cast<double>(eq_.Now()));
-  const cpu::CoreStats& cs = core_->stats();
-  emit("core.cycles", static_cast<double>(cs.cycles));
-  emit("core.uops_retired", static_cast<double>(cs.uops_retired));
-  emit("core.loads", static_cast<double>(cs.loads));
-  emit("core.stores", static_cast<double>(cs.stores));
-  emit("core.branches", static_cast<double>(cs.branches));
-  emit("core.mispredicts", static_cast<double>(cs.mispredicts));
-  emit("core.rob_full_cycles", static_cast<double>(cs.rob_full_cycles));
-  emit("core.max_retire_gap_ps", static_cast<double>(cs.max_retire_gap_ps));
-  for (size_t l = 0; l < hierarchy_->num_levels(); ++l) {
-    const cpu::CacheStats& s =
-        const_cast<cpu::CacheHierarchy&>(*hierarchy_).level(l).stats();
-    std::string prefix = "cache.L" + std::to_string(l + 1) + ".";
-    emit((prefix + "hits").c_str(), static_cast<double>(s.hits));
-    emit((prefix + "misses").c_str(), static_cast<double>(s.misses));
-    emit((prefix + "mshr_merges").c_str(), static_cast<double>(s.mshr_merges));
-    emit((prefix + "writebacks").c_str(), static_cast<double>(s.writebacks));
-    emit((prefix + "prefetches").c_str(),
-         static_cast<double>(s.prefetches_issued));
-  }
-  dram::ControllerCounters mc = dram_->TotalCounters();
-  emit("mem.reads_served", static_cast<double>(mc.reads_served));
-  emit("mem.writes_served", static_cast<double>(mc.writes_served));
-  emit("mem.row_hits", static_cast<double>(mc.row_hits));
-  emit("mem.row_misses", static_cast<double>(mc.row_misses));
-  emit("mem.row_conflicts", static_cast<double>(mc.row_conflicts));
-  emit("mem.rc_busy_ps", static_cast<double>(mc.read_queue_busy_ticks));
-  emit("mem.wc_busy_ps", static_cast<double>(mc.write_queue_busy_ticks));
-  const jafar::DeviceStats& js = device_->stats();
-  emit("jafar.jobs", static_cast<double>(js.jobs_completed));
-  emit("jafar.rows", static_cast<double>(js.rows_processed));
-  emit("jafar.matches", static_cast<double>(js.matches));
-  emit("jafar.bursts_read", static_cast<double>(js.bursts_read));
-  emit("jafar.bursts_written", static_cast<double>(js.bursts_written));
-  emit("jafar.activates", static_cast<double>(js.activates));
-  emit("jafar.energy_fj", js.energy_fj);
-  emit("jafar.data_wait_ps", static_cast<double>(js.data_wait_ps));
-  emit("jafar.engine_busy_ps", static_cast<double>(js.engine_busy_ps));
+  std::string out = "---------- simulated system statistics ----------\n";
+  out += stats_.DumpText();
   return out;
 }
 

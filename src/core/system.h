@@ -15,6 +15,7 @@
 #include "db/operators.h"
 #include "dram/dram_system.h"
 #include "jafar/driver.h"
+#include "util/stats_registry.h"
 
 namespace ndp::core {
 
@@ -43,8 +44,11 @@ class SystemModel {
 
   struct CpuRunResult {
     sim::Tick duration_ps = 0;
-    cpu::CoreStats stats;
+    cpu::CoreStats stats;        ///< per-run core stats (snapshot delta)
     uint64_t matches = 0;
+    /// Full-registry delta over the timed region: every counter in the
+    /// system (caches, controllers, JAFAR) attributable to this run.
+    StatsSnapshot counters;
   };
 
   /// Times the CPU select loop over `col` (lo <= v <= hi), with or without
@@ -77,7 +81,9 @@ class SystemModel {
     sim::Tick ownership_ps = 0;      ///< MR3 hand-off round trip
     uint64_t matches = 0;
     uint64_t bitmap_addr = 0;
-    jafar::DeviceStats stats;        ///< device counters for this run
+    jafar::DeviceStats stats;        ///< device counters for this run (delta)
+    /// Full-registry delta over the timed region (see CpuRunResult).
+    StatsSnapshot counters;
   };
 
   /// Times a full JAFAR select: acquire rank ownership, run the paged
@@ -91,9 +97,15 @@ class SystemModel {
   /// kLt/kGt predicates are pushable; others return an error (CPU fallback).
   db::NdpSelectHook MakePushdownHook();
 
-  /// gem5-style statistics dump: all component counters as "name value"
-  /// lines (core, caches, memory controllers, JAFAR device).
+  /// gem5-style statistics dump: a sorted walk of the whole registry as
+  /// "path value" lines (core, caches, memory controllers, JAFAR device).
   std::string DumpStats() const;
+
+  /// The hierarchical registry every component mounts its counters into
+  /// (paths under "system."). Snapshot it around a region of interest and
+  /// diff with StatsSnapshot::DeltaSince for attribution.
+  const StatsRegistry& stats() const { return stats_; }
+  StatsRegistry& stats() { return stats_; }
 
  private:
   /// Pumps the event queue until `done` is set; returns the tick at finish.
@@ -101,6 +113,9 @@ class SystemModel {
 
   PlatformConfig config_;
   sim::EventQueue eq_;
+  /// Declared before the components so it outlives them (components register
+  /// pointers into it; nothing reads the registry during destruction).
+  StatsRegistry stats_;
   std::unique_ptr<dram::DramSystem> dram_;
   std::unique_ptr<cpu::CacheHierarchy> hierarchy_;
   std::unique_ptr<cpu::Core> core_;

@@ -7,7 +7,7 @@
 namespace ndp::cpu {
 
 Cache::Cache(sim::EventQueue* eq, sim::ClockDomain clock, CacheConfig config,
-             MemSink* next)
+             MemSink* next, const StatsScope& stats)
     : eq_(eq), clock_(clock), config_(config), next_(next) {
   NDP_CHECK(config_.line_bytes != 0 &&
             (config_.line_bytes & (config_.line_bytes - 1)) == 0);
@@ -15,6 +15,13 @@ Cache::Cache(sim::EventQueue* eq, sim::ClockDomain clock, CacheConfig config,
   NDP_CHECK_MSG(lines % config_.ways == 0, "size/ways/line mismatch");
   num_sets_ = static_cast<uint32_t>(lines / config_.ways);
   lines_.resize(lines);
+  stats.Counter("hits", &stats_.hits);
+  stats.Counter("misses", &stats_.misses);
+  stats.Counter("mshr_merges", &stats_.mshr_merges);
+  stats.Counter("writebacks", &stats_.writebacks);
+  stats.Counter("prefetches_issued", &stats_.prefetches_issued);
+  stats.Counter("prefetch_hits", &stats_.prefetch_hits);
+  stats.Counter("rejections", &stats_.rejections);
 }
 
 Cache::Line* Cache::Lookup(uint64_t line_addr) {

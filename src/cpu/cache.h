@@ -12,6 +12,7 @@
 #include "cpu/mem_if.h"
 #include "sim/event_queue.h"
 #include "util/macros.h"
+#include "util/stats_registry.h"
 
 namespace ndp::cpu {
 
@@ -39,8 +40,10 @@ struct CacheStats {
 /// \brief One cache level.
 class Cache : public MemSink {
  public:
+  /// `stats` (optional) mounts this level's hit/miss/MSHR/writeback counters
+  /// into a registry under the scope's prefix.
   Cache(sim::EventQueue* eq, sim::ClockDomain clock, CacheConfig config,
-        MemSink* next);
+        MemSink* next, const StatsScope& stats = {});
   NDP_DISALLOW_COPY_AND_ASSIGN(Cache);
 
   bool TryAccess(uint64_t addr, bool is_write,

@@ -6,13 +6,24 @@
 
 namespace ndp::cpu {
 
-Core::Core(sim::EventQueue* eq, CoreConfig config, MemSink* l1)
+Core::Core(sim::EventQueue* eq, CoreConfig config, MemSink* l1,
+           const StatsScope& stats)
     : sim::TickingComponent(eq, config.clock),
       config_(config),
       l1_(l1),
       predictor_(config.branch) {
   NDP_CHECK(config_.rob_entries >= 4);
   NDP_CHECK(config_.rob_entries + config_.issue_width < kRingSize);
+  stats.Counter("cycles", &stats_.cycles);
+  stats.Counter("uops_retired", &stats_.uops_retired);
+  stats.Counter("loads", &stats_.loads);
+  stats.Counter("stores", &stats_.stores);
+  stats.Counter("branches", &stats_.branches);
+  stats.Counter("mispredicts", &stats_.mispredicts);
+  stats.Counter("load_reject_cycles", &stats_.load_reject_cycles);
+  stats.Counter("rob_full_cycles", &stats_.rob_full_cycles);
+  stats.Counter("fetch_stall_cycles", &stats_.fetch_stall_cycles);
+  stats.Gauge("max_retire_gap_ps", &stats_.max_retire_gap_ps);
 }
 
 Core::~Core() {
@@ -30,6 +41,10 @@ ndp::Status Core::Run(UopStream* stream, std::function<void(sim::Tick)> on_done)
   fetch_blocked_on_seq_.reset();
   fetch_stalled_until_ = 0;
   last_retire_tick_ = event_queue()->Now();
+  // The gap gauge is a per-kernel maximum; counters accumulate across runs
+  // (per-run figures come from snapshot deltas), but a max cannot be
+  // delta'd, so it restarts with each kernel.
+  stats_.max_retire_gap_ps = 0;
   Wake();
   return ndp::Status::OK();
 }

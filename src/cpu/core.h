@@ -16,6 +16,7 @@
 #include "cpu/uop.h"
 #include "sim/event_queue.h"
 #include "sim/ticking.h"
+#include "util/stats_registry.h"
 #include "util/status.h"
 
 namespace ndp::cpu {
@@ -54,12 +55,32 @@ struct CoreStats {
     return cycles ? static_cast<double>(uops_retired) / static_cast<double>(cycles)
                   : 0.0;
   }
+  /// Per-run stats as the difference against a snapshot taken before the run.
+  /// Monotonic counters are subtracted; `max_retire_gap_ps` (a per-run max,
+  /// reset at kernel start) is carried over from `*this`.
+  CoreStats DeltaSince(const CoreStats& before) const {
+    CoreStats d;
+    d.cycles = cycles - before.cycles;
+    d.uops_retired = uops_retired - before.uops_retired;
+    d.loads = loads - before.loads;
+    d.stores = stores - before.stores;
+    d.branches = branches - before.branches;
+    d.mispredicts = mispredicts - before.mispredicts;
+    d.load_reject_cycles = load_reject_cycles - before.load_reject_cycles;
+    d.rob_full_cycles = rob_full_cycles - before.rob_full_cycles;
+    d.fetch_stall_cycles = fetch_stall_cycles - before.fetch_stall_cycles;
+    d.max_retire_gap_ps = max_retire_gap_ps;
+    return d;
+  }
 };
 
 /// \brief The core model. One kernel executes at a time.
 class Core : public sim::TickingComponent {
  public:
-  Core(sim::EventQueue* eq, CoreConfig config, MemSink* l1);
+  /// `stats` (optional) mounts the core's counters (and the max-retire-gap
+  /// gauge) into a registry under the scope's prefix.
+  Core(sim::EventQueue* eq, CoreConfig config, MemSink* l1,
+       const StatsScope& stats = {});
   ~Core() override;
   NDP_DISALLOW_COPY_AND_ASSIGN(Core);
 

@@ -3,7 +3,9 @@
 // matching Table 1 of the paper.
 #pragma once
 
+#include <cctype>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "cpu/cache.h"
@@ -16,15 +18,19 @@ namespace ndp::cpu {
 class CacheHierarchy {
  public:
   /// `levels` is ordered L1 first. `frontside_ps` is the LLC-to-controller
-  /// latency (interconnect + controller pipeline).
+  /// latency (interconnect + controller pipeline). `stats` (optional) mounts
+  /// each level's counters at "<prefix>.<lowercased level name>.*".
   CacheHierarchy(sim::EventQueue* eq, sim::ClockDomain cpu_clock,
                  std::vector<CacheConfig> levels, dram::DramSystem* dram,
-                 sim::Tick frontside_ps)
+                 sim::Tick frontside_ps, const StatsScope& stats = {})
       : port_(dram, frontside_ps) {
     MemSink* below = &port_;
     // Build from the last level upward so each cache points at the one below.
     for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
-      caches_.push_back(std::make_unique<Cache>(eq, cpu_clock, *it, below));
+      std::string level_name = it->name;
+      for (char& ch : level_name) ch = static_cast<char>(std::tolower(ch));
+      caches_.push_back(std::make_unique<Cache>(eq, cpu_clock, *it, below,
+                                                stats.Sub(level_name)));
       below = caches_.back().get();
     }
     // caches_ is ordered LLC first; expose L1 as the top.

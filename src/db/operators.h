@@ -15,6 +15,7 @@
 #include "db/column.h"
 #include "db/trace.h"
 #include "util/bitvector.h"
+#include "util/stats_registry.h"
 #include "util/status.h"
 
 namespace ndp::db {
@@ -75,8 +76,18 @@ struct QueryContext {
   SelectMode select_mode = SelectMode::kBranching;
   NdpSelectHook ndp_select;            ///< optional JAFAR pushdown
   std::vector<OperatorStats> stats;
+  /// Optional registry scope; when active, every Record() also bumps
+  /// "<prefix>.<op>.{calls,rows_in,rows_out}" registry counters so query
+  /// executions show up in snapshot deltas alongside hardware counters.
+  StatsScope stats_scope;
 
   void Record(std::string op, uint64_t in, uint64_t out) {
+    if (stats_scope.active()) {
+      StatsScope op_scope = stats_scope.Sub(op);
+      *op_scope.registry()->OwnedCounter(op_scope.Path("calls")) += 1;
+      *op_scope.registry()->OwnedCounter(op_scope.Path("rows_in")) += in;
+      *op_scope.registry()->OwnedCounter(op_scope.Path("rows_out")) += out;
+    }
     stats.push_back(OperatorStats{std::move(op), in, out});
   }
 };

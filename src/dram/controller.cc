@@ -9,12 +9,27 @@ namespace ndp::dram {
 
 MemoryController::MemoryController(sim::EventQueue* eq, Channel* channel,
                                    const AddressMapper* mapper,
-                                   ControllerConfig config)
+                                   ControllerConfig config,
+                                   const StatsScope& stats)
     : sim::TickingComponent(eq, channel->bus_clock()),
       channel_(channel),
       mapper_(mapper),
       config_(config),
       bus_(channel->bus_clock()) {
+  stats.Counter("reads_served", &counters_.reads_served);
+  stats.Counter("writes_served", &counters_.writes_served);
+  stats.Counter("row_hits", &counters_.row_hits);
+  stats.Counter("row_misses", &counters_.row_misses);
+  stats.Counter("row_conflicts", &counters_.row_conflicts);
+  // Busy-time counters are transition-timestamp based; settle them to the
+  // current tick on read so snapshots taken mid-busy-period are exact.
+  stats.Counter("rc_busy_cycles", std::function<uint64_t()>([this] {
+    return counters().read_queue_busy_ticks / bus_.period_ps();
+  }));
+  stats.Counter("wc_busy_cycles", std::function<uint64_t()>([this] {
+    return counters().write_queue_busy_ticks / bus_.period_ps();
+  }));
+  stats.Histogram("idle_cycles", &idle_hist_);
   next_refresh_due_.resize(channel->num_ranks());
   sim::Tick trefi = channel->timing().trefi * bus_.period_ps();
   for (uint32_t r = 0; r < channel->num_ranks(); ++r) {

@@ -17,6 +17,7 @@
 #include "sim/event_queue.h"
 #include "sim/ticking.h"
 #include "util/stats.h"
+#include "util/stats_registry.h"
 #include "util/status.h"
 
 namespace ndp::dram {
@@ -57,8 +58,12 @@ struct ControllerCounters {
 /// \brief FR-FCFS memory controller for one channel.
 class MemoryController : public sim::TickingComponent {
  public:
+  /// `stats` (optional) mounts this controller's counters into a registry —
+  /// reads_served, row_hits/misses/conflicts, rc/wc busy cycles (settled to
+  /// "now" at read time), and the idle-period histogram.
   MemoryController(sim::EventQueue* eq, Channel* channel,
-                   const AddressMapper* mapper, ControllerConfig config);
+                   const AddressMapper* mapper, ControllerConfig config,
+                   const StatsScope& stats = {});
   ~MemoryController() override;
 
   /// Enqueues a request. Fails with ResourceExhausted when the target queue is

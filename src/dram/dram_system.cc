@@ -4,7 +4,7 @@ namespace ndp::dram {
 
 DramSystem::DramSystem(sim::EventQueue* eq, DramTiming timing,
                        DramOrganization org, InterleaveScheme scheme,
-                       ControllerConfig ctrl_config)
+                       ControllerConfig ctrl_config, const StatsScope& stats)
     : eq_(eq),
       timing_(std::move(timing)),
       org_(org),
@@ -16,7 +16,8 @@ DramSystem::DramSystem(sim::EventQueue* eq, DramTiming timing,
     channels_.push_back(std::make_unique<Channel>());
     channels_.back()->Configure(&timing_, &org_);
     controllers_.push_back(std::make_unique<MemoryController>(
-        eq, channels_.back().get(), &mapper_, ctrl_config));
+        eq, channels_.back().get(), &mapper_, ctrl_config,
+        stats.Sub("ctrl" + std::to_string(c))));
   }
 }
 

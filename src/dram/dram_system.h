@@ -17,8 +17,11 @@ namespace ndp::dram {
 /// \brief The complete simulated DRAM subsystem.
 class DramSystem {
  public:
+  /// `stats` (optional) mounts per-controller counters at
+  /// "<prefix>.ctrl<i>.*" in the given registry.
   DramSystem(sim::EventQueue* eq, DramTiming timing, DramOrganization org,
-             InterleaveScheme scheme, ControllerConfig ctrl_config);
+             InterleaveScheme scheme, ControllerConfig ctrl_config,
+             const StatsScope& stats = {});
   NDP_DISALLOW_COPY_AND_ASSIGN(DramSystem);
 
   /// Routes a burst request through the owning channel's controller.

@@ -14,7 +14,8 @@ constexpr uint32_t kBitsPerBurst = kBurstBytes * 8;  // 512 bitmap bits / burst
 }  // namespace
 
 Device::Device(dram::DramSystem* dram, uint32_t channel_index,
-               uint32_t rank_index, DeviceConfig config)
+               uint32_t rank_index, DeviceConfig config,
+               const StatsScope& stats)
     : dram_(dram),
       channel_index_(channel_index),
       rank_index_(rank_index),
@@ -26,6 +27,17 @@ Device::Device(dram::DramSystem* dram, uint32_t channel_index,
   NDP_CHECK_MSG(config_.elem_bytes == 8 || config_.elem_bytes == 4,
                 "JAFAR filters 64-bit words or packed 32-bit halves (§4)");
   pending_bits_.Resize(config_.output_buffer_bits);
+  stats.Counter("jobs_completed", &stats_.jobs_completed);
+  stats.Counter("rows_processed", &stats_.rows_processed);
+  stats.Counter("matches", &stats_.matches);
+  stats.Counter("bursts_read", &stats_.bursts_read);
+  stats.Counter("bursts_written", &stats_.bursts_written);
+  stats.Counter("activates", &stats_.activates);
+  stats.Counter("data_wait_ps", &stats_.data_wait_ps);
+  stats.Counter("engine_busy_ps", &stats_.engine_busy_ps);
+  stats.Counter("total_busy_ps", &stats_.total_busy_ps);
+  stats.Counter("energy_fj", &stats_.energy_fj);
+  stats.Counter("polite_backoffs", &stats_.polite_backoffs);
 }
 
 int64_t Device::ReadValue(uint64_t addr) const {

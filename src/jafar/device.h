@@ -15,6 +15,7 @@
 #include "jafar/jobs.h"
 #include "sim/event_queue.h"
 #include "util/bitvector.h"
+#include "util/stats_registry.h"
 #include "util/status.h"
 
 namespace ndp::jafar {
@@ -40,6 +41,24 @@ struct DeviceStats {
     return denom ? static_cast<double>(data_wait_ps) / static_cast<double>(denom)
                  : 0.0;
   }
+
+  /// Per-run stats as the difference against a snapshot taken before the run.
+  /// All fields are monotonic accumulators, so plain subtraction is exact.
+  DeviceStats DeltaSince(const DeviceStats& before) const {
+    DeviceStats d;
+    d.jobs_completed = jobs_completed - before.jobs_completed;
+    d.rows_processed = rows_processed - before.rows_processed;
+    d.matches = matches - before.matches;
+    d.bursts_read = bursts_read - before.bursts_read;
+    d.bursts_written = bursts_written - before.bursts_written;
+    d.activates = activates - before.activates;
+    d.data_wait_ps = data_wait_ps - before.data_wait_ps;
+    d.engine_busy_ps = engine_busy_ps - before.engine_busy_ps;
+    d.total_busy_ps = total_busy_ps - before.total_busy_ps;
+    d.energy_fj = energy_fj - before.energy_fj;
+    d.polite_backoffs = polite_backoffs - before.polite_backoffs;
+    return d;
+  }
 };
 
 /// \brief One JAFAR unit, bound to one rank of one channel.
@@ -47,8 +66,10 @@ class Device {
  public:
   /// `dram` supplies both timing (channel) and functional contents (backing
   /// store). `channel_index`/`rank_index` locate the DIMM this unit sits on.
+  /// `stats` (optional) mounts the device's counters into a registry under
+  /// the scope's prefix.
   Device(dram::DramSystem* dram, uint32_t channel_index, uint32_t rank_index,
-         DeviceConfig config);
+         DeviceConfig config, const StatsScope& stats = {});
   NDP_DISALLOW_COPY_AND_ASSIGN(Device);
 
   // -- Job entry points. One job at a time; on_done receives the completion

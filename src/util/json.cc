@@ -1,0 +1,377 @@
+#include "util/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/macros.h"
+
+namespace ndp::json {
+
+Value& Value::Set(const std::string& key, Value v) {
+  NDP_CHECK(kind_ == Kind::kObject);
+  for (auto& m : members_) {
+    if (m.first == key) {
+      m.second = std::move(v);
+      return m.second;
+    }
+  }
+  members_.emplace_back(key, std::move(v));
+  return members_.back().second;
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (kind_ != Kind::kObject) return nullptr;
+  for (const auto& m : members_) {
+    if (m.first == key) return &m.second;
+  }
+  return nullptr;
+}
+
+Value& Value::Append(Value v) {
+  NDP_CHECK(kind_ == Kind::kArray);
+  items_.push_back(std::move(v));
+  return items_.back();
+}
+
+std::string Escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void AppendNumber(std::string* out, double d) {
+  if (!std::isfinite(d)) {  // JSON has no Inf/NaN; emit null like most writers
+    *out += "null";
+    return;
+  }
+  // Counters and sizes are integral; print them without an exponent so the
+  // artifacts stay grep-able and diff-friendly.
+  constexpr double kExact = 9007199254740992.0;  // 2^53
+  if (d == std::floor(d) && std::fabs(d) < kExact) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(d));
+    *out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+}
+
+void Indent(std::string* out, int indent, int depth) {
+  out->push_back('\n');
+  out->append(static_cast<size_t>(indent) * static_cast<size_t>(depth), ' ');
+}
+
+}  // namespace
+
+void Value::DumpTo(std::string* out, int indent, int depth) const {
+  switch (kind_) {
+    case Kind::kNull: *out += "null"; return;
+    case Kind::kBool: *out += bool_ ? "true" : "false"; return;
+    case Kind::kNumber: AppendNumber(out, num_); return;
+    case Kind::kString:
+      out->push_back('"');
+      *out += Escape(str_);
+      out->push_back('"');
+      return;
+    case Kind::kArray: {
+      if (items_.empty()) {
+        *out += "[]";
+        return;
+      }
+      out->push_back('[');
+      for (size_t i = 0; i < items_.size(); ++i) {
+        if (i) out->push_back(',');
+        if (indent >= 0) Indent(out, indent, depth + 1);
+        items_[i].DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) Indent(out, indent, depth);
+      out->push_back(']');
+      return;
+    }
+    case Kind::kObject: {
+      if (members_.empty()) {
+        *out += "{}";
+        return;
+      }
+      out->push_back('{');
+      for (size_t i = 0; i < members_.size(); ++i) {
+        if (i) out->push_back(',');
+        if (indent >= 0) Indent(out, indent, depth + 1);
+        out->push_back('"');
+        *out += Escape(members_[i].first);
+        *out += indent >= 0 ? "\": " : "\":";
+        members_[i].second.DumpTo(out, indent, depth + 1);
+      }
+      if (indent >= 0) Indent(out, indent, depth);
+      out->push_back('}');
+      return;
+    }
+  }
+}
+
+std::string Value::Dump(int indent) const {
+  std::string out;
+  DumpTo(&out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Value> Run() {
+    SkipWs();
+    NDP_ASSIGN_OR_RETURN(Value v, ParseValue(0));
+    SkipWs();
+    if (pos_ != text_.size()) return Err("trailing characters after document");
+    return v;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 64;
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("JSON parse error at offset " +
+                                   std::to_string(pos_) + ": " + msg);
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool ConsumeWord(std::string_view w) {
+    if (text_.substr(pos_, w.size()) == w) {
+      pos_ += w.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Value> ParseValue(int depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(depth);
+      case '[': return ParseArray(depth);
+      case '"': {
+        NDP_ASSIGN_OR_RETURN(std::string s, ParseString());
+        return Value::Str(std::move(s));
+      }
+      case 't':
+        if (ConsumeWord("true")) return Value::Bool(true);
+        return Err("invalid literal");
+      case 'f':
+        if (ConsumeWord("false")) return Value::Bool(false);
+        return Err("invalid literal");
+      case 'n':
+        if (ConsumeWord("null")) return Value::Null();
+        return Err("invalid literal");
+      default: return ParseNumber();
+    }
+  }
+
+  Result<Value> ParseObject(int depth) {
+    NDP_CHECK(Consume('{'));
+    Value obj = Value::Object();
+    SkipWs();
+    if (Consume('}')) return obj;
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      NDP_ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      NDP_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      obj.Set(key, std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return obj;
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<Value> ParseArray(int depth) {
+    NDP_CHECK(Consume('['));
+    Value arr = Value::Array();
+    SkipWs();
+    if (Consume(']')) return arr;
+    while (true) {
+      SkipWs();
+      NDP_ASSIGN_OR_RETURN(Value v, ParseValue(depth + 1));
+      arr.Append(std::move(v));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return arr;
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    NDP_CHECK(Consume('"'));
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) return Err("unterminated string");
+      unsigned char c = static_cast<unsigned char>(text_[pos_++]);
+      if (c == '"') return out;
+      if (c < 0x20) return Err("raw control character in string");
+      if (c != '\\') {
+        out += static_cast<char>(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Err("unterminated escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          NDP_ASSIGN_OR_RETURN(uint32_t cp, ParseHex4());
+          // Combine surrogate pairs into one code point.
+          if (cp >= 0xD800 && cp <= 0xDBFF) {
+            if (!ConsumeWord("\\u")) return Err("unpaired high surrogate");
+            NDP_ASSIGN_OR_RETURN(uint32_t lo, ParseHex4());
+            if (lo < 0xDC00 || lo > 0xDFFF) {
+              return Err("invalid low surrogate");
+            }
+            cp = 0x10000 + ((cp - 0xD800) << 10) + (lo - 0xDC00);
+          } else if (cp >= 0xDC00 && cp <= 0xDFFF) {
+            return Err("unpaired low surrogate");
+          }
+          AppendUtf8(&out, cp);
+          break;
+        }
+        default: return Err("invalid escape character");
+      }
+    }
+  }
+
+  Result<uint32_t> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = text_[pos_++];
+      v <<= 4;
+      if (c >= '0' && c <= '9') {
+        v += static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        v += static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        v += static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return Err("invalid hex digit in \\u escape");
+      }
+    }
+    return v;
+  }
+
+  static void AppendUtf8(std::string* out, uint32_t cp) {
+    if (cp < 0x80) {
+      out->push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
+  Result<Value> ParseNumber() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    auto digits = [&] {
+      size_t n = 0;
+      while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        ++pos_;
+        ++n;
+      }
+      return n;
+    };
+    size_t int_digits = digits();
+    if (int_digits == 0) return Err("invalid number");
+    // JSON forbids leading zeros on multi-digit integers.
+    if (int_digits > 1 && text_[start + (text_[start] == '-' ? 1 : 0)] == '0') {
+      return Err("leading zero in number");
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (digits() == 0) return Err("digits required after decimal point");
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (digits() == 0) return Err("digits required in exponent");
+    }
+    std::string num(text_.substr(start, pos_ - start));
+    return Value::Number(std::strtod(num.c_str(), nullptr));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Value> Value::Parse(std::string_view text) { return Parser(text).Run(); }
+
+}  // namespace ndp::json

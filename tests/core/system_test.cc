@@ -152,14 +152,21 @@ TEST(SystemModelTest, DumpStatsCoversAllComponents) {
   (void)sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
   std::string stats = sys.DumpStats();
   for (const char* key :
-       {"sim.ticks_ps", "core.uops_retired", "cache.L1.misses",
-        "cache.L2.hits", "mem.reads_served", "mem.row_hits", "jafar.jobs",
-        "jafar.bursts_read", "jafar.energy_fj"}) {
+       {"system.ticks_ps", "system.cpu.core.uops_retired",
+        "system.cpu.l1.misses", "system.cpu.l2.hits",
+        "system.dram.ctrl0.reads_served", "system.dram.ctrl0.row_hits",
+        "system.dram.ctrl0.idle_cycles.p90",
+        "system.jafar.dev0.jobs_completed",
+        "system.jafar.dev0.bursts_read", "system.jafar.dev0.energy_fj"}) {
     EXPECT_NE(stats.find(key), std::string::npos) << key;
   }
-  // The dump reflects actual activity, not zeros.
-  EXPECT_EQ(stats.find("core.uops_retired                        0\n"),
-            std::string::npos);
+  // The registry walk matches the live counters, and reflects activity.
+  const StatsRegistry& reg = sys.stats();
+  EXPECT_GT(reg.Snapshot().Count("system.cpu.core.uops_retired"), 0u);
+  EXPECT_EQ(reg.Snapshot().Count("system.cpu.core.uops_retired"),
+            sys.cpu().stats().uops_retired);
+  // Runs accumulate: nothing reset the counters behind our back.
+  EXPECT_GT(sys.jafar().stats().jobs_completed, 0u);
 }
 
 TEST(SystemModelTest, PredicatedCpuSelectIsSelectivityStable) {

@@ -23,11 +23,13 @@ struct PipelineResult {
   uint64_t cpu_matches = 0;
   uint64_t jafar_matches = 0;
   std::string stats_dump;
+  std::string stats_json;
 
   bool operator==(const PipelineResult& o) const {
     return cpu_ps == o.cpu_ps && jafar_ps == o.jafar_ps &&
            ownership_ps == o.ownership_ps && cpu_matches == o.cpu_matches &&
-           jafar_matches == o.jafar_matches && stats_dump == o.stats_dump;
+           jafar_matches == o.jafar_matches && stats_dump == o.stats_dump &&
+           stats_json == o.stats_json;
   }
 };
 
@@ -43,6 +45,7 @@ PipelineResult RunPipeline(const db::Column& col, int64_t hi) {
   r.cpu_matches = cpu.matches;
   r.jafar_matches = jaf.matches;
   r.stats_dump = sys.DumpStats();
+  r.stats_json = sys.stats().DumpJson().Dump(/*indent=*/2);
   return r;
 }
 
@@ -55,7 +58,12 @@ TEST(DeterminismTest, Fig3PipelineIsBitIdenticalAcrossRuns) {
   EXPECT_EQ(first.ownership_ps, second.ownership_ps);
   EXPECT_EQ(first.cpu_matches, second.cpu_matches);
   EXPECT_EQ(first.jafar_matches, second.jafar_matches);
-  EXPECT_EQ(first.stats_dump, second.stats_dump);  // every component counter
+  // Full registry dump, byte for byte: every counter, gauge, and histogram
+  // percentile of every component, in both text and JSON renderings.
+  EXPECT_EQ(first.stats_dump, second.stats_dump);
+  EXPECT_EQ(first.stats_json, second.stats_json);
+  EXPECT_NE(first.stats_dump.find("system.dram.ctrl0.reads_served"),
+            std::string::npos);
 }
 
 TEST(DeterminismTest, ParallelSweepIsThreadCountInvariant) {

@@ -1,0 +1,108 @@
+#include "util/json.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace ndp::json {
+namespace {
+
+TEST(JsonDumpTest, Scalars) {
+  EXPECT_EQ(Value::Null().Dump(), "null");
+  EXPECT_EQ(Value::Bool(true).Dump(), "true");
+  EXPECT_EQ(Value::Bool(false).Dump(), "false");
+  EXPECT_EQ(Value::Number(42).Dump(), "42");
+  EXPECT_EQ(Value::Number(-3).Dump(), "-3");
+  EXPECT_EQ(Value::Str("hi").Dump(), "\"hi\"");
+}
+
+TEST(JsonDumpTest, IntegralNumbersHaveNoExponent) {
+  // Counter values are doubles internally but must print as integers.
+  EXPECT_EQ(Value::Number(4194304).Dump(), "4194304");
+  EXPECT_EQ(Value::Number(1e15).Dump(), "1000000000000000");
+}
+
+TEST(JsonDumpTest, EscapesControlAndSpecialCharacters) {
+  EXPECT_EQ(Escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(Escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(Escape("tab\there"), "tab\\there");
+  EXPECT_EQ(Escape("nl\n"), "nl\\n");
+  EXPECT_EQ(Escape(std::string("nul\x01", 4)), "nul\\u0001");
+}
+
+TEST(JsonDumpTest, ObjectPreservesInsertionOrder) {
+  Value obj = Value::Object();
+  obj.Set("zebra", Value::Number(1));
+  obj.Set("alpha", Value::Number(2));
+  obj.Set("mid", Value::Number(3));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":2,\"mid\":3}");
+  // Replacing a key keeps its original position — emission stays stable.
+  obj.Set("alpha", Value::Number(9));
+  EXPECT_EQ(obj.Dump(), "{\"zebra\":1,\"alpha\":9,\"mid\":3}");
+}
+
+TEST(JsonDumpTest, PrettyPrinting) {
+  Value obj = Value::Object();
+  obj.Set("a", Value::Number(1));
+  Value arr = Value::Array();
+  arr.Append(Value::Number(2));
+  obj.Set("b", std::move(arr));
+  EXPECT_EQ(obj.Dump(2), "{\n  \"a\": 1,\n  \"b\": [\n    2\n  ]\n}");
+}
+
+TEST(JsonParseTest, RoundTripsComplexDocument) {
+  Value root = Value::Object();
+  root.Set("name", Value::Str("fig3 \"quoted\" \\ path\n"));
+  root.Set("count", Value::Number(123456789));
+  root.Set("frac", Value::Number(0.25));
+  root.Set("flag", Value::Bool(true));
+  root.Set("nothing", Value::Null());
+  Value pts = Value::Array();
+  Value p = Value::Object();
+  p.Set("label", Value::Str("50%"));
+  pts.Append(std::move(p));
+  root.Set("points", std::move(pts));
+
+  std::string text = root.Dump(2);
+  auto parsed = Value::Parse(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  // Byte-identical re-emission: stable key order survives the round trip.
+  EXPECT_EQ(parsed.value().Dump(2), text);
+  EXPECT_EQ(parsed.value().Find("name")->AsString(),
+            "fig3 \"quoted\" \\ path\n");
+  EXPECT_DOUBLE_EQ(parsed.value().Find("count")->AsNumber(), 123456789.0);
+}
+
+TEST(JsonParseTest, ParsesEscapesAndUnicode) {
+  auto v = Value::Parse("\"a\\u0041\\n\\t\\\\\\\"\"");
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().AsString(), "aA\n\t\\\"");
+  // Surrogate pair: U+1D11E (musical G clef) -> 4-byte UTF-8.
+  auto clef = Value::Parse("\"\\uD834\\uDD1E\"");
+  ASSERT_TRUE(clef.ok());
+  EXPECT_EQ(clef.value().AsString(), "\xF0\x9D\x84\x9E");
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "01", "1 2", "nulls", "\"unterminated",
+        "{\"a\" 1}", "[1 2]", "+1", "\"\\uD834\"" /* lone surrogate */}) {
+    EXPECT_FALSE(Value::Parse(bad).ok()) << "input: " << bad;
+  }
+}
+
+TEST(JsonParseTest, RejectsExcessiveNesting) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  EXPECT_FALSE(Value::Parse(deep).ok());
+}
+
+TEST(JsonParseTest, ParsesNumbers) {
+  EXPECT_DOUBLE_EQ(Value::Parse("-0.5").value().AsNumber(), -0.5);
+  EXPECT_DOUBLE_EQ(Value::Parse("1e3").value().AsNumber(), 1000.0);
+  EXPECT_DOUBLE_EQ(Value::Parse("2.5E-1").value().AsNumber(), 0.25);
+  EXPECT_DOUBLE_EQ(Value::Parse("0").value().AsNumber(), 0.0);
+}
+
+}  // namespace
+}  // namespace ndp::json
