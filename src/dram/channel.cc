@@ -12,6 +12,10 @@ void Channel::Configure(const DramTiming* timing, const DramOrganization* org) {
   bus_ = timing->BusClock();
   ranks_.resize(org->ranks_per_channel);
   for (auto& r : ranks_) r.Configure(timing, org);
+#ifdef NDP_PROTOCOL_CHECK
+  checker_.Configure(timing, org);
+  checker_.set_fail_fast(true);
+#endif
 }
 
 sim::Tick Channel::EarliestIssue(const Command& cmd) const {
@@ -37,6 +41,11 @@ Result<sim::Tick> Channel::Issue(const Command& cmd, sim::Tick t) {
                                    " issued before bus available");
   }
   NDP_ASSIGN_OR_RETURN(sim::Tick done, ranks_[cmd.rank].Issue(cmd, t));
+#ifdef NDP_PROTOCOL_CHECK
+  // Audit only commands the device model accepted: the checker's job is to
+  // catch schedules that are illegal per JEDEC yet slipped past the model.
+  checker_.Observe(cmd, t);
+#endif
   cmd_bus_next_free_ = t + bus_.period_ps();
   if (cmd.type == CommandType::kRead || cmd.type == CommandType::kWrite) {
     data_bus_free_at_ = done;

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "dram/command.h"
+#include "dram/protocol_checker.h"
 #include "dram/rank.h"
 #include "dram/timing.h"
 #include "util/status.h"
@@ -41,6 +42,14 @@ class Channel {
   /// Total data-bus busy time, for bandwidth-utilization reporting.
   sim::Tick data_bus_busy_ticks() const { return data_bus_busy_ticks_; }
 
+#ifdef NDP_PROTOCOL_CHECK
+  /// Shadow JEDEC auditor fed by Issue(). Fail-fast by default (an illegal
+  /// schedule aborts at the offending command); tests that want to inspect
+  /// recorded violations instead call set_fail_fast(false) up front.
+  ProtocolChecker& protocol_checker() { return checker_; }
+  const ProtocolChecker& protocol_checker() const { return checker_; }
+#endif
+
  private:
   const DramTiming* timing_ = nullptr;
   const DramOrganization* org_ = nullptr;
@@ -49,6 +58,9 @@ class Channel {
   sim::Tick cmd_bus_next_free_ = 0;
   sim::Tick data_bus_free_at_ = 0;
   sim::Tick data_bus_busy_ticks_ = 0;
+#ifdef NDP_PROTOCOL_CHECK
+  ProtocolChecker checker_;
+#endif
 };
 
 }  // namespace ndp::dram

@@ -117,9 +117,26 @@ void MemoryController::ResetCounters() {
   idle_hist_ = Histogram(0, 4000, 80);
 }
 
+sim::Tick MemoryController::RefreshEmergencyAt(uint32_t rank) const {
+  // JEDEC lets a DDR3 device postpone up to eight refreshes, i.e. the REF may
+  // run as late as 8 x tREFI past its due point before retention is at risk.
+  // An accelerator-owned rank is left alone until one tREFI of that budget
+  // remains; past this point refresh outranks ownership.
+  return next_refresh_due_[rank] +
+         7 * channel_->timing().trefi * bus_.period_ps();
+}
+
 void MemoryController::ScheduleRefreshWake() {
-  sim::Tick due = *std::min_element(next_refresh_due_.begin(),
-                                    next_refresh_due_.end());
+  // Host-owned ranks refresh as soon as they are due; accelerator-owned ranks
+  // sleep until their emergency deadline (an ownership hand-back in between
+  // wakes the controller through the MRS queue anyway).
+  sim::Tick due = sim::EventNode::kNever;
+  for (uint32_t r = 0; r < channel_->num_ranks(); ++r) {
+    sim::Tick t = channel_->rank(r).owner() == RankOwner::kHost
+                      ? next_refresh_due_[r]
+                      : RefreshEmergencyAt(r);
+    due = std::min(due, t);
+  }
   sim::Tick at = std::max(due, event_queue()->Now());
   if (refresh_wake_.scheduled()) {
     if (refresh_wake_.when() <= at) return;  // an earlier wake is pending
@@ -130,18 +147,28 @@ void MemoryController::ScheduleRefreshWake() {
 
 bool MemoryController::TryRefresh(sim::Tick now) {
   if (!config_.refresh_enabled) return false;
-  // Find a rank whose refresh is due.
+  // Find a rank whose refresh is due. A due refresh on an accelerator-owned
+  // rank is postponed — until the JEDEC postponement budget nearly runs out,
+  // at which point the controller steals the rank back: the drain below
+  // closes JAFAR's rows and the device sequencer backs off (RefreshClaims)
+  // until the REF completes.
   if (!refresh_in_progress_) {
     bool due = false;
     for (uint32_t r = 0; r < channel_->num_ranks(); ++r) {
-      if (now >= next_refresh_due_[r] &&
-          channel_->rank(r).owner() == RankOwner::kHost) {
-        refresh_rank_ = r;
-        due = true;
-        break;
+      if (now < next_refresh_due_[r]) continue;
+      if (channel_->rank(r).owner() != RankOwner::kHost &&
+          now < RefreshEmergencyAt(r)) {
+        continue;
       }
+      refresh_rank_ = r;
+      due = true;
+      break;
     }
-    if (!due) return false;
+    if (!due) {
+      // Re-arm the wake: the nearest deadline may now be an emergency one.
+      ScheduleRefreshWake();
+      return false;
+    }
     refresh_in_progress_ = true;
   }
   Rank& rank = channel_->rank(refresh_rank_);

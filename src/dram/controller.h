@@ -86,6 +86,13 @@ class MemoryController : public sim::TickingComponent {
            refresh_in_progress_;
   }
 
+  /// True while the controller is performing a refresh on `rank` (precharge
+  /// drain + REF). Refresh outranks rank ownership: the JAFAR sequencer backs
+  /// off the command bus for its duration instead of fighting the drain.
+  bool RefreshClaims(uint32_t rank) const {
+    return refresh_in_progress_ && refresh_rank_ == rank;
+  }
+
   /// Counter snapshot. Busy-tick counters are settled up to the current tick.
   ControllerCounters counters() const;
 
@@ -128,6 +135,8 @@ class MemoryController : public sim::TickingComponent {
   void NoteQueueStateChange(sim::Tick now);
   void ScheduleRefreshWake();
   void RefreshWake() { Wake(); }
+  /// Time at which refresh of `rank` stops deferring to accelerator ownership.
+  sim::Tick RefreshEmergencyAt(uint32_t rank) const;
 
   Channel* channel_;
   const AddressMapper* mapper_;

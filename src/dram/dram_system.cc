@@ -15,6 +15,12 @@ DramSystem::DramSystem(sim::EventQueue* eq, DramTiming timing,
   for (uint32_t c = 0; c < org.channels; ++c) {
     channels_.push_back(std::make_unique<Channel>());
     channels_.back()->Configure(&timing_, &org_);
+#ifdef NDP_PROTOCOL_CHECK
+    // Refresh-interval legality is only meaningful when this system's
+    // controller actually schedules refreshes.
+    channels_.back()->protocol_checker().set_expect_refresh(
+        ctrl_config.refresh_enabled);
+#endif
     controllers_.push_back(std::make_unique<MemoryController>(
         eq, channels_.back().get(), &mapper_, ctrl_config,
         stats.Sub("ctrl" + std::to_string(c))));
@@ -51,5 +57,15 @@ ControllerCounters DramSystem::TotalCounters() const {
 void DramSystem::ResetCounters() {
   for (auto& mc : controllers_) mc->ResetCounters();
 }
+
+#ifdef NDP_PROTOCOL_CHECK
+uint64_t DramSystem::TotalProtocolViolations() const {
+  uint64_t total = 0;
+  for (const auto& ch : channels_) {
+    total += ch->protocol_checker().violations().size();
+  }
+  return total;
+}
+#endif
 
 }  // namespace ndp::dram

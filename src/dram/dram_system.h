@@ -46,6 +46,12 @@ class DramSystem {
   ControllerCounters TotalCounters() const;
   void ResetCounters();
 
+#ifdef NDP_PROTOCOL_CHECK
+  /// Sum of recorded protocol violations across every channel's checker
+  /// (always zero while the checkers are in their default fail-fast mode).
+  uint64_t TotalProtocolViolations() const;
+#endif
+
   sim::EventQueue* event_queue() { return eq_; }
 
  private:

@@ -1,0 +1,314 @@
+#include "dram/protocol_checker.h"
+
+#include <sstream>
+
+#include "util/macros.h"
+
+namespace ndp::dram {
+
+namespace {
+
+/// JEDEC allows postponing up to eight tREFI-spaced refreshes, so the hard
+/// legality bound on the gap between refreshes is 9 x tREFI.
+constexpr uint64_t kMaxPostponedRefreshes = 9;
+
+}  // namespace
+
+const char* TimingRuleToString(TimingRule rule) {
+  switch (rule) {
+    case TimingRule::kBankState: return "bank-state";
+    case TimingRule::kTrcd: return "tRCD";
+    case TimingRule::kTrp: return "tRP";
+    case TimingRule::kTras: return "tRAS";
+    case TimingRule::kTrc: return "tRC";
+    case TimingRule::kTrrd: return "tRRD";
+    case TimingRule::kTfaw: return "tFAW";
+    case TimingRule::kTccd: return "tCCD";
+    case TimingRule::kTwtr: return "tWTR";
+    case TimingRule::kTrtp: return "tRTP";
+    case TimingRule::kTwr: return "tWR";
+    case TimingRule::kTrfc: return "tRFC";
+    case TimingRule::kTrefi: return "tREFI";
+    case TimingRule::kTmrd: return "tMRD";
+    case TimingRule::kDataBus: return "data-bus";
+    case TimingRule::kCmdBus: return "cmd-bus";
+  }
+  return "unknown";
+}
+
+std::string ProtocolViolation::ToString() const {
+  std::ostringstream os;
+  os << "[" << TimingRuleToString(rule) << "] cycle " << bus_cycle << " rank "
+     << rank << " bank " << bank << ": " << message;
+  return os.str();
+}
+
+void ProtocolChecker::Configure(const DramTiming* timing,
+                                const DramOrganization* org) {
+  timing_ = timing;
+  org_ = org;
+  tck_ = timing->tck_ps;
+  ranks_.assign(org->ranks_per_channel, RankState{});
+  for (auto& r : ranks_) r.banks.assign(org->banks_per_rank, BankState{});
+  last_cmd_tick_ = kNever;
+  data_bus_busy_end_ = 0;
+  commands_observed_ = 0;
+  violations_.clear();
+}
+
+sim::Tick ProtocolChecker::Cycles(uint32_t n) const { return n * tck_; }
+
+uint64_t ProtocolChecker::CycleOf(sim::Tick t) const { return t / tck_; }
+
+std::string ProtocolChecker::Describe(const Command& cmd, sim::Tick t) const {
+  std::ostringstream os;
+  os << CommandTypeToString(cmd.type) << " r" << cmd.rank << "/b" << cmd.bank
+     << " @cycle " << CycleOf(t);
+  return os.str();
+}
+
+void ProtocolChecker::Flag(TimingRule rule, const Command& cmd, sim::Tick t,
+                           sim::Tick since, const char* what) {
+  ProtocolViolation v;
+  v.rule = rule;
+  v.tick = t;
+  v.bus_cycle = CycleOf(t);
+  v.rank = cmd.rank;
+  v.bank = cmd.bank;
+  std::ostringstream os;
+  os << Describe(cmd, t);
+  if (since != kNever) {
+    os << " after " << what << " @cycle " << CycleOf(since) << " ("
+       << (t >= since ? CycleOf(t - since) : 0) << " cycles elapsed)";
+  } else if (what != nullptr) {
+    os << ": " << what;
+  }
+  v.message = os.str();
+  if (fail_fast_) {
+    std::fprintf(stderr, "DDR3 protocol violation: %s\n", v.ToString().c_str());
+    std::abort();
+  }
+  violations_.push_back(std::move(v));
+}
+
+void ProtocolChecker::Observe(const Command& cmd, sim::Tick t) {
+  NDP_CHECK_MSG(timing_ != nullptr, "ProtocolChecker::Configure not called");
+  NDP_CHECK(cmd.rank < ranks_.size());
+  ++commands_observed_;
+
+  // Channel-wide command-bus legality: one command per bus cycle, on an edge.
+  if (t % tck_ != 0) {
+    Flag(TimingRule::kCmdBus, cmd, t, kNever,
+         "issue tick not aligned to a bus clock edge");
+  }
+  if (last_cmd_tick_ != kNever && t < last_cmd_tick_ + tck_) {
+    Flag(TimingRule::kCmdBus, cmd, t, last_cmd_tick_, "previous command");
+  }
+  last_cmd_tick_ = (last_cmd_tick_ == kNever) ? t : std::max(last_cmd_tick_, t);
+
+  RankState& rank = ranks_[cmd.rank];
+
+  // tMRD: every command to the rank must wait out a preceding MRS.
+  if (cmd.type != CommandType::kModeRegSet && rank.last_mrs != kNever &&
+      t < rank.last_mrs + Cycles(timing_->tmrd)) {
+    Flag(TimingRule::kTmrd, cmd, t, rank.last_mrs, "MRS");
+  }
+
+  // Refresh-interval audit: the rank must be refreshed at least every
+  // 9 x tREFI (JEDEC's maximum-postponement bound). Flagged once per lapse.
+  if (expect_refresh_ && !rank.refresh_overdue_flagged) {
+    sim::Tick base = rank.last_refresh == kNever ? 0 : rank.last_refresh;
+    if (t > base + kMaxPostponedRefreshes * Cycles(timing_->trefi)) {
+      rank.refresh_overdue_flagged = true;
+      Flag(TimingRule::kTrefi, cmd, t, base,
+           rank.last_refresh == kNever ? "start of time (no REF ever seen)"
+                                       : "last REF");
+    }
+  }
+
+  switch (cmd.type) {
+    case CommandType::kActivate:
+      NDP_CHECK(cmd.bank < rank.banks.size());
+      ObserveActivate(cmd, t, rank);
+      break;
+    case CommandType::kRead:
+    case CommandType::kWrite:
+      NDP_CHECK(cmd.bank < rank.banks.size());
+      ObserveColumn(cmd, t, rank);
+      break;
+    case CommandType::kPrecharge:
+      NDP_CHECK(cmd.bank < rank.banks.size());
+      ObservePrecharge(cmd, t, rank);
+      break;
+    case CommandType::kRefresh:
+      ObserveRefresh(cmd, t, rank);
+      break;
+    case CommandType::kModeRegSet:
+      ObserveModeRegSet(cmd, t, rank);
+      break;
+  }
+}
+
+void ProtocolChecker::ObserveActivate(const Command& cmd, sim::Tick t,
+                                      RankState& rank) {
+  BankState& bank = rank.banks[cmd.bank];
+  if (bank.row_open) {
+    Flag(TimingRule::kBankState, cmd, t, kNever,
+         "ACT to a bank whose row is still open (missing PRE)");
+  }
+  if (bank.last_pre != kNever && t < bank.last_pre + Cycles(timing_->trp)) {
+    Flag(TimingRule::kTrp, cmd, t, bank.last_pre, "PRE");
+  }
+  if (bank.last_act != kNever && t < bank.last_act + Cycles(timing_->trc)) {
+    Flag(TimingRule::kTrc, cmd, t, bank.last_act, "previous ACT (same bank)");
+  }
+  if (rank.refresh_end != kNever && t < rank.refresh_end) {
+    Flag(TimingRule::kTrfc, cmd, t, rank.refresh_end - Cycles(timing_->trfc),
+         "REF");
+  }
+  if (rank.last_act_any != kNever &&
+      t < rank.last_act_any + Cycles(timing_->trrd)) {
+    Flag(TimingRule::kTrrd, cmd, t, rank.last_act_any, "ACT (other bank)");
+  }
+  if (rank.act_history.size() >= 4 &&
+      t < rank.act_history.front() + Cycles(timing_->tfaw)) {
+    Flag(TimingRule::kTfaw, cmd, t, rank.act_history.front(),
+         "fourth-to-last ACT");
+  }
+  bank.row_open = true;
+  bank.row = cmd.row;
+  bank.last_act = t;
+  rank.last_act_any = (rank.last_act_any == kNever)
+                          ? t
+                          : std::max(rank.last_act_any, t);
+  rank.act_history.push_back(t);
+  while (rank.act_history.size() > 4) rank.act_history.pop_front();
+}
+
+void ProtocolChecker::ObserveColumn(const Command& cmd, sim::Tick t,
+                                    RankState& rank) {
+  const bool is_read = cmd.type == CommandType::kRead;
+  BankState& bank = rank.banks[cmd.bank];
+  if (!bank.row_open) {
+    Flag(TimingRule::kBankState, cmd, t, kNever,
+         is_read ? "RD to a bank with no open row"
+                 : "WR to a bank with no open row");
+  } else if (bank.row != cmd.row) {
+    Flag(TimingRule::kBankState, cmd, t, kNever,
+         "column command targets a row other than the open one");
+  }
+  if (bank.last_act != kNever && t < bank.last_act + Cycles(timing_->trcd)) {
+    Flag(TimingRule::kTrcd, cmd, t, bank.last_act, "ACT");
+  }
+  if (rank.last_column_cmd != kNever &&
+      t < rank.last_column_cmd + Cycles(timing_->tccd)) {
+    Flag(TimingRule::kTccd, cmd, t, rank.last_column_cmd,
+         "previous column command");
+  }
+  if (is_read && rank.write_data_end_any != kNever &&
+      t < rank.write_data_end_any + Cycles(timing_->twtr)) {
+    Flag(TimingRule::kTwtr, cmd, t, rank.write_data_end_any,
+         "end of write data");
+  }
+  // CL/CWL legality audited as data-bus occupancy: project this burst's data
+  // window and require it to start no earlier than the previous burst ends.
+  const uint32_t cas = is_read ? timing_->cl : timing_->cwl;
+  const sim::Tick data_start = t + Cycles(cas);
+  const sim::Tick data_end = data_start + Cycles(timing_->tburst);
+  if (data_start < data_bus_busy_end_) {
+    Flag(TimingRule::kDataBus, cmd, t,
+         data_bus_busy_end_ - Cycles(timing_->tburst),
+         "previous burst still on the data bus; CL/CWL-projected start");
+  }
+  data_bus_busy_end_ = std::max(data_bus_busy_end_, data_end);
+  rank.last_column_cmd = (rank.last_column_cmd == kNever)
+                             ? t
+                             : std::max(rank.last_column_cmd, t);
+  if (is_read) {
+    bank.last_read = t;
+  } else {
+    bank.write_data_end = data_end;
+    rank.write_data_end_any = (rank.write_data_end_any == kNever)
+                                  ? data_end
+                                  : std::max(rank.write_data_end_any, data_end);
+  }
+}
+
+void ProtocolChecker::ObservePrecharge(const Command& cmd, sim::Tick t,
+                                       RankState& rank) {
+  BankState& bank = rank.banks[cmd.bank];
+  if (!bank.row_open) return;  // PRE to an idle bank is a legal NOP
+  if (bank.last_act != kNever && t < bank.last_act + Cycles(timing_->tras)) {
+    Flag(TimingRule::kTras, cmd, t, bank.last_act, "ACT");
+  }
+  if (bank.last_read != kNever && t < bank.last_read + Cycles(timing_->trtp)) {
+    Flag(TimingRule::kTrtp, cmd, t, bank.last_read, "RD");
+  }
+  if (bank.write_data_end != kNever &&
+      t < bank.write_data_end + Cycles(timing_->twr)) {
+    Flag(TimingRule::kTwr, cmd, t, bank.write_data_end, "end of write data");
+  }
+  bank.row_open = false;
+  bank.last_pre = t;
+}
+
+void ProtocolChecker::ObserveRefresh(const Command& cmd, sim::Tick t,
+                                     RankState& rank) {
+  for (uint32_t b = 0; b < rank.banks.size(); ++b) {
+    const BankState& bank = rank.banks[b];
+    if (bank.row_open) {
+      Flag(TimingRule::kBankState, cmd, t, kNever,
+           "REF with a row still open (precharge-all must come first)");
+      break;
+    }
+  }
+  for (const BankState& bank : rank.banks) {
+    if (bank.last_pre != kNever && t < bank.last_pre + Cycles(timing_->trp)) {
+      Flag(TimingRule::kTrp, cmd, t, bank.last_pre, "PRE");
+      break;
+    }
+  }
+  if (rank.refresh_end != kNever && t < rank.refresh_end) {
+    Flag(TimingRule::kTrfc, cmd, t, rank.refresh_end - Cycles(timing_->trfc),
+         "previous REF");
+  }
+  rank.refresh_end = t + Cycles(timing_->trfc);
+  rank.last_refresh = t;
+  rank.refresh_overdue_flagged = false;
+}
+
+void ProtocolChecker::ObserveModeRegSet(const Command& cmd, sim::Tick t,
+                                        RankState& rank) {
+  for (const BankState& bank : rank.banks) {
+    if (bank.row_open) {
+      Flag(TimingRule::kBankState, cmd, t, kNever,
+           "MRS with a row still open (all banks must be precharged)");
+      break;
+    }
+  }
+  for (const BankState& bank : rank.banks) {
+    if (bank.last_pre != kNever && t < bank.last_pre + Cycles(timing_->trp)) {
+      Flag(TimingRule::kTrp, cmd, t, bank.last_pre, "PRE");
+      break;
+    }
+  }
+  if (rank.refresh_end != kNever && t < rank.refresh_end) {
+    Flag(TimingRule::kTrfc, cmd, t, rank.refresh_end - Cycles(timing_->trfc),
+         "REF");
+  }
+  if (rank.last_mrs != kNever && t < rank.last_mrs + Cycles(timing_->tmrd)) {
+    Flag(TimingRule::kTmrd, cmd, t, rank.last_mrs, "previous MRS");
+  }
+  rank.last_mrs = t;
+}
+
+std::string ProtocolChecker::Report() const {
+  std::string out;
+  for (const ProtocolViolation& v : violations_) {
+    out += v.ToString();
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ndp::dram

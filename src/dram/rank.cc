@@ -44,8 +44,12 @@ sim::Tick Rank::EarliestIssue(const Command& cmd) const {
     }
     case CommandType::kModeRegSet: {
       // MRS requires all banks precharged and quiescent column traffic.
+      // CanActivateAt also folds in tRP after the closing PRE and tRFC after
+      // a refresh — without it an MRS could slip inside a refresh window.
       sim::Tick t = std::max(next_column_cmd_, mrs_busy_until_);
-      for (const auto& b : banks_) t = std::max(t, b.CanPrechargeAt());
+      for (const auto& b : banks_) {
+        t = std::max({t, b.CanPrechargeAt(), b.CanActivateAt()});
+      }
       return t;
     }
   }

@@ -38,6 +38,7 @@ Device::Device(dram::DramSystem* dram, uint32_t channel_index,
   stats.Counter("total_busy_ps", &stats_.total_busy_ps);
   stats.Counter("energy_fj", &stats_.energy_fj);
   stats.Counter("polite_backoffs", &stats_.polite_backoffs);
+  stats.Counter("refresh_backoffs", &stats_.refresh_backoffs);
 }
 
 int64_t Device::ReadValue(uint64_t addr) const {
@@ -89,6 +90,19 @@ void Device::IssueWhenReady(dram::Command cmd,
   if (!config_.require_ownership &&
       dram_->controller(channel_index_).HasPendingWork()) {
     ++stats_.polite_backoffs;
+    eq_->ScheduleAfter(BusCycles(8),
+                       [this, cmd, next = std::move(next), on_stale] {
+                         IssueWhenReady(cmd, next, on_stale);
+                       });
+    return;
+  }
+  // Refresh outranks rank ownership: when the host controller is stealing the
+  // rank back for an overdue REF (its postponement budget nearly spent), stop
+  // competing for the command bus — fighting the precharge drain would only
+  // ping-pong ACT/PRE until the retention deadline. Resume (and re-evaluate
+  // bank state) once the refresh completes.
+  if (dram_->controller(channel_index_).RefreshClaims(rank_index_)) {
+    ++stats_.refresh_backoffs;
     eq_->ScheduleAfter(BusCycles(8),
                        [this, cmd, next = std::move(next), on_stale] {
                          IssueWhenReady(cmd, next, on_stale);

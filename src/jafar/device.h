@@ -33,6 +33,7 @@ struct DeviceStats {
   sim::Tick total_busy_ps = 0;   ///< wall time from job start to completion
   double energy_fj = 0.0;
   uint64_t polite_backoffs = 0;  ///< deferrals to host traffic (polite mode)
+  uint64_t refresh_backoffs = 0;  ///< deferrals to a host refresh steal-back
 
   /// The §2.2 observation: fraction of each access latency spent waiting for
   /// DRAM rather than computing.
@@ -57,6 +58,7 @@ struct DeviceStats {
     d.total_busy_ps = total_busy_ps - before.total_busy_ps;
     d.energy_fj = energy_fj - before.energy_fj;
     d.polite_backoffs = polite_backoffs - before.polite_backoffs;
+    d.refresh_backoffs = refresh_backoffs - before.refresh_backoffs;
     return d;
   }
 };

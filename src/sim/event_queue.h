@@ -91,6 +91,8 @@ class EventQueue {
   /// Current simulated time. Monotonically non-decreasing.
   Tick Now() const { return now_; }
 
+  // ndp-lint: no-alloc-begin (per-event public hot path: zero heap traffic)
+
   /// Schedules an intrusive node at absolute time `when` (>= Now()).
   /// Allocation-free. The node must not already be scheduled.
   void Schedule(Tick when, EventNode* node) {
@@ -204,6 +206,8 @@ class EventQueue {
     return true;
   }
 
+  // ndp-lint: no-alloc-end
+
  private:
   /// Pooled carrier for std::function events. Returned to the free list
   /// before the closure runs, so a closure that reschedules reuses its node.
@@ -235,6 +239,9 @@ class EventQueue {
   };
 
   uint64_t Quantum(Tick when) const { return when / kSlotTicks; }
+
+  // ndp-lint: no-alloc-begin (wheel internals; only PushHeap/AcquireClosure
+  // below the end marker may touch the heap, growing amortized capacity)
 
   /// Files a node into bucket / L0 / L1 / overflow relative to the cursor.
   void InsertIntoWheel(EventNode* node) {
@@ -359,6 +366,8 @@ class EventQueue {
     --num_pending_;
     return node;
   }
+
+  // ndp-lint: no-alloc-end
 
   static void PushHeap(std::vector<EventNode*>* heap, EventNode* node) {
     heap->push_back(node);

@@ -273,5 +273,31 @@ TEST_F(ControllerTest, ClosedPageKeepsRowsWantedByQueuedRequests) {
   EXPECT_EQ(c.row_misses, 1u);
 }
 
+TEST_F(ControllerTest, RefreshStealsBackAcceleratorOwnedRank) {
+  // Hand rank 0 to the accelerator, then let the simulation idle. Refresh of
+  // the owned rank is postponed — but only up to the JEDEC budget: with one
+  // tREFI of the 8 x tREFI postponement allowance left, the controller must
+  // steal the rank back and refresh anyway (DESIGN.md §7). Rank 1 stays
+  // host-owned and refreshes on its normal cadence throughout.
+  bool transferred = false;
+  dram_->controller(0).TransferOwnership(0, RankOwner::kAccelerator,
+                                         [&](sim::Tick) { transferred = true; });
+  ASSERT_TRUE(eq_->RunUntilTrue([&] { return transferred; }));
+  ASSERT_EQ(dram_->channel(0).rank(0).owner(), RankOwner::kAccelerator);
+
+  const uint32_t trefi = dram_->timing().trefi;
+  // Rank 0 is due at 1 x tREFI; its emergency deadline is 8 x tREFI. Just
+  // before it, the postponement must still be in effect.
+  eq_->RunUntil(Cyc(8 * trefi) - Cyc(10));
+  EXPECT_EQ(dram_->channel(0).rank(0).refreshes_issued(), 0u);
+  EXPECT_GE(dram_->channel(0).rank(1).refreshes_issued(), 5u);
+
+  // Past the deadline the steal-back REF must have landed despite the rank
+  // still being accelerator-owned.
+  eq_->RunUntil(Cyc(8 * trefi) + Cyc(dram_->timing().trfc + 20));
+  EXPECT_GE(dram_->channel(0).rank(0).refreshes_issued(), 1u);
+  EXPECT_EQ(dram_->channel(0).rank(0).owner(), RankOwner::kAccelerator);
+}
+
 }  // namespace
 }  // namespace ndp::dram

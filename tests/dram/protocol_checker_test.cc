@@ -1,0 +1,301 @@
+// Violation-injection tests for the DDR3 protocol checker: one deliberate
+// protocol error per JEDEC constraint, each asserting the checker flags
+// exactly that rule (and a legal reference sequence asserting it stays
+// silent). Command times are chosen so only the rule under test trips —
+// where DDR3-1600's own numbers make two windows coincide (tRC = tRAS + tRP,
+// tCCD vs. burst overlap), the test uses a custom speed grade that separates
+// them.
+#include <cstdint>
+
+#include "dram/command.h"
+#include "dram/protocol_checker.h"
+#include "dram/timing.h"
+#include "gtest/gtest.h"
+
+namespace ndp::dram {
+namespace {
+
+class ProtocolCheckerTest : public ::testing::Test {
+ protected:
+  void Init() {
+    checker_.Configure(&timing_, &org_);
+  }
+
+  /// Bus cycles -> ticks.
+  sim::Tick C(uint64_t cycles) const { return cycles * timing_.tck_ps; }
+
+  void Act(uint64_t cycle, uint32_t bank, uint32_t row = 0, uint32_t rank = 0) {
+    checker_.Observe(Command{CommandType::kActivate, rank, bank, row}, C(cycle));
+  }
+  void Rd(uint64_t cycle, uint32_t bank, uint32_t row = 0, uint32_t rank = 0) {
+    checker_.Observe(Command{CommandType::kRead, rank, bank, row}, C(cycle));
+  }
+  void Wr(uint64_t cycle, uint32_t bank, uint32_t row = 0, uint32_t rank = 0) {
+    checker_.Observe(Command{CommandType::kWrite, rank, bank, row}, C(cycle));
+  }
+  void Pre(uint64_t cycle, uint32_t bank, uint32_t rank = 0) {
+    checker_.Observe(Command{CommandType::kPrecharge, rank, bank}, C(cycle));
+  }
+  void Ref(uint64_t cycle, uint32_t rank = 0) {
+    checker_.Observe(Command{CommandType::kRefresh, rank}, C(cycle));
+  }
+  void Mrs(uint64_t cycle, uint32_t rank = 0) {
+    Command mrs{CommandType::kModeRegSet, rank};
+    mrs.mode_register = 3;
+    checker_.Observe(mrs, C(cycle));
+  }
+
+  /// Asserts exactly one violation was recorded and it broke `rule`.
+  void ExpectOnly(TimingRule rule) {
+    ASSERT_EQ(checker_.violations().size(), 1u) << checker_.Report();
+    EXPECT_EQ(checker_.violations()[0].rule, rule) << checker_.Report();
+  }
+
+  DramTiming timing_ = DramTiming::DDR3_1600();
+  DramOrganization org_;
+  ProtocolChecker checker_;
+};
+
+// -- Legal sequences stay silent ---------------------------------------------
+
+TEST_F(ProtocolCheckerTest, LegalOpenReadWritePrechargeCycleIsClean) {
+  Init();
+  Act(0, /*bank=*/0, /*row=*/7);
+  Rd(11, 0, 7);              // tRCD honoured
+  Rd(15, 0, 7);              // tCCD honoured
+  Wr(26, 0, 7);              // tCCD; write data ends at 26+8+4 = 38
+  Pre(50, 0);                // tRAS (28), tRTP (15+6), tWR (38+12) honoured
+  Act(61, 0, /*row=*/9);     // tRP (50+11) and tRC (0+39) honoured
+  EXPECT_TRUE(checker_.violations().empty()) << checker_.Report();
+  EXPECT_EQ(checker_.commands_observed(), 6u);
+}
+
+TEST_F(ProtocolCheckerTest, LegalRefreshCycleIsClean) {
+  Init();
+  Act(0, 0);
+  Pre(28, 0);
+  Ref(39);              // tRP honoured, all banks idle
+  Act(39 + 208, 0);     // tRFC honoured
+  EXPECT_TRUE(checker_.violations().empty()) << checker_.Report();
+}
+
+// -- One injected violation per constraint -----------------------------------
+
+TEST_F(ProtocolCheckerTest, FlagsReadBeforeTrcd) {
+  Init();
+  Act(0, 0);
+  Rd(timing_.trcd - 1, 0);  // one cycle early
+  ExpectOnly(TimingRule::kTrcd);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsActivateBeforeTrp) {
+  Init();
+  Act(0, 0);
+  Pre(30, 0);   // legal (tRAS = 28)
+  Act(40, 0);   // tRC (39) satisfied, but tRP wants 30 + 11 = 41
+  ExpectOnly(TimingRule::kTrp);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsActivateBeforeTrc) {
+  // DDR3's tRC = tRAS + tRP makes tRC and tRP trip together; stretch tRC so
+  // the activate-to-activate window is the only one violated.
+  timing_.trc = 50;
+  Init();
+  Act(0, 0);
+  Pre(30, 0);
+  Act(45, 0);  // tRP satisfied (41), tRC wants 50
+  ExpectOnly(TimingRule::kTrc);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsPrechargeBeforeTras) {
+  Init();
+  Act(0, 0);
+  Pre(timing_.tras - 1, 0);
+  ExpectOnly(TimingRule::kTras);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsPrechargeBeforeTrtp) {
+  Init();
+  Act(0, 0);
+  Rd(25, 0);   // legal
+  Pre(28, 0);  // tRAS satisfied, but tRTP wants 25 + 6 = 31
+  ExpectOnly(TimingRule::kTrtp);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsPrechargeBeforeTwr) {
+  Init();
+  Act(0, 0);
+  Wr(11, 0);   // data ends at 11 + 8 + 4 = 23
+  Pre(30, 0);  // tRAS satisfied, but tWR wants 23 + 12 = 35
+  ExpectOnly(TimingRule::kTwr);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsReadBeforeTwtr) {
+  Init();
+  Act(0, 0);
+  Wr(11, 0);   // data ends at cycle 23
+  Rd(28, 0);   // tCCD satisfied, but tWTR wants 23 + 6 = 29
+  ExpectOnly(TimingRule::kTwtr);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsColumnCommandBeforeTccd) {
+  // With BL8's tBURST = 4 a tCCD violation also overlaps data bursts; shrink
+  // the burst so the command-spacing rule is the only one broken.
+  timing_.tburst = 2;
+  Init();
+  Act(0, 0);
+  Rd(11, 0);
+  Rd(13, 0);  // tCCD wants 11 + 4 = 15
+  ExpectOnly(TimingRule::kTccd);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsActivateBeforeTrrd) {
+  Init();
+  Act(0, 0);
+  Act(timing_.trrd - 1, /*bank=*/1);
+  ExpectOnly(TimingRule::kTrrd);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsFifthActivateInsideTfaw) {
+  Init();
+  Act(0, 0);
+  Act(5, 1);
+  Act(10, 2);
+  Act(15, 3);
+  Act(20, 4);  // tFAW wants 0 + 24 = 24
+  ExpectOnly(TimingRule::kTfaw);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsActivateDuringRefresh) {
+  Init();
+  Ref(0);
+  Act(timing_.trfc - 1, 0);
+  ExpectOnly(TimingRule::kTrfc);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsBackToBackRefreshInsideTrfc) {
+  Init();
+  Ref(0);
+  Ref(100);
+  ExpectOnly(TimingRule::kTrfc);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsOverdueRefreshOnceAgainstTrefi) {
+  checker_.set_expect_refresh(true);
+  Init();
+  const uint64_t overdue = 9 * timing_.trefi + 1;
+  Act(overdue, 0);
+  ExpectOnly(TimingRule::kTrefi);
+  // The lapse is reported once, not per command.
+  Rd(overdue + timing_.trcd, 0);
+  EXPECT_EQ(checker_.violations().size(), 1u) << checker_.Report();
+}
+
+TEST_F(ProtocolCheckerTest, RefreshResetsTheTrefiClock) {
+  checker_.set_expect_refresh(true);
+  Init();
+  Ref(6240);                    // on schedule
+  Act(6240 + 300, 0);           // well inside the next window
+  EXPECT_TRUE(checker_.violations().empty()) << checker_.Report();
+}
+
+TEST_F(ProtocolCheckerTest, FlagsCommandBeforeTmrd) {
+  Init();
+  Mrs(0);
+  Act(timing_.tmrd - 2, 0);
+  ExpectOnly(TimingRule::kTmrd);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsMrsDuringRefresh) {
+  Init();
+  Ref(0);
+  Mrs(100);
+  ExpectOnly(TimingRule::kTrfc);
+}
+
+// -- Bank-state and bus-structure rules --------------------------------------
+
+TEST_F(ProtocolCheckerTest, FlagsReadWithNoOpenRow) {
+  Init();
+  Rd(0, 0);
+  ExpectOnly(TimingRule::kBankState);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsWriteWithNoOpenRow) {
+  Init();
+  Wr(0, 0);
+  ExpectOnly(TimingRule::kBankState);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsColumnCommandToWrongRow) {
+  Init();
+  Act(0, 0, /*row=*/5);
+  Rd(20, 0, /*row=*/6);
+  ExpectOnly(TimingRule::kBankState);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsActivateToOpenBank) {
+  Init();
+  Act(0, 0);
+  Act(50, 0);  // tRC/tRRD satisfied, but no PRE closed the row
+  ExpectOnly(TimingRule::kBankState);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsRefreshWithOpenRow) {
+  Init();
+  Act(0, 0);
+  Ref(50);
+  ExpectOnly(TimingRule::kBankState);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsMrsWithOpenRow) {
+  Init();
+  Act(0, 0);
+  Mrs(50);
+  ExpectOnly(TimingRule::kBankState);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsTwoCommandsInOneBusCycle) {
+  Init();
+  Act(0, 0);
+  Pre(0, /*bank=*/3);  // PRE to an idle bank is a NOP, but the bus is taken
+  ExpectOnly(TimingRule::kCmdBus);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsOffEdgeIssueTick) {
+  Init();
+  checker_.Observe(Command{CommandType::kActivate, 0, 0, 0},
+                   timing_.tck_ps / 2);
+  ExpectOnly(TimingRule::kCmdBus);
+}
+
+TEST_F(ProtocolCheckerTest, FlagsDataBusBurstOverlapAcrossRanks) {
+  org_.ranks_per_channel = 2;
+  Init();
+  Act(0, 0, 0, /*rank=*/0);
+  Act(1, 0, 0, /*rank=*/1);
+  Rd(11, 0, 0, /*rank=*/0);  // data on the bus cycles [22, 26)
+  Rd(13, 0, 0, /*rank=*/1);  // CL projects its burst to start at 24
+  ExpectOnly(TimingRule::kDataBus);
+}
+
+// -- Reporting ----------------------------------------------------------------
+
+TEST_F(ProtocolCheckerTest, ViolationCarriesCycleBankAndCommandPair) {
+  Init();
+  Act(0, /*bank=*/2);
+  Rd(5, 2);
+  ASSERT_EQ(checker_.violations().size(), 1u);
+  const ProtocolViolation& v = checker_.violations()[0];
+  EXPECT_EQ(v.bus_cycle, 5u);
+  EXPECT_EQ(v.rank, 0u);
+  EXPECT_EQ(v.bank, 2u);
+  EXPECT_EQ(v.tick, C(5));
+  // The message names both commands of the offending pair.
+  EXPECT_NE(v.message.find("RD"), std::string::npos) << v.message;
+  EXPECT_NE(v.message.find("ACT"), std::string::npos) << v.message;
+  EXPECT_NE(v.ToString().find("tRCD"), std::string::npos) << v.ToString();
+}
+
+}  // namespace
+}  // namespace ndp::dram

@@ -1,0 +1,84 @@
+// End-to-end protocol audit: with the NDP_PROTOCOL_CHECK hook compiled in,
+// the command streams of the paper's two headline experiments — the Figure 3
+// CPU-vs-JAFAR select pipeline and the Figure 4 TPC-H trace replay — must be
+// JEDEC-legal: zero violations recorded by any channel's shadow checker.
+//
+// In builds without the hook (the default for optimized build types) these
+// tests skip; tools/check.sh runs a -DNDP_PROTOCOL_CHECK=ON configuration so
+// the audit always happens in the full lane.
+#include <cstdint>
+#include <string>
+
+#include "bench/bench_util.h"
+#include "core/api.h"
+#include "gtest/gtest.h"
+
+namespace ndp {
+namespace {
+
+#ifdef NDP_PROTOCOL_CHECK
+
+/// Switches every channel of `sys` to record mode (so a violation produces a
+/// readable report instead of an abort) — call before running anything.
+void RecordViolations(core::SystemModel& sys) {
+  for (uint32_t c = 0; c < sys.dram().num_channels(); ++c) {
+    sys.dram().channel(c).protocol_checker().set_fail_fast(false);
+  }
+}
+
+/// Asserts every channel observed traffic-proportional commands and recorded
+/// zero violations, printing the full report on failure.
+void ExpectClean(core::SystemModel& sys) {
+  uint64_t observed = 0;
+  for (uint32_t c = 0; c < sys.dram().num_channels(); ++c) {
+    const dram::ProtocolChecker& checker =
+        sys.dram().channel(c).protocol_checker();
+    observed += checker.commands_observed();
+    EXPECT_TRUE(checker.violations().empty())
+        << "channel " << c << ":\n" << checker.Report();
+  }
+  EXPECT_GT(observed, 0u) << "checker hook saw no commands — not attached?";
+  EXPECT_EQ(sys.dram().TotalProtocolViolations(), 0u);
+}
+
+TEST(ProtocolCleanTest, Fig3SelectPipelineIsCommandLegal) {
+  db::Column col = bench::UniformColumn(32 * 1024);
+  core::SystemModel sys(core::PlatformConfig::Gem5());
+  RecordViolations(sys);
+  auto cpu = sys.RunCpuSelect(col, 0, 499999, db::SelectMode::kBranching)
+                 .ValueOrDie();
+  auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+  EXPECT_EQ(cpu.matches, jaf.matches);
+  ExpectClean(sys);
+}
+
+TEST(ProtocolCleanTest, Fig4TpchTraceReplayIsCommandLegal) {
+  db::Catalog catalog;
+  db::tpch::TpchConfig cfg;
+  cfg.scale = 0.002;
+  db::tpch::Generate(cfg, &catalog);
+  for (int q : {1, 6}) {
+    db::TraceRecorder trace(/*sample=*/4, /*compute_scale=*/24);
+    db::QueryContext ctx;
+    ctx.trace = &trace;
+    ASSERT_TRUE(db::tpch::RunQueryByNumber(&ctx, &catalog, q).ok());
+    core::SystemModel sys(core::PlatformConfig::Xeon());
+    RecordViolations(sys);
+    core::IdlePeriodProfiler profiler(&sys);
+    ASSERT_TRUE(
+        profiler.Profile("Q" + std::to_string(q), trace.events()).ok());
+    ExpectClean(sys);
+  }
+}
+
+#else  // !NDP_PROTOCOL_CHECK
+
+TEST(ProtocolCleanTest, SkippedWithoutProtocolCheckHook) {
+  GTEST_SKIP() << "built with NDP_PROTOCOL_CHECK=OFF; the checker hook is "
+                  "compiled out (tools/check.sh runs the ON configuration)";
+}
+
+#endif  // NDP_PROTOCOL_CHECK
+
+}  // namespace
+}  // namespace ndp

@@ -33,6 +33,7 @@ TEST(StatsRegistryTest, RejectsDuplicatePaths) {
 TEST(StatsRegistryTest, RejectsEmptyPath) {
   StatsRegistry reg;
   uint64_t cell = 0;
+  // ndp-lint: stats-path-ok (negative test: the empty path must be rejected)
   EXPECT_EQ(reg.RegisterCounter("", &cell).code(),
             StatusCode::kInvalidArgument);
 }

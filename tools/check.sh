@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# One-shot correctness lane: configure, build, and run every check the repo
+# ships, in the order a reviewer would want them to fail.
+#
+#   1. default build    — full ctest suite (unit + bench_smoke + lint labels)
+#   2. ndp-lint         — invariant scan of src/ bench/ tests/ (also a ctest,
+#                         but run directly here so its findings print even if
+#                         the build of the test tree fails)
+#   3. protocol build   — -DNDP_PROTOCOL_CHECK=ON: every DRAM command the
+#                         suite issues is audited against the DDR3 JEDEC
+#                         timing rules by the shadow checker
+#   4. clang-tidy       — only if clang-tidy is on PATH (the pinned CI image
+#                         ships gcc only)
+#
+# Usage: tools/check.sh [build-dir-prefix]   (default: build)
+# Environment: JOBS=<n> overrides the parallelism (default: nproc).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+PREFIX="${1:-build}"
+JOBS="${JOBS:-$(nproc)}"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "configure + build (${PREFIX})"
+cmake -B "${PREFIX}" -S . >/dev/null
+cmake --build "${PREFIX}" -j "${JOBS}"
+
+step "ndp-lint"
+"./${PREFIX}/tools/ndp_lint" .
+
+step "ctest (${PREFIX}: unit + bench_smoke + lint)"
+ctest --test-dir "${PREFIX}" -j "${JOBS}" --output-on-failure
+
+step "configure + build (${PREFIX}-check, NDP_PROTOCOL_CHECK=ON)"
+cmake -B "${PREFIX}-check" -S . -DNDP_PROTOCOL_CHECK=ON >/dev/null
+cmake --build "${PREFIX}-check" -j "${JOBS}"
+
+step "ctest (${PREFIX}-check: JEDEC audit enabled)"
+ctest --test-dir "${PREFIX}-check" -j "${JOBS}" --output-on-failure
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy"
+  cmake --build "${PREFIX}" --target tidy
+else
+  step "clang-tidy: not on PATH, skipped"
+fi
+
+step "all lanes passed"

@@ -1,0 +1,315 @@
+// ndp-lint: project-invariant static analysis for the JAFAR tree.
+//
+// Scans src/, bench/, and tests/ for violations of the invariants the
+// simulator's correctness claims rest on (DESIGN.md "Correctness tooling"):
+//
+//   include-guard   every header starts with #pragma once (or a classic
+//                   #ifndef guard) near the top of the file
+//   wall-clock      no wall-clock time sources: system_clock and
+//                   high_resolution_clock are banned everywhere, and sim/test
+//                   code may not touch std::chrono at all (simulated time is
+//                   integer picoseconds; bench/ may use steady_clock to
+//                   measure host throughput)
+//   banned-random   no std::rand/srand/random_device/mt19937 — all randomness
+//                   goes through the seeded, cross-platform ndp::Rng (PCG32),
+//                   or experiments stop being reproducible
+//   no-alloc        no heap allocation between "// ndp-lint: no-alloc-begin"
+//                   and "// ndp-lint: no-alloc-end" markers (the timing-wheel
+//                   hot path advertises zero allocation per event)
+//   stats-path      string literals registered as stats paths must match the
+//                   dotted-path grammar segment("."segment)*, segment =
+//                   [a-z0-9_]+ (DESIGN.md §6 naming)
+//   unordered-iter  no range-for over a std::unordered_{map,set} declared in
+//                   the same file: iteration order is unspecified and has fed
+//                   nondeterminism into dumped output before; use a sorted
+//                   container or justify with an annotation
+//
+// Any rule can be waived for one line by putting "// ndp-lint: <rule>-ok"
+// on that line or the line above it (include a reason).
+//
+// Adding a rule: write a RuleFn, append a row to kRules[] below, and document
+// it in DESIGN.md "Correctness tooling". Rules see one whole file at a time
+// (path, classification, and its lines) and append Findings.
+//
+// Usage: ndp_lint [repo_root]   (default: current directory)
+// Exit status: 0 clean, 1 findings, 2 usage/IO error.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct SourceFile {
+  std::string rel;                  ///< path relative to the repo root
+  std::string top;                  ///< first path component: src|bench|tests
+  bool is_header = false;
+  std::vector<std::string> lines;   ///< 0-based; finding line numbers 1-based
+};
+
+struct Finding {
+  std::string rel;
+  size_t line;  ///< 1-based
+  std::string rule;
+  std::string message;
+};
+
+using RuleFn = void (*)(const SourceFile&, std::vector<Finding>*);
+
+/// The code portion of a line: everything before a // comment. (Good enough
+/// for this tree — no multi-line /* */ blocks in checked regions.)
+std::string CodePart(const std::string& line) {
+  size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+/// True if line `i` (0-based) or the line above carries the waiver comment
+/// "ndp-lint: <rule>-ok".
+bool Suppressed(const SourceFile& f, size_t i, const std::string& rule) {
+  const std::string token = "ndp-lint: " + rule + "-ok";
+  if (f.lines[i].find(token) != std::string::npos) return true;
+  return i > 0 && f.lines[i - 1].find(token) != std::string::npos;
+}
+
+void Emit(const SourceFile& f, size_t i, const char* rule, std::string message,
+          std::vector<Finding>* out) {
+  if (Suppressed(f, i, rule)) return;
+  out->push_back(Finding{f.rel, i + 1, rule, std::move(message)});
+}
+
+// -- include-guard ------------------------------------------------------------
+
+void CheckIncludeGuard(const SourceFile& f, std::vector<Finding>* out) {
+  if (!f.is_header) return;
+  const size_t horizon = std::min<size_t>(f.lines.size(), 64);
+  for (size_t i = 0; i < horizon; ++i) {
+    const std::string code = CodePart(f.lines[i]);
+    if (code.find("#pragma once") != std::string::npos) return;
+    if (code.rfind("#ifndef", 0) == 0) return;  // classic guard
+  }
+  Emit(f, 0, "include-guard",
+       "header has no #pragma once (or #ifndef guard) in its first 64 lines",
+       out);
+}
+
+// -- wall-clock ---------------------------------------------------------------
+
+void CheckWallClock(const SourceFile& f, std::vector<Finding>* out) {
+  const bool chrono_banned = f.top != "bench";  // sim/test code: none at all
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string code = CodePart(f.lines[i]);
+    if (code.find("system_clock") != std::string::npos ||
+        code.find("high_resolution_clock") != std::string::npos) {
+      Emit(f, i, "wall-clock",
+           "wall-clock time source; simulated time is sim::Tick and host "
+           "timing (bench/ only) uses steady_clock",
+           out);
+      continue;
+    }
+    if (chrono_banned && (code.find("std::chrono") != std::string::npos ||
+                          code.find("#include <chrono>") != std::string::npos ||
+                          f.lines[i].rfind("#include <chrono>", 0) == 0)) {
+      Emit(f, i, "wall-clock",
+           "std::chrono in sim/test code; simulators and tests must be pure "
+           "functions of their inputs (use sim::Tick)",
+           out);
+    }
+  }
+}
+
+// -- banned-random ------------------------------------------------------------
+
+void CheckBannedRandom(const SourceFile& f, std::vector<Finding>* out) {
+  static const std::regex kBanned(
+      R"((\bstd::rand\b|\bsrand\s*\(|\brandom_device\b|\bmt19937\b|\brand\s*\())");
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    if (std::regex_search(CodePart(f.lines[i]), kBanned)) {
+      Emit(f, i, "banned-random",
+           "non-reproducible randomness source; draw from the seeded "
+           "ndp::Rng (util/rng.h) instead",
+           out);
+    }
+  }
+}
+
+// -- no-alloc -----------------------------------------------------------------
+
+void CheckNoAlloc(const SourceFile& f, std::vector<Finding>* out) {
+  static const std::regex kAlloc(
+      R"re(\bnew\b|\bmake_unique\b|\bmake_shared\b|\bmalloc\s*\(|\bcalloc\s*\()re"
+      R"re(|\brealloc\s*\(|(?:\.|->)(?:push_back|emplace_back|resize|reserve|insert|emplace)\s*\()re");
+  bool in_region = false;
+  size_t region_start = 0;
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    if (f.lines[i].find("ndp-lint: no-alloc-begin") != std::string::npos) {
+      if (in_region) {
+        Emit(f, i, "no-alloc", "nested no-alloc-begin marker", out);
+      }
+      in_region = true;
+      region_start = i;
+      continue;
+    }
+    if (f.lines[i].find("ndp-lint: no-alloc-end") != std::string::npos) {
+      if (!in_region) {
+        Emit(f, i, "no-alloc", "no-alloc-end marker without a begin", out);
+      }
+      in_region = false;
+      continue;
+    }
+    if (in_region && std::regex_search(CodePart(f.lines[i]), kAlloc)) {
+      Emit(f, i, "no-alloc",
+           "heap allocation inside a no-alloc region (opened at line " +
+               std::to_string(region_start + 1) + ")",
+           out);
+    }
+  }
+  if (in_region) {
+    Emit(f, region_start, "no-alloc", "no-alloc-begin marker never closed",
+         out);
+  }
+}
+
+// -- stats-path ---------------------------------------------------------------
+
+void CheckStatsPath(const SourceFile& f, std::vector<Finding>* out) {
+  // A registration call whose first argument is one complete string literal.
+  // Literals concatenated with '+' (dynamic names) end in '+' and don't match.
+  static const std::regex kCall(
+      R"re((?:\.Counter|\.Gauge|\.Histogram|\.Sub|RegisterCounter|RegisterGauge)re"
+      R"re(|RegisterHistogram|OwnedCounter)\s*\(\s*"([^"]*)"\s*[,)])re");
+  static const std::regex kGrammar(R"([a-z0-9_]+(\.[a-z0-9_]+)*)");
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string code = CodePart(f.lines[i]);
+    auto begin = std::sregex_iterator(code.begin(), code.end(), kCall);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      const std::string path = (*it)[1].str();
+      if (!std::regex_match(path, kGrammar)) {
+        Emit(f, i, "stats-path",
+             "stat path \"" + path +
+                 "\" violates the dotted-path grammar [a-z0-9_]+(.[a-z0-9_]+)*"
+                 " (DESIGN.md §6)",
+             out);
+      }
+    }
+  }
+}
+
+// -- unordered-iter -----------------------------------------------------------
+
+void CheckUnorderedIteration(const SourceFile& f, std::vector<Finding>* out) {
+  // Names declared in this file as std::unordered_{map,set} (members, locals).
+  static const std::regex kDecl(
+      R"(unordered_(?:map|set)\s*<[^;]*>\s+(\w+)\s*(?:;|=|\{|\())");
+  std::vector<std::string> unordered_names;
+  for (const std::string& line : f.lines) {
+    const std::string code = CodePart(line);
+    auto begin = std::sregex_iterator(code.begin(), code.end(), kDecl);
+    for (auto it = begin; it != std::sregex_iterator(); ++it) {
+      unordered_names.push_back((*it)[1].str());
+    }
+  }
+  if (unordered_names.empty()) return;
+  // Range-for whose sequence expression ends in one of those names.
+  static const std::regex kRangeFor(R"(for\s*\(.*:\s*\*?([\w.>\-]+)\s*\))");
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string code = CodePart(f.lines[i]);
+    std::smatch m;
+    if (!std::regex_search(code, m, kRangeFor)) continue;
+    std::string seq = m[1].str();
+    const size_t cut = seq.find_last_of(".>");  // obj.member_ / ptr->member_
+    if (cut != std::string::npos) seq = seq.substr(cut + 1);
+    if (std::find(unordered_names.begin(), unordered_names.end(), seq) ==
+        unordered_names.end()) {
+      continue;
+    }
+    Emit(f, i, "unordered-iter",
+         "range-for over unordered container '" + seq +
+             "': iteration order is unspecified and must not feed reported "
+             "output; sort first or annotate why order cannot escape",
+         out);
+  }
+}
+
+// -- rule table ---------------------------------------------------------------
+
+struct Rule {
+  const char* id;
+  RuleFn fn;
+};
+
+constexpr Rule kRules[] = {
+    {"include-guard", CheckIncludeGuard},
+    {"wall-clock", CheckWallClock},
+    {"banned-random", CheckBannedRandom},
+    {"no-alloc", CheckNoAlloc},
+    {"stats-path", CheckStatsPath},
+    {"unordered-iter", CheckUnorderedIteration},
+};
+
+bool LoadFile(const fs::path& root, const fs::path& path, SourceFile* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  out->rel = fs::relative(path, root).generic_string();
+  out->top = out->rel.substr(0, out->rel.find('/'));
+  out->is_header = path.extension() == ".h";
+  std::string line;
+  while (std::getline(in, line)) out->lines.push_back(line);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: %s [repo_root]\n", argv[0]);
+    return 2;
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
+
+  std::vector<fs::path> files;
+  for (const char* dir : {"src", "bench", "tests"}) {
+    const fs::path sub = root / dir;
+    if (!fs::exists(sub)) {
+      std::fprintf(stderr, "ndp_lint: missing directory %s\n",
+                   sub.string().c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(sub)) {
+      if (!entry.is_regular_file()) continue;
+      const fs::path ext = entry.path().extension();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  size_t scanned = 0;
+  for (const fs::path& path : files) {
+    SourceFile f;
+    if (!LoadFile(root, path, &f)) {
+      std::fprintf(stderr, "ndp_lint: cannot read %s\n", path.string().c_str());
+      return 2;
+    }
+    ++scanned;
+    for (const Rule& rule : kRules) rule.fn(f, &findings);
+  }
+
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.rel != b.rel) return a.rel < b.rel;
+              if (a.line != b.line) return a.line < b.line;
+              return a.rule < b.rule;
+            });
+  for (const Finding& fd : findings) {
+    std::printf("%s:%zu: [%s] %s\n", fd.rel.c_str(), fd.line, fd.rule.c_str(),
+                fd.message.c_str());
+  }
+  std::printf("ndp_lint: %zu files scanned, %zu finding%s\n", scanned,
+              findings.size(), findings.size() == 1 ? "" : "s");
+  return findings.empty() ? 0 : 1;
+}
