@@ -88,6 +88,8 @@ Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
     job.range_low = lo;
     job.range_high = hi;
     job.out_base = part.out_base;
+    // Exclusive-ownership research harness: a wedged device surfaces as a
+    // failed RunUntilTrue drain check below.  ndp-lint: watchdog-arm-ok
     NDP_RETURN_NOT_OK(devices_[part.device]->StartSelect(
         job, [&done, &makespan_end](sim::Tick t) {
           ++done;

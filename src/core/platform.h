@@ -15,7 +15,9 @@
 #include "dram/address.h"
 #include "dram/controller.h"
 #include "dram/timing.h"
+#include "fault/fault_plan.h"
 #include "jafar/config.h"
+#include "jafar/driver.h"
 
 namespace ndp::core {
 
@@ -31,6 +33,13 @@ struct PlatformConfig {
   dram::ControllerConfig controller;
   accel::DatapathResources jafar_datapath;  ///< for DeviceConfig::Derive
   uint32_t jafar_output_buffer_bits = 4096;
+  jafar::DriverConfig driver;               ///< page size, watchdog, retries
+
+  /// Fault-injection campaign (src/fault). Defaults to inactive (all-zero
+  /// rates); benches and tests set it programmatically, and SystemModel
+  /// overlays the NDP_FAULT_* environment on top (see FaultPlan::FromEnv).
+  /// Only honoured when built with NDP_FAULT_INJECT.
+  fault::FaultPlan fault_plan;
 
   /// Table 1, left column: one 1 GHz out-of-order core, 64 kB L1 + 128 kB L2,
   /// 2 GB DDR3 (capacity scaled in simulation), no prefetching — "fairly

@@ -62,6 +62,26 @@ PushdownDecision PushdownPlanner::Decide(uint64_t rows,
   return d;
 }
 
+Status ValidatePushdownResult(const db::PositionList& positions,
+                              uint64_t num_rows) {
+  // A bitmap-derived result is strictly increasing and in range by
+  // construction; anything else means a faulted/partial device result leaked
+  // through recovery, and must be rejected (the caller re-runs on the CPU)
+  // rather than silently double-counting rows.
+  uint64_t prev = 0;
+  bool first = true;
+  for (uint32_t p : positions) {
+    if (p >= num_rows || (!first && p <= prev)) {
+      return Status::Internal(
+          "pushdown result hygiene: positions not strictly increasing/in "
+          "range — discarding partial device result");
+    }
+    prev = p;
+    first = false;
+  }
+  return Status::OK();
+}
+
 void PushdownPlanner::Install(db::QueryContext* ctx,
                               double default_selectivity) {
   db::NdpSelectHook raw = system_->MakePushdownHook();
@@ -72,7 +92,9 @@ void PushdownPlanner::Install(db::QueryContext* ctx,
     if (!d.use_jafar) {
       return Status::FailedPrecondition("planner: " + d.reason);
     }
-    return raw(col, pred);
+    NDP_ASSIGN_OR_RETURN(db::PositionList positions, raw(col, pred));
+    NDP_RETURN_NOT_OK(ValidatePushdownResult(positions, col.size()));
+    return positions;
   };
 }
 

@@ -34,6 +34,12 @@ struct PushdownDecision {
   std::string reason;
 };
 
+/// Rejects device select results that are not strictly increasing in-range
+/// position lists (a faulted device leaking a partial/duplicated result
+/// through recovery). Returning an error routes the select to the CPU path.
+Status ValidatePushdownResult(const db::PositionList& positions,
+                              uint64_t num_rows);
+
 /// \brief Decides, per select, whether to push down to JAFAR.
 class PushdownPlanner {
  public:

@@ -23,8 +23,27 @@ SystemModel::SystemModel(PlatformConfig config) : config_(std::move(config)) {
   device_config_.output_buffer_bits = config_.jafar_output_buffer_bits;
   device_ = std::make_unique<jafar::Device>(dram_.get(), 0, 0, device_config_,
                                             root.Sub("jafar").Sub("dev0"));
-  driver_ = std::make_unique<jafar::Driver>(device_.get(),
-                                            &dram_->controller(0));
+  driver_ = std::make_unique<jafar::Driver>(device_.get(), &dram_->controller(0),
+                                            config_.driver, root.Sub("jafar"));
+
+  StatsScope core_scope = root.Sub("core");
+  core_scope.Counter("pushdown_fallbacks", &pushdown_fallbacks_);
+  core_scope.Counter("degraded_mode", &degraded_mode_);
+  core_scope.Counter("pushdown_probes", &pushdown_probes_);
+
+#ifdef NDP_FAULT_INJECT
+  // Overlay the NDP_FAULT_* environment on the programmatic plan, and attach
+  // an injector to the device only when some rate is nonzero — a system with
+  // an inactive plan takes no RNG draws and stays byte-identical to a
+  // fault-free build.
+  Result<fault::FaultPlan> plan = fault::FaultPlan::FromEnv(config_.fault_plan);
+  NDP_CHECK_MSG(plan.ok(), plan.status().ToString().c_str());
+  if (plan.ValueOrDie().active()) {
+    injector_ = std::make_unique<fault::FaultInjector>(plan.ValueOrDie(),
+                                                       root.Sub("fault"));
+    device_->set_fault_injector(injector_.get());
+  }
+#endif
 }
 
 uint64_t SystemModel::Allocate(uint64_t bytes, uint64_t align) {
@@ -185,6 +204,14 @@ Result<SystemModel::JafarRunResult> SystemModel::RunJafarSelect(
   PumpUntil(&done);
   if (driver_->registers().Read(jafar::Reg::kStatus) ==
       static_cast<uint64_t>(jafar::DeviceStatus::kError)) {
+    // Release the rank before reporting: a failed select must not leave the
+    // host memory controller locked out.
+    bool relinquished = false;
+    driver_->ReleaseOwnership([&relinquished](sim::Tick) {
+      relinquished = true;
+    });
+    PumpUntil(&relinquished);
+    if (!select_result.status.ok()) return select_result.status;
     return Status::Internal("JAFAR select failed (status register = ERROR)");
   }
 
@@ -207,6 +234,23 @@ std::string SystemModel::DumpStats() const {
   return out;
 }
 
+namespace {
+
+/// Device-side failure codes: the ones the pushdown circuit breaker counts.
+/// Validation errors (unsupported predicate, bad arguments) say nothing about
+/// device health and never trip the breaker.
+bool IsDeviceFailure(StatusCode code) {
+  return code == StatusCode::kInternal || code == StatusCode::kDeviceBusy ||
+         code == StatusCode::kResourceExhausted;
+}
+
+/// Consecutive device failures before the breaker opens.
+constexpr uint32_t kDegradeThreshold = 3;
+/// While degraded, every Nth pushdown call probes the device again.
+constexpr uint64_t kProbeInterval = 16;
+
+}  // namespace
+
 db::NdpSelectHook SystemModel::MakePushdownHook() {
   return [this](const db::Column& col,
                 const db::Pred& pred) -> Result<db::PositionList> {
@@ -221,11 +265,36 @@ db::NdpSelectHook SystemModel::MakePushdownHook() {
       default:
         return Status::Unimplemented("predicate not supported by JAFAR");
     }
-    NDP_ASSIGN_OR_RETURN(JafarRunResult run, RunJafarSelect(col, lo, hi));
+
+    // Circuit breaker: after kDegradeThreshold consecutive device failures,
+    // stop dispatching to JAFAR (each failed attempt costs watchdog + retry
+    // latency) and decline immediately, except for a periodic probe that
+    // checks whether the device has recovered.
+    if (degraded_mode_ != 0) {
+      if (++pushdown_probes_ % kProbeInterval != 0) {
+        // kDeviceBusy (not kFailedPrecondition) so the operator layer counts
+        // this as a device-health fallback, unlike planner declines.
+        return Status::DeviceBusy(
+            "JAFAR pushdown degraded: device declined without dispatch");
+      }
+    }
+
+    Result<JafarRunResult> run = RunJafarSelect(col, lo, hi);
+    if (!run.ok()) {
+      if (IsDeviceFailure(run.status().code())) {
+        ++pushdown_fallbacks_;
+        if (++consecutive_failures_ >= kDegradeThreshold) degraded_mode_ = 1;
+      }
+      return run.status();
+    }
+    consecutive_failures_ = 0;
+    degraded_mode_ = 0;
+
     // Read the bitmap back (the CPU would stream it through its caches).
     BitVector bm(col.size());
     for (size_t w = 0; w < bm.num_words(); ++w) {
-      bm.SetWord(w, dram_->backing_store().Read64(run.bitmap_addr + w * 8));
+      bm.SetWord(w, dram_->backing_store().Read64(
+                        run.ValueOrDie().bitmap_addr + w * 8));
     }
     return db::BitmapToPositions(bm);
   };

@@ -14,6 +14,7 @@
 #include "cpu/kernels.h"
 #include "db/operators.h"
 #include "dram/dram_system.h"
+#include "fault/injector.h"
 #include "jafar/driver.h"
 #include "util/stats_registry.h"
 
@@ -95,7 +96,22 @@ class SystemModel {
   /// Builds an NDP pushdown hook for db::QueryContext::ndp_select that
   /// executes selects on this system's JAFAR unit. Only kBetween/kEq/kLe/kGe/
   /// kLt/kGt predicates are pushable; others return an error (CPU fallback).
+  ///
+  /// Graceful degradation: device failures that survive the driver's retry
+  /// budget bump `pushdown_fallbacks` and return an error so the operator
+  /// layer transparently re-executes on the CPU scalar path (bit-identical
+  /// results). After `kDegradeThreshold` consecutive failures the hook trips
+  /// into degraded mode (gauge `system.core.degraded_mode` = 1) and declines
+  /// immediately, probing the device again every `kProbeInterval`-th call.
   db::NdpSelectHook MakePushdownHook();
+
+  /// True while the pushdown hook is declining JAFAR (circuit breaker open).
+  bool degraded_mode() const { return degraded_mode_ != 0; }
+
+  /// Seeded fault source attached to the JAFAR device, or null when the
+  /// configured FaultPlan (PlatformConfig + NDP_FAULT_* env) is inactive or
+  /// fault injection is compiled out.
+  fault::FaultInjector* fault_injector() { return injector_.get(); }
 
   /// gem5-style statistics dump: a sorted walk of the whole registry as
   /// "path value" lines (core, caches, memory controllers, JAFAR device).
@@ -120,8 +136,16 @@ class SystemModel {
   std::unique_ptr<cpu::CacheHierarchy> hierarchy_;
   std::unique_ptr<cpu::Core> core_;
   jafar::DeviceConfig device_config_;
+  /// Declared before device_: the device holds a raw pointer to the injector.
+  std::unique_ptr<fault::FaultInjector> injector_;
   std::unique_ptr<jafar::Device> device_;
   std::unique_ptr<jafar::Driver> driver_;
+
+  // Pushdown health (registered under "system.core").
+  uint64_t pushdown_fallbacks_ = 0;   ///< device failures rerouted to the CPU
+  uint64_t degraded_mode_ = 0;        ///< gauge: 1 while the breaker is open
+  uint64_t pushdown_probes_ = 0;      ///< degraded-mode trial dispatches
+  uint32_t consecutive_failures_ = 0;
 
   uint64_t next_alloc_ = 0;
   std::unordered_map<const db::Column*, uint64_t> pinned_;

@@ -19,13 +19,26 @@ constexpr uint64_t kAggUops = 3;
 constexpr uint64_t kGroupAggUops = 8;
 }  // namespace
 
+namespace {
+// Pushdown declines split into "the device broke" (a dispatched JAFAR job
+// failed past its retry budget, or the breaker is open) vs. "not applicable"
+// (unsupported predicate, planner said CPU is cheaper). The former is the
+// graceful-degradation path and gets its own operator stat.
+bool IsDeviceFallback(StatusCode code) {
+  return code == StatusCode::kInternal || code == StatusCode::kDeviceBusy ||
+         code == StatusCode::kResourceExhausted;
+}
+}  // namespace
+
 PositionList ScanSelect(QueryContext* ctx, const Column& col, const Pred& pred) {
+  bool device_fallback = false;
   if (ctx->ndp_select) {
     auto pushed = ctx->ndp_select(col, pred);
     if (pushed.ok()) {
       ctx->Record("scan_select[jafar]", col.size(), pushed.value().size());
       return std::move(pushed).value();
     }
+    device_fallback = IsDeviceFallback(pushed.status().code());
     NDP_LOG_DEBUG("NDP pushdown declined, CPU fallback: %s",
                   pushed.status().ToString().c_str());
   }
@@ -63,7 +76,8 @@ PositionList ScanSelect(QueryContext* ctx, const Column& col, const Pred& pred) 
       }
     }
   }
-  ctx->Record("scan_select", n, out.size());
+  ctx->Record(device_fallback ? "scan_select[cpu_fallback]" : "scan_select", n,
+              out.size());
   return out;
 }
 

@@ -24,6 +24,17 @@ DramSystem::DramSystem(sim::EventQueue* eq, DramTiming timing,
     controllers_.push_back(std::make_unique<MemoryController>(
         eq, channels_.back().get(), &mapper_, ctrl_config,
         stats.Sub("ctrl" + std::to_string(c))));
+    // Per-rank ECC scrub counters (fault-injection read path, src/fault).
+    StatsScope ch_scope = stats.Sub("ch" + std::to_string(c));
+    Channel* ch = channels_.back().get();
+    for (uint32_t r = 0; r < ch->num_ranks(); ++r) {
+      const Rank& rank = ch->rank(r);
+      StatsScope rank_scope = ch_scope.Sub("rank" + std::to_string(r));
+      rank_scope.Counter("ecc_corrected",
+                         [&rank] { return rank.ecc_corrected(); });
+      rank_scope.Counter("ecc_uncorrectable",
+                         [&rank] { return rank.ecc_uncorrectable(); });
+    }
   }
 }
 

@@ -67,6 +67,15 @@ class Rank {
   uint64_t activates_issued() const { return activates_issued_; }
   uint64_t refreshes_issued() const { return refreshes_issued_; }
 
+  // ECC scrub log: read-path bit flips observed on bursts served by this
+  // rank, classified by the SECDED model (src/fault/ecc.h). Bumped by the
+  // fault-injection path; a real controller would log these to the scrub
+  // daemon via machine-check records.
+  uint64_t ecc_corrected() const { return ecc_corrected_; }
+  uint64_t ecc_uncorrectable() const { return ecc_uncorrectable_; }
+  void NoteEccCorrected() { ++ecc_corrected_; }
+  void NoteEccUncorrectable() { ++ecc_uncorrectable_; }
+
  private:
   sim::Tick Cycles(uint32_t n) const { return n * bus_.period_ps(); }
   sim::Tick EarliestActivate(uint32_t bank) const;
@@ -88,6 +97,8 @@ class Rank {
   uint64_t writes_issued_ = 0;
   uint64_t activates_issued_ = 0;
   uint64_t refreshes_issued_ = 0;
+  uint64_t ecc_corrected_ = 0;
+  uint64_t ecc_uncorrectable_ = 0;
 };
 
 }  // namespace ndp::dram

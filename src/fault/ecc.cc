@@ -1,0 +1,112 @@
+#include "fault/ecc.h"
+
+#include "util/macros.h"
+
+namespace ndp::fault {
+
+namespace {
+
+constexpr uint32_t kPositions = 71;  ///< codeword positions 1..71 (0 = parity)
+
+bool IsPowerOfTwo(uint32_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// Data-bit index (0..63) occupying codeword position `pos`, or -1 for a
+/// check position. Positions are filled in increasing order, skipping the
+/// seven power-of-two check positions.
+int DataIndexAt(uint32_t pos) {
+  if (IsPowerOfTwo(pos)) return -1;
+  int idx = -1;
+  for (uint32_t p = 1; p <= pos; ++p) {
+    if (!IsPowerOfTwo(p)) ++idx;
+  }
+  return idx;
+}
+
+/// Bit value at codeword position `pos` given the data word and the seven
+/// Hamming check bits (check bits 1..7 of `check`; bit 0 is overall parity).
+uint32_t BitAt(uint64_t data, uint8_t check, uint32_t pos) {
+  if (IsPowerOfTwo(pos)) {
+    uint32_t i = 0;
+    while ((1u << i) != pos) ++i;
+    return (check >> (i + 1)) & 1u;
+  }
+  return static_cast<uint32_t>((data >> DataIndexAt(pos)) & 1u);
+}
+
+}  // namespace
+
+uint8_t EccEncode(uint64_t data) {
+  uint8_t check = 0;
+  // Hamming bits: p_i = even parity over data positions with bit i set.
+  for (uint32_t i = 0; i < 7; ++i) {
+    uint32_t parity = 0;
+    for (uint32_t pos = 1; pos <= kPositions; ++pos) {
+      if (IsPowerOfTwo(pos)) continue;
+      if ((pos >> i) & 1u) {
+        parity ^= static_cast<uint32_t>((data >> DataIndexAt(pos)) & 1u);
+      }
+    }
+    check |= static_cast<uint8_t>(parity << (i + 1));
+  }
+  // Overall SECDED parity over every data and Hamming bit.
+  uint32_t overall = 0;
+  for (uint32_t pos = 1; pos <= kPositions; ++pos) {
+    overall ^= BitAt(data, check, pos);
+  }
+  check |= static_cast<uint8_t>(overall & 1u);
+  return check;
+}
+
+EccDecoded EccDecode(uint64_t data, uint8_t check) {
+  // Syndrome: per-group parity including the stored check bit; a clean
+  // codeword has even parity in every group.
+  uint32_t syndrome = 0;
+  for (uint32_t i = 0; i < 7; ++i) {
+    uint32_t parity = 0;
+    for (uint32_t pos = 1; pos <= kPositions; ++pos) {
+      if ((pos >> i) & 1u) parity ^= BitAt(data, check, pos);
+    }
+    syndrome |= parity << i;
+  }
+  uint32_t overall = check & 1u;
+  for (uint32_t pos = 1; pos <= kPositions; ++pos) {
+    overall ^= BitAt(data, check, pos);
+  }
+
+  EccDecoded out;
+  out.data = data;
+  if (syndrome == 0 && overall == 0) {
+    out.result = EccResult::kClean;
+    return out;
+  }
+  if (overall == 1) {
+    // Odd number of flips with a consistent locator: a single-bit error at
+    // position `syndrome` (0 = the overall parity bit itself).
+    out.result = EccResult::kCorrected;
+    out.error_position = syndrome;
+    if (syndrome != 0 && !IsPowerOfTwo(syndrome)) {
+      out.data = data ^ (uint64_t{1} << DataIndexAt(syndrome));
+    }
+    return out;
+  }
+  // Syndrome set but overall parity intact: an even number of flips.
+  out.result = EccResult::kUncorrectable;
+  return out;
+}
+
+EccCodeword EccFlipBit(uint64_t data, uint8_t check, uint32_t position) {
+  NDP_DCHECK(position < kEccCodewordBits);
+  EccCodeword cw{data, check};
+  if (position == 0) {
+    cw.check ^= 1u;  // overall parity bit
+  } else if (IsPowerOfTwo(position)) {
+    uint32_t i = 0;
+    while ((1u << i) != position) ++i;
+    cw.check ^= static_cast<uint8_t>(1u << (i + 1));
+  } else {
+    cw.data ^= uint64_t{1} << DataIndexAt(position);
+  }
+  return cw;
+}
+
+}  // namespace ndp::fault

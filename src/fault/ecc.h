@@ -1,0 +1,55 @@
+// SECDED ECC model: the (72,64) single-error-correct / double-error-detect
+// Hamming code that commodity ECC DIMMs apply to every 64-bit word (8 check
+// bits stored in the x8 ECC device of the rank). The fault framework uses it
+// to classify injected IO-buffer bit flips the way a real rank would: a
+// single flipped bit is corrected in-line (and scrubbed), a double flip
+// raises an uncorrectable-error machine check that the JAFAR driver must
+// recover from by retrying the job.
+//
+// Code construction (even parity): codeword bit positions 1..71 carry the 64
+// data bits in the non-power-of-two positions and the 7 Hamming check bits
+// p0..p6 at positions 1,2,4,...,64; check bit p_i covers every position with
+// bit i set in its index. Position 0 holds the overall (SECDED) parity over
+// positions 1..71. Syndrome != 0 with overall-parity mismatch locates a
+// single error; syndrome != 0 with overall parity intact means two bits
+// flipped — detectable but not correctable.
+#pragma once
+
+#include <cstdint>
+
+namespace ndp::fault {
+
+/// Number of bits in one SECDED codeword (64 data + 8 check).
+constexpr uint32_t kEccCodewordBits = 72;
+
+/// Computes the 8 check bits (p6..p0 in bits 7..1, overall parity in bit 0)
+/// for a 64-bit data word.
+uint8_t EccEncode(uint64_t data);
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+enum class EccResult : uint8_t {
+  kClean,          ///< syndrome zero, parity consistent
+  kCorrected,      ///< single-bit error located and repaired
+  kUncorrectable,  ///< double-bit error: detected, not repairable
+};
+
+/// Decoded word plus classification.
+struct EccDecoded {
+  EccResult result = EccResult::kClean;
+  uint64_t data = 0;           ///< corrected data (valid unless uncorrectable)
+  uint32_t error_position = 0; ///< codeword position of a corrected flip
+};
+
+/// Decodes `data` against its stored `check` bits.
+EccDecoded EccDecode(uint64_t data, uint8_t check);
+
+/// Returns `data` with codeword-position `position` (1..71, data or check
+/// position) flipped, as a (data, check) pair packed for re-decoding. Used by
+/// the injector to flip physical codeword bits rather than plain data bits.
+struct EccCodeword {
+  uint64_t data = 0;
+  uint8_t check = 0;
+};
+EccCodeword EccFlipBit(uint64_t data, uint8_t check, uint32_t position);
+
+}  // namespace ndp::fault

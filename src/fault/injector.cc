@@ -1,0 +1,94 @@
+#include "fault/injector.h"
+
+#include "fault/ecc.h"
+
+namespace ndp::fault {
+
+namespace {
+// PCG32 stream selectors, one per fault layer (arbitrary distinct odd bases).
+constexpr uint64_t kEccStream = 0xecc;
+constexpr uint64_t kDeviceStream = 0xdec;
+constexpr uint64_t kCompletionStream = 0xd0b;
+}  // namespace
+
+FaultInjector::FaultInjector(const FaultPlan& plan, const StatsScope& stats)
+    : plan_(plan),
+      ecc_rng_(plan.seed, kEccStream),
+      device_rng_(plan.seed, kDeviceStream),
+      completion_rng_(plan.seed, kCompletionStream) {
+  NDP_CHECK_MSG(plan.Validate().ok(), "invalid fault plan");
+  stats.Counter("ecc_ce_injected", &counters_.ecc_ce_injected);
+  stats.Counter("ecc_ue_injected", &counters_.ecc_ue_injected);
+  stats.Counter("hangs_injected", &counters_.hangs_injected);
+  stats.Counter("stalls_injected", &counters_.stalls_injected);
+  stats.Counter("corruptions_injected", &counters_.corruptions_injected);
+  stats.Counter("drops_injected", &counters_.drops_injected);
+}
+
+ReadFault FaultInjector::DrawReadBurst() {
+  if (plan_.ecc_ce_per_burst <= 0 && plan_.ecc_ue_per_burst <= 0) {
+    return ReadFault::kNone;
+  }
+  // One uniform draw per burst covers both outcomes, so the CE and UE rates
+  // partition the unit interval: [0, ue) -> UE, [ue, ue+ce) -> CE.
+  double u = ecc_rng_.NextDouble();
+  if (u < plan_.ecc_ue_per_burst) {
+    ++counters_.ecc_ue_injected;
+    return ReadFault::kUncorrectable;
+  }
+  if (u < plan_.ecc_ue_per_burst + plan_.ecc_ce_per_burst) {
+    ++counters_.ecc_ce_injected;
+    return ReadFault::kCorrectable;
+  }
+  return ReadFault::kNone;
+}
+
+uint32_t FaultInjector::DrawEccBitPosition() {
+  return ecc_rng_.NextBounded(kEccCodewordBits);
+}
+
+void FaultInjector::DrawEccDoubleFlip(uint32_t* a, uint32_t* b) {
+  *a = ecc_rng_.NextBounded(kEccCodewordBits);
+  *b = ecc_rng_.NextBounded(kEccCodewordBits - 1);
+  if (*b >= *a) ++*b;  // distinct positions
+}
+
+bool FaultInjector::DrawHangAtDispatch() {
+  if (plan_.hang_per_job <= 0) return false;
+  bool hit = device_rng_.NextBool(plan_.hang_per_job);
+  if (hit) ++counters_.hangs_injected;
+  return hit;
+}
+
+bool FaultInjector::DrawStallAtBurst() {
+  if (plan_.stall_per_burst <= 0) return false;
+  bool hit = device_rng_.NextBool(plan_.stall_per_burst);
+  if (hit) ++counters_.stalls_injected;
+  return hit;
+}
+
+bool FaultInjector::DrawCorruptAtFlush() {
+  if (plan_.corrupt_per_flush <= 0) return false;
+  bool hit = device_rng_.NextBool(plan_.corrupt_per_flush);
+  if (hit) ++counters_.corruptions_injected;
+  return hit;
+}
+
+uint64_t FaultInjector::DrawCorruptBit(uint64_t bits) {
+  NDP_DCHECK(bits > 0);
+  if (bits <= 1) return 0;
+  // Two 32-bit draws stitched for ranges past 2^32 (bitmaps stay far below).
+  uint64_t hi = bits >> 32;
+  if (hi == 0) return device_rng_.NextBounded(static_cast<uint32_t>(bits));
+  uint64_t word = device_rng_.NextU64();
+  return word % bits;  // bias negligible at these magnitudes
+}
+
+bool FaultInjector::DrawDropCompletion() {
+  if (plan_.drop_per_completion <= 0) return false;
+  bool hit = completion_rng_.NextBool(plan_.drop_per_completion);
+  if (hit) ++counters_.drops_injected;
+  return hit;
+}
+
+}  // namespace ndp::fault

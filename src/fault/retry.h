@@ -1,0 +1,39 @@
+// Capped exponential backoff for driver-level retries. Delays are simulated
+// time (sim::Tick picoseconds), so retry schedules are as deterministic as
+// everything else in the simulation.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/time.h"
+#include "util/macros.h"
+
+namespace ndp::fault {
+
+/// \brief Retry budget: bounded attempts with capped exponential backoff.
+///
+/// Attempt k (1-based) that fails retryably is re-dispatched after
+/// min(base_delay_ps * multiplier^(k-1), max_delay_ps). After max_attempts
+/// total attempts the failure is permanent and the caller degrades (for a
+/// pushdown select: transparent CPU re-execution).
+struct RetryPolicy {
+  uint32_t max_attempts = 5;
+  sim::Tick base_delay_ps = 200'000;      ///< 200 ns
+  uint32_t multiplier = 2;
+  sim::Tick max_delay_ps = 12'800'000;    ///< 12.8 µs cap
+
+  /// Backoff delay after failed attempt `attempt` (1-based).
+  sim::Tick DelayFor(uint32_t attempt) const {
+    NDP_DCHECK(attempt >= 1);
+    sim::Tick d = base_delay_ps;
+    for (uint32_t i = 1; i < attempt; ++i) {
+      if (d >= max_delay_ps / (multiplier ? multiplier : 1)) {
+        return max_delay_ps;
+      }
+      d *= multiplier;
+    }
+    return d < max_delay_ps ? d : max_delay_ps;
+  }
+};
+
+}  // namespace ndp::fault

@@ -1,0 +1,23 @@
+// Writeback checksum shared between the device (producer) and the driver
+// (verifier): FNV-1a folded over every output-bitmap word a job writes, in
+// flush order. The driver recomputes the checksum from DRAM after completion,
+// so any corruption between the datapath and the array is detected before
+// results are consumed.
+#pragma once
+
+#include <cstdint>
+
+namespace ndp::jafar {
+
+constexpr uint64_t kChecksumInit = 14695981039346656037ULL;
+
+/// Folds one 64-bit word into an FNV-1a accumulator, byte by byte.
+inline uint64_t ChecksumMix(uint64_t h, uint64_t word) {
+  for (int i = 0; i < 8; ++i) {
+    h ^= (word >> (i * 8)) & 0xff;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace ndp::jafar

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "fault/ecc.h"
+#include "fault/injector.h"
+#include "jafar/checksum.h"
 #include "util/logging.h"
 #include "util/macros.h"
 
@@ -28,6 +31,7 @@ Device::Device(dram::DramSystem* dram, uint32_t channel_index,
                 "JAFAR filters 64-bit words or packed 32-bit halves (§4)");
   pending_bits_.Resize(config_.output_buffer_bits);
   stats.Counter("jobs_completed", &stats_.jobs_completed);
+  stats.Counter("jobs_failed", &stats_.jobs_failed);
   stats.Counter("rows_processed", &stats_.rows_processed);
   stats.Counter("matches", &stats_.matches);
   stats.Counter("bursts_read", &stats_.bursts_read);
@@ -80,6 +84,102 @@ Status Device::CheckIdleAndOwned() const {
 }
 
 // ---------------------------------------------------------------------------
+// Fault handling & recovery
+
+void Device::ScheduleAtGuarded(sim::Tick t, std::function<void()> fn) {
+  uint64_t epoch = job_epoch_;
+  eq_->ScheduleAt(t, [this, epoch, fn = std::move(fn)] {
+    if (epoch == job_epoch_) fn();
+  });
+}
+
+void Device::ScheduleAfterGuarded(sim::Tick delta, std::function<void()> fn) {
+  ScheduleAtGuarded(eq_->Now() + delta, std::move(fn));
+}
+
+void Device::AbortJob() {
+  if (!busy_) return;  // completion won the race against the watchdog
+  ++job_epoch_;        // strand every in-flight sequencer event
+  stats_.total_busy_ps += eq_->Now();  // settle the negative start stamp
+  ++stats_.jobs_failed;
+  busy_ = false;
+  select_.reset();
+  aggregate_.reset();
+  project_.reset();
+  rowstore_.reset();
+  sort_.reset();
+  groupby_.reset();
+  on_done_ = nullptr;  // the aborting driver already gave up on this callback
+  last_job_status_ = Status::Internal("job aborted by driver reset");
+}
+
+void Device::FailJob(Status st) {
+  NDP_CHECK(busy_);
+  ++job_epoch_;
+  sim::Tick now = eq_->Now();
+  stats_.total_busy_ps += now;
+  ++stats_.jobs_failed;
+  busy_ = false;
+  select_.reset();
+  aggregate_.reset();
+  project_.reset();
+  rowstore_.reset();
+  sort_.reset();
+  groupby_.reset();
+  last_job_status_ = std::move(st);
+  auto cb = std::move(on_done_);
+  on_done_ = nullptr;
+  if (cb) cb(now);
+}
+
+bool Device::MaybeInjectHang() {
+#ifdef NDP_FAULT_INJECT
+  if (injector_ != nullptr && injector_->DrawHangAtDispatch()) {
+    // The command sequencer wedges before its first step: the device stays
+    // busy with no pending events. Only the driver watchdog (AbortJob) can
+    // recover it.
+    return true;
+  }
+#endif
+  return false;
+}
+
+bool Device::HandleReadFault(uint64_t burst_addr) {
+#ifdef NDP_FAULT_INJECT
+  fault::ReadFault rf = injector_->DrawReadBurst();
+  if (rf == fault::ReadFault::kNone) return true;
+  // Model the flip on the burst's first 64-bit word through the SECDED
+  // (72,64) code the DIMM would carry.
+  uint64_t word = dram_->backing_store().Read64(burst_addr);
+  uint8_t check = fault::EccEncode(word);
+  if (rf == fault::ReadFault::kCorrectable) {
+    uint32_t pos = injector_->DrawEccBitPosition();
+    fault::EccCodeword flipped = fault::EccFlipBit(word, check, pos);
+    fault::EccDecoded dec = fault::EccDecode(flipped.data, flipped.check);
+    NDP_CHECK_MSG(dec.result == fault::EccResult::kCorrected &&
+                      dec.data == word,
+                  "SECDED failed to correct a single-bit flip");
+    // Corrected in flight: the job sees clean data, only the scrub log knows.
+    channel().rank(rank_index_).NoteEccCorrected();
+    return true;
+  }
+  uint32_t a = 0, b = 0;
+  injector_->DrawEccDoubleFlip(&a, &b);
+  fault::EccCodeword flipped = fault::EccFlipBit(word, check, a);
+  flipped = fault::EccFlipBit(flipped.data, flipped.check, b);
+  fault::EccDecoded dec = fault::EccDecode(flipped.data, flipped.check);
+  NDP_CHECK_MSG(dec.result == fault::EccResult::kUncorrectable,
+                "SECDED failed to detect a double-bit flip");
+  channel().rank(rank_index_).NoteEccUncorrectable();
+  FailJob(Status::Internal("uncorrectable ECC error on read burst"));
+  return false;
+#else
+  (void)burst_addr;
+  return true;
+#endif
+}
+
+// ---------------------------------------------------------------------------
 // Sequencer
 
 void Device::IssueWhenReady(dram::Command cmd,
@@ -90,10 +190,10 @@ void Device::IssueWhenReady(dram::Command cmd,
   if (!config_.require_ownership &&
       dram_->controller(channel_index_).HasPendingWork()) {
     ++stats_.polite_backoffs;
-    eq_->ScheduleAfter(BusCycles(8),
-                       [this, cmd, next = std::move(next), on_stale] {
-                         IssueWhenReady(cmd, next, on_stale);
-                       });
+    ScheduleAfterGuarded(BusCycles(8),
+                         [this, cmd, next = std::move(next), on_stale] {
+                           IssueWhenReady(cmd, next, on_stale);
+                         });
     return;
   }
   // Refresh outranks rank ownership: when the host controller is stealing the
@@ -103,10 +203,10 @@ void Device::IssueWhenReady(dram::Command cmd,
   // bank state) once the refresh completes.
   if (dram_->controller(channel_index_).RefreshClaims(rank_index_)) {
     ++stats_.refresh_backoffs;
-    eq_->ScheduleAfter(BusCycles(8),
-                       [this, cmd, next = std::move(next), on_stale] {
-                         IssueWhenReady(cmd, next, on_stale);
-                       });
+    ScheduleAfterGuarded(BusCycles(8),
+                         [this, cmd, next = std::move(next), on_stale] {
+                           IssueWhenReady(cmd, next, on_stale);
+                         });
     return;
   }
   // Bank-state validity may have changed between scheduling and issue when a
@@ -137,7 +237,7 @@ void Device::IssueWhenReady(dram::Command cmd,
     next(done.value());
     return;
   }
-  eq_->ScheduleAt(t, [this, cmd, next = std::move(next), on_stale] {
+  ScheduleAtGuarded(t, [this, cmd, next = std::move(next), on_stale] {
     // Conditions may have shifted (other-rank traffic on the shared command
     // bus, host activity in polite mode): re-evaluate.
     IssueWhenReady(cmd, next, on_stale);
@@ -168,18 +268,29 @@ void Device::OpenRow(const dram::DramLocation& loc, std::function<void()> next) 
 void Device::ReadBurst(uint64_t addr, std::function<void(sim::Tick)> next) {
   auto loc = dram_->mapper().Decode(addr).ValueOrDie();
   auto attempt = std::make_shared<std::function<void()>>();
-  *attempt = [this, loc, next = std::move(next), attempt]() {
-    OpenRow(loc, [this, loc, next, attempt]() {
+  // The stored function holds only a weak self-reference (a strong capture
+  // would be a shared_ptr cycle that leaks the whole continuation chain);
+  // each invocation re-locks, and the in-flight DRAM callbacks below hold
+  // the strong references that keep retry alive while the burst is pending.
+  std::weak_ptr<std::function<void()>> weak = attempt;
+  *attempt = [this, loc, addr, next = std::move(next), weak]() {
+    auto self = weak.lock();
+    OpenRow(loc, [this, loc, addr, next, self]() {
       dram::Command rd{dram::CommandType::kRead, rank_index_, loc.bank,
                        loc.row, loc.burst_col};
       IssueWhenReady(
           rd,
-          [this, next](sim::Tick done) {
+          [this, addr, next](sim::Tick done) {
             ++stats_.bursts_read;
             stats_.data_wait_ps += BusCycles(timing().cl);
+#ifdef NDP_FAULT_INJECT
+            if (injector_ != nullptr && !HandleReadFault(addr)) {
+              return;  // uncorrectable ECC: FailJob already ran
+            }
+#endif
             next(done);
           },
-          /*on_stale=*/[attempt] { (*attempt)(); });
+          /*on_stale=*/[self] { (*self)(); });
     });
   };
   (*attempt)();
@@ -188,8 +299,11 @@ void Device::ReadBurst(uint64_t addr, std::function<void(sim::Tick)> next) {
 void Device::WriteBurst(uint64_t addr, std::function<void(sim::Tick)> next) {
   auto loc = dram_->mapper().Decode(addr).ValueOrDie();
   auto attempt = std::make_shared<std::function<void()>>();
-  *attempt = [this, loc, next = std::move(next), attempt]() {
-    OpenRow(loc, [this, loc, next, attempt]() {
+  // Weak self-reference for the same cycle-avoidance reason as ReadBurst.
+  std::weak_ptr<std::function<void()>> weak = attempt;
+  *attempt = [this, loc, next = std::move(next), weak]() {
+    auto self = weak.lock();
+    OpenRow(loc, [this, loc, next, self]() {
       dram::Command wr{dram::CommandType::kWrite, rank_index_, loc.bank,
                        loc.row, loc.burst_col};
       IssueWhenReady(
@@ -198,7 +312,7 @@ void Device::WriteBurst(uint64_t addr, std::function<void(sim::Tick)> next) {
             ++stats_.bursts_written;
             next(done);
           },
-          /*on_stale=*/[attempt] { (*attempt)(); });
+          /*on_stale=*/[self] { (*self)(); });
     });
   };
   (*attempt)();
@@ -225,10 +339,13 @@ Status Device::StartSelect(const SelectJob& job,
   pending_bit_count_ = 0;
   bitmap_write_cursor_ = 0;
   last_matches_ = 0;
+  last_job_status_ = Status::OK();
+  last_result_checksum_ = kChecksumInit;
   stats_.total_busy_ps -= eq_->Now();  // settled in FinishJob
-  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
-                         config_.clock.period_ps(),
-                     [this] { SelectStep(); });
+  if (MaybeInjectHang()) return Status::OK();
+  ScheduleAfterGuarded(config_.invocation_overhead_cycles *
+                           config_.clock.period_ps(),
+                       [this] { SelectStep(); });
   return Status::OK();
 }
 
@@ -261,10 +378,13 @@ Status Device::StartRowStore(const RowStoreJob& job,
   pending_bit_count_ = 0;
   bitmap_write_cursor_ = 0;
   last_matches_ = 0;
+  last_job_status_ = Status::OK();
+  last_result_checksum_ = kChecksumInit;
   stats_.total_busy_ps -= eq_->Now();
-  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
-                         config_.clock.period_ps(),
-                     [this] { SelectStep(); });
+  if (MaybeInjectHang()) return Status::OK();
+  ScheduleAfterGuarded(config_.invocation_overhead_cycles *
+                           config_.clock.period_ps(),
+                       [this] { SelectStep(); });
   return Status::OK();
 }
 
@@ -292,6 +412,14 @@ void Device::SelectStep() {
 
   ReadBurst(burst_addr, [this, first, rows_here, is_rowstore,
                          base](sim::Tick data_done) {
+#ifdef NDP_FAULT_INJECT
+    if (injector_ != nullptr && injector_->DrawStallAtBurst()) {
+      // Sequencer stall mid-scan: the partial bitmap may already be in DRAM,
+      // but this burst's rows are never accumulated. The device stays busy
+      // with no pending events until the driver watchdog aborts it.
+      return;
+    }
+#endif
     // Functional evaluation against the backing store contents.
     uint64_t matches_here = 0;
     for (uint64_t r = first; r < first + rows_here; ++r) {
@@ -340,7 +468,7 @@ void Device::ContinueWhenEngineReady(void (Device::*step)()) {
   sim::Tick earliest =
       engine_ready_at_ > pipe_ps ? engine_ready_at_ - pipe_ps : 0;
   if (earliest > eq_->Now()) {
-    eq_->ScheduleAt(earliest, [this, step] { (this->*step)(); });
+    ScheduleAtGuarded(earliest, [this, step] { (this->*step)(); });
   } else {
     (this->*step)();
   }
@@ -378,7 +506,22 @@ void Device::FlushBitmap(std::function<void()> next) {
       value = (old & ~keep_mask) | (value & keep_mask);
     }
     dram_->backing_store().Write64(addr + w * 8, value);
+    // Fold the final written word into the writeback checksum: the driver
+    // re-reads these exact words from DRAM, so any later corruption shows.
+    last_result_checksum_ = ChecksumMix(last_result_checksum_, value);
   }
+
+#ifdef NDP_FAULT_INJECT
+  if (injector_ != nullptr && injector_->DrawCorruptAtFlush()) {
+    // Flip one already-written bit after the checksum was taken — exactly
+    // what a flaky writeback path would do. The driver's verification pass
+    // catches the mismatch and retries the page.
+    uint64_t bit = injector_->DrawCorruptBit(pending_bit_count_);
+    uint64_t waddr = addr + (bit / 64) * 8;
+    uint64_t word = dram_->backing_store().Read64(waddr);
+    dram_->backing_store().Write64(waddr, word ^ (uint64_t{1} << (bit % 64)));
+  }
+#endif
 
   // Timing: one WR burst per 64 B of bitmap.
   uint64_t bursts = (bytes + kBurstBytes - 1) / kBurstBytes;
@@ -401,6 +544,7 @@ void Device::WriteBurstChain(uint64_t addr, uint64_t bursts,
 
 void Device::FinishJob() {
   sim::Tick now = eq_->Now();
+  ++job_epoch_;  // hygiene: no continuation of this job may fire after done
   stats_.total_busy_ps += now;
   ++stats_.jobs_completed;
   busy_ = false;
@@ -412,6 +556,13 @@ void Device::FinishJob() {
   groupby_.reset();
   auto cb = std::move(on_done_);
   on_done_ = nullptr;
+#ifdef NDP_FAULT_INJECT
+  if (injector_ != nullptr && injector_->DrawDropCompletion()) {
+    // The job finished and its results are in DRAM, but the completion
+    // signal is lost. The driver's watchdog times out and retries.
+    cb = nullptr;
+  }
+#endif
   if (cb) cb(now);
 }
 
@@ -434,10 +585,12 @@ Status Device::StartSort(const SortJob& job,
   on_done_ = std::move(on_done);
   cursor_rows_ = 0;
   engine_ready_at_ = eq_->Now();
+  last_job_status_ = Status::OK();
   stats_.total_busy_ps -= eq_->Now();
-  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
-                         config_.clock.period_ps(),
-                     [this] { SortStep(); });
+  if (MaybeInjectHang()) return Status::OK();
+  ScheduleAfterGuarded(config_.invocation_overhead_cycles *
+                           config_.clock.period_ps(),
+                       [this] { SortStep(); });
   return Status::OK();
 }
 
@@ -495,7 +648,7 @@ void Device::SortStep() {
     sim::Tick when = engine_ready_at_;
     uint64_t out_bursts = bursts;
     uint64_t out_base_addr = out_addr;
-    eq_->ScheduleAt(when, [this, out_base_addr, out_bursts] {
+    ScheduleAtGuarded(when, [this, out_base_addr, out_bursts] {
       WriteBurstChain(out_base_addr, out_bursts, [this] { SortStep(); });
     });
   });
@@ -529,10 +682,12 @@ Status Device::StartAggregate(const AggregateJob& job,
     case AggKind::kMin: agg_acc_ = INT64_MAX; break;
     case AggKind::kMax: agg_acc_ = INT64_MIN; break;
   }
+  last_job_status_ = Status::OK();
   stats_.total_busy_ps -= eq_->Now();
-  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
-                         config_.clock.period_ps(),
-                     [this] { AggregateStep(); });
+  if (MaybeInjectHang()) return Status::OK();
+  ScheduleAfterGuarded(config_.invocation_overhead_cycles *
+                           config_.clock.period_ps(),
+                       [this] { AggregateStep(); });
   return Status::OK();
 }
 
@@ -633,10 +788,12 @@ Status Device::StartGroupBy(const GroupByJob& job,
   }
   groupby_agg_.assign(config_.groupby_buckets, init);
   groupby_count_.assign(config_.groupby_buckets, 0);
+  last_job_status_ = Status::OK();
   stats_.total_busy_ps -= eq_->Now();
-  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
-                         config_.clock.period_ps(),
-                     [this] { GroupByStep(); });
+  if (MaybeInjectHang()) return Status::OK();
+  ScheduleAfterGuarded(config_.invocation_overhead_cycles *
+                           config_.clock.period_ps(),
+                       [this] { GroupByStep(); });
   return Status::OK();
 }
 
@@ -752,10 +909,12 @@ Status Device::StartProject(const ProjectJob& job,
   engine_ready_at_ = eq_->Now();
   project_out_buffer_.clear();
   project_emitted_ = 0;
+  last_job_status_ = Status::OK();
   stats_.total_busy_ps -= eq_->Now();
-  eq_->ScheduleAfter(config_.invocation_overhead_cycles *
-                         config_.clock.period_ps(),
-                     [this] { ProjectStep(); });
+  if (MaybeInjectHang()) return Status::OK();
+  ScheduleAfterGuarded(config_.invocation_overhead_cycles *
+                           config_.clock.period_ps(),
+                       [this] { ProjectStep(); });
   return Status::OK();
 }
 

@@ -18,11 +18,16 @@
 #include "util/stats_registry.h"
 #include "util/status.h"
 
+namespace ndp::fault {
+class FaultInjector;
+}  // namespace ndp::fault
+
 namespace ndp::jafar {
 
 /// Per-job and lifetime counters of one device.
 struct DeviceStats {
   uint64_t jobs_completed = 0;
+  uint64_t jobs_failed = 0;  ///< aborted by watchdog or failed (ECC UE, ...)
   uint64_t rows_processed = 0;
   uint64_t matches = 0;
   uint64_t bursts_read = 0;
@@ -48,6 +53,7 @@ struct DeviceStats {
   DeviceStats DeltaSince(const DeviceStats& before) const {
     DeviceStats d;
     d.jobs_completed = jobs_completed - before.jobs_completed;
+    d.jobs_failed = jobs_failed - before.jobs_failed;
     d.rows_processed = rows_processed - before.rows_processed;
     d.matches = matches - before.matches;
     d.bursts_read = bursts_read - before.bursts_read;
@@ -101,6 +107,32 @@ class Device {
   /// Matches produced by the most recent completed select/row-store job.
   uint64_t last_match_count() const { return last_matches_; }
 
+  // -- Fault injection & recovery (src/fault) -------------------------------
+
+  /// Attaches a seeded fault source. Null (the default) means no faults; the
+  /// draw sites only exist when built with NDP_FAULT_INJECT.
+  void set_fault_injector(fault::FaultInjector* injector) {
+    injector_ = injector;
+  }
+
+  /// Outcome of the most recent job: OK after a clean FinishJob, the failure
+  /// Status after an async abort (uncorrectable ECC, watchdog AbortJob).
+  /// Drivers must consult this in their completion callback — a callback
+  /// invocation alone no longer implies success.
+  const Status& last_job_status() const { return last_job_status_; }
+
+  /// FNV-1a checksum over every output-bitmap word the most recent
+  /// select/row-store job wrote back, in flush order. The driver recomputes
+  /// it from DRAM to detect result corruption (writeback verification).
+  uint64_t last_result_checksum() const { return last_result_checksum_; }
+
+  /// Hard-resets a hung or runaway job: strands all in-flight sequencer
+  /// events (epoch guard), settles timing stats, marks the job failed and
+  /// frees the device WITHOUT invoking the completion callback. No-op when
+  /// idle, so a watchdog may race a completion harmlessly. This is the
+  /// recovery path a real driver reaches through the device reset register.
+  void AbortJob();
+
  private:
   struct Step;  // one pending command in the sequencer
 
@@ -150,6 +182,29 @@ class Device {
                        std::function<void()> next);
   void FinishJob();
 
+  /// Fails the running job with `st`: strands in-flight events, settles
+  /// stats, records last_job_status_ and invokes the completion callback
+  /// (which must check last_job_status()).
+  void FailJob(Status st);
+
+  /// Epoch-guarded scheduling: the closure is dropped (not run) if the job
+  /// it belongs to was aborted or finished before the event fires. Every
+  /// sequencer continuation goes through these so AbortJob can cancel a job
+  /// without walking the event queue.
+  void ScheduleAtGuarded(sim::Tick t, std::function<void()> fn);
+  void ScheduleAfterGuarded(sim::Tick delta, std::function<void()> fn);
+
+  /// Draws the hang fault for a freshly dispatched job. Returns true when
+  /// the sequencer hangs: the first step is never scheduled and only
+  /// AbortJob (driver watchdog) can free the device.
+  bool MaybeInjectHang();
+
+  /// Applies one drawn read-path fault to the burst at `burst_addr` through
+  /// the SECDED model. Correctable: corrected in-flight, scrub counter bumps,
+  /// returns true (job continues). Uncorrectable: fails the job, returns
+  /// false.
+  bool HandleReadFault(uint64_t burst_addr);
+
   void AggregateStep();
   void ContinueAggregateWhenEngineReady();
   void ProjectStep();
@@ -170,6 +225,11 @@ class Device {
   std::function<void(sim::Tick)> on_done_;
   DeviceStats stats_;
   uint64_t last_matches_ = 0;
+
+  fault::FaultInjector* injector_ = nullptr;  ///< not owned; may be null
+  uint64_t job_epoch_ = 0;       ///< bumped on job end/abort to strand events
+  Status last_job_status_;       ///< outcome of the most recent job
+  uint64_t last_result_checksum_ = 0;  ///< FNV-1a over flushed bitmap words
 
   // Job state (one job at a time; union-like, only the active kind is used).
   std::optional<SelectJob> select_;

@@ -2,14 +2,70 @@
 
 #include <algorithm>
 
+#include "jafar/checksum.h"
 #include "util/macros.h"
 
 namespace ndp::jafar {
 
 Driver::Driver(Device* device, dram::MemoryController* controller,
-               DriverConfig config)
-    : device_(device), controller_(controller), config_(config) {
+               DriverConfig config, const StatsScope& stats)
+    : device_(device),
+      controller_(controller),
+      config_(config),
+      eq_(device->dram()->event_queue()) {
   NDP_CHECK(config_.page_bytes % 64 == 0);
+  NDP_CHECK(config_.retry.max_attempts >= 1);
+  watchdog_.driver = this;
+  stats.Counter("watchdog_fires", &stats_.watchdog_fires);
+  stats.Counter("retries", &stats_.retries);
+  stats.Counter("checksum_errors", &stats_.checksum_errors);
+  stats.Counter("device_errors", &stats_.device_errors);
+  stats.Counter("permanent_failures", &stats_.permanent_failures);
+  stats.Histogram("recovery_latency_ps", &recovery_latency_);
+}
+
+bool Driver::IsRetryable(StatusCode code) {
+  switch (code) {
+    // Transient device conditions: timeouts, machine checks, corruption.
+    case StatusCode::kInternal:
+    case StatusCode::kDeviceBusy:
+    case StatusCode::kResourceExhausted:
+      return true;
+    // Validation/configuration errors: re-dispatching cannot fix these.
+    default:
+      return false;
+  }
+}
+
+void Driver::ArmWatchdog(uint64_t rows, bool for_select) {
+  watchdog_for_select_ = for_select;
+  DisarmWatchdog();
+  sim::Tick deadline = eq_->Now() + config_.watchdog_base_ps +
+                       rows * config_.watchdog_per_row_ps;
+  eq_->Schedule(deadline, &watchdog_);
+}
+
+void Driver::DisarmWatchdog() {
+  if (watchdog_.scheduled()) eq_->Cancel(&watchdog_);
+}
+
+void Driver::OnWatchdogFire() {
+  ++stats_.watchdog_fires;
+  // Reclaim the device. AbortJob is a no-op when the job actually finished
+  // but its completion signal was dropped — either way the device is idle
+  // afterwards and the attempt is treated as timed out.
+  device_->AbortJob();
+  Status timeout =
+      Status::Internal("watchdog timeout: device did not signal completion");
+  if (watchdog_for_select_) {
+    HandlePageFailure(std::move(timeout));
+  } else {
+    HandleEngineFailure(std::move(timeout));
+  }
+}
+
+void Driver::RecordRecovery(sim::Tick latency_ps) {
+  recovery_latency_.Add(static_cast<double>(latency_ps));
 }
 
 void Driver::AcquireOwnership(std::function<void(sim::Tick)> done) {
@@ -21,6 +77,9 @@ void Driver::ReleaseOwnership(std::function<void(sim::Tick)> done) {
   controller_->TransferOwnership(device_->rank_index(), dram::RankOwner::kHost,
                                  std::move(done));
 }
+
+// ---------------------------------------------------------------------------
+// Paged select
 
 Status Driver::SelectJafar(uint64_t col_addr, int64_t range_low,
                            int64_t range_high, uint64_t out_addr,
@@ -56,12 +115,14 @@ Status Driver::SelectJafar(uint64_t col_addr, int64_t range_low,
   flag_addr_ = flag_addr;
   result_ = SelectResult{};
   select_done_ = std::move(on_done);
-  RunNextPage();
+  StartPageAttempt(1);
   return Status::OK();
 }
 
-void Driver::RunNextPage() {
+void Driver::StartPageAttempt(uint32_t attempt) {
   NDP_CHECK(rows_left_ > 0);
+  page_attempt_ = attempt;
+  if (attempt == 1) page_first_dispatch_ps_ = eq_->Now();
   uint64_t elem = device_->config().elem_bytes;
   uint64_t rows_per_page = config_.page_bytes / elem;
   uint64_t rows = std::min(rows_left_, rows_per_page);
@@ -73,27 +134,81 @@ void Driver::RunNextPage() {
   job.range_low = lo_;
   job.range_high = hi_;
   job.out_base = cur_out_;
-  Status st = device_->StartSelect(job, [this, rows, elem](sim::Tick t) {
-    result_.num_output_rows += device_->last_match_count();
-    ++result_.pages;
-    rows_left_ -= rows;
-    cur_col_ += rows * elem;
-    cur_out_ += (rows + 7) / 8;
-    if (rows_left_ == 0) {
-      FinishSelect(t);
-    } else {
-      RunNextPage();
-    }
-  });
+  Status st = device_->StartSelect(
+      job, [this, rows, elem](sim::Tick) { OnPageDone(rows, elem); });
   if (!st.ok()) {
-    // Surface the failure through the status register and abort the call.
-    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
-    select_active_ = false;
-    auto cb = std::move(select_done_);
-    select_done_ = nullptr;
-    result_.num_output_rows = 0;
-    if (cb) cb(result_);
+    ++stats_.device_errors;
+    HandlePageFailure(std::move(st));
+    return;
   }
+  ArmWatchdog(rows, /*for_select=*/true);
+}
+
+void Driver::OnPageDone(uint64_t rows, uint64_t elem) {
+  DisarmWatchdog();
+  if (!device_->last_job_status().ok()) {
+    // Async job failure (e.g. uncorrectable ECC machine check).
+    ++stats_.device_errors;
+    HandlePageFailure(device_->last_job_status());
+    return;
+  }
+  if (config_.verify_writeback && !VerifyPageChecksum(rows)) {
+    ++stats_.checksum_errors;
+    HandlePageFailure(
+        Status::Internal("writeback checksum mismatch on result bitmap"));
+    return;
+  }
+  if (page_attempt_ > 1) {
+    RecordRecovery(eq_->Now() - page_first_dispatch_ps_);
+  }
+  // The page's matches enter the result exactly once, here: a retried
+  // attempt rewrites the page's bitmap from scratch and last_match_count()
+  // reflects only the attempt that succeeded, so no double counting.
+  result_.num_output_rows += device_->last_match_count();
+  ++result_.pages;
+  rows_left_ -= rows;
+  cur_col_ += rows * elem;
+  cur_out_ += (rows + 7) / 8;
+  if (rows_left_ == 0) {
+    FinishSelect(eq_->Now());
+  } else {
+    StartPageAttempt(1);
+  }
+}
+
+bool Driver::VerifyPageChecksum(uint64_t rows) const {
+  // Recompute the FNV-1a the device folded over every bitmap word it wrote
+  // for this page, reading the words back from the DRAM array.
+  uint64_t bytes = (rows + 7) / 8;
+  uint64_t h = kChecksumInit;
+  for (uint64_t w = 0; w * 8 < bytes; ++w) {
+    h = ChecksumMix(h, device_->dram()->backing_store().Read64(cur_out_ + w * 8));
+  }
+  return h == device_->last_result_checksum();
+}
+
+void Driver::HandlePageFailure(Status st) {
+  DisarmWatchdog();
+  if (!IsRetryable(st.code()) ||
+      page_attempt_ >= config_.retry.max_attempts) {
+    ++stats_.permanent_failures;
+    FailSelect(std::move(st));
+    return;
+  }
+  ++stats_.retries;
+  eq_->ScheduleAfter(config_.retry.DelayFor(page_attempt_),
+                     [this] { StartPageAttempt(page_attempt_ + 1); });
+}
+
+void Driver::FailSelect(Status st) {
+  // Surface the failure through the status register and abort the call.
+  regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+  select_active_ = false;
+  auto cb = std::move(select_done_);
+  select_done_ = nullptr;
+  result_.num_output_rows = 0;
+  result_.status = std::move(st);
+  if (cb) cb(result_);
 }
 
 void Driver::FinishSelect(sim::Tick now) {
@@ -111,73 +226,134 @@ void Driver::FinishSelect(sim::Tick now) {
   if (cb) cb(result_);
 }
 
+// ---------------------------------------------------------------------------
+// Engine jobs: shared watchdog/retry wrapper
+
+Status Driver::StartEngineJob(
+    std::function<Status(std::function<void(sim::Tick)>)> start,
+    uint64_t watch_rows, std::function<void(sim::Tick)> on_done) {
+  if (engine_active_ || select_active_) {
+    return Status::DeviceBusy("another driver call is already in flight");
+  }
+  engine_active_ = true;
+  engine_attempt_ = 0;
+  engine_watch_rows_ = watch_rows;
+  engine_first_dispatch_ps_ = eq_->Now();
+  engine_start_ = std::move(start);
+  engine_done_ = std::move(on_done);
+  Status st = EngineAttempt();
+  if (!st.ok()) {
+    // First-attempt synchronous failures (validation, ownership) keep the
+    // original pass-through contract: status register + sync return, no
+    // retry, no callback.
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+    engine_active_ = false;
+    engine_start_ = nullptr;
+    engine_done_ = nullptr;
+  }
+  return st;
+}
+
+Status Driver::EngineAttempt() {
+  ++engine_attempt_;
+  Status st = engine_start_([this](sim::Tick t) { OnEngineDone(t); });
+  if (st.ok()) ArmWatchdog(engine_watch_rows_, /*for_select=*/false);
+  return st;
+}
+
+void Driver::OnEngineDone(sim::Tick t) {
+  DisarmWatchdog();
+  if (!device_->last_job_status().ok()) {
+    ++stats_.device_errors;
+    HandleEngineFailure(device_->last_job_status());
+    return;
+  }
+  if (engine_attempt_ > 1) {
+    RecordRecovery(eq_->Now() - engine_first_dispatch_ps_);
+  }
+  engine_active_ = false;
+  engine_start_ = nullptr;
+  regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
+  auto cb = std::move(engine_done_);
+  engine_done_ = nullptr;
+  if (cb) cb(t);
+}
+
+void Driver::HandleEngineFailure(Status st) {
+  DisarmWatchdog();
+  if (!IsRetryable(st.code()) ||
+      engine_attempt_ >= config_.retry.max_attempts) {
+    ++stats_.permanent_failures;
+    engine_active_ = false;
+    engine_start_ = nullptr;
+    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
+    // The callback still fires so callers pumping the event loop terminate;
+    // they must consult the kStatus register (kError) for the outcome.
+    auto cb = std::move(engine_done_);
+    engine_done_ = nullptr;
+    if (cb) cb(eq_->Now());
+    return;
+  }
+  ++stats_.retries;
+  eq_->ScheduleAfter(config_.retry.DelayFor(engine_attempt_), [this] {
+    Status st2 = EngineAttempt();
+    if (!st2.ok()) {
+      ++stats_.device_errors;
+      HandleEngineFailure(std::move(st2));
+    }
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Engine pass-throughs
+
 Status Driver::AggregateJafar(const AggregateJob& job,
                               std::function<void(sim::Tick)> on_done) {
   regs_.Write(Reg::kCommand, static_cast<uint64_t>(Command::kGoAggregate));
   regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kBusy));
-  Status st = device_->StartAggregate(
-      job, [this, on_done = std::move(on_done)](sim::Tick t) {
-        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
-        if (on_done) on_done(t);
-      });
-  if (!st.ok()) {
-    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
-  }
-  return st;
+  return StartEngineJob(
+      [this, job](std::function<void(sim::Tick)> cb) {
+        return device_->StartAggregate(job, std::move(cb));
+      },
+      job.num_rows, std::move(on_done));
 }
 
 Status Driver::ProjectJafar(const ProjectJob& job,
                             std::function<void(sim::Tick)> on_done) {
   regs_.Write(Reg::kCommand, static_cast<uint64_t>(Command::kGoProject));
   regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kBusy));
-  Status st = device_->StartProject(
-      job, [this, on_done = std::move(on_done)](sim::Tick t) {
-        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
-        if (on_done) on_done(t);
-      });
-  if (!st.ok()) {
-    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
-  }
-  return st;
+  return StartEngineJob(
+      [this, job](std::function<void(sim::Tick)> cb) {
+        return device_->StartProject(job, std::move(cb));
+      },
+      job.num_rows, std::move(on_done));
 }
 
 Status Driver::RowStoreJafar(const RowStoreJob& job,
                              std::function<void(sim::Tick)> on_done) {
-  Status st = device_->StartRowStore(
-      job, [this, on_done = std::move(on_done)](sim::Tick t) {
-        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
-        if (on_done) on_done(t);
-      });
-  if (!st.ok()) {
-    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
-  }
-  return st;
+  return StartEngineJob(
+      [this, job](std::function<void(sim::Tick)> cb) {
+        return device_->StartRowStore(job, std::move(cb));
+      },
+      job.num_tuples, std::move(on_done));
 }
 
 Status Driver::SortJafar(const SortJob& job,
                          std::function<void(sim::Tick)> on_done) {
-  Status st = device_->StartSort(
-      job, [this, on_done = std::move(on_done)](sim::Tick t) {
-        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
-        if (on_done) on_done(t);
-      });
-  if (!st.ok()) {
-    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
-  }
-  return st;
+  return StartEngineJob(
+      [this, job](std::function<void(sim::Tick)> cb) {
+        return device_->StartSort(job, std::move(cb));
+      },
+      job.num_rows, std::move(on_done));
 }
 
 Status Driver::GroupByJafar(const GroupByJob& job,
                             std::function<void(sim::Tick)> on_done) {
-  Status st = device_->StartGroupBy(
-      job, [this, on_done = std::move(on_done)](sim::Tick t) {
-        regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kDone));
-        if (on_done) on_done(t);
-      });
-  if (!st.ok()) {
-    regs_.Write(Reg::kStatus, static_cast<uint64_t>(DeviceStatus::kError));
-  }
-  return st;
+  return StartEngineJob(
+      [this, job](std::function<void(sim::Tick)> cb) {
+        return device_->StartGroupBy(job, std::move(cb));
+      },
+      job.num_rows, std::move(on_done));
 }
 
 Status Driver::HierarchicalGroupBy(GroupByJob job, uint32_t num_groups,
@@ -186,22 +362,36 @@ Status Driver::HierarchicalGroupBy(GroupByJob job, uint32_t num_groups,
   uint32_t passes = (num_groups + buckets - 1) / buckets;
   if (passes == 0) return Status::InvalidArgument("num_groups must be > 0");
   // Each pass writes its bucket window to out_base + window * 16 bytes; the
-  // device result layout is already contiguous per window.
+  // device result layout is already contiguous per window. Every pass rides
+  // the engine watchdog/retry wrapper.
   auto run_pass = std::make_shared<std::function<Status(uint32_t)>>();
   auto done_cb =
       std::make_shared<std::function<void(sim::Tick)>>(std::move(on_done));
   uint64_t out_base = job.out_base;
-  *run_pass = [this, job, passes, buckets, out_base, run_pass,
+  // Weak self-reference: a strong capture would cycle through the stored
+  // function and leak it (plus done_cb) after the chain completes. The
+  // pass-completion callbacks below hold the strong references that keep
+  // the chain alive while any pass is in flight.
+  std::weak_ptr<std::function<Status(uint32_t)>> weak = run_pass;
+  *run_pass = [this, job, passes, buckets, out_base, weak,
                done_cb](uint32_t pass) mutable -> Status {
+    auto self = weak.lock();
     GroupByJob p = job;
     p.key_offset = static_cast<int64_t>(pass) * buckets;
     p.out_base = out_base + static_cast<uint64_t>(pass) * buckets * 16;
-    return device_->StartGroupBy(
-        p, [this, pass, passes, run_pass, done_cb](sim::Tick t) {
+    return GroupByJafar(
+        p, [this, pass, passes, self, done_cb](sim::Tick t) {
+          if (regs_.Read(Reg::kStatus) ==
+              static_cast<uint64_t>(DeviceStatus::kError)) {
+            // Permanent failure of this pass: stop the chain. kStatus stays
+            // kError for the caller to observe.
+            if (*done_cb) (*done_cb)(t);
+            return;
+          }
           if (pass + 1 < passes) {
             // Later passes re-run the same validated job on an idle device;
-            // a failure here indicates a bug, not a caller error.
-            Status st = (*run_pass)(pass + 1);
+            // a synchronous failure here indicates a bug, not a caller error.
+            Status st = (*self)(pass + 1);
             NDP_CHECK_MSG(st.ok(), st.ToString().c_str());
           } else {
             regs_.Write(Reg::kStatus,

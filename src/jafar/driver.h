@@ -4,12 +4,17 @@
 //  * the Figure 2 API, `select_jafar(col_data, range_low, range_high,
 //    out_buf, num_input_rows, &num_output_rows)`, called once per (pinned)
 //    virtual-memory page because JAFAR relies on the CPU for translation;
-//  * completion signalling through a polled flag word in shared memory.
+//  * completion signalling through a polled flag word in shared memory;
+//  * recovery: a watchdog timer armed for every dispatched job, writeback
+//    checksum verification of select bitmaps, and capped-exponential-backoff
+//    retries, so a hung/faulted device job surfaces as a retried page rather
+//    than a wedged query.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 
+#include "fault/retry.h"
 #include "jafar/device.h"
 #include "jafar/registers.h"
 
@@ -20,6 +25,28 @@ struct DriverConfig {
   uint64_t page_bytes = 4096;
   /// Completion flag value written to SelectResult::flag_addr when done.
   uint64_t done_flag_value = 1;
+
+  // -- Recovery -------------------------------------------------------------
+  /// Retry budget for retryable job failures (timeouts, ECC machine checks,
+  /// checksum mismatches). Validation errors are never retried.
+  fault::RetryPolicy retry;
+  /// Watchdog deadline = base + per_row * job rows, armed at every dispatch.
+  /// Exclusive-ownership page jobs complete in a few microseconds, so 50 µs
+  /// of base slack only fires on a genuinely wedged device.
+  sim::Tick watchdog_base_ps = 50'000'000;
+  sim::Tick watchdog_per_row_ps = 10'000;
+  /// Recompute the device's writeback checksum from DRAM after each select
+  /// page and retry on mismatch (detects result-bitmap corruption).
+  bool verify_writeback = true;
+};
+
+/// Recovery counters of one driver (registered under its stats scope).
+struct DriverStats {
+  uint64_t watchdog_fires = 0;     ///< jobs reclaimed by timeout
+  uint64_t retries = 0;            ///< re-dispatched job attempts
+  uint64_t checksum_errors = 0;    ///< writeback verification mismatches
+  uint64_t device_errors = 0;      ///< jobs that failed asynchronously
+  uint64_t permanent_failures = 0; ///< retry budget exhausted / non-retryable
 };
 
 /// Result of a driver-level select call.
@@ -27,13 +54,16 @@ struct SelectResult {
   uint64_t num_output_rows = 0;  ///< population count of the bitmap
   sim::Tick completed_at = 0;
   uint64_t pages = 0;            ///< per-page device invocations performed
+  /// OK on success; the failure cause after the retry budget is exhausted
+  /// (num_output_rows is zeroed in that case).
+  Status status;
 };
 
-/// \brief The driver: owns the control-register ceremony and page chunking.
+/// \brief The driver: control-register ceremony, page chunking, recovery.
 class Driver {
  public:
   Driver(Device* device, dram::MemoryController* controller,
-         DriverConfig config = DriverConfig{});
+         DriverConfig config = DriverConfig{}, const StatsScope& stats = {});
   NDP_DISALLOW_COPY_AND_ASSIGN(Driver);
 
   /// Programs MR3 to grant the device's rank to the accelerator; `done` fires
@@ -45,13 +75,17 @@ class Driver {
   /// Asynchronous Figure-2 select over `num_input_rows` 64-bit values at
   /// physical address `col_addr` (page-aligned), bitmap to `out_addr`.
   /// `flag_addr` (0 = none) receives the done flag for CPU polling.
-  /// Internally issues one device job per page.
+  /// Internally issues one device job per page; failed pages are retried
+  /// under the RetryPolicy, and on permanent failure `on_done` fires with
+  /// a non-OK SelectResult::status and the kStatus register reads kError.
   Status SelectJafar(uint64_t col_addr, int64_t range_low, int64_t range_high,
                      uint64_t out_addr, uint64_t num_input_rows,
                      uint64_t flag_addr,
                      std::function<void(const SelectResult&)> on_done);
 
-  /// Single-shot pass-throughs for the §4 extension engines.
+  /// Single-shot pass-throughs for the §4 extension engines. All are guarded
+  /// by the same watchdog/retry machinery; `on_done` always fires (check the
+  /// kStatus register: kDone on success, kError on permanent failure).
   Status AggregateJafar(const AggregateJob& job,
                         std::function<void(sim::Tick)> on_done);
   Status ProjectJafar(const ProjectJob& job,
@@ -73,16 +107,56 @@ class Driver {
   /// The memory-mapped register block (exposed for inspection/testing).
   const ControlRegisters& registers() const { return regs_; }
 
+  const DriverStats& stats() const { return stats_; }
+
   Device* device() { return device_; }
 
  private:
-  void RunNextPage();
+  /// Watchdog deadline event; one is enough because the device runs one job
+  /// at a time.
+  struct WatchdogNode : sim::EventNode {
+    Driver* driver = nullptr;
+
+   protected:
+    void Fire() override { driver->OnWatchdogFire(); }
+  };
+
+  static bool IsRetryable(StatusCode code);
+
+  void ArmWatchdog(uint64_t rows, bool for_select);
+  void DisarmWatchdog();
+  void OnWatchdogFire();
+  void RecordRecovery(sim::Tick latency_ps);
+
+  // -- Paged select ---------------------------------------------------------
+  void StartPageAttempt(uint32_t attempt);
+  void OnPageDone(uint64_t rows, uint64_t elem);
+  void HandlePageFailure(Status st);
+  void FailSelect(Status st);
   void FinishSelect(sim::Tick now);
+  bool VerifyPageChecksum(uint64_t rows) const;
+
+  // -- Engine jobs (aggregate/project/row-store/sort/group-by) --------------
+  /// `start` re-dispatches the job with the wrapped callback; `watch_rows`
+  /// scales the watchdog deadline.
+  Status StartEngineJob(
+      std::function<Status(std::function<void(sim::Tick)>)> start,
+      uint64_t watch_rows, std::function<void(sim::Tick)> on_done);
+  Status EngineAttempt();
+  void OnEngineDone(sim::Tick t);
+  void HandleEngineFailure(Status st);
 
   Device* device_;
   dram::MemoryController* controller_;
   DriverConfig config_;
+  sim::EventQueue* eq_;
   ControlRegisters regs_;
+  DriverStats stats_;
+  /// Dispatch-to-success latency of recovered (attempt > 1) jobs, in ps.
+  ndp::Histogram recovery_latency_{0.0, 5.0e8, 50};
+
+  WatchdogNode watchdog_;
+  bool watchdog_for_select_ = false;
 
   // In-flight paged select state.
   bool select_active_ = false;
@@ -91,8 +165,18 @@ class Driver {
   uint64_t rows_left_ = 0;
   int64_t lo_ = 0, hi_ = 0;
   uint64_t flag_addr_ = 0;
+  uint32_t page_attempt_ = 0;                ///< 1-based, current page
+  sim::Tick page_first_dispatch_ps_ = 0;     ///< attempt 1 dispatch time
   SelectResult result_;
   std::function<void(const SelectResult&)> select_done_;
+
+  // In-flight engine-job state.
+  bool engine_active_ = false;
+  uint32_t engine_attempt_ = 0;
+  uint64_t engine_watch_rows_ = 0;
+  sim::Tick engine_first_dispatch_ps_ = 0;
+  std::function<Status(std::function<void(sim::Tick)>)> engine_start_;
+  std::function<void(sim::Tick)> engine_done_;
 };
 
 }  // namespace ndp::jafar

@@ -32,7 +32,11 @@ const char* StatusCodeToString(StatusCode code);
 /// \brief Outcome of a fallible operation: a code plus a message.
 ///
 /// Cheap to return in the OK case (no allocation). Modeled on arrow::Status.
-class Status {
+///
+/// [[nodiscard]]: silently dropping a Status hides failures (a faulted device
+/// job, a rejected command) — every call site must check, propagate, or carry
+/// an explicit `// ndp-lint: status-ok` waiver.
+class [[nodiscard]] Status {
  public:
   Status() = default;
   Status(StatusCode code, std::string msg) : code_(code), msg_(std::move(msg)) {}
@@ -90,7 +94,7 @@ class Status {
 /// Modeled on arrow::Result. `ValueOrDie()` aborts on error (test/demo use);
 /// production call sites should check `ok()` and use `value()` / `status()`.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : var_(std::move(value)) {}              // NOLINT implicit
   Result(Status status) : var_(std::move(status)) {}       // NOLINT implicit
@@ -149,3 +153,7 @@ T&& Result<T>::ValueOrDie() && {
 
 #define NDP_CONCAT_(a, b) NDP_CONCAT_IMPL_(a, b)
 #define NDP_CONCAT_IMPL_(a, b) a##b
+
+/// Project-conventional alias for NDP_RETURN_NOT_OK, matching the JAFAR_*
+/// naming used by the build options and test helpers.
+#define JAFAR_RETURN_IF_ERROR(expr) NDP_RETURN_NOT_OK(expr)

@@ -1,0 +1,66 @@
+#include "fault/ecc.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "util/rng.h"
+
+namespace ndp::fault {
+namespace {
+
+TEST(EccTest, CleanWordDecodesClean) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t data = rng.NextU64();
+    uint8_t check = EccEncode(data);
+    EccDecoded d = EccDecode(data, check);
+    EXPECT_EQ(d.result, EccResult::kClean);
+    EXPECT_EQ(d.data, data);
+  }
+}
+
+TEST(EccTest, EverySingleBitFlipIsCorrected) {
+  Rng rng(2);
+  for (int trial = 0; trial < 50; ++trial) {
+    uint64_t data = rng.NextU64();
+    uint8_t check = EccEncode(data);
+    // Position 0 is the overall parity bit; 1..71 are data/check positions.
+    for (uint32_t pos = 1; pos < kEccCodewordBits; ++pos) {
+      EccCodeword cw = EccFlipBit(data, check, pos);
+      EccDecoded d = EccDecode(cw.data, cw.check);
+      EXPECT_EQ(d.result, EccResult::kCorrected) << "position " << pos;
+      EXPECT_EQ(d.data, data) << "position " << pos;
+      EXPECT_EQ(d.error_position, pos);
+    }
+  }
+}
+
+TEST(EccTest, EveryDoubleBitFlipIsDetectedUncorrectable) {
+  Rng rng(3);
+  uint64_t data = rng.NextU64();
+  uint8_t check = EccEncode(data);
+  for (uint32_t a = 1; a < kEccCodewordBits; ++a) {
+    for (uint32_t b = a + 1; b < kEccCodewordBits; ++b) {
+      EccCodeword cw = EccFlipBit(data, check, a);
+      cw = EccFlipBit(cw.data, cw.check, b);
+      EccDecoded d = EccDecode(cw.data, cw.check);
+      EXPECT_EQ(d.result, EccResult::kUncorrectable)
+          << "positions " << a << "," << b;
+    }
+  }
+}
+
+TEST(EccTest, FlipIsAnInvolution) {
+  uint64_t data = 0xDEADBEEFCAFEF00Dull;
+  uint8_t check = EccEncode(data);
+  for (uint32_t pos = 1; pos < kEccCodewordBits; ++pos) {
+    EccCodeword once = EccFlipBit(data, check, pos);
+    EccCodeword twice = EccFlipBit(once.data, once.check, pos);
+    EXPECT_EQ(twice.data, data);
+    EXPECT_EQ(twice.check, check);
+  }
+}
+
+}  // namespace
+}  // namespace ndp::fault

@@ -1,0 +1,146 @@
+#include "fault/injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/stats_registry.h"
+
+namespace ndp::fault {
+namespace {
+
+FaultPlan AllLayersPlan(uint64_t seed) {
+  FaultPlan plan;
+  plan.seed = seed;
+  plan.ecc_ce_per_burst = 0.25;
+  plan.ecc_ue_per_burst = 0.125;
+  plan.hang_per_job = 0.25;
+  plan.stall_per_burst = 0.25;
+  plan.corrupt_per_flush = 0.25;
+  plan.drop_per_completion = 0.25;
+  return plan;
+}
+
+TEST(FaultInjectorTest, SamePlanSameDrawSequence) {
+  StatsRegistry reg_a, reg_b;
+  FaultInjector a(AllLayersPlan(5), StatsScope(&reg_a, "fault"));
+  FaultInjector b(AllLayersPlan(5), StatsScope(&reg_b, "fault"));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_EQ(a.DrawReadBurst(), b.DrawReadBurst());
+    EXPECT_EQ(a.DrawHangAtDispatch(), b.DrawHangAtDispatch());
+    EXPECT_EQ(a.DrawStallAtBurst(), b.DrawStallAtBurst());
+    EXPECT_EQ(a.DrawCorruptAtFlush(), b.DrawCorruptAtFlush());
+    EXPECT_EQ(a.DrawDropCompletion(), b.DrawDropCompletion());
+    EXPECT_EQ(a.DrawCorruptBit(4096), b.DrawCorruptBit(4096));
+  }
+  EXPECT_EQ(a.counters().ecc_ce_injected, b.counters().ecc_ce_injected);
+  EXPECT_EQ(a.counters().drops_injected, b.counters().drops_injected);
+}
+
+TEST(FaultInjectorTest, LayersDrawFromIndependentStreams) {
+  // Device-layer draws must be identical whether or not the ECC layer is
+  // enabled (and drawing) — each layer owns a PCG32 stream.
+  FaultPlan device_only;
+  device_only.seed = 9;
+  device_only.hang_per_job = 0.5;
+  FaultPlan with_ecc = device_only;
+  with_ecc.ecc_ce_per_burst = 0.5;
+
+  StatsRegistry reg_a, reg_b;
+  FaultInjector a(device_only, StatsScope(&reg_a, "fault"));
+  FaultInjector b(with_ecc, StatsScope(&reg_b, "fault"));
+  for (int i = 0; i < 500; ++i) {
+    (void)b.DrawReadBurst();  // burn ECC-layer draws on b only
+    EXPECT_EQ(a.DrawHangAtDispatch(), b.DrawHangAtDispatch()) << "draw " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ZeroRateNeverFiresAndTakesNoDraws) {
+  FaultPlan plan;
+  plan.seed = 3;
+  plan.hang_per_job = 1.0;  // active plan, but ECC / completion stay zero
+  StatsRegistry reg;
+  FaultInjector inj(plan, StatsScope(&reg, "fault"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(inj.DrawReadBurst(), ReadFault::kNone);
+    EXPECT_FALSE(inj.DrawStallAtBurst());
+    EXPECT_FALSE(inj.DrawCorruptAtFlush());
+    EXPECT_FALSE(inj.DrawDropCompletion());
+  }
+  EXPECT_EQ(inj.counters().ecc_ce_injected, 0u);
+  EXPECT_EQ(inj.counters().ecc_ue_injected, 0u);
+  EXPECT_EQ(inj.counters().stalls_injected, 0u);
+  EXPECT_EQ(inj.counters().corruptions_injected, 0u);
+  EXPECT_EQ(inj.counters().drops_injected, 0u);
+}
+
+TEST(FaultInjectorTest, RateOneAlwaysFires) {
+  FaultPlan plan;
+  plan.seed = 4;
+  plan.hang_per_job = 1.0;
+  plan.drop_per_completion = 1.0;
+  StatsRegistry reg;
+  FaultInjector inj(plan, StatsScope(&reg, "fault"));
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(inj.DrawHangAtDispatch());
+    EXPECT_TRUE(inj.DrawDropCompletion());
+  }
+  EXPECT_EQ(inj.counters().hangs_injected, 100u);
+  EXPECT_EQ(inj.counters().drops_injected, 100u);
+}
+
+TEST(FaultInjectorTest, ObservedRateTracksPlanRate) {
+  FaultPlan plan;
+  plan.seed = 6;
+  plan.corrupt_per_flush = 0.2;
+  StatsRegistry reg;
+  FaultInjector inj(plan, StatsScope(&reg, "fault"));
+  const int n = 20000;
+  int fired = 0;
+  for (int i = 0; i < n; ++i) fired += inj.DrawCorruptAtFlush();
+  double rate = static_cast<double>(fired) / n;
+  EXPECT_NEAR(rate, 0.2, 0.02);
+}
+
+TEST(FaultInjectorTest, DoubleFlipPositionsAreDistinctAndInRange) {
+  FaultPlan plan;
+  plan.seed = 8;
+  plan.ecc_ue_per_burst = 1.0;
+  StatsRegistry reg;
+  FaultInjector inj(plan, StatsScope(&reg, "fault"));
+  for (int i = 0; i < 1000; ++i) {
+    uint32_t a = 0, b = 0;
+    inj.DrawEccDoubleFlip(&a, &b);
+    EXPECT_NE(a, b);
+    EXPECT_LT(a, 72u);
+    EXPECT_LT(b, 72u);
+    uint32_t pos = inj.DrawEccBitPosition();
+    EXPECT_LT(pos, 72u);
+  }
+}
+
+TEST(FaultInjectorTest, CorruptBitStaysInRegion) {
+  FaultPlan plan;
+  plan.seed = 10;
+  plan.corrupt_per_flush = 1.0;
+  StatsRegistry reg;
+  FaultInjector inj(plan, StatsScope(&reg, "fault"));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(inj.DrawCorruptBit(513), 513u);
+    EXPECT_EQ(inj.DrawCorruptBit(1), 0u);
+  }
+}
+
+TEST(FaultInjectorTest, CountersAreRegisteredInTheScope) {
+  StatsRegistry reg;
+  StatsScope root(&reg, "system");
+  FaultInjector inj(AllLayersPlan(12), root.Sub("fault"));
+  for (int i = 0; i < 64; ++i) (void)inj.DrawReadBurst();
+  std::string dump = reg.DumpText();
+  EXPECT_NE(dump.find("system.fault.ecc_ce_injected"), std::string::npos);
+  EXPECT_NE(dump.find("system.fault.hangs_injected"), std::string::npos);
+  EXPECT_NE(dump.find("system.fault.drops_injected"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ndp::fault

@@ -66,6 +66,58 @@ TEST(DeterminismTest, Fig3PipelineIsBitIdenticalAcrossRuns) {
             std::string::npos);
 }
 
+#ifdef NDP_FAULT_INJECT
+
+struct FaultedResult {
+  uint64_t matches = 0;
+  std::string stats_dump;
+};
+
+/// Runs a JAFAR select under an active fault campaign (hangs, mid-job stalls,
+/// bitmap corruption, ECC flips) whose recovery stays inside the driver's
+/// retry budget.
+FaultedResult RunFaultedPipeline(const db::Column& col, uint64_t fault_seed) {
+  core::PlatformConfig config = core::PlatformConfig::Gem5();
+  config.fault_plan.seed = fault_seed;
+  config.fault_plan.hang_per_job = 0.1;
+  config.fault_plan.stall_per_burst = 0.002;
+  config.fault_plan.corrupt_per_flush = 0.1;
+  config.fault_plan.ecc_ce_per_burst = 0.01;
+  core::SystemModel sys(config);
+  auto jaf = sys.RunJafarSelect(col, 0, 499999).ValueOrDie();
+  FaultedResult r;
+  r.matches = jaf.matches;
+  r.stats_dump = sys.DumpStats();
+  return r;
+}
+
+TEST(DeterminismTest, SameFaultSeedIsByteIdentical) {
+  db::Column col = bench::UniformColumn(32 * 1024);
+  FaultedResult first = RunFaultedPipeline(col, 1001);
+  FaultedResult second = RunFaultedPipeline(col, 1001);
+  // Same plan, same workload: every injected fault, watchdog fire, retry,
+  // and recovery latency lands on the same tick — the registry dumps match
+  // byte for byte.
+  EXPECT_EQ(first.matches, second.matches);
+  EXPECT_EQ(first.stats_dump, second.stats_dump);
+  EXPECT_NE(first.stats_dump.find("system.fault."), std::string::npos);
+}
+
+TEST(DeterminismTest, DifferentFaultSeedsStillAgreeOnResults) {
+  db::Column col = bench::UniformColumn(32 * 1024);
+  uint64_t oracle = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    oracle += col[i] >= 0 && col[i] <= 499999;
+  }
+  FaultedResult a = RunFaultedPipeline(col, 2001);
+  FaultedResult b = RunFaultedPipeline(col, 2002);
+  // Different fault sequences, but recovery makes the answer fault-invariant.
+  EXPECT_EQ(a.matches, oracle);
+  EXPECT_EQ(b.matches, oracle);
+}
+
+#endif  // NDP_FAULT_INJECT
+
 TEST(DeterminismTest, ParallelSweepIsThreadCountInvariant) {
   db::Column col = bench::UniformColumn(16 * 1024);
   const std::vector<int64_t> his = {-1, 99999, 499999, 899999, 999999};

@@ -9,8 +9,17 @@
 #   3. protocol build   — -DNDP_PROTOCOL_CHECK=ON: every DRAM command the
 #                         suite issues is audited against the DDR3 JEDEC
 #                         timing rules by the shadow checker
-#   4. clang-tidy       — only if clang-tidy is on PATH (the pinned CI image
+#   4. sanitizer build  — -DNDP_SANITIZE=address,undefined: the fault suite
+#                         (ctest -L faults) plus unit tests under ASan+UBSan;
+#                         recovery paths (aborts, retries, epoch-guarded
+#                         cancellation) are where lifetime bugs would hide
+#   5. tsan build       — -DNDP_SANITIZE=thread: the fault + unit suites under
+#                         TSan (ParallelSweep shares columns across workers)
+#   6. clang-tidy       — only if clang-tidy is on PATH (the pinned CI image
 #                         ships gcc only)
+#
+# All three sanitizer/protocol lanes run from this one driver; skip the slow
+# tail lanes with NDP_CHECK_FAST=1 (build + lint + default ctest only).
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build)
 # Environment: JOBS=<n> overrides the parallelism (default: nproc).
@@ -32,12 +41,33 @@ step "ndp-lint"
 step "ctest (${PREFIX}: unit + bench_smoke + lint)"
 ctest --test-dir "${PREFIX}" -j "${JOBS}" --output-on-failure
 
+if [[ "${NDP_CHECK_FAST:-0}" == "1" ]]; then
+  step "NDP_CHECK_FAST=1: protocol/sanitizer/tidy lanes skipped"
+  exit 0
+fi
+
 step "configure + build (${PREFIX}-check, NDP_PROTOCOL_CHECK=ON)"
 cmake -B "${PREFIX}-check" -S . -DNDP_PROTOCOL_CHECK=ON >/dev/null
 cmake --build "${PREFIX}-check" -j "${JOBS}"
 
 step "ctest (${PREFIX}-check: JEDEC audit enabled)"
 ctest --test-dir "${PREFIX}-check" -j "${JOBS}" --output-on-failure
+
+step "configure + build (${PREFIX}-asan, NDP_SANITIZE=address,undefined)"
+cmake -B "${PREFIX}-asan" -S . -DNDP_SANITIZE=address,undefined >/dev/null
+cmake --build "${PREFIX}-asan" -j "${JOBS}"
+
+step "ctest (${PREFIX}-asan: faults + unit under ASan/UBSan)"
+ctest --test-dir "${PREFIX}-asan" -j "${JOBS}" -L 'unit|faults' \
+  --output-on-failure
+
+step "configure + build (${PREFIX}-tsan, NDP_SANITIZE=thread)"
+cmake -B "${PREFIX}-tsan" -S . -DNDP_SANITIZE=thread >/dev/null
+cmake --build "${PREFIX}-tsan" -j "${JOBS}"
+
+step "ctest (${PREFIX}-tsan: faults + unit under TSan)"
+ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" -L 'unit|faults' \
+  --output-on-failure
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy"

@@ -23,6 +23,15 @@
 //                   the same file: iteration order is unspecified and has fed
 //                   nondeterminism into dumped output before; use a sorted
 //                   container or justify with an annotation
+//   status          no Status-returning JAFAR dispatch (device Start*, driver
+//                   *Jafar) at statement position where the Status vanishes;
+//                   [[nodiscard]] catches the plain form at compile time, the
+//                   lint also rejects explicit (void) discards — a dropped
+//                   dispatch error is how a faulted device wedges silently
+//   watchdog-arm    src/ files that dispatch device jobs directly (.Start* /
+//                   ->Start*) must contain watchdog registration (ArmWatchdog)
+//                   or waive the line — an unguarded dispatch cannot recover
+//                   from an injected hang
 //
 // Any rule can be waived for one line by putting "// ndp-lint: <rule>-ok"
 // on that line or the line above it (include a reason).
@@ -235,6 +244,65 @@ void CheckUnorderedIteration(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+// -- status -------------------------------------------------------------------
+
+void CheckStatusIgnored(const SourceFile& f, std::vector<Finding>* out) {
+  // A JAFAR dispatch call at statement position (optionally behind an
+  // explicit (void) cast): the returned Status vanishes, so a rejected or
+  // failed dispatch is indistinguishable from a started job.
+  static const std::regex kIgnored(
+      R"re(^\s*(?:\(void\)\s*)?(?:[\w]+(?:\.|->))?)re"
+      R"re((?:Start(?:Select|Aggregate|Project|RowStore|Sort|GroupBy))re"
+      R"re(|(?:Select|Aggregate|Project|RowStore|Sort|GroupBy)Jafar)re"
+      R"re(|HierarchicalGroupBy)\s*\()re");
+  // A dispatch that begins a continuation line (the previous code line ends
+  // mid-expression, e.g. inside ASSERT_TRUE( or after =) is an argument or
+  // an assigned value, not a discarded statement.
+  static const std::regex kOpenEnding(R"re([(,=]\s*$|&&\s*$|\|\|\s*$)re");
+  std::string prev;
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    const std::string code = CodePart(f.lines[i]);
+    const bool continuation = std::regex_search(prev, kOpenEnding);
+    if (!continuation && std::regex_search(code, kIgnored)) {
+      Emit(f, i, "status",
+           "Status of a JAFAR dispatch is discarded; check it (NDP_CHECK, "
+           "JAFAR_RETURN_IF_ERROR, assignment) or waive a deliberate discard",
+           out);
+    }
+    if (!code.empty() &&
+        code.find_first_not_of(" \t") != std::string::npos) {
+      prev = code;
+    }
+  }
+}
+
+// -- watchdog-arm -------------------------------------------------------------
+
+void CheckWatchdogArm(const SourceFile& f, std::vector<Finding>* out) {
+  // Only library code: benches and tests pump the queue themselves and a
+  // wedged job surfaces as a failed RunUntilTrue there.
+  if (f.top != "src") return;
+  static const std::regex kDispatch(
+      R"re((?:\.|->)Start(?:Select|Aggregate|Project|RowStore|Sort|GroupBy)\s*\()re");
+  bool has_watchdog = false;
+  for (const std::string& line : f.lines) {
+    if (CodePart(line).find("ArmWatchdog") != std::string::npos) {
+      has_watchdog = true;
+      break;
+    }
+  }
+  if (has_watchdog) return;
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    if (std::regex_search(CodePart(f.lines[i]), kDispatch)) {
+      Emit(f, i, "watchdog-arm",
+           "device job dispatched in a file with no watchdog registration "
+           "(ArmWatchdog); an injected hang would wedge this path forever — "
+           "route through jafar::Driver or waive with a reason",
+           out);
+    }
+  }
+}
+
 // -- rule table ---------------------------------------------------------------
 
 struct Rule {
@@ -249,6 +317,8 @@ constexpr Rule kRules[] = {
     {"no-alloc", CheckNoAlloc},
     {"stats-path", CheckStatsPath},
     {"unordered-iter", CheckUnorderedIteration},
+    {"status", CheckStatusIgnored},
+    {"watchdog-arm", CheckWatchdogArm},
 };
 
 bool LoadFile(const fs::path& root, const fs::path& path, SourceFile* out) {
