@@ -24,6 +24,7 @@ DimmArray::DimmArray(dram::DramTiming timing, uint32_t channels,
           root.Sub("dev" + std::to_string(devices_.size()))));
     }
   }
+  ResetAllocators();
 }
 
 void DimmArray::AcquireAllOwnership() {
@@ -37,38 +38,124 @@ void DimmArray::AcquireAllOwnership() {
       [&] { return granted == devices_.size(); }));
 }
 
-std::vector<uint64_t> DimmArray::LoadPartitioned(const db::Column& col) {
-  partitions_.clear();
-  total_rows_ = col.size();
-  uint32_t n = num_devices();
-  // Contiguous slices, rounded to bitmap-word (64-row) boundaries so merged
-  // bitmap words never straddle partitions.
-  uint64_t per = (col.size() / n + 63) & ~uint64_t{63};
-  std::vector<uint64_t> counts;
+uint64_t DimmArray::RankBase(uint32_t device) const {
+  const jafar::Device& dev = *devices_[device];
+  return (static_cast<uint64_t>(dev.channel_index()) *
+              dram_->organization().ranks_per_channel +
+          dev.rank_index()) *
+         dram_->organization().BytesPerRank();
+}
+
+void DimmArray::ResetAllocators() {
+  alloc_next_.resize(devices_.size());
+  for (uint32_t d = 0; d < devices_.size(); ++d) alloc_next_[d] = RankBase(d);
+}
+
+Result<uint64_t> DimmArray::AllocOnDevice(uint32_t device, uint64_t bytes,
+                                          uint64_t align) {
+  NDP_CHECK(device < devices_.size() && align != 0 &&
+            (align & (align - 1)) == 0);
+  uint64_t base = (alloc_next_[device] + align - 1) & ~(align - 1);
+  uint64_t limit = RankBase(device) + dram_->organization().BytesPerRank();
+  if (base + bytes > limit) {
+    return Status::ResourceExhausted("device rank allocator full");
+  }
+  alloc_next_[device] = base + bytes;
+  return base;
+}
+
+std::vector<uint64_t> DimmArray::SplitRows(uint64_t rows, uint32_t n,
+                                           const std::vector<double>& weights) {
+  NDP_CHECK(n > 0);
+  NDP_CHECK(weights.empty() || weights.size() == n);
+  std::vector<uint64_t> counts(n, 0);
+  double weight_sum = 0;
+  for (uint32_t d = 0; d < n; ++d) {
+    double w = weights.empty() ? 1.0 : weights[d];
+    NDP_CHECK(w >= 0.0);
+    weight_sum += w;
+  }
+  NDP_CHECK(weight_sum > 0.0);
+  // Quotas floored to whole 64-row blocks: every partition start stays on a
+  // bitmap-word boundary regardless of how ragged rows/weights are.
+  uint64_t assigned = 0;
+  for (uint32_t d = 0; d < n; ++d) {
+    double w = weights.empty() ? 1.0 : weights[d];
+    uint64_t quota = static_cast<uint64_t>(static_cast<double>(rows) *
+                                           (w / weight_sum));
+    counts[d] = quota / 64 * 64;
+    assigned += counts[d];
+  }
+  // Round-robin the leftover whole blocks over positive-weight devices, then
+  // append the sub-64 tail to the last non-empty slice (keeping every later
+  // slice's first_row 64-aligned — there is none after it).
+  uint64_t leftover_blocks = (rows - assigned) / 64;
+  uint32_t d = 0;
+  while (leftover_blocks > 0) {
+    if (weights.empty() || weights[d] > 0.0) {
+      counts[d] += 64;
+      --leftover_blocks;
+    }
+    d = (d + 1) % n;
+  }
+  uint64_t tail = rows % 64;
+  if (tail > 0) {
+    uint32_t last = 0;
+    bool found = false;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (counts[i] > 0) { last = i; found = true; }
+      if (!found && (weights.empty() || weights[i] > 0.0)) {
+        last = i;
+        found = true;
+      }
+    }
+    counts[last] += tail;
+  }
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  NDP_CHECK(total == rows);
+  return counts;
+}
+
+Result<PlacedColumn> DimmArray::PlaceColumn(const db::Column& col,
+                                            const std::vector<double>& weights) {
+  PlacedColumn placed;
+  placed.total_rows = col.size();
+  std::vector<uint64_t> counts = SplitRows(col.size(), num_devices(), weights);
   uint64_t row = 0;
-  uint64_t rank_bytes = dram_->organization().BytesPerRank();
-  for (uint32_t d = 0; d < n && row < col.size(); ++d) {
-    Partition part;
+  for (uint32_t d = 0; d < num_devices(); ++d) {
+    DevicePlacement part;
     part.device = d;
     part.first_row = row;
-    part.rows = std::min<uint64_t>(per, col.size() - row);
-    // Lay the slice out at the start of the device's rank; bitmap after it.
-    const jafar::Device& dev = *devices_[d];
-    uint64_t rank_base =
-        (static_cast<uint64_t>(dev.channel_index()) *
-             dram_->organization().ranks_per_channel +
-         dev.rank_index()) *
-        rank_bytes;
-    part.col_base = rank_base;
-    uint64_t col_bytes = (part.rows * 8 + 4095) & ~uint64_t{4095};
-    part.out_base = rank_base + col_bytes;
-    dram_->backing_store().Write(part.col_base, col.data() + row,
-                                 part.rows * 8);
-    partitions_.push_back(part);
-    counts.push_back(part.rows);
+    part.rows = counts[d];
+    if (part.rows > 0) {
+      NDP_ASSIGN_OR_RETURN(part.col_base,
+                           AllocOnDevice(d, part.rows * 8, 4096));
+      NDP_ASSIGN_OR_RETURN(
+          part.out_base,
+          AllocOnDevice(d, ((part.rows + 7) / 8 + 4095) & ~uint64_t{4095},
+                        4096));
+      dram_->backing_store().Write(part.col_base, col.data() + row,
+                                   part.rows * 8);
+    }
+    placed.parts.push_back(part);
     row += part.rows;
   }
   NDP_CHECK(row == col.size());
+  return placed;
+}
+
+std::vector<uint64_t> DimmArray::LoadPartitioned(const db::Column& col) {
+  ResetAllocators();
+  partitions_.clear();
+  total_rows_ = col.size();
+  Result<PlacedColumn> placed = PlaceColumn(col);
+  NDP_CHECK(placed.ok());  // a fresh rank always fits one column
+  std::vector<uint64_t> counts;
+  for (const DevicePlacement& part : placed.ValueOrDie().parts) {
+    counts.push_back(part.rows);
+    if (part.rows > 0) partitions_.push_back(part);
+  }
   return counts;
 }
 
@@ -81,7 +168,7 @@ Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
   StatsSnapshot before = stats_.Snapshot();
   sim::Tick start = eq_.Now();
   sim::Tick makespan_end = start;
-  for (const Partition& part : partitions_) {
+  for (const DevicePlacement& part : partitions_) {
     jafar::SelectJob job;
     job.col_base = part.col_base;
     job.num_rows = part.rows;
@@ -89,7 +176,8 @@ Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
     job.range_high = hi;
     job.out_base = part.out_base;
     // Exclusive-ownership research harness: a wedged device surfaces as a
-    // failed RunUntilTrue drain check below.  ndp-lint: watchdog-arm-ok
+    // failed RunUntilTrue drain check below; no queueing to bypass here.
+    // ndp-lint: watchdog-arm-ok  ndp-lint: runtime-bypass-ok
     NDP_RETURN_NOT_OK(devices_[part.device]->StartSelect(
         job, [&done, &makespan_end](sim::Tick t) {
           ++done;
@@ -105,7 +193,7 @@ Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
   result.duration_ps = makespan_end - start;
   result.counters = stats_.Snapshot().DeltaSince(before);
   result.bitmap.Resize(total_rows_);
-  for (const Partition& part : partitions_) {
+  for (const DevicePlacement& part : partitions_) {
     NDP_CHECK(part.first_row % 64 == 0);
     uint64_t words = (part.rows + 63) / 64;
     for (uint64_t w = 0; w < words; ++w) {

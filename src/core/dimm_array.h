@@ -17,6 +17,21 @@
 
 namespace ndp::core {
 
+/// One device's contiguous slice of a placed column.
+struct DevicePlacement {
+  uint32_t device = 0;
+  uint64_t col_base = 0;   ///< physical address of the slice (page-aligned)
+  uint64_t out_base = 0;   ///< physical address of the slice's bitmap
+  uint64_t first_row = 0;  ///< logical row of the slice start (64-aligned)
+  uint64_t rows = 0;       ///< may be 0 (degenerate splits keep all devices)
+};
+
+/// A column laid out across the array's device ranks.
+struct PlacedColumn {
+  uint64_t total_rows = 0;
+  std::vector<DevicePlacement> parts;  ///< one entry per device, in order
+};
+
 /// \brief A memory system with one JAFAR per rank.
 class DimmArray {
  public:
@@ -30,13 +45,36 @@ class DimmArray {
   sim::EventQueue& eq() { return eq_; }
   dram::DramSystem& dram() { return *dram_; }
   jafar::Device& device(uint32_t i) { return *devices_[i]; }
+  const dram::DramTiming& timing() const { return timing_; }
+  const jafar::DeviceConfig& device_config() const { return device_config_; }
 
   /// Grants every device its rank (MR3/MPR on each controller). Synchronous.
   void AcquireAllOwnership();
 
+  /// Splits `rows` into per-device counts (size n, zeros allowed), every
+  /// count a multiple of 64 except a single sub-64 tail on the last non-empty
+  /// device — so partition starts never straddle bitmap words. `weights`
+  /// skews the split (empty = uniform); exposed for partition-rounding tests.
+  static std::vector<uint64_t> SplitRows(uint64_t rows, uint32_t n,
+                                         const std::vector<double>& weights);
+
+  /// Bump-allocates `bytes` in `device`'s rank (functional space for column
+  /// slices, bitmaps, and steal scratch). ResourceExhausted when full.
+  Result<uint64_t> AllocOnDevice(uint32_t device, uint64_t bytes,
+                                 uint64_t align = 4096);
+  /// Releases every device's bump allocator back to its rank base.
+  void ResetAllocators();
+
+  /// Lays `col` out across the device ranks per SplitRows and copies the
+  /// slice data into the backing store. Does not touch the partitions used
+  /// by RunParallelSelect; the runtime places many columns side by side.
+  Result<PlacedColumn> PlaceColumn(const db::Column& col,
+                                   const std::vector<double>& weights = {});
+
   /// Range-partitions `col` across the devices (device i gets the i-th
   /// contiguous slice) and copies the slices into their ranks. Returns the
-  /// partition row counts.
+  /// per-device partition row counts (size num_devices(), zeros allowed).
+  /// Resets the allocators first: the legacy exclusive-use entry point.
   std::vector<uint64_t> LoadPartitioned(const db::Column& col);
 
   struct ParallelResult {
@@ -53,24 +91,23 @@ class DimmArray {
 
   /// Registry over all controllers and devices (paths under "array.").
   const StatsRegistry& stats() const { return stats_; }
+  /// Mutable registry, for components mounted on top of the array (the
+  /// multi-query runtime registers under "array.runtime."). Such components
+  /// must outlive any registry read, like every other registrant.
+  StatsRegistry* mutable_stats() { return &stats_; }
 
  private:
-  struct Partition {
-    uint32_t device = 0;
-    uint64_t col_base = 0;
-    uint64_t out_base = 0;
-    uint64_t first_row = 0;
-    uint64_t rows = 0;
-  };
-
   sim::EventQueue eq_;
   dram::DramTiming timing_;
   StatsRegistry stats_;  ///< declared before the components registered in it
   std::unique_ptr<dram::DramSystem> dram_;
   jafar::DeviceConfig device_config_;
   std::vector<std::unique_ptr<jafar::Device>> devices_;
-  std::vector<Partition> partitions_;
+  std::vector<uint64_t> alloc_next_;   ///< per-device bump-allocator cursor
+  std::vector<DevicePlacement> partitions_;  ///< LoadPartitioned state
   uint64_t total_rows_ = 0;
+
+  uint64_t RankBase(uint32_t device) const;
 };
 
 }  // namespace ndp::core

@@ -1,0 +1,88 @@
+#include "core/host_traffic.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace ndp::core {
+
+HostTrafficGen::HostTrafficGen(sim::EventQueue* eq,
+                               dram::MemoryController* controller,
+                               HostTrafficConfig config,
+                               const StatsScope& stats)
+    : eq_(eq),
+      controller_(controller),
+      config_(config),
+      rng_(config.seed, /*stream=*/0x9e3779b97f4a7c15ULL) {
+  NDP_CHECK(config_.reqs_per_us > 0.0);
+  if (stats.active()) {
+    stats.Counter("issued", &issued_);
+    stats.Counter("completed", &completed_);
+    stats.Counter("backpressure_retries", &retries_);
+    stats.Histogram("latency_ps", &latency_);
+  }
+}
+
+void HostTrafficGen::AddRegion(uint64_t base, uint64_t bytes) {
+  NDP_CHECK(bytes >= 64);
+  regions_.push_back(Region{base & ~uint64_t{63}, bytes / 64});
+  total_lines_ += bytes / 64;
+}
+
+void HostTrafficGen::Start() {
+  NDP_CHECK(!regions_.empty());
+  running_ = true;
+  ScheduleNext();
+}
+
+void HostTrafficGen::Stop() { running_ = false; }
+
+void HostTrafficGen::ScheduleNext() {
+  if (!running_) return;
+  // Exponential inter-arrival with mean 1e6 / reqs_per_us picoseconds.
+  double u = rng_.NextDouble();
+  double gap_ps = -std::log(1.0 - u) * (1.0e6 / config_.reqs_per_us);
+  eq_->ScheduleAfter(static_cast<sim::Tick>(gap_ps) + 1, [this] { Issue(); });
+}
+
+void HostTrafficGen::Issue() {
+  if (!running_) return;
+  // Pick a line uniformly over the pooled regions (size-weighted).
+  NDP_DCHECK(total_lines_ < (uint64_t{1} << 32));
+  uint64_t line = rng_.NextBounded(static_cast<uint32_t>(total_lines_));
+  uint64_t addr = 0;
+  for (const Region& r : regions_) {
+    if (line < r.lines) {
+      addr = r.base + line * 64;
+      break;
+    }
+    line -= r.lines;
+  }
+  bool is_write = rng_.NextBool(config_.write_fraction);
+  ++issued_;
+  TryEnqueue(addr, is_write, eq_->Now());
+  ScheduleNext();
+}
+
+void HostTrafficGen::TryEnqueue(uint64_t addr, bool is_write,
+                                sim::Tick first_attempt_ps) {
+  dram::Request req;
+  req.addr = addr;
+  req.is_write = is_write;
+  req.requester = dram::RequesterId::kCpu;
+  req.on_complete = [this, first_attempt_ps](sim::Tick done) {
+    ++completed_;
+    latency_.Add(static_cast<double>(done - first_attempt_ps));
+  };
+  if (!controller_->Enqueue(req).ok()) {
+    // Queue full: hold the request in the "MSHR" and retry. Latency keeps
+    // accruing from the first attempt — backpressure is stall the CPU sees.
+    ++retries_;
+    eq_->ScheduleAfter(config_.retry_backoff_ps,
+                       [this, addr, is_write, first_attempt_ps] {
+                         TryEnqueue(addr, is_write, first_attempt_ps);
+                       });
+  }
+}
+
+}  // namespace ndp::core

@@ -1,0 +1,80 @@
+// Synthetic host (CPU) memory traffic for runtime experiments: an open-issue
+// generator of cache-line requests with seeded-PCG32 exponential
+// inter-arrivals, standing in for the co-running CPU workload whose slowdown
+// the §3.3 QoS budget bounds. The per-request latency histogram is the
+// measurement: p99 latency under a JAFAR runtime quantifies the CPU stall
+// the lease controller is supposed to keep inside its budget.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "dram/controller.h"
+#include "sim/event_queue.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/stats_registry.h"
+
+namespace ndp::core {
+
+struct HostTrafficConfig {
+  /// Offered load: mean request arrivals per microsecond (Poisson process).
+  double reqs_per_us = 50.0;
+  /// Fraction of requests that are writes.
+  double write_fraction = 0.3;
+  /// PCG32 seed; the only randomness in a runtime experiment.
+  uint64_t seed = 1;
+  /// Back-off before re-attempting a request the controller refused
+  /// (MSHR-style backpressure), in picoseconds.
+  sim::Tick retry_backoff_ps = 10'000;
+};
+
+/// \brief Seeded open-loop cache-line traffic over caller-provided regions.
+///
+/// Regions must be allocated by the caller (DimmArray::AllocOnDevice or
+/// equivalent) so generator writes never clobber column data. Addresses are
+/// 64 B aligned — one BL8 burst per request, like a CPU line fill.
+class HostTrafficGen {
+ public:
+  HostTrafficGen(sim::EventQueue* eq, dram::MemoryController* controller,
+                 HostTrafficConfig config, const StatsScope& stats = {});
+  NDP_DISALLOW_COPY_AND_ASSIGN(HostTrafficGen);
+
+  /// Adds `bytes` at `base` to the address pool (weighted by size).
+  void AddRegion(uint64_t base, uint64_t bytes);
+
+  /// Starts the arrival process (requires at least one region).
+  void Start();
+  /// Stops issuing new requests; in-flight ones still complete.
+  void Stop();
+
+  uint64_t issued() const { return issued_; }
+  uint64_t completed() const { return completed_; }
+  uint64_t backpressure_retries() const { return retries_; }
+  /// Request completion latency (enqueue attempt to last data beat), ps.
+  const Histogram& latency() const { return latency_; }
+
+ private:
+  struct Region {
+    uint64_t base, lines;  ///< 64 B lines
+  };
+
+  void ScheduleNext();
+  void Issue();
+  void TryEnqueue(uint64_t addr, bool is_write, sim::Tick first_attempt_ps);
+
+  sim::EventQueue* eq_;
+  dram::MemoryController* controller_;
+  HostTrafficConfig config_;
+  Rng rng_;
+  std::vector<Region> regions_;
+  uint64_t total_lines_ = 0;
+  bool running_ = false;
+
+  uint64_t issued_ = 0;
+  uint64_t completed_ = 0;
+  uint64_t retries_ = 0;
+  Histogram latency_{0.0, 2.0e8, 200};
+};
+
+}  // namespace ndp::core

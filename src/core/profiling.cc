@@ -2,6 +2,13 @@
 
 namespace ndp::core {
 
+double PessimisticIdlePeriodCycles(uint64_t total_cycles, uint64_t busy_cycles,
+                                   uint64_t requests) {
+  uint64_t empty = total_cycles > busy_cycles ? total_cycles - busy_cycles : 0;
+  return static_cast<double>(empty) /
+         static_cast<double>(requests > 0 ? requests : 1);
+}
+
 double IdleProfile::EstimatedMeanIdleCycles() const {
   // Per-controller estimate, averaged over controllers that saw traffic —
   // the paper samples each IMC's counters separately.
@@ -10,18 +17,16 @@ double IdleProfile::EstimatedMeanIdleCycles() const {
   for (const ChannelProfile& ch : channels) {
     uint64_t requests = ch.reads + ch.writes;
     if (requests == 0) continue;
-    uint64_t busy = ch.rc_busy_cycles + ch.wc_busy_cycles;
-    uint64_t empty = total_bus_cycles > busy ? total_bus_cycles - busy : 0;
-    sum += static_cast<double>(empty) / static_cast<double>(requests);
+    sum += PessimisticIdlePeriodCycles(
+        total_bus_cycles, ch.rc_busy_cycles + ch.wc_busy_cycles, requests);
     ++n;
   }
   if (n > 0) return sum / n;
   // Aggregate fallback (single-controller systems or hand-built profiles).
   uint64_t requests = reads + writes;
   if (requests == 0) return 0.0;
-  uint64_t busy = rc_busy_cycles + wc_busy_cycles;
-  uint64_t empty = total_bus_cycles > busy ? total_bus_cycles - busy : 0;
-  return static_cast<double>(empty) / static_cast<double>(requests);
+  return PessimisticIdlePeriodCycles(
+      total_bus_cycles, rc_busy_cycles + wc_busy_cycles, requests);
 }
 
 Result<IdleProfile> IdlePeriodProfiler::Profile(

@@ -17,6 +17,15 @@
 
 namespace ndp::core {
 
+/// The paper's §3.3 pessimistic estimator for one controller window:
+///   MC_empty = total_cycles - busy_cycles
+///   mean_idle_period = MC_empty / max(1, requests)
+/// A request-free window counts as one idle period spanning the whole window.
+/// Shared between the post-hoc IdlePeriodProfiler (Figure 4) and the
+/// runtime's online per-window EWMA (runtime.h LeaseController).
+double PessimisticIdlePeriodCycles(uint64_t total_cycles, uint64_t busy_cycles,
+                                   uint64_t requests);
+
 /// Counters of one memory controller over the profiling window (the paper
 /// samples each IMC separately and reports per-controller idle periods).
 struct ChannelProfile {

@@ -82,6 +82,20 @@ Status ValidatePushdownResult(const db::PositionList& positions,
   return Status::OK();
 }
 
+Status PredToJafarRange(const db::Pred& pred, int64_t* lo, int64_t* hi) {
+  switch (pred.op) {
+    case db::Pred::Op::kBetween: *lo = pred.lo; *hi = pred.hi; break;
+    case db::Pred::Op::kEq: *lo = pred.lo; *hi = pred.lo; break;
+    case db::Pred::Op::kLe: *lo = INT64_MIN; *hi = pred.lo; break;
+    case db::Pred::Op::kLt: *lo = INT64_MIN; *hi = pred.lo - 1; break;
+    case db::Pred::Op::kGe: *lo = pred.lo; *hi = INT64_MAX; break;
+    case db::Pred::Op::kGt: *lo = pred.lo + 1; *hi = INT64_MAX; break;
+    default:
+      return Status::Unimplemented("predicate not supported by JAFAR");
+  }
+  return Status::OK();
+}
+
 void PushdownPlanner::Install(db::QueryContext* ctx,
                               double default_selectivity) {
   db::NdpSelectHook raw = system_->MakePushdownHook();

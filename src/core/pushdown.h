@@ -40,6 +40,11 @@ struct PushdownDecision {
 Status ValidatePushdownResult(const db::PositionList& positions,
                               uint64_t num_rows);
 
+/// Lowers a column-store predicate to JAFAR's inclusive [lo, hi] range form
+/// (both filter ALUs, §2.2). kNe is not expressible as one range and returns
+/// Unimplemented — callers fall back to the CPU path.
+Status PredToJafarRange(const db::Pred& pred, int64_t* lo, int64_t* hi);
+
 /// \brief Decides, per select, whether to push down to JAFAR.
 class PushdownPlanner {
  public:

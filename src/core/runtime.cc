@@ -1,0 +1,1037 @@
+#include "core/runtime.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "core/profiling.h"
+#include "core/pushdown.h"
+#include "core/scheduler.h"
+#include "util/logging.h"
+
+namespace ndp::core {
+
+namespace {
+
+constexpr uint64_t kRowsPerPage = 4096 / 8;  ///< int64 rows per 4 KB page
+
+uint64_t RoundDownPages(uint64_t rows) {
+  return rows / kRowsPerPage * kRowsPerPage;
+}
+
+/// Strict full-string env parses (the fault_plan discipline: a typo must
+/// fail loudly, not silently configure a different experiment).
+Status OverlayEnvU64(const char* name, uint64_t* field) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return Status::OK();
+  errno = 0;
+  char* end = nullptr;
+  uint64_t v = std::strtoull(raw, &end, 10);
+  if (*raw == '\0' || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(std::string(name) + "='" + raw +
+                                   "' is not an unsigned integer");
+  }
+  *field = v;
+  return Status::OK();
+}
+
+Status OverlayEnvDouble(const char* name, double* field) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr) return Status::OK();
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(raw, &end);
+  if (*raw == '\0' || *end != '\0' || errno == ERANGE) {
+    return Status::InvalidArgument(std::string(name) + "='" + raw +
+                                   "' is not a number");
+  }
+  *field = v;
+  return Status::OK();
+}
+
+}  // namespace
+
+// -- RuntimeConfig ------------------------------------------------------------
+
+Result<RuntimeConfig> RuntimeConfig::FromEnv() {
+  RuntimeConfig cfg;
+  NDP_RETURN_NOT_OK(
+      OverlayEnvU64("NDP_RUNTIME_LEASE_MIN", &cfg.lease_min_bus_cycles));
+  NDP_RETURN_NOT_OK(
+      OverlayEnvU64("NDP_RUNTIME_LEASE_MAX", &cfg.lease_max_bus_cycles));
+  NDP_RETURN_NOT_OK(
+      OverlayEnvU64("NDP_RUNTIME_LEASE_INIT", &cfg.lease_init_bus_cycles));
+  NDP_RETURN_NOT_OK(OverlayEnvDouble("NDP_RUNTIME_GROW", &cfg.lease_grow));
+  NDP_RETURN_NOT_OK(OverlayEnvDouble("NDP_RUNTIME_SHRINK", &cfg.lease_shrink));
+  NDP_RETURN_NOT_OK(OverlayEnvDouble("NDP_RUNTIME_ALPHA", &cfg.ewma_alpha));
+  NDP_RETURN_NOT_OK(OverlayEnvDouble("NDP_RUNTIME_IDLE_THRESHOLD",
+                                     &cfg.idle_busy_threshold));
+  NDP_RETURN_NOT_OK(
+      OverlayEnvDouble("NDP_RUNTIME_IDLE_FILL", &cfg.idle_fill_factor));
+  NDP_RETURN_NOT_OK(OverlayEnvDouble("NDP_RUNTIME_QOS_SLOWDOWN_PCT",
+                                     &cfg.qos_max_cpu_slowdown_pct));
+  NDP_RETURN_NOT_OK(
+      OverlayEnvU64("NDP_RUNTIME_QOS_MAX_STALL", &cfg.qos_max_stall_bus_cycles));
+  NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_RUNTIME_HOST_WINDOW_MIN",
+                                  &cfg.host_window_min_bus_cycles));
+  NDP_RETURN_NOT_OK(
+      OverlayEnvU64("NDP_RUNTIME_DEFER_CYCLES", &cfg.admission_defer_bus_cycles));
+  uint64_t max_defers = cfg.admission_max_defers;
+  NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_RUNTIME_MAX_DEFERS", &max_defers));
+  cfg.admission_max_defers = static_cast<uint32_t>(max_defers);
+  uint64_t steal = cfg.steal_enabled ? 1 : 0;
+  NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_RUNTIME_STEAL", &steal));
+  cfg.steal_enabled = steal != 0;
+  NDP_RETURN_NOT_OK(
+      OverlayEnvU64("NDP_RUNTIME_STEAL_MIN_PAGES", &cfg.steal_min_pages));
+  NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_RUNTIME_STEAL_OVERHEAD",
+                                  &cfg.steal_copy_overhead_bus_cycles));
+  NDP_RETURN_NOT_OK(cfg.Validate());
+  return cfg;
+}
+
+Status RuntimeConfig::Validate() const {
+  if (lease_min_bus_cycles == 0 ||
+      lease_min_bus_cycles > lease_init_bus_cycles ||
+      lease_init_bus_cycles > lease_max_bus_cycles) {
+    return Status::InvalidArgument(
+        "runtime config: need 0 < lease_min <= lease_init <= lease_max");
+  }
+  if (!(lease_shrink > 0.0 && lease_shrink < 1.0 && lease_grow > 1.0)) {
+    return Status::InvalidArgument(
+        "runtime config: need 0 < shrink < 1 < grow");
+  }
+  if (!(ewma_alpha > 0.0 && ewma_alpha <= 1.0)) {
+    return Status::InvalidArgument("runtime config: alpha must be in (0, 1]");
+  }
+  if (!(qos_max_cpu_slowdown_pct > 0.0 && qos_max_cpu_slowdown_pct <= 100.0)) {
+    return Status::InvalidArgument(
+        "runtime config: slowdown budget must be in (0, 100] percent");
+  }
+  if (!(idle_busy_threshold >= 0.0 &&
+        idle_busy_threshold < qos_budget_fraction())) {
+    return Status::InvalidArgument(
+        "runtime config: idle threshold must be below the busy budget");
+  }
+  if (qos_max_stall_bus_cycles < lease_min_bus_cycles) {
+    return Status::InvalidArgument(
+        "runtime config: stall bound below the minimum lease");
+  }
+  if (idle_fill_factor < 0.0 || host_window_min_bus_cycles == 0) {
+    return Status::InvalidArgument(
+        "runtime config: bad idle_fill_factor / host_window_min");
+  }
+  return Status::OK();
+}
+
+// -- LeaseController ----------------------------------------------------------
+
+LeaseController::LeaseController(const RuntimeConfig& cfg) : cfg_(cfg) {
+  lease_ = static_cast<double>(
+      std::min(cfg_.lease_init_bus_cycles, LeaseCap()));
+  lease_ = std::max(lease_, static_cast<double>(cfg_.lease_min_bus_cycles));
+}
+
+uint64_t LeaseController::LeaseCap() const {
+  return std::min(cfg_.lease_max_bus_cycles, cfg_.qos_max_stall_bus_cycles);
+}
+
+void LeaseController::Observe(uint64_t window_cycles, uint64_t busy_cycles,
+                              uint64_t requests) {
+  if (window_cycles == 0) return;
+  double u = std::min(1.0, static_cast<double>(busy_cycles) /
+                               static_cast<double>(window_cycles));
+  double idle =
+      PessimisticIdlePeriodCycles(window_cycles, busy_cycles, requests);
+  if (!has_observation_) {
+    ewma_busy_ = u;
+    ewma_idle_ = idle;
+    has_observation_ = true;
+  } else {
+    ewma_busy_ = cfg_.ewma_alpha * u + (1.0 - cfg_.ewma_alpha) * ewma_busy_;
+    ewma_idle_ =
+        cfg_.ewma_alpha * idle + (1.0 - cfg_.ewma_alpha) * ewma_idle_;
+  }
+  double cap = static_cast<double>(LeaseCap());
+  double floor = static_cast<double>(cfg_.lease_min_bus_cycles);
+  if (ewma_busy_ > cfg_.qos_budget_fraction()) {
+    lease_ = std::max(floor, lease_ * cfg_.lease_shrink);
+    ++shrinks_;
+  } else if (ewma_busy_ < cfg_.idle_busy_threshold) {
+    lease_ = std::min(
+        cap, std::max(lease_ * cfg_.lease_grow,
+                      cfg_.idle_fill_factor * ewma_idle_));
+    ++grows_;
+  }
+  lease_ = std::clamp(lease_, floor, cap);
+}
+
+uint64_t LeaseController::NextLeaseBusCycles() const {
+  return static_cast<uint64_t>(std::llround(lease_));
+}
+
+bool LeaseController::ChannelIdle() const {
+  return has_observation_ && ewma_busy_ < cfg_.idle_busy_threshold;
+}
+
+bool LeaseController::OverBudget() const {
+  return has_observation_ && ewma_busy_ > cfg_.qos_budget_fraction();
+}
+
+uint64_t LeaseController::HostWindowBusCycles(uint64_t lease_bus_cycles) const {
+  if (ChannelIdle()) return cfg_.host_window_min_bus_cycles;
+  double beta = cfg_.qos_budget_fraction();
+  if (beta >= 1.0) return cfg_.host_window_min_bus_cycles;
+  double w = static_cast<double>(lease_bus_cycles) * (1.0 - beta) / beta;
+  return std::max(cfg_.host_window_min_bus_cycles,
+                  static_cast<uint64_t>(std::ceil(w)));
+}
+
+// -- NdpRuntime internals -----------------------------------------------------
+
+struct NdpRuntime::Job {
+  JobId id = 0;
+  JobKind kind = JobKind::kSelect;
+  JobPriority priority = JobPriority::kBatch;
+  jafar::CompareOp op = jafar::CompareOp::kBetween;
+  int64_t lo = 0, hi = 0;
+  jafar::AggKind agg = jafar::AggKind::kSum;
+  uint64_t total_rows = 0;
+  uint64_t rows_completed = 0;
+  uint64_t matches = 0;
+  int64_t agg_value = 0;
+  bool agg_first = true;
+  uint64_t leases = 0;
+  /// Chunks created for this job and not yet retired/destroyed. Completion
+  /// triggers when the LAST chunk retires — `rows_completed == total_rows`
+  /// alone is not enough, because interleaved lease completions can make it
+  /// true while a sibling chunk has not merged its bitmap words yet.
+  uint64_t chunks_live = 0;
+  bool failed = false;
+  sim::Tick submitted_ps = 0;
+  /// Per-job result bitmap, merged incrementally as chunks retire. Merging
+  /// cannot wait until completion: out regions come from the placement and
+  /// are shared across jobs, so a later job's chunk on the same lane reuses
+  /// (and overwrites) them as soon as this job's chunk has retired there.
+  BitVector bitmap;
+  JobCallback on_done;
+};
+
+struct NdpRuntime::Chunk {
+  Job* job = nullptr;
+  uint64_t seq = 0;  ///< global submission sequence, the FIFO key
+  JobPriority priority = JobPriority::kBatch;
+  uint64_t col_base = 0;
+  uint64_t out_base = 0;
+  uint64_t first_row = 0;
+  uint64_t rows = 0;
+  uint64_t rows_done = 0;    ///< completed-lease prefix
+  uint64_t rows_leased = 0;  ///< dispatched prefix (>= rows_done)
+};
+
+struct NdpRuntime::Lane {
+  enum class State : uint8_t { kIdle, kDeferred, kLeasing, kWaiting, kDead };
+
+  uint32_t index = 0;
+  uint32_t device = 0;
+  uint32_t channel = 0;
+  std::unique_ptr<jafar::Driver> driver;
+  std::deque<std::unique_ptr<Chunk>> queue;  ///< (priority, seq) order
+  std::unique_ptr<Chunk> active;
+  State state = State::kIdle;
+  uint32_t defers = 0;
+
+  // Host-window observation bookkeeping.
+  bool has_window = false;
+  sim::Tick window_start_ps = 0;
+  double busy_base = 0, req_base = 0;
+
+  uint64_t cur_lease_cycles = 0;
+  uint64_t cur_lease_rows = 0;
+  uint64_t agg_scratch = 0;  ///< 8-byte partial-result cell, lazily allocated
+};
+
+// -- NdpRuntime ---------------------------------------------------------------
+
+NdpRuntime::NdpRuntime(DimmArray* array, RuntimeConfig config)
+    : array_(array), config_(config), eq_(array->eq()) {
+  NDP_CHECK(config_.Validate().ok());
+  uint32_t channels = array_->dram().num_channels();
+  for (uint32_t c = 0; c < channels; ++c) {
+    controllers_.push_back(std::make_unique<LeaseController>(config_));
+    std::string prefix = "array.dram.ctrl" + std::to_string(c) + ".";
+    busy_paths_rc_.push_back(prefix + "rc_busy_cycles");
+    busy_paths_wc_.push_back(prefix + "wc_busy_cycles");
+    req_paths_rd_.push_back(prefix + "reads_served");
+    req_paths_wr_.push_back(prefix + "writes_served");
+  }
+  StatsScope scope(array_->mutable_stats(), "array.runtime");
+  scope.Counter("jobs_submitted", &counters_.jobs_submitted);
+  scope.Counter("jobs_completed", &counters_.jobs_completed);
+  scope.Counter("jobs_failed", &counters_.jobs_failed);
+  scope.Counter("leases", &counters_.leases);
+  scope.Counter("admission_defers", &counters_.admission_defers);
+  scope.Counter("steals", &counters_.steals);
+  scope.Counter("stolen_pages", &counters_.stolen_pages);
+  scope.Counter("lane_failures", &counters_.lane_failures);
+  scope.Counter("chunks_reassigned", &counters_.chunks_reassigned);
+  for (uint32_t c = 0; c < channels; ++c) {
+    StatsScope ch = scope.Sub("ctrl" + std::to_string(c));
+    LeaseController* lc = controllers_[c].get();
+    ch.Gauge("ewma_busy_fraction",
+             std::function<double()>([lc] { return lc->ewma_busy_fraction(); }));
+    ch.Gauge("ewma_idle_cycles",
+             std::function<double()>([lc] { return lc->ewma_idle_cycles(); }));
+    ch.Gauge("lease_bus_cycles", std::function<double()>([lc] {
+               return static_cast<double>(lc->NextLeaseBusCycles());
+             }));
+    ch.Counter("qos_shrinks",
+               std::function<uint64_t()>([lc] { return lc->qos_shrinks(); }));
+    ch.Counter("qos_grows",
+               std::function<uint64_t()>([lc] { return lc->qos_grows(); }));
+  }
+  for (uint32_t d = 0; d < array_->num_devices(); ++d) {
+    auto lane = std::make_unique<Lane>();
+    lane->index = d;
+    lane->device = d;
+    jafar::Device& dev = array_->device(d);
+    lane->channel = dev.channel_index();
+    lane->driver = std::make_unique<jafar::Driver>(
+        &dev, &array_->dram().controller(dev.channel_index()), config_.driver,
+        scope.Sub("lane" + std::to_string(d)));
+    lanes_.push_back(std::move(lane));
+  }
+  // Seed each lane's observation window at construction: the first dispatch
+  // then sees whatever host traffic ran before the first submission, instead
+  // of flying blind until its first inter-lease window (§3.3's estimator is
+  // supposed to inform dispatch, not trail it).
+  for (auto& lane : lanes_) BeginWindow(*lane);
+}
+
+NdpRuntime::~NdpRuntime() = default;
+
+LeaseController& NdpRuntime::controller(uint32_t channel) {
+  NDP_CHECK(channel < controllers_.size());
+  return *controllers_[channel];
+}
+
+uint32_t NdpRuntime::lanes_alive() const {
+  uint32_t n = 0;
+  for (const auto& lane : lanes_) {
+    if (lane->state != Lane::State::kDead) ++n;
+  }
+  return n;
+}
+
+sim::Tick NdpRuntime::BusCyclesToPs(uint64_t cycles) const {
+  return cycles * array_->timing().tck_ps;
+}
+
+double NdpRuntime::ReadChannelBusyCycles(uint32_t channel) const {
+  const StatsRegistry& reg = array_->stats();
+  return reg.ReadValue(busy_paths_rc_[channel]) +
+         reg.ReadValue(busy_paths_wc_[channel]);
+}
+
+double NdpRuntime::ReadChannelRequests(uint32_t channel) const {
+  const StatsRegistry& reg = array_->stats();
+  return reg.ReadValue(req_paths_rd_[channel]) +
+         reg.ReadValue(req_paths_wr_[channel]);
+}
+
+// -- Submission ---------------------------------------------------------------
+
+Result<NdpRuntime::JobId> NdpRuntime::SubmitSelect(const PlacedColumn& col,
+                                                   int64_t lo, int64_t hi,
+                                                   JobPriority priority,
+                                                   JobCallback on_done) {
+  return Submit(col, JobKind::kSelect, jafar::CompareOp::kBetween, lo, hi,
+                jafar::AggKind::kSum, priority, std::move(on_done));
+}
+
+Result<NdpRuntime::JobId> NdpRuntime::SubmitAggregate(const PlacedColumn& col,
+                                                      jafar::AggKind kind,
+                                                      JobPriority priority,
+                                                      JobCallback on_done) {
+  return Submit(col, JobKind::kAggregate, jafar::CompareOp::kBetween, 0, 0,
+                kind, priority, std::move(on_done));
+}
+
+Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
+                                             JobKind kind, jafar::CompareOp op,
+                                             int64_t lo, int64_t hi,
+                                             jafar::AggKind agg,
+                                             JobPriority priority,
+                                             JobCallback on_done) {
+  if (col.total_rows == 0) {
+    return Status::InvalidArgument("runtime: cannot submit an empty column");
+  }
+  if (lanes_alive() == 0) {
+    return Status::FailedPrecondition("runtime: no healthy device lanes");
+  }
+  auto job = std::make_unique<Job>();
+  job->id = next_job_id_++;
+  job->kind = kind;
+  job->priority = priority;
+  job->op = op;
+  job->lo = lo;
+  job->hi = hi;
+  job->agg = agg;
+  job->total_rows = col.total_rows;
+  if (kind == JobKind::kSelect) job->bitmap.Resize(col.total_rows);
+  job->submitted_ps = eq_.Now();
+  job->on_done = std::move(on_done);
+  Job* j = job.get();
+  jobs_[j->id] = std::move(job);
+  ++counters_.jobs_submitted;
+  ++active_jobs_;
+
+  for (const DevicePlacement& part : col.parts) {
+    if (part.rows == 0) continue;
+    auto chunk = std::make_unique<Chunk>();
+    chunk->job = j;
+    chunk->seq = next_chunk_seq_++;
+    chunk->priority = priority;
+    chunk->col_base = part.col_base;
+    chunk->out_base = part.out_base;
+    chunk->first_row = part.first_row;
+    chunk->rows = part.rows;
+    Lane& lane = *lanes_[part.device];
+    if (lane.state == Lane::State::kDead) {
+      // The placement's home device already failed: route to the least
+      // loaded healthy lane through the reassignment copy path.
+      Lane* target = nullptr;
+      for (auto& cand : lanes_) {
+        if (cand->state == Lane::State::kDead) continue;
+        if (target == nullptr || StealableRows(*cand) < StealableRows(*target)) {
+          target = cand.get();
+        }
+      }
+      NDP_CHECK(target != nullptr);
+      if (!TransplantRows(*target, *j, priority, part.col_base, part.first_row,
+                          part.rows)) {
+        FailJob(*j, Status::ResourceExhausted(
+                        "runtime: no space to reroute placement"));
+        return j->id;
+      }
+      ++counters_.chunks_reassigned;
+      continue;
+    }
+    ++j->chunks_live;
+    // Insert without poking: waking lanes mid-loop would let early-poked idle
+    // lanes steal from the first part before their own parts even arrive.
+    InsertChunk(lane, std::move(chunk));
+  }
+  // Wake everyone only once the whole submission is in place; chunk-less
+  // lanes immediately volunteer as steal targets for it.
+  for (auto& lane : lanes_) Poke(*lane);
+  return j->id;
+}
+
+Result<PlacedColumn*> NdpRuntime::EnsurePlaced(const db::Column& col) {
+  auto it = placed_.find(&col);
+  if (it != placed_.end()) return &it->second;
+  NDP_ASSIGN_OR_RETURN(PlacedColumn placed, array_->PlaceColumn(col));
+  auto [ins, ok] = placed_.emplace(&col, std::move(placed));
+  NDP_CHECK(ok);
+  return &ins->second;
+}
+
+// -- Queue / dispatch ---------------------------------------------------------
+
+void NdpRuntime::InsertChunk(Lane& lane, std::unique_ptr<Chunk> chunk) {
+  auto pos = std::find_if(
+      lane.queue.begin(), lane.queue.end(),
+      [&](const std::unique_ptr<Chunk>& c) {
+        return std::make_pair(c->priority, c->seq) >
+               std::make_pair(chunk->priority, chunk->seq);
+      });
+  lane.queue.insert(pos, std::move(chunk));
+}
+
+void NdpRuntime::EnqueueChunk(Lane& lane, std::unique_ptr<Chunk> chunk) {
+  InsertChunk(lane, std::move(chunk));
+  Poke(lane);
+  // New backlog is a steal opportunity: idle siblings (their own queues
+  // drained) would otherwise park forever, since nothing else re-pokes them.
+  for (auto& other : lanes_) {
+    if (other.get() != &lane) Poke(*other);
+  }
+}
+
+void NdpRuntime::Poke(Lane& lane) {
+  if (lane.state == Lane::State::kIdle) MaybeDispatch(lane);
+}
+
+void NdpRuntime::MaybeDispatch(Lane& lane) {
+  if (lane.state != Lane::State::kIdle) return;
+  // Refresh the utilization estimate if the lane has been idle long enough to
+  // have accumulated a meaningful window (e.g. first dispatch after a stretch
+  // of host-only traffic). Freshly observed windows (OnWindowEnd) are not
+  // re-sampled: the elapsed time since is below the minimum window.
+  if (lane.has_window &&
+      eq_.Now() - lane.window_start_ps >=
+          BusCyclesToPs(config_.host_window_min_bus_cycles)) {
+    ObserveWindow(lane);
+  }
+  // Drop chunks of jobs that already failed (lane deaths purge queues, but a
+  // failure can race an in-flight lease of a sibling chunk).
+  while (!lane.queue.empty() && lane.queue.front()->job->failed) {
+    --lane.queue.front()->job->chunks_live;
+    lane.queue.pop_front();
+  }
+  if (lane.queue.empty()) {
+    TrySteal(lane);
+    return;
+  }
+  LeaseController& lc = *controllers_[lane.channel];
+  const Chunk& front = *lane.queue.front();
+  if (front.priority == JobPriority::kBatch && lc.OverBudget() &&
+      lane.defers < config_.admission_max_defers) {
+    // Idle-aware admission: hold background work while the channel runs
+    // hotter than the QoS budget, but never indefinitely (defer cap).
+    ++lane.defers;
+    ++counters_.admission_defers;
+    lane.state = Lane::State::kDeferred;
+    uint32_t li = lane.index;
+    eq_.ScheduleAfter(BusCyclesToPs(config_.admission_defer_bus_cycles),
+                      [this, li] {
+                        Lane& l = *lanes_[li];
+                        if (l.state != Lane::State::kDeferred) return;
+                        l.state = Lane::State::kIdle;
+                        ObserveWindow(l);
+                        MaybeDispatch(l);
+                      });
+    return;
+  }
+  lane.defers = 0;
+  StartLease(lane);
+}
+
+void NdpRuntime::StartLease(Lane& lane) {
+  lane.active = std::move(lane.queue.front());
+  lane.queue.pop_front();
+  LeaseController& lc = *controllers_[lane.channel];
+  lane.cur_lease_cycles = lc.NextLeaseBusCycles();
+  uint64_t rows_per_lease = RowsPerLeaseCycles(
+      array_->timing(), array_->device_config(), lane.cur_lease_cycles);
+  lane.cur_lease_rows =
+      std::min(rows_per_lease, lane.active->rows - lane.active->rows_done);
+  lane.active->rows_leased = lane.active->rows_done + lane.cur_lease_rows;
+  if (::getenv("NDP_RUNTIME_DEBUG")) {
+    std::fprintf(stderr, "[lease] t=%llu lane=%u cycles=%llu rows=%llu\n",
+                 (unsigned long long)eq_.Now(), lane.index,
+                 (unsigned long long)lane.cur_lease_cycles,
+                 (unsigned long long)lane.cur_lease_rows);
+  }
+  lane.state = Lane::State::kLeasing;
+  ++counters_.leases;
+  ++lane.active->job->leases;
+  uint32_t li = lane.index;
+  lane.driver->AcquireOwnership(
+      [this, li](sim::Tick) { OnOwnershipAcquired(*lanes_[li]); });
+}
+
+void NdpRuntime::OnOwnershipAcquired(Lane& lane) {
+  Chunk& c = *lane.active;
+  uint32_t li = lane.index;
+  if (c.job->kind == JobKind::kSelect) {
+    Status st = lane.driver->SelectJafar(
+        c.col_base + c.rows_done * 8, c.job->lo, c.job->hi,
+        c.out_base + c.rows_done / 8, lane.cur_lease_rows, /*flag_addr=*/0,
+        [this, li](const jafar::SelectResult& r) {
+          OnLeaseDone(*lanes_[li], r.status, r.num_output_rows);
+        });
+    // Alignment invariants guarantee a valid call; a synchronous rejection
+    // is a wiring bug, not a device fault.
+    NDP_CHECK_MSG(st.ok(), st.message().c_str());
+    return;
+  }
+  if (lane.agg_scratch == 0) {
+    Result<uint64_t> scratch = array_->AllocOnDevice(lane.device, 64, 64);
+    if (!scratch.ok()) {
+      OnLeaseDone(lane, scratch.status(), 0);
+      return;
+    }
+    lane.agg_scratch = scratch.value();
+  }
+  jafar::AggregateJob job;
+  job.col_base = c.col_base + c.rows_done * 8;
+  job.num_rows = lane.cur_lease_rows;
+  job.kind = c.job->agg;
+  job.bitmap_base = 0;
+  job.out_addr = lane.agg_scratch;
+  Status st = lane.driver->AggregateJafar(job, [this, li](sim::Tick) {
+    Lane& l = *lanes_[li];
+    if (l.driver->registers().Read(jafar::Reg::kStatus) ==
+        static_cast<uint64_t>(jafar::DeviceStatus::kError)) {
+      Status cause = array_->device(l.device).last_job_status();
+      OnLeaseDone(l, cause.ok() ? Status::Internal("aggregate failed") : cause,
+                  0);
+      return;
+    }
+    OnLeaseDone(l, Status::OK(), 0);
+  });
+  NDP_CHECK_MSG(st.ok(), st.message().c_str());
+}
+
+void NdpRuntime::OnLeaseDone(Lane& lane, const Status& status,
+                             uint64_t lease_matches) {
+  if (!status.ok()) {
+    HandleLaneFailure(lane, status);
+    return;
+  }
+  Chunk& c = *lane.active;
+  Job& job = *c.job;
+  if (!job.failed) {
+    if (job.kind == JobKind::kSelect) {
+      job.matches += lease_matches;
+    } else {
+      int64_t partial = static_cast<int64_t>(
+          array_->dram().backing_store().Read64(lane.agg_scratch));
+      switch (job.agg) {
+        case jafar::AggKind::kSum:
+        case jafar::AggKind::kCount:
+          job.agg_value += partial;
+          break;
+        case jafar::AggKind::kMin:
+          job.agg_value =
+              job.agg_first ? partial : std::min(job.agg_value, partial);
+          break;
+        case jafar::AggKind::kMax:
+          job.agg_value =
+              job.agg_first ? partial : std::max(job.agg_value, partial);
+          break;
+      }
+      job.agg_first = false;
+    }
+    c.rows_done += lane.cur_lease_rows;
+    job.rows_completed += lane.cur_lease_rows;
+  }
+  uint32_t li = lane.index;
+  lane.driver->ReleaseOwnership(
+      [this, li](sim::Tick) { OnOwnershipReleased(*lanes_[li]); });
+}
+
+void NdpRuntime::OnOwnershipReleased(Lane& lane) {
+  BeginWindow(lane);
+  Chunk& c = *lane.active;
+  if (c.job->failed || c.rows_done == c.rows) {
+    RetireChunk(lane);
+  } else {
+    // Partially processed chunk goes back to the front of the queue (it has
+    // the lowest seq of its priority class by construction).
+    EnqueueChunk(lane, std::move(lane.active));
+  }
+  lane.active.reset();
+  LeaseController& lc = *controllers_[lane.channel];
+  uint64_t window = lc.HostWindowBusCycles(lane.cur_lease_cycles);
+  lane.state = Lane::State::kWaiting;
+  uint32_t li = lane.index;
+  eq_.ScheduleAfter(BusCyclesToPs(window),
+                    [this, li] { OnWindowEnd(*lanes_[li]); });
+}
+
+void NdpRuntime::OnWindowEnd(Lane& lane) {
+  if (lane.state != Lane::State::kWaiting) return;  // lane died meanwhile
+  lane.state = Lane::State::kIdle;
+  ObserveWindow(lane);
+  MaybeDispatch(lane);
+}
+
+void NdpRuntime::BeginWindow(Lane& lane) {
+  lane.has_window = true;
+  lane.window_start_ps = eq_.Now();
+  lane.busy_base = ReadChannelBusyCycles(lane.channel);
+  lane.req_base = ReadChannelRequests(lane.channel);
+}
+
+void NdpRuntime::ObserveWindow(Lane& lane) {
+  if (!lane.has_window) return;
+  sim::Tick now = eq_.Now();
+  uint64_t window_cycles =
+      (now - lane.window_start_ps) / array_->timing().tck_ps;
+  double busy = ReadChannelBusyCycles(lane.channel);
+  double reqs = ReadChannelRequests(lane.channel);
+  if (window_cycles > 0) {
+    uint64_t busy_cycles = static_cast<uint64_t>(
+        std::max(0.0, busy - lane.busy_base));
+    uint64_t requests =
+        static_cast<uint64_t>(std::max(0.0, reqs - lane.req_base));
+    if (::getenv("NDP_RUNTIME_DEBUG")) {
+      std::fprintf(stderr,
+                   "[obs] lane=%u win=%llu busy=%llu reqs=%llu ewma=%f\n",
+                   lane.index, (unsigned long long)window_cycles,
+                   (unsigned long long)busy_cycles, (unsigned long long)requests,
+                   controllers_[lane.channel]->ewma_busy_fraction());
+    }
+    controllers_[lane.channel]->Observe(window_cycles,
+                                        std::min(busy_cycles, window_cycles),
+                                        requests);
+  }
+  lane.window_start_ps = now;
+  lane.busy_base = busy;
+  lane.req_base = reqs;
+}
+
+// -- Completion ---------------------------------------------------------------
+
+void NdpRuntime::RetireChunk(Lane& lane) { RetireChunkImpl(*lane.active); }
+
+void NdpRuntime::RetireChunkImpl(Chunk& c) {
+  Job& job = *c.job;
+  --job.chunks_live;
+  if (job.failed) return;
+  if (job.kind == JobKind::kSelect && c.rows_done > 0) {
+    MergeBitmapRange(job, c.first_row, c.rows_done, c.out_base);
+  }
+  if (job.chunks_live == 0) {
+    // Only now is every chunk's bitmap merged; a rows_completed check alone
+    // would double-complete under interleaved final leases.
+    NDP_CHECK(job.rows_completed == job.total_rows);
+    CompleteJob(job);
+  }
+}
+
+void NdpRuntime::MergeBitmapRange(Job& job, uint64_t first_row, uint64_t rows,
+                                  uint64_t out_base) {
+  NDP_CHECK(first_row % 64 == 0);
+  uint64_t words = (rows + 63) / 64;
+  for (uint64_t w = 0; w < words; ++w) {
+    uint64_t value = array_->dram().backing_store().Read64(out_base + w * 8);
+    if ((w + 1) * 64 > rows) {
+      uint64_t valid = rows - w * 64;
+      value &= (valid >= 64) ? ~uint64_t{0} : ((uint64_t{1} << valid) - 1);
+    }
+    job.bitmap.SetWord(first_row / 64 + w, value);
+  }
+}
+
+void NdpRuntime::CompleteJob(Job& job) {
+  JobResult result;
+  result.job_id = job.id;
+  result.kind = job.kind;
+  result.status = Status::OK();
+  result.matches = job.matches;
+  result.agg_value = job.agg_value;
+  result.submitted_ps = job.submitted_ps;
+  result.completed_ps = eq_.Now();
+  result.leases = job.leases;
+  if (job.kind == JobKind::kSelect) result.bitmap = std::move(job.bitmap);
+  ++counters_.jobs_completed;
+  --active_jobs_;
+  JobCallback cb = std::move(job.on_done);
+  auto [it, inserted] = results_.emplace(job.id, std::move(result));
+  NDP_CHECK(inserted);
+  if (cb) cb(it->second);
+}
+
+void NdpRuntime::FailJob(Job& job, const Status& status) {
+  if (job.failed) return;
+  job.failed = true;
+  JobResult result;
+  result.job_id = job.id;
+  result.kind = job.kind;
+  result.status = status;
+  result.submitted_ps = job.submitted_ps;
+  result.completed_ps = eq_.Now();
+  result.leases = job.leases;
+  ++counters_.jobs_failed;
+  --active_jobs_;
+  // Purge the job's queued chunks everywhere; in-flight sibling leases see
+  // job.failed at completion and drop their chunk without accounting.
+  for (auto& lane : lanes_) {
+    auto& q = lane->queue;
+    q.erase(std::remove_if(q.begin(), q.end(),
+                           [&](const std::unique_ptr<Chunk>& c) {
+                             if (c->job != &job) return false;
+                             --job.chunks_live;
+                             return true;
+                           }),
+            q.end());
+  }
+  JobCallback cb = std::move(job.on_done);
+  auto [it, inserted] = results_.emplace(job.id, std::move(result));
+  NDP_CHECK(inserted);
+  if (cb) cb(it->second);
+}
+
+// -- Work stealing / lane failure --------------------------------------------
+
+uint64_t NdpRuntime::StealableRows(const Lane& lane) const {
+  if (lane.state == Lane::State::kDead) return 0;
+  uint64_t rows = 0;
+  if (lane.active) rows += lane.active->rows - lane.active->rows_leased;
+  for (const auto& c : lane.queue) rows += c->rows - c->rows_done;
+  return rows;
+}
+
+void NdpRuntime::TrySteal(Lane& thief) {
+  if (!config_.steal_enabled || thief.state != Lane::State::kIdle) return;
+  Lane* victim = nullptr;
+  uint64_t victim_rows = 0;
+  for (auto& cand : lanes_) {
+    if (cand.get() == &thief) continue;
+    uint64_t rows = StealableRows(*cand);
+    if (rows > victim_rows) {
+      victim = cand.get();
+      victim_rows = rows;
+    }
+  }
+  if (victim == nullptr) return;
+  // Steal from the tail of the victim's backlog: its newest queued chunk, or
+  // the un-dispatched tail of its active chunk.
+  Chunk* source = nullptr;
+  uint64_t reserved = 0;  ///< rows of `source` the victim must keep
+  if (!victim->queue.empty()) {
+    source = victim->queue.back().get();
+    reserved = source->rows_done;
+  } else if (victim->active) {
+    source = victim->active.get();
+    reserved = source->rows_leased;
+  }
+  if (source == nullptr || source->job->failed) return;
+  // Quantum-bounded halving: take at most half the backlog, but never more
+  // than a quarter-lease of rows per steal. An uncapped half-of-backlog grab
+  // lets one thief serialize a giant copy in front of a giant scan while its
+  // siblings starve; small quanta keep the copy latency per steal low and
+  // re-balance the array several times per lease.
+  uint64_t lease_rows =
+      RowsPerLeaseCycles(array_->timing(), array_->device_config(),
+                         controllers_[thief.channel]->NextLeaseBusCycles());
+  uint64_t quantum = std::max<uint64_t>(
+      config_.steal_min_pages * kRowsPerPage, lease_rows / 4);
+  uint64_t desired =
+      std::min({source->rows - reserved, victim_rows / 2, quantum});
+  // Keep the victim a page-aligned prefix so both halves' bitmap rows stay
+  // word-aligned; the ragged tail (if any) travels with the thief.
+  uint64_t keep = std::max(reserved, RoundDownPages(source->rows - desired));
+  uint64_t steal_rows = source->rows - keep;
+  if (steal_rows < config_.steal_min_pages * kRowsPerPage) return;
+  Job& job = *source->job;
+  uint64_t src_addr = source->col_base + keep * 8;
+  uint64_t first_row = source->first_row + keep;
+  if (!TransplantRows(thief, job, source->priority, src_addr, first_row,
+                      steal_rows)) {
+    return;  // thief rank full — not worth failing anything over
+  }
+  if (::getenv("NDP_RUNTIME_DEBUG")) {
+    std::fprintf(stderr, "[steal] t=%llu thief=%u victim=%u rows=%llu\n",
+                 (unsigned long long)eq_.Now(), thief.index, victim->index,
+                 (unsigned long long)steal_rows);
+  }
+  source->rows = keep;
+  ++counters_.steals;
+  counters_.stolen_pages += (steal_rows + kRowsPerPage - 1) / kRowsPerPage;
+  // A queued chunk whose whole remaining tail was stolen will never run
+  // again: retire the husk now so its completed prefix (if any) is recorded
+  // and it cannot be dispatched as a zero-row lease.
+  if (!victim->queue.empty() && victim->queue.back().get() == source &&
+      source->rows == source->rows_done) {
+    std::unique_ptr<Chunk> husk = std::move(victim->queue.back());
+    victim->queue.pop_back();
+    RetireChunkImpl(*husk);
+  }
+}
+
+bool NdpRuntime::TransplantRows(Lane& target, Job& job, JobPriority priority,
+                                uint64_t src_addr, uint64_t first_row,
+                                uint64_t rows) {
+  Result<uint64_t> col_base = array_->AllocOnDevice(target.device, rows * 8);
+  if (!col_base.ok()) return false;
+  Result<uint64_t> out_base = array_->AllocOnDevice(
+      target.device, ((rows + 7) / 8 + 4095) & ~uint64_t{4095});
+  if (!out_base.ok()) return false;
+  auto chunk = std::make_unique<Chunk>();
+  chunk->job = &job;
+  chunk->seq = next_chunk_seq_++;
+  chunk->priority = priority;
+  chunk->col_base = col_base.value();
+  chunk->out_base = out_base.value();
+  chunk->first_row = first_row;
+  chunk->rows = rows;
+  ++job.chunks_live;  // live from creation: the copy latency is part of it
+  // Host-mediated DMA: 64 B bursts read from the source rank and written to
+  // the target rank through the host. The read and write streams pipeline
+  // through the host's buffer (and overlap fully when source and target sit
+  // on different channels), so the steady-state rate is one burst per tCCD,
+  // plus a fixed software overhead. The copy is functional-only (no DRAM
+  // commands), a modeling simplification documented in DESIGN.md §9.
+  uint64_t bursts = (rows * 8 + 63) / 64;
+  uint64_t copy_cycles = config_.steal_copy_overhead_bus_cycles +
+                         bursts * array_->timing().tccd;
+  uint32_t ti = target.index;
+  // Shared-pointer hand-off keeps the chunk alive inside the closure.
+  std::shared_ptr<Chunk> pending(chunk.release());
+  eq_.ScheduleAfter(
+      BusCyclesToPs(copy_cycles), [this, ti, pending, src_addr] {
+        std::vector<uint8_t> buf(pending->rows * 8);
+        array_->dram().backing_store().Read(src_addr, buf.data(), buf.size());
+        array_->dram().backing_store().Write(pending->col_base, buf.data(),
+                                             buf.size());
+        Lane& lane = *lanes_[ti];
+        auto owned = std::make_unique<Chunk>(*pending);
+        if (lane.state == Lane::State::kDead) {
+          // The thief died during the copy; bounce the rows once more.
+          Lane* next = nullptr;
+          for (auto& cand : lanes_) {
+            if (cand->state == Lane::State::kDead) continue;
+            if (next == nullptr ||
+                StealableRows(*cand) < StealableRows(*next)) {
+              next = cand.get();
+            }
+          }
+          if (next == nullptr) {
+            FailJob(*owned->job,
+                    Status::Internal("runtime: all device lanes failed"));
+            return;
+          }
+          ++counters_.chunks_reassigned;
+          EnqueueChunk(*next, std::move(owned));
+          return;
+        }
+        EnqueueChunk(lane, std::move(owned));
+      });
+  return true;
+}
+
+void NdpRuntime::HandleLaneFailure(Lane& lane, const Status& status) {
+  ++counters_.lane_failures;
+  lane.state = Lane::State::kDead;
+  // Hand the rank back to the host controller so CPU traffic to it drains
+  // (the failed device is idle after the driver's abort path).
+  lane.driver->ReleaseOwnership([](sim::Tick) {});
+
+  // Collect the work the lane can no longer do. The failed lease's rows were
+  // never counted, so re-running them elsewhere cannot double-count.
+  struct Orphan {
+    Job* job;
+    JobPriority priority;
+    uint64_t src_addr, first_row, rows;
+  };
+  std::vector<Orphan> orphans;
+  if (lane.active) {
+    Chunk& c = *lane.active;
+    --c.job->chunks_live;
+    if (!c.job->failed) {
+      if (c.job->kind == JobKind::kSelect && c.rows_done > 0) {
+        // Keep the completed prefix: its bitmap words are already in DRAM.
+        MergeBitmapRange(*c.job, c.first_row, c.rows_done, c.out_base);
+      }
+      if (c.rows_done < c.rows) {
+        orphans.push_back(Orphan{c.job, c.priority,
+                                 c.col_base + c.rows_done * 8,
+                                 c.first_row + c.rows_done,
+                                 c.rows - c.rows_done});
+      }
+    }
+    lane.active.reset();
+  }
+  for (auto& c : lane.queue) {
+    --c->job->chunks_live;
+    if (c->job->failed) continue;
+    orphans.push_back(Orphan{c->job, c->priority, c->col_base + c->rows_done * 8,
+                             c->first_row + c->rows_done,
+                             c->rows - c->rows_done});
+  }
+  lane.queue.clear();
+
+  for (const Orphan& o : orphans) {
+    if (o.job->failed) continue;
+    Lane* target = nullptr;
+    for (auto& cand : lanes_) {
+      if (cand->state == Lane::State::kDead) continue;
+      if (target == nullptr || StealableRows(*cand) < StealableRows(*target)) {
+        target = cand.get();
+      }
+    }
+    if (target == nullptr) {
+      FailJob(*o.job, status);
+      continue;
+    }
+    if (!TransplantRows(*target, *o.job, o.priority, o.src_addr, o.first_row,
+                        o.rows)) {
+      FailJob(*o.job, Status::ResourceExhausted(
+                          "runtime: no space to reassign failed lane's pages"));
+      continue;
+    }
+    ++counters_.chunks_reassigned;
+  }
+}
+
+// -- Waiting / results --------------------------------------------------------
+
+Status NdpRuntime::Drain() {
+  if (!eq_.RunUntilTrue([this] { return active_jobs_ == 0; })) {
+    return Status::Internal("runtime drain stalled: jobs pending, queue dry");
+  }
+  return Status::OK();
+}
+
+Status NdpRuntime::WaitFor(JobId id) {
+  if (jobs_.find(id) == jobs_.end()) {
+    return Status::NotFound("runtime: unknown job id");
+  }
+  if (!eq_.RunUntilTrue(
+          [this, id] { return results_.find(id) != results_.end(); })) {
+    return Status::Internal("runtime wait stalled: job pending, queue dry");
+  }
+  return Status::OK();
+}
+
+const JobResult* NdpRuntime::result(JobId id) const {
+  auto it = results_.find(id);
+  return it == results_.end() ? nullptr : &it->second;
+}
+
+// -- Pushdown hooks -----------------------------------------------------------
+
+db::NdpSelectHook NdpRuntime::MakePushdownHook() {
+  return [this](const db::Column& col,
+                const db::Pred& pred) -> Result<db::PositionList> {
+    int64_t lo, hi;
+    NDP_RETURN_NOT_OK(PredToJafarRange(pred, &lo, &hi));
+    NDP_ASSIGN_OR_RETURN(PlacedColumn * placed, EnsurePlaced(col));
+    NDP_ASSIGN_OR_RETURN(
+        JobId id, SubmitSelect(*placed, lo, hi, JobPriority::kInteractive));
+    NDP_RETURN_NOT_OK(WaitFor(id));
+    const JobResult* r = result(id);
+    NDP_RETURN_NOT_OK(r->status);
+    db::PositionList positions = db::BitmapToPositions(r->bitmap);
+    NDP_RETURN_NOT_OK(ValidatePushdownResult(positions, col.size()));
+    return positions;
+  };
+}
+
+db::NdpSelectBatchHook NdpRuntime::MakePushdownBatchHook() {
+  return [this](const std::vector<std::pair<const db::Column*, db::Pred>>&
+                    selects) -> Result<std::vector<db::PositionList>> {
+    std::vector<JobId> ids;
+    ids.reserve(selects.size());
+    for (const auto& [col, pred] : selects) {
+      int64_t lo, hi;
+      NDP_RETURN_NOT_OK(PredToJafarRange(pred, &lo, &hi));
+      NDP_ASSIGN_OR_RETURN(PlacedColumn * placed, EnsurePlaced(*col));
+      NDP_ASSIGN_OR_RETURN(
+          JobId id, SubmitSelect(*placed, lo, hi, JobPriority::kInteractive));
+      ids.push_back(id);
+    }
+    std::vector<db::PositionList> lists;
+    lists.reserve(ids.size());
+    for (size_t i = 0; i < ids.size(); ++i) {
+      NDP_RETURN_NOT_OK(WaitFor(ids[i]));
+      const JobResult* r = result(ids[i]);
+      NDP_RETURN_NOT_OK(r->status);
+      db::PositionList positions = db::BitmapToPositions(r->bitmap);
+      NDP_RETURN_NOT_OK(
+          ValidatePushdownResult(positions, selects[i].first->size()));
+      lists.push_back(std::move(positions));
+    }
+    return lists;
+  };
+}
+
+}  // namespace ndp::core

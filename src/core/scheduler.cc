@@ -4,21 +4,26 @@
 
 namespace ndp::core {
 
-uint64_t NdpScheduler::RowsPerLease() const {
-  const dram::DramTiming& t = system_->config().dram_timing;
-  const jafar::DeviceConfig& dev = system_->jafar().config();
+uint64_t RowsPerLeaseCycles(const dram::DramTiming& t,
+                            const jafar::DeviceConfig& dev,
+                            uint64_t lease_bus_cycles) {
   // Burst rate: 8 rows per tCCD bus cycles; subtract the per-page invocation
   // overhead (one device job per 4 KB page).
-  uint64_t usable = config_.lease_bus_cycles;
   uint64_t rows_per_page = 4096 / dev.elem_bytes;
   // Invocation overhead is in device cycles; convert to bus cycles.
   uint64_t overhead_bus_cycles =
       (dev.invocation_overhead_cycles * dev.clock.period_ps() + t.tck_ps - 1) /
       t.tck_ps;
   uint64_t cycles_per_page = rows_per_page / 8 * t.tccd + overhead_bus_cycles;
-  uint64_t pages = usable / std::max<uint64_t>(1, cycles_per_page);
+  uint64_t pages = lease_bus_cycles / std::max<uint64_t>(1, cycles_per_page);
   if (pages == 0) pages = 1;
   return pages * rows_per_page;
+}
+
+uint64_t NdpScheduler::RowsPerLease() const {
+  return RowsPerLeaseCycles(system_->config().dram_timing,
+                            system_->jafar().config(),
+                            config_.lease_bus_cycles);
 }
 
 Result<NdpScheduler::SlicedResult> NdpScheduler::RunSlicedSelect(
@@ -44,6 +49,8 @@ Result<NdpScheduler::SlicedResult> NdpScheduler::RunSlicedSelect(
 
     bool done = false;
     jafar::SelectResult sr;
+    // Single-query lease scheduler predates the multi-query runtime; it owns
+    // the whole channel for the slice. ndp-lint: runtime-bypass-ok
     NDP_RETURN_NOT_OK(driver.SelectJafar(
         col_base + row * 8, lo, hi, bitmap + row / 8, rows, /*flag_addr=*/0,
         [&done, &sr](const jafar::SelectResult& r) {

@@ -13,6 +13,14 @@
 
 namespace ndp::core {
 
+/// Rows JAFAR can stream within `lease_bus_cycles` of rank ownership (one
+/// 8-row burst per tCCD, minus the per-page invocation overhead), rounded
+/// down to whole 4 KB pages — at least one page. Shared between the fixed
+/// time-slicing below and the adaptive runtime (core/runtime.h).
+uint64_t RowsPerLeaseCycles(const dram::DramTiming& timing,
+                            const jafar::DeviceConfig& dev,
+                            uint64_t lease_bus_cycles);
+
 struct SchedulerConfig {
   /// Ownership lease granted to JAFAR per slice, in DDR3 bus cycles.
   uint64_t lease_bus_cycles = 20000;

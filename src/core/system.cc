@@ -1,5 +1,6 @@
 #include "core/system.h"
 
+#include "core/pushdown.h"
 #include "util/logging.h"
 #include "util/macros.h"
 
@@ -195,6 +196,8 @@ Result<SystemModel::JafarRunResult> SystemModel::RunJafarSelect(
 
   bool done = false;
   jafar::SelectResult select_result;
+  // fig3/fig4 single-query measurement path: the experiment needs exclusive
+  // device access, not runtime multiplexing. ndp-lint: runtime-bypass-ok
   NDP_RETURN_NOT_OK(driver_->SelectJafar(
       col_base, lo, hi, bitmap_base, col.size(), flag_addr,
       [&done, &select_result](const jafar::SelectResult& sr) {
@@ -255,16 +258,7 @@ db::NdpSelectHook SystemModel::MakePushdownHook() {
   return [this](const db::Column& col,
                 const db::Pred& pred) -> Result<db::PositionList> {
     int64_t lo, hi;
-    switch (pred.op) {
-      case db::Pred::Op::kBetween: lo = pred.lo; hi = pred.hi; break;
-      case db::Pred::Op::kEq: lo = pred.lo; hi = pred.lo; break;
-      case db::Pred::Op::kLe: lo = INT64_MIN; hi = pred.lo; break;
-      case db::Pred::Op::kLt: lo = INT64_MIN; hi = pred.lo - 1; break;
-      case db::Pred::Op::kGe: lo = pred.lo; hi = INT64_MAX; break;
-      case db::Pred::Op::kGt: lo = pred.lo + 1; hi = INT64_MAX; break;
-      default:
-        return Status::Unimplemented("predicate not supported by JAFAR");
-    }
+    NDP_RETURN_NOT_OK(PredToJafarRange(pred, &lo, &hi));
 
     // Circuit breaker: after kDegradeThreshold consecutive device failures,
     // stop dispatching to JAFAR (each failed attempt costs watchdog + retry

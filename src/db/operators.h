@@ -10,6 +10,7 @@
 #include <functional>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "db/column.h"
@@ -70,11 +71,19 @@ struct OperatorStats {
 using NdpSelectHook =
     std::function<Result<PositionList>(const Column&, const Pred&)>;
 
+/// Batched variant: all conjuncts of one scan submitted concurrently (the
+/// multi-query runtime overlaps their leases), returning one position list
+/// per input pair in order. An error falls the whole scan back to the
+/// single-predicate / CPU path.
+using NdpSelectBatchHook = std::function<Result<std::vector<PositionList>>(
+    const std::vector<std::pair<const Column*, Pred>>&)>;
+
 /// \brief Shared execution state: tracing, pushdown, stats.
 struct QueryContext {
   TraceRecorder* trace = nullptr;      ///< optional memory-trace recording
   SelectMode select_mode = SelectMode::kBranching;
   NdpSelectHook ndp_select;            ///< optional JAFAR pushdown
+  NdpSelectBatchHook ndp_select_batch; ///< optional concurrent-conjunct form
   std::vector<OperatorStats> stats;
   /// Optional registry scope; when active, every Record() also bumps
   /// "<prefix>.<op>.{calls,rows_in,rows_out}" registry counters so query

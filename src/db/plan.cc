@@ -57,16 +57,42 @@ Result<Batch> ScanNode::Execute(QueryContext* ctx) {
   // Positions first (selects, JAFAR-eligible), then late materialization.
   PositionList pos;
   bool have_pos = false;
-  for (const auto& [col_name, pred] : conjuncts_) {
-    const Column* col = table_->FindColumn(col_name);
-    if (col == nullptr) {
-      return Status::NotFound("scan conjunct column '" + col_name + "'");
+  // Multi-conjunct scans prefer the batched hook: all conjuncts submitted to
+  // the NDP runtime at once (their leases overlap across devices), then
+  // intersected host-side. Any error falls back to the sequential path.
+  if (ctx != nullptr && ctx->ndp_select_batch && conjuncts_.size() > 1) {
+    std::vector<std::pair<const Column*, Pred>> selects;
+    for (const auto& [col_name, pred] : conjuncts_) {
+      const Column* col = table_->FindColumn(col_name);
+      if (col == nullptr) {
+        return Status::NotFound("scan conjunct column '" + col_name + "'");
+      }
+      selects.emplace_back(col, pred);
     }
-    if (!have_pos) {
-      pos = ScanSelect(ctx, *col, pred);
+    Result<std::vector<PositionList>> lists = ctx->ndp_select_batch(selects);
+    if (lists.ok()) {
+      std::vector<PositionList>& per_conjunct = lists.value();
+      pos = std::move(per_conjunct[0]);
+      for (size_t i = 1; i < per_conjunct.size(); ++i) {
+        pos = IntersectSorted(pos, per_conjunct[i]);
+      }
+      ctx->Record("scan_select_batch", table_->num_rows() * selects.size(),
+                  pos.size());
       have_pos = true;
-    } else {
-      pos = Refine(ctx, *col, pred, pos);
+    }
+  }
+  if (!have_pos) {
+    for (const auto& [col_name, pred] : conjuncts_) {
+      const Column* col = table_->FindColumn(col_name);
+      if (col == nullptr) {
+        return Status::NotFound("scan conjunct column '" + col_name + "'");
+      }
+      if (!have_pos) {
+        pos = ScanSelect(ctx, *col, pred);
+        have_pos = true;
+      } else {
+        pos = Refine(ctx, *col, pred, pos);
+      }
     }
   }
   if (!have_pos) {

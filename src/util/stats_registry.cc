@@ -130,6 +130,45 @@ StatsSnapshot StatsRegistry::Snapshot() const {
   return snap;
 }
 
+double StatsRegistry::ReadValue(const std::string& path,
+                                double fallback) const {
+  auto eval = [](const Stat& stat) {
+    if (const auto* cell = std::get_if<const uint64_t*>(&stat.source)) {
+      return static_cast<double>(**cell);
+    }
+    if (const auto* dcell = std::get_if<const double*>(&stat.source)) {
+      return **dcell;
+    }
+    if (const auto* ufn = std::get_if<std::function<uint64_t()>>(&stat.source)) {
+      return static_cast<double>((*ufn)());
+    }
+    return std::get<std::function<double()>>(stat.source)();
+  };
+  auto it = stats_.find(path);
+  if (it != stats_.end()) {
+    if (std::get_if<HistSource>(&it->second.source) != nullptr) {
+      return fallback;  // a bare histogram path has no scalar value
+    }
+    return eval(it->second);
+  }
+  // "<hist>.<field>": the histogram is registered under the parent path.
+  size_t dot = path.rfind('.');
+  if (dot == std::string::npos) return fallback;
+  auto parent = stats_.find(path.substr(0, dot));
+  if (parent == stats_.end()) return fallback;
+  const auto* hs = std::get_if<HistSource>(&parent->second.source);
+  if (hs == nullptr) return fallback;
+  std::string field = path.substr(dot + 1);
+  const RunningStats& rs = hs->hist->stats();
+  if (field == "count") return static_cast<double>(rs.count());
+  if (field == "sum") return rs.sum();
+  if (field == "mean") return rs.mean();
+  if (field == "p50") return hs->hist->Quantile(0.50);
+  if (field == "p90") return hs->hist->Quantile(0.90);
+  if (field == "p99") return hs->hist->Quantile(0.99);
+  return fallback;
+}
+
 void StatsScope::Counter(std::string_view name, const uint64_t* cell) const {
   if (!registry_) return;
   NDP_CHECK(registry_->RegisterCounter(Path(name), cell).ok());

@@ -107,6 +107,12 @@ class StatsRegistry {
   // -- Walks ----------------------------------------------------------------
 
   StatsSnapshot Snapshot() const;
+  /// Live read of a single stat by path, without walking the whole registry
+  /// (the online scheduling path samples controller counters once per host
+  /// window). Histogram sub-paths resolve like snapshot entries:
+  /// "<hist>.count/.sum/.mean/.p50/.p90/.p99". Returns `fallback` when the
+  /// path names nothing.
+  double ReadValue(const std::string& path, double fallback = 0.0) const;
   /// "path value" lines in sorted path order (the DumpStats() body).
   std::string DumpText() const { return Snapshot().ToText(); }
   /// Flat JSON object {path: value}.

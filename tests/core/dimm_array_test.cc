@@ -76,6 +76,83 @@ TEST(DimmArrayTest, ParallelismShortensMakespan) {
   EXPECT_LT(one, 5 * four);
 }
 
+TEST(DimmArrayTest, SplitRowsRaggedKeepsWordAlignedBoundaries) {
+  // 100 rows over 3 devices used to round every partition to 64 rows and
+  // lose the remainder; now the whole count lands, word-aligned.
+  auto counts = DimmArray::SplitRows(100, 3, {});
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, 100u);
+  // Boundaries before every later non-empty partition stay 64-aligned.
+  uint64_t row = 0;
+  for (size_t i = 0; i + 1 < counts.size(); ++i) {
+    row += counts[i];
+    bool later_nonempty = false;
+    for (size_t j = i + 1; j < counts.size(); ++j) {
+      later_nonempty |= counts[j] > 0;
+    }
+    if (later_nonempty) {
+      EXPECT_EQ(row % 64, 0u) << "boundary " << i;
+    }
+  }
+}
+
+TEST(DimmArrayTest, SplitRowsDegenerateFewerRowsThanDevices) {
+  // 10 rows over 16 devices crashed the old rounding (zero-row partitions
+  // tripped the coverage check). The tail lands on one device now.
+  auto counts = DimmArray::SplitRows(10, 16, {});
+  ASSERT_EQ(counts.size(), 16u);
+  uint64_t total = 0, nonempty = 0;
+  for (uint64_t c : counts) {
+    total += c;
+    nonempty += c > 0;
+  }
+  EXPECT_EQ(total, 10u);
+  EXPECT_EQ(nonempty, 1u);
+}
+
+TEST(DimmArrayTest, SplitRowsWeightedSkew) {
+  auto counts = DimmArray::SplitRows(1u << 18, 4, {4.0, 1.0, 1.0, 1.0});
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, uint64_t{1} << 18);
+  // Device 0 gets ~4x each of the others (within a 64-row block of skew).
+  for (size_t i = 1; i < 4; ++i) {
+    EXPECT_NEAR(static_cast<double>(counts[0]),
+                4.0 * static_cast<double>(counts[i]), 4 * 64.0);
+  }
+}
+
+TEST(DimmArrayTest, LoadPartitionedRaggedMatchesOracle) {
+  DimmArray array(dram::DramTiming::DDR3_1600(), 4, 1, Config());
+  array.AcquireAllOwnership();
+  db::Column col = RandomColumn(100037, 11);  // ragged on purpose
+  auto counts = array.LoadPartitioned(col);
+  ASSERT_EQ(counts.size(), 4u);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, col.size());
+  auto result = array.RunParallelSelect(250000, 750000).ValueOrDie();
+  uint64_t oracle = 0;
+  for (size_t i = 0; i < col.size(); ++i) {
+    oracle += col[i] >= 250000 && col[i] <= 750000;
+  }
+  EXPECT_EQ(result.matches, oracle);
+}
+
+TEST(DimmArrayTest, LoadPartitionedMoreDevicesThanRows) {
+  DimmArray array(dram::DramTiming::DDR3_1600(), 2, 2, Config());
+  array.AcquireAllOwnership();
+  db::Column col = RandomColumn(10, 12);
+  auto counts = array.LoadPartitioned(col);
+  ASSERT_EQ(counts.size(), 4u);
+  uint64_t total = 0;
+  for (uint64_t c : counts) total += c;
+  EXPECT_EQ(total, 10u);
+  auto result = array.RunParallelSelect(0, 999999).ValueOrDie();
+  EXPECT_EQ(result.matches, 10u);
+}
+
 TEST(DimmArrayTest, SelectBeforeLoadFails) {
   DimmArray array(dram::DramTiming::DDR3_1600(), 1, 1, Config());
   array.AcquireAllOwnership();

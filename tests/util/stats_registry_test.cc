@@ -110,6 +110,37 @@ TEST(StatsRegistryTest, OwnedCounterIsStableAcrossLookups) {
   EXPECT_EQ(reg.Snapshot().Count("db.scan.rows"), 7u);
 }
 
+TEST(StatsRegistryTest, ReadValueResolvesScalarsAndHistogramSubpaths) {
+  StatsRegistry reg;
+  uint64_t counter = 7;
+  double gauge = 2.5;
+  uint64_t fn_val = 11;
+  Histogram hist(0.0, 100.0, 10);
+  ASSERT_TRUE(reg.RegisterCounter("c", &counter).ok());
+  ASSERT_TRUE(
+      reg.RegisterGauge("g", std::function<double()>([&] { return gauge; }))
+          .ok());
+  ASSERT_TRUE(
+      reg.RegisterCounter("f", std::function<uint64_t()>([&] { return fn_val; }))
+          .ok());
+  ASSERT_TRUE(reg.RegisterHistogram("h", &hist).ok());
+  for (int i = 0; i < 100; ++i) hist.Add(static_cast<double>(i));
+
+  EXPECT_DOUBLE_EQ(reg.ReadValue("c"), 7.0);
+  counter = 8;
+  EXPECT_DOUBLE_EQ(reg.ReadValue("c"), 8.0);  // live, not a snapshot
+  EXPECT_DOUBLE_EQ(reg.ReadValue("g"), 2.5);
+  EXPECT_DOUBLE_EQ(reg.ReadValue("f"), 11.0);
+  EXPECT_DOUBLE_EQ(reg.ReadValue("h.count"), 100.0);
+  EXPECT_DOUBLE_EQ(reg.ReadValue("h.sum"), 4950.0);
+  EXPECT_DOUBLE_EQ(reg.ReadValue("h.mean"), 49.5);
+  EXPECT_GT(reg.ReadValue("h.p99"), reg.ReadValue("h.p50"));
+  // Unknown paths and a bare histogram path fall back.
+  EXPECT_DOUBLE_EQ(reg.ReadValue("nope", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(reg.ReadValue("h", -1.0), -1.0);
+  EXPECT_DOUBLE_EQ(reg.ReadValue("h.p33", -1.0), -1.0);
+}
+
 TEST(StatsScopeTest, InertScopeIsSafeAndRegistersNothing) {
   StatsScope scope;  // default-constructed: no registry attached
   uint64_t cell = 0;

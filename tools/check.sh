@@ -10,11 +10,13 @@
 #                         suite issues is audited against the DDR3 JEDEC
 #                         timing rules by the shadow checker
 #   4. sanitizer build  — -DNDP_SANITIZE=address,undefined: the fault suite
-#                         (ctest -L faults) plus unit tests under ASan+UBSan;
+#                         (ctest -L faults), the multi-query runtime suite
+#                         (-L runtime), and unit tests under ASan+UBSan;
 #                         recovery paths (aborts, retries, epoch-guarded
 #                         cancellation) are where lifetime bugs would hide
-#   5. tsan build       — -DNDP_SANITIZE=thread: the fault + unit suites under
-#                         TSan (ParallelSweep shares columns across workers)
+#   5. tsan build       — -DNDP_SANITIZE=thread: the fault + runtime + unit
+#                         suites under TSan (ParallelSweep shares columns
+#                         across workers)
 #   6. clang-tidy       — only if clang-tidy is on PATH (the pinned CI image
 #                         ships gcc only)
 #
@@ -57,16 +59,16 @@ step "configure + build (${PREFIX}-asan, NDP_SANITIZE=address,undefined)"
 cmake -B "${PREFIX}-asan" -S . -DNDP_SANITIZE=address,undefined >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}"
 
-step "ctest (${PREFIX}-asan: faults + unit under ASan/UBSan)"
-ctest --test-dir "${PREFIX}-asan" -j "${JOBS}" -L 'unit|faults' \
+step "ctest (${PREFIX}-asan: faults + runtime + unit under ASan/UBSan)"
+ctest --test-dir "${PREFIX}-asan" -j "${JOBS}" -L 'unit|faults|runtime' \
   --output-on-failure
 
 step "configure + build (${PREFIX}-tsan, NDP_SANITIZE=thread)"
 cmake -B "${PREFIX}-tsan" -S . -DNDP_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 
-step "ctest (${PREFIX}-tsan: faults + unit under TSan)"
-ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" -L 'unit|faults' \
+step "ctest (${PREFIX}-tsan: faults + runtime + unit under TSan)"
+ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" -L 'unit|faults|runtime' \
   --output-on-failure
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -32,6 +32,12 @@
 //                   ->Start*) must contain watchdog registration (ArmWatchdog)
 //                   or waive the line — an unguarded dispatch cannot recover
 //                   from an injected hang
+//   runtime-bypass  src/core/ and src/db/ code must route device work through
+//                   the NdpRuntime queues (core/runtime.h): a direct device
+//                   Start* or driver *Jafar call from those layers bypasses
+//                   admission control, lease sizing, and work stealing; the
+//                   runtime itself is exempt, legacy single-query paths waive
+//                   with a reason
 //
 // Any rule can be waived for one line by putting "// ndp-lint: <rule>-ok"
 // on that line or the line above it (include a reason).
@@ -303,6 +309,33 @@ void CheckWatchdogArm(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+// -- runtime-bypass -----------------------------------------------------------
+
+void CheckRuntimeBypass(const SourceFile& f, std::vector<Finding>* out) {
+  // The core/db layers sit above the multi-query runtime; dispatching to a
+  // device (or its driver) from there skips the per-channel queues, so the
+  // job runs outside admission control, QoS lease sizing, and work stealing.
+  // core/runtime.{h,cc} IS the queue layer and is exempt by construction.
+  const bool in_scope = f.rel.rfind("src/core/", 0) == 0 ||
+                        f.rel.rfind("src/db/", 0) == 0;
+  if (!in_scope || f.rel == "src/core/runtime.cc" ||
+      f.rel == "src/core/runtime.h") {
+    return;
+  }
+  static const std::regex kDispatch(
+      R"re((?:\.|->)(?:Start(?:Select|Aggregate|Project|RowStore|Sort|GroupBy))re"
+      R"re(|(?:Select|Aggregate|Project|RowStore|Sort|GroupBy)Jafar)\s*\()re");
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    if (std::regex_search(CodePart(f.lines[i]), kDispatch)) {
+      Emit(f, i, "runtime-bypass",
+           "device dispatch from core/db bypasses the NdpRuntime queues "
+           "(admission, leases, stealing); submit through core/runtime.h or "
+           "waive a deliberate single-query path",
+           out);
+    }
+  }
+}
+
 // -- rule table ---------------------------------------------------------------
 
 struct Rule {
@@ -319,6 +352,7 @@ constexpr Rule kRules[] = {
     {"unordered-iter", CheckUnorderedIteration},
     {"status", CheckStatusIgnored},
     {"watchdog-arm", CheckWatchdogArm},
+    {"runtime-bypass", CheckRuntimeBypass},
 };
 
 bool LoadFile(const fs::path& root, const fs::path& path, SourceFile* out) {
