@@ -1,8 +1,10 @@
 // Validates BENCH_*.json artifacts: each file named on the command line must
 // parse as JSON and carry the Reporter schema — a string "name", an object
 // "config", and a non-empty array "points" whose elements each have a string
-// "label" and an object "metrics". Exit 0 iff every file checks out; used by
-// the bench_json_valid ctest targets.
+// "label" and an object "metrics". A point may also carry an optional
+// "counters" object (a registry snapshot delta): every key must be a
+// dotted-path counter name and every value a number. Exit 0 iff every file
+// checks out; used by the bench_json_valid ctest targets.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -55,6 +57,25 @@ bool CheckFile(const char* path) {
         !metrics->is_object()) {
       std::fprintf(stderr, "%s: malformed point\n", path);
       return false;
+    }
+    const ndp::json::Value* counters = p.Find("counters");
+    if (counters != nullptr) {
+      if (!counters->is_object()) {
+        std::fprintf(stderr, "%s: point \"%s\": \"counters\" is not an object\n",
+                     path, label->AsString().c_str());
+        return false;
+      }
+      for (const auto& [key, value] : counters->members()) {
+        // Registry counter paths are dotted (e.g. "sim.part0.events"): a key
+        // with no dot is a metric that leaked into the wrong object.
+        if (key.find('.') == std::string::npos || !value.is_number()) {
+          std::fprintf(stderr,
+                       "%s: point \"%s\": counter \"%s\" is not a dotted "
+                       "path with a numeric value\n",
+                       path, label->AsString().c_str(), key.c_str());
+          return false;
+        }
+      }
     }
   }
   std::printf("%s: ok (%zu points)\n", path, points->size());

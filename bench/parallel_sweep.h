@@ -6,10 +6,21 @@
 // Results are collected into a vector indexed by point and printed by the
 // caller in point order after the join, so stdout is also byte-identical
 // across thread counts (the property the BENCH determinism check relies on).
+//
+// Workers are hoisted into a process-wide persistent pool (SweepPool): a
+// bench driver runs many sweeps back to back, and re-spawning a thread per
+// sweep per worker dominated small sweeps' wall clock. The pool spawns each
+// worker lazily on the first sweep that needs it and parks workers on a
+// condition variable between sweeps; SweepPool::threads_spawned() exposes the
+// lifetime spawn count so a regression test can pin "many sweeps, one spawn
+// per worker".
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -28,6 +39,108 @@ inline unsigned SweepThreads() {
   return static_cast<unsigned>(n);
 }
 
+/// \brief Process-wide persistent worker pool behind ParallelSweep.
+///
+/// One sweep runs at a time (Run serializes internally); workers persist
+/// across sweeps and across differing worker counts — a sweep that wants W
+/// workers wakes the first W, any further parked workers sit the round out.
+class SweepPool {
+ public:
+  static SweepPool& Instance() {
+    static SweepPool pool;
+    return pool;
+  }
+
+  /// Runs `body(i)` for every i in [0, num_points), claimed dynamically, on
+  /// `num_workers` pool workers plus the calling thread. Returns after every
+  /// point completed.
+  void Run(size_t num_points, unsigned num_workers,
+           const std::function<void(size_t)>& body) {
+    std::unique_lock<std::mutex> run_lock(run_mu_);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      while (threads_.size() < num_workers) {
+        threads_.emplace_back([this, id = threads_.size()] { WorkerMain(id); });
+        ++threads_spawned_;
+      }
+      body_ = &body;
+      next_point_ = 0;
+      num_points_ = num_points;
+      active_workers_ = num_workers;
+      workers_left_ = num_workers;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    DrainPoints();  // the caller works too — no idle thread mid-sweep
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] { return workers_left_ == 0; });
+    body_ = nullptr;
+  }
+
+  /// Lifetime worker-spawn count (monotone). A driver that runs N sweeps at a
+  /// fixed worker count W must observe exactly max-W spawns in total — the
+  /// thread-churn regression test pins this.
+  uint64_t threads_spawned() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return threads_spawned_;
+  }
+
+  ~SweepPool() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      shutdown_ = true;
+      ++generation_;
+    }
+    work_cv_.notify_all();
+    for (std::thread& t : threads_) t.join();
+  }
+
+ private:
+  SweepPool() = default;
+
+  void DrainPoints() {
+    for (size_t i = next_point_.fetch_add(1); i < num_points_;
+         i = next_point_.fetch_add(1)) {
+      (*body_)(i);
+    }
+  }
+
+  void WorkerMain(size_t id) {
+    uint64_t seen = 0;
+    for (;;) {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [&] { return generation_ != seen || shutdown_; });
+      if (shutdown_) return;
+      seen = generation_;
+      if (id >= active_workers_) continue;  // this round wants fewer workers
+      lock.unlock();
+      DrainPoints();
+      lock.lock();
+      if (--workers_left_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  mutable std::mutex mu_;
+  std::mutex run_mu_;  ///< serializes sweeps (nested calls run inline instead)
+  std::condition_variable work_cv_, done_cv_;
+  std::vector<std::thread> threads_;
+  const std::function<void(size_t)>* body_ = nullptr;
+  std::atomic<size_t> next_point_{0};
+  size_t num_points_ = 0;
+  size_t active_workers_ = 0;
+  size_t workers_left_ = 0;
+  uint64_t generation_ = 0;
+  uint64_t threads_spawned_ = 0;
+  bool shutdown_ = false;
+};
+
+namespace internal {
+/// True while this thread is executing a sweep point: a nested ParallelSweep
+/// (a point that itself sweeps) must run inline rather than deadlock waiting
+/// for the pool it is currently occupying.
+inline thread_local bool in_sweep_point = false;
+}  // namespace internal
+
 /// Runs `fn(point_index)` for every index in [0, num_points) across
 /// `num_threads` workers and returns the results in point order. `fn` must be
 /// self-contained per point: it builds its own model state and returns a
@@ -38,21 +151,18 @@ std::vector<Result> ParallelSweep(size_t num_points, Fn&& fn,
                                   unsigned num_threads = SweepThreads()) {
   std::vector<Result> results(num_points);
   if (num_points == 0) return results;
-  if (num_threads <= 1) {
+  if (num_threads <= 1 || internal::in_sweep_point) {
     for (size_t i = 0; i < num_points; ++i) results[i] = fn(i);
     return results;
   }
   if (num_threads > num_points) num_threads = static_cast<unsigned>(num_points);
-  std::atomic<size_t> next{0};
-  auto worker = [&] {
-    for (size_t i = next.fetch_add(1); i < num_points; i = next.fetch_add(1)) {
-      results[i] = fn(i);
-    }
+  std::function<void(size_t)> body = [&](size_t i) {
+    internal::in_sweep_point = true;
+    results[i] = fn(i);
+    internal::in_sweep_point = false;
   };
-  std::vector<std::thread> pool;
-  pool.reserve(num_threads);
-  for (unsigned t = 0; t < num_threads; ++t) pool.emplace_back(worker);
-  for (std::thread& t : pool) t.join();
+  // The caller participates, so the pool only needs num_threads - 1 workers.
+  SweepPool::Instance().Run(num_points, num_threads - 1, body);
   return results;
 }
 

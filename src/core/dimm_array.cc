@@ -6,8 +6,19 @@ namespace ndp::core {
 
 DimmArray::DimmArray(dram::DramTiming timing, uint32_t channels,
                      uint32_t ranks_per_channel,
-                     jafar::DeviceConfig device_config, uint32_t rows_per_bank)
+                     jafar::DeviceConfig device_config, uint32_t rows_per_bank,
+                     bool partitioned)
     : timing_(std::move(timing)), device_config_(device_config) {
+  if (partitioned) {
+    // One partition per channel plus a host partition for runtime logic.
+    // Lookahead = one DDR3 bus cycle: the cheapest modeled host<->device
+    // interaction (a command hop across the channel interface) — see
+    // DESIGN.md §5 for the derivation.
+    host_partition_ = channels;
+    partitions_ = std::make_unique<sim::PartitionSet>(
+        channels + 1, /*lookahead_ps=*/timing_.tck_ps,
+        /*cycle_ps=*/timing_.tck_ps);
+  }
   dram::DramOrganization org;
   org.channels = channels;
   org.ranks_per_channel = ranks_per_channel;
@@ -15,8 +26,8 @@ DimmArray::DimmArray(dram::DramTiming timing, uint32_t channels,
   dram::ControllerConfig mc;
   StatsScope root(&stats_, "array");
   dram_ = std::make_unique<dram::DramSystem>(
-      &eq_, timing_, org, dram::InterleaveScheme::kContiguous, mc,
-      root.Sub("dram"));
+      &eq(), timing_, org, dram::InterleaveScheme::kContiguous, mc,
+      root.Sub("dram"), partitions_.get());
   for (uint32_t ch = 0; ch < channels; ++ch) {
     for (uint32_t rk = 0; rk < ranks_per_channel; ++rk) {
       devices_.push_back(std::make_unique<jafar::Device>(
@@ -24,18 +35,46 @@ DimmArray::DimmArray(dram::DramTiming timing, uint32_t channels,
           root.Sub("dev" + std::to_string(devices_.size()))));
     }
   }
+  // Legacy single-wheel arrays keep the seed's exact registry contents; the
+  // partition counters exist only where partitions do.
+  if (partitions_) {
+    partitions_->RegisterStats(StatsScope(&stats_, "sim"));
+  }
   ResetAllocators();
+}
+
+void DimmArray::PostToDevice(uint32_t device, std::function<void()> fn) {
+  if (!partitions_) {
+    fn();
+    return;
+  }
+  partitions_->Send(host_partition_, devices_[device]->channel_index(),
+                    /*extra_delay_ps=*/0, std::move(fn));
+}
+
+void DimmArray::PostToHost(uint32_t device, std::function<void()> fn) {
+  if (!partitions_) {
+    fn();
+    return;
+  }
+  partitions_->Send(devices_[device]->channel_index(), host_partition_,
+                    /*extra_delay_ps=*/0, std::move(fn));
 }
 
 void DimmArray::AcquireAllOwnership() {
   uint32_t granted = 0;
-  for (auto& dev : devices_) {
-    dram_->controller(dev->channel_index())
-        .TransferOwnership(dev->rank_index(), dram::RankOwner::kAccelerator,
-                           [&granted](sim::Tick) { ++granted; });
+  for (uint32_t d = 0; d < devices_.size(); ++d) {
+    jafar::Device& dev = *devices_[d];
+    // The grant callback fires on the channel partition; the shared counter
+    // lives host-side, so it is bumped through the port (inline in legacy
+    // mode — identical to the seed behavior).
+    dram_->controller(dev.channel_index())
+        .TransferOwnership(dev.rank_index(), dram::RankOwner::kAccelerator,
+                           [this, d, &granted](sim::Tick) {
+                             PostToHost(d, [&granted] { ++granted; });
+                           });
   }
-  NDP_CHECK(eq_.RunUntilTrue(
-      [&] { return granted == devices_.size(); }));
+  NDP_CHECK(RunUntilTrue([&] { return granted == devices_.size(); }));
 }
 
 uint64_t DimmArray::RankBase(uint32_t device) const {
@@ -147,53 +186,66 @@ Result<PlacedColumn> DimmArray::PlaceColumn(const db::Column& col,
 
 std::vector<uint64_t> DimmArray::LoadPartitioned(const db::Column& col) {
   ResetAllocators();
-  partitions_.clear();
+  parts_.clear();
   total_rows_ = col.size();
   Result<PlacedColumn> placed = PlaceColumn(col);
   NDP_CHECK(placed.ok());  // a fresh rank always fits one column
   std::vector<uint64_t> counts;
   for (const DevicePlacement& part : placed.ValueOrDie().parts) {
     counts.push_back(part.rows);
-    if (part.rows > 0) partitions_.push_back(part);
+    if (part.rows > 0) parts_.push_back(part);
   }
   return counts;
 }
 
 Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
                                                                int64_t hi) {
-  if (partitions_.empty()) {
+  if (parts_.empty()) {
     return Status::FailedPrecondition("LoadPartitioned was not called");
   }
-  uint32_t done = 0;
   StatsSnapshot before = stats_.Snapshot();
-  sim::Tick start = eq_.Now();
-  sim::Tick makespan_end = start;
-  for (const DevicePlacement& part : partitions_) {
+  sim::Tick start = eq().Now();
+  // Per-device completion slots, written host-side only (the device's done
+  // callback hops back through the port): summing/maxing them at barriers is
+  // order-independent, so the result is identical at every thread count.
+  std::vector<uint8_t> dev_done(parts_.size(), 0);
+  std::vector<sim::Tick> dev_end(parts_.size(), start);
+  for (size_t i = 0; i < parts_.size(); ++i) {
+    const DevicePlacement& part = parts_[i];
     jafar::SelectJob job;
     job.col_base = part.col_base;
     job.num_rows = part.rows;
     job.range_low = lo;
     job.range_high = hi;
     job.out_base = part.out_base;
+    uint32_t d = part.device;
     // Exclusive-ownership research harness: a wedged device surfaces as a
     // failed RunUntilTrue drain check below; no queueing to bypass here.
     // ndp-lint: watchdog-arm-ok  ndp-lint: runtime-bypass-ok
-    NDP_RETURN_NOT_OK(devices_[part.device]->StartSelect(
-        job, [&done, &makespan_end](sim::Tick t) {
-          ++done;
-          makespan_end = std::max(makespan_end, t);
+    NDP_RETURN_NOT_OK(devices_[d]->StartSelect(
+        job, [this, d, i, &dev_done, &dev_end](sim::Tick t) {
+          PostToHost(d, [i, t, &dev_done, &dev_end] {
+            dev_done[i] = 1;
+            dev_end[i] = t;
+          });
         }));
   }
-  size_t launched = partitions_.size();
-  if (!eq_.RunUntilTrue([&] { return done == launched; })) {
+  if (!RunUntilTrue([&] {
+        for (uint8_t f : dev_done) {
+          if (!f) return false;
+        }
+        return true;
+      })) {
     return Status::Internal("parallel select did not complete");
   }
+  sim::Tick makespan_end = start;
+  for (sim::Tick t : dev_end) makespan_end = std::max(makespan_end, t);
 
   ParallelResult result;
   result.duration_ps = makespan_end - start;
   result.counters = stats_.Snapshot().DeltaSince(before);
   result.bitmap.Resize(total_rows_);
-  for (const DevicePlacement& part : partitions_) {
+  for (const DevicePlacement& part : parts_) {
     NDP_CHECK(part.first_row % 64 == 0);
     uint64_t words = (part.rows + 63) / 64;
     for (uint64_t w = 0; w < words; ++w) {

@@ -246,6 +246,7 @@ struct NdpRuntime::Lane {
 
   // Host-window observation bookkeeping.
   bool has_window = false;
+  bool sampling_inflight = false;  ///< a SampleChannel round-trip is pending
   sim::Tick window_start_ps = 0;
   double busy_base = 0, req_base = 0;
 
@@ -463,11 +464,13 @@ void NdpRuntime::EnqueueChunk(Lane& lane, std::unique_ptr<Chunk> chunk) {
 }
 
 void NdpRuntime::Poke(Lane& lane) {
-  if (lane.state == Lane::State::kIdle) MaybeDispatch(lane);
+  if (lane.state == Lane::State::kIdle && !lane.sampling_inflight) {
+    MaybeDispatch(lane);
+  }
 }
 
 void NdpRuntime::MaybeDispatch(Lane& lane) {
-  if (lane.state != Lane::State::kIdle) return;
+  if (lane.state != Lane::State::kIdle || lane.sampling_inflight) return;
   // Refresh the utilization estimate if the lane has been idle long enough to
   // have accumulated a meaningful window (e.g. first dispatch after a stretch
   // of host-only traffic). Freshly observed windows (OnWindowEnd) are not
@@ -475,8 +478,15 @@ void NdpRuntime::MaybeDispatch(Lane& lane) {
   if (lane.has_window &&
       eq_.Now() - lane.window_start_ps >=
           BusCyclesToPs(config_.host_window_min_bus_cycles)) {
-    ObserveWindow(lane);
+    uint32_t li = lane.index;
+    ObserveWindowThen(lane, [this, li] { DispatchNow(*lanes_[li]); });
+    return;
   }
+  DispatchNow(lane);
+}
+
+void NdpRuntime::DispatchNow(Lane& lane) {
+  if (lane.state != Lane::State::kIdle) return;
   // Drop chunks of jobs that already failed (lane deaths purge queues, but a
   // failure can race an in-flight lease of a sibling chunk).
   while (!lane.queue.empty() && lane.queue.front()->job->failed) {
@@ -502,8 +512,8 @@ void NdpRuntime::MaybeDispatch(Lane& lane) {
                         Lane& l = *lanes_[li];
                         if (l.state != Lane::State::kDeferred) return;
                         l.state = Lane::State::kIdle;
-                        ObserveWindow(l);
-                        MaybeDispatch(l);
+                        ObserveWindowThen(
+                            l, [this, li] { MaybeDispatch(*lanes_[li]); });
                       });
     return;
   }
@@ -531,23 +541,45 @@ void NdpRuntime::StartLease(Lane& lane) {
   ++counters_.leases;
   ++lane.active->job->leases;
   uint32_t li = lane.index;
-  lane.driver->AcquireOwnership(
-      [this, li](sim::Tick) { OnOwnershipAcquired(*lanes_[li]); });
+  uint32_t dev = lane.device;
+  // The driver lives on the device's channel partition: the acquire request
+  // travels out through the port and its grant travels back, one lookahead
+  // hop each way (both immediate in single-wheel mode).
+  array_->PostToDevice(dev, [this, li, dev] {
+    lanes_[li]->driver->AcquireOwnership([this, li, dev](sim::Tick) {
+      array_->PostToHost(dev,
+                         [this, li] { OnOwnershipAcquired(*lanes_[li]); });
+    });
+  });
 }
 
 void NdpRuntime::OnOwnershipAcquired(Lane& lane) {
   Chunk& c = *lane.active;
   uint32_t li = lane.index;
+  uint32_t dev = lane.device;
   if (c.job->kind == JobKind::kSelect) {
-    Status st = lane.driver->SelectJafar(
-        c.col_base + c.rows_done * 8, c.job->lo, c.job->hi,
-        c.out_base + c.rows_done / 8, lane.cur_lease_rows, /*flag_addr=*/0,
-        [this, li](const jafar::SelectResult& r) {
-          OnLeaseDone(*lanes_[li], r.status, r.num_output_rows);
+    // Job parameters are computed host-side; the submission itself and the
+    // completion's status/row-count extraction run on the channel partition,
+    // with only plain values crossing back through the port.
+    uint64_t col_addr = c.col_base + c.rows_done * 8;
+    uint64_t out_addr = c.out_base + c.rows_done / 8;
+    int64_t lo = c.job->lo, hi = c.job->hi;
+    uint64_t rows = lane.cur_lease_rows;
+    array_->PostToDevice(
+        dev, [this, li, dev, col_addr, out_addr, lo, hi, rows] {
+          Status st = lanes_[li]->driver->SelectJafar(
+              col_addr, lo, hi, out_addr, rows, /*flag_addr=*/0,
+              [this, li, dev](const jafar::SelectResult& r) {
+                Status s = r.status;
+                uint64_t n = r.num_output_rows;
+                array_->PostToHost(dev, [this, li, s, n] {
+                  OnLeaseDone(*lanes_[li], s, n);
+                });
+              });
+          // Alignment invariants guarantee a valid call; a synchronous
+          // rejection is a wiring bug, not a device fault.
+          NDP_CHECK_MSG(st.ok(), st.message().c_str());
         });
-    // Alignment invariants guarantee a valid call; a synchronous rejection
-    // is a wiring bug, not a device fault.
-    NDP_CHECK_MSG(st.ok(), st.message().c_str());
     return;
   }
   if (lane.agg_scratch == 0) {
@@ -564,18 +596,24 @@ void NdpRuntime::OnOwnershipAcquired(Lane& lane) {
   job.kind = c.job->agg;
   job.bitmap_base = 0;
   job.out_addr = lane.agg_scratch;
-  Status st = lane.driver->AggregateJafar(job, [this, li](sim::Tick) {
-    Lane& l = *lanes_[li];
-    if (l.driver->registers().Read(jafar::Reg::kStatus) ==
-        static_cast<uint64_t>(jafar::DeviceStatus::kError)) {
-      Status cause = array_->device(l.device).last_job_status();
-      OnLeaseDone(l, cause.ok() ? Status::Internal("aggregate failed") : cause,
-                  0);
-      return;
-    }
-    OnLeaseDone(l, Status::OK(), 0);
+  array_->PostToDevice(dev, [this, li, dev, job] {
+    Status st = lanes_[li]->driver->AggregateJafar(job, [this, li,
+                                                         dev](sim::Tick) {
+      // The status register and last-job status live lane-side: read them
+      // here and ship only the resolved cause across the port.
+      Lane& l = *lanes_[li];
+      Status cause = Status::OK();
+      if (l.driver->registers().Read(jafar::Reg::kStatus) ==
+          static_cast<uint64_t>(jafar::DeviceStatus::kError)) {
+        Status dev_status = array_->device(l.device).last_job_status();
+        cause = dev_status.ok() ? Status::Internal("aggregate failed")
+                                : dev_status;
+      }
+      array_->PostToHost(
+          dev, [this, li, cause] { OnLeaseDone(*lanes_[li], cause, 0); });
+    });
+    NDP_CHECK_MSG(st.ok(), st.message().c_str());
   });
-  NDP_CHECK_MSG(st.ok(), st.message().c_str());
 }
 
 void NdpRuntime::OnLeaseDone(Lane& lane, const Status& status,
@@ -612,8 +650,13 @@ void NdpRuntime::OnLeaseDone(Lane& lane, const Status& status,
     job.rows_completed += lane.cur_lease_rows;
   }
   uint32_t li = lane.index;
-  lane.driver->ReleaseOwnership(
-      [this, li](sim::Tick) { OnOwnershipReleased(*lanes_[li]); });
+  uint32_t dev = lane.device;
+  array_->PostToDevice(dev, [this, li, dev] {
+    lanes_[li]->driver->ReleaseOwnership([this, li, dev](sim::Tick) {
+      array_->PostToHost(dev,
+                         [this, li] { OnOwnershipReleased(*lanes_[li]); });
+    });
+  });
 }
 
 void NdpRuntime::OnOwnershipReleased(Lane& lane) {
@@ -638,43 +681,76 @@ void NdpRuntime::OnOwnershipReleased(Lane& lane) {
 void NdpRuntime::OnWindowEnd(Lane& lane) {
   if (lane.state != Lane::State::kWaiting) return;  // lane died meanwhile
   lane.state = Lane::State::kIdle;
-  ObserveWindow(lane);
-  MaybeDispatch(lane);
+  uint32_t li = lane.index;
+  ObserveWindowThen(lane, [this, li] { MaybeDispatch(*lanes_[li]); });
 }
 
 void NdpRuntime::BeginWindow(Lane& lane) {
   lane.has_window = true;
-  lane.window_start_ps = eq_.Now();
-  lane.busy_base = ReadChannelBusyCycles(lane.channel);
-  lane.req_base = ReadChannelRequests(lane.channel);
+  lane.sampling_inflight = true;
+  uint32_t li = lane.index;
+  SampleChannel(lane, [this, li](double busy, double reqs) {
+    Lane& l = *lanes_[li];
+    l.sampling_inflight = false;
+    l.window_start_ps = eq_.Now();
+    l.busy_base = busy;
+    l.req_base = reqs;
+    // A submission may have been poked away while the sample was in flight
+    // (Poke skips sampling lanes); catch it up now. In single-wheel mode the
+    // sample is synchronous, so this fires with nothing queued and the
+    // dispatch path no-ops — same behavior as before the port round-trip.
+    if (l.state == Lane::State::kIdle) MaybeDispatch(l);
+  });
 }
 
-void NdpRuntime::ObserveWindow(Lane& lane) {
-  if (!lane.has_window) return;
-  sim::Tick now = eq_.Now();
-  uint64_t window_cycles =
-      (now - lane.window_start_ps) / array_->timing().tck_ps;
-  double busy = ReadChannelBusyCycles(lane.channel);
-  double reqs = ReadChannelRequests(lane.channel);
-  if (window_cycles > 0) {
-    uint64_t busy_cycles = static_cast<uint64_t>(
-        std::max(0.0, busy - lane.busy_base));
-    uint64_t requests =
-        static_cast<uint64_t>(std::max(0.0, reqs - lane.req_base));
-    if (::getenv("NDP_RUNTIME_DEBUG")) {
-      std::fprintf(stderr,
-                   "[obs] lane=%u win=%llu busy=%llu reqs=%llu ewma=%f\n",
-                   lane.index, (unsigned long long)window_cycles,
-                   (unsigned long long)busy_cycles, (unsigned long long)requests,
-                   controllers_[lane.channel]->ewma_busy_fraction());
-    }
-    controllers_[lane.channel]->Observe(window_cycles,
-                                        std::min(busy_cycles, window_cycles),
-                                        requests);
+void NdpRuntime::SampleChannel(Lane& lane,
+                               std::function<void(double, double)> k) {
+  uint32_t ch = lane.channel;
+  uint32_t dev = lane.device;
+  array_->PostToDevice(dev, [this, ch, dev, k = std::move(k)] {
+    double busy = ReadChannelBusyCycles(ch);
+    double reqs = ReadChannelRequests(ch);
+    array_->PostToHost(dev, [k, busy, reqs] { k(busy, reqs); });
+  });
+}
+
+void NdpRuntime::ObserveWindowThen(Lane& lane, std::function<void()> k) {
+  if (!lane.has_window || lane.sampling_inflight) {
+    // Either no window to observe or a sample round-trip is already pending
+    // (which will refresh the bases itself): skip, but keep the continuation
+    // — deterministically, in every mode.
+    k();
+    return;
   }
-  lane.window_start_ps = now;
-  lane.busy_base = busy;
-  lane.req_base = reqs;
+  lane.sampling_inflight = true;
+  uint32_t li = lane.index;
+  SampleChannel(lane, [this, li, k = std::move(k)](double busy, double reqs) {
+    Lane& l = *lanes_[li];
+    l.sampling_inflight = false;
+    sim::Tick now = eq_.Now();
+    uint64_t window_cycles =
+        (now - l.window_start_ps) / array_->timing().tck_ps;
+    if (window_cycles > 0) {
+      uint64_t busy_cycles =
+          static_cast<uint64_t>(std::max(0.0, busy - l.busy_base));
+      uint64_t requests =
+          static_cast<uint64_t>(std::max(0.0, reqs - l.req_base));
+      if (::getenv("NDP_RUNTIME_DEBUG")) {
+        std::fprintf(
+            stderr, "[obs] lane=%u win=%llu busy=%llu reqs=%llu ewma=%f\n",
+            l.index, (unsigned long long)window_cycles,
+            (unsigned long long)busy_cycles, (unsigned long long)requests,
+            controllers_[l.channel]->ewma_busy_fraction());
+      }
+      controllers_[l.channel]->Observe(window_cycles,
+                                      std::min(busy_cycles, window_cycles),
+                                      requests);
+    }
+    l.window_start_ps = now;
+    l.busy_base = busy;
+    l.req_base = reqs;
+    k();
+  });
 }
 
 // -- Completion ---------------------------------------------------------------
@@ -903,7 +979,10 @@ void NdpRuntime::HandleLaneFailure(Lane& lane, const Status& status) {
   lane.state = Lane::State::kDead;
   // Hand the rank back to the host controller so CPU traffic to it drains
   // (the failed device is idle after the driver's abort path).
-  lane.driver->ReleaseOwnership([](sim::Tick) {});
+  uint32_t dead = lane.index;
+  array_->PostToDevice(lane.device, [this, dead] {
+    lanes_[dead]->driver->ReleaseOwnership([](sim::Tick) {});
+  });
 
   // Collect the work the lane can no longer do. The failed lease's rows were
   // never counted, so re-running them elsewhere cannot double-count.
@@ -965,7 +1044,7 @@ void NdpRuntime::HandleLaneFailure(Lane& lane, const Status& status) {
 // -- Waiting / results --------------------------------------------------------
 
 Status NdpRuntime::Drain() {
-  if (!eq_.RunUntilTrue([this] { return active_jobs_ == 0; })) {
+  if (!array_->RunUntilTrue([this] { return active_jobs_ == 0; })) {
     return Status::Internal("runtime drain stalled: jobs pending, queue dry");
   }
   return Status::OK();
@@ -975,7 +1054,7 @@ Status NdpRuntime::WaitFor(JobId id) {
   if (jobs_.find(id) == jobs_.end()) {
     return Status::NotFound("runtime: unknown job id");
   }
-  if (!eq_.RunUntilTrue(
+  if (!array_->RunUntilTrue(
           [this, id] { return results_.find(id) != results_.end(); })) {
     return Status::Internal("runtime wait stalled: job pending, queue dry");
   }

@@ -219,13 +219,25 @@ class NdpRuntime {
   void EnqueueChunk(Lane& lane, std::unique_ptr<Chunk> chunk);
   void Poke(Lane& lane);
   void MaybeDispatch(Lane& lane);
+  /// MaybeDispatch's tail, after any utilization refresh: admission control
+  /// and lease start.
+  void DispatchNow(Lane& lane);
   void StartLease(Lane& lane);
   void OnOwnershipAcquired(Lane& lane);
   void OnLeaseDone(Lane& lane, const Status& status, uint64_t lease_matches);
   void OnOwnershipReleased(Lane& lane);
   void OnWindowEnd(Lane& lane);
   void BeginWindow(Lane& lane);
-  void ObserveWindow(Lane& lane);
+  /// Samples the lane's channel counters *on the channel's partition* (a
+  /// port round-trip in partitioned mode; synchronous in single-wheel mode)
+  /// and hands the cumulative (busy_cycles, requests) to `k` back on the
+  /// host partition. The §3.3 estimator thus never reads another wheel's
+  /// state mid-epoch.
+  void SampleChannel(Lane& lane, std::function<void(double, double)> k);
+  /// Feeds the elapsed host window to the lane's LeaseController (through
+  /// SampleChannel), then runs `k`. Skips the observation (still running
+  /// `k`) when a sample for this lane is already in flight.
+  void ObserveWindowThen(Lane& lane, std::function<void()> k);
   void RetireChunk(Lane& lane);
   /// Accounts a chunk that will never run again: merges its completed-prefix
   /// bitmap words and completes the job when this was the last live chunk.

@@ -12,7 +12,7 @@ Driver::Driver(Device* device, dram::MemoryController* controller,
     : device_(device),
       controller_(controller),
       config_(config),
-      eq_(device->dram()->event_queue()) {
+      eq_(device->event_queue()) {
   NDP_CHECK(config_.page_bytes % 64 == 0);
   NDP_CHECK(config_.retry.max_attempts >= 1);
   watchdog_.driver = this;

@@ -1,0 +1,89 @@
+// SweepPool regression tests: ParallelSweep's workers are hoisted into a
+// process-wide persistent pool, so running many sweeps must not re-spawn a
+// thread per sweep (the churn the pool was built to eliminate). The check is
+// deterministic — it counts lifetime spawns through the pool's own counter,
+// not wall-clock variance.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "bench/parallel_sweep.h"
+
+namespace ndp::bench {
+namespace {
+
+// The pool is process-global and other suites may have warmed it already, so
+// every assertion here is a delta on the lifetime spawn counter, never an
+// absolute count.
+
+TEST(SweepPoolTest, ManySweepsSpawnWorkersAtMostOnce) {
+  // Warm the pool to (at least) its 4-thread shape (3 workers + the caller),
+  // then pin the spawn counter: 30 more sweeps at the same width must not
+  // create a single new thread.
+  auto square = [](size_t i) { return i * i; };
+  uint64_t before = SweepPool::Instance().threads_spawned();
+  ParallelSweep<size_t>(16, square, /*num_threads=*/4);
+  uint64_t spawned = SweepPool::Instance().threads_spawned();
+  EXPECT_LE(spawned - before, 3u);
+  for (int round = 0; round < 30; ++round) {
+    std::vector<size_t> out = ParallelSweep<size_t>(16, square, 4);
+    for (size_t i = 0; i < out.size(); ++i) ASSERT_EQ(out[i], i * i);
+  }
+  EXPECT_EQ(SweepPool::Instance().threads_spawned(), spawned)
+      << "running more sweeps re-spawned workers (thread churn)";
+}
+
+TEST(SweepPoolTest, PoolGrowsMonotonicallyToTheWidestSweep) {
+  auto identity = [](size_t i) { return i; };
+  uint64_t before = SweepPool::Instance().threads_spawned();
+  ParallelSweep<size_t>(8, identity, /*num_threads=*/2);
+  uint64_t after_narrow = SweepPool::Instance().threads_spawned();
+  EXPECT_LE(after_narrow - before, 1u);
+  ParallelSweep<size_t>(8, identity, /*num_threads=*/6);
+  uint64_t after_wide = SweepPool::Instance().threads_spawned();
+  // Widening spawns only the missing workers; repeats (wide or narrow) none.
+  EXPECT_LE(after_wide - before, 5u);
+  EXPECT_GE(after_wide, after_narrow);
+  ParallelSweep<size_t>(8, identity, /*num_threads=*/6);
+  ParallelSweep<size_t>(8, identity, /*num_threads=*/2);
+  EXPECT_EQ(SweepPool::Instance().threads_spawned(), after_wide);
+}
+
+TEST(SweepPoolTest, ResultsAreInPointOrderRegardlessOfClaimOrder) {
+  const size_t n = 257;  // not a multiple of any worker count
+  std::vector<size_t> out =
+      ParallelSweep<size_t>(n, [](size_t i) { return i * 3 + 1; }, 5);
+  ASSERT_EQ(out.size(), n);
+  for (size_t i = 0; i < n; ++i) EXPECT_EQ(out[i], i * 3 + 1);
+}
+
+TEST(SweepPoolTest, NestedSweepRunsInlineWithoutDeadlock) {
+  // A sweep point that itself sweeps must not wait on the pool it occupies:
+  // the inner call detects the nesting and runs serially inline.
+  std::vector<uint64_t> out = ParallelSweep<uint64_t>(
+      6,
+      [](size_t i) {
+        std::vector<uint64_t> inner = ParallelSweep<uint64_t>(
+            4, [i](size_t j) { return static_cast<uint64_t>(i * 10 + j); },
+            /*num_threads=*/4);
+        return std::accumulate(inner.begin(), inner.end(), uint64_t{0});
+      },
+      /*num_threads=*/3);
+  for (size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], 4 * static_cast<uint64_t>(i) * 10 + 0 + 1 + 2 + 3);
+  }
+}
+
+TEST(SweepPoolTest, SerialPathBypassesThePool) {
+  uint64_t before = SweepPool::Instance().threads_spawned();
+  std::vector<int> out =
+      ParallelSweep<int>(5, [](size_t i) { return static_cast<int>(i); },
+                         /*num_threads=*/1);
+  EXPECT_EQ(SweepPool::Instance().threads_spawned(), before);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(out[i], i);
+}
+
+}  // namespace
+}  // namespace ndp::bench

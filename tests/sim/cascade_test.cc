@@ -1,0 +1,199 @@
+// Overflow-heap -> wheel cascade stress tests. The two-level wheel promotes
+// overflow events into L0/L1 when the cursor enters a new span (EnterSpan);
+// these tests aim specifically at that cascade: events far past the horizon
+// that must survive several promotions, and intrusive ticking nodes that
+// re-arm across a cascade boundary — all cross-checked event-for-event
+// against the seed heap kernel (sim/reference_queue.h).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/reference_queue.h"
+#include "util/rng.h"
+
+namespace ndp::sim {
+namespace {
+
+using ExecLog = std::vector<std::pair<uint64_t, Tick>>;  // (event id, time)
+
+constexpr Tick kHorizonTicks = EventQueue::kSpanTicks * EventQueue::kL1Slots;
+
+/// Schedules `count` events spread far beyond the wheel horizon (several
+/// multiples, with deliberate ties and horizon-boundary times) plus a handful
+/// of near-term events, then drains. Shape depends only on `seed`.
+template <typename Queue>
+ExecLog RunFarHorizonSchedule(uint64_t seed, int count) {
+  Queue q;
+  ExecLog log;
+  Rng rng(seed);
+  Tick prev = 0;
+  for (int i = 0; i < count; ++i) {
+    uint64_t id = static_cast<uint64_t>(i);
+    Tick when;
+    switch (rng.NextBounded(6)) {
+      case 0:  // near term: lands in the wheel directly
+        when = rng.NextBounded(4096);
+        break;
+      case 1:  // 1-8 horizons out: needs at least one promotion
+        when = (1 + rng.NextBounded(8)) * kHorizonTicks + rng.NextBounded(512);
+        break;
+      case 2:  // exactly on / one tick around a horizon boundary
+        when = (1 + rng.NextBounded(8)) * kHorizonTicks - 1 +
+               rng.NextBounded(3);
+        break;
+      case 3:  // deep overflow: ~64 horizons out
+        when = rng.NextBounded(64) * kHorizonTicks + rng.NextBounded(1 << 20);
+        break;
+      case 4:  // exact-time tie with the previous event
+        when = prev;
+        break;
+      default:  // span boundary within the first horizon
+        when = (1 + rng.NextBounded(250)) * EventQueue::kSpanTicks -
+               rng.NextBounded(2);
+        break;
+    }
+    prev = when;
+    q.ScheduleAt(when, [&log, &q, id] { log.emplace_back(id, q.Now()); });
+  }
+  q.RunUntilEmpty();
+  return log;
+}
+
+TEST(CascadeTest, FarPastHorizonEventsMatchReferenceOrder) {
+  for (uint64_t seed : {1u, 7u, 1234u, 99991u}) {
+    ExecLog wheel = RunFarHorizonSchedule<EventQueue>(seed, 500);
+    ExecLog ref = RunFarHorizonSchedule<ReferenceEventQueue>(seed, 500);
+    ASSERT_EQ(wheel.size(), ref.size()) << "seed " << seed;
+    EXPECT_EQ(wheel, ref) << "seed " << seed;
+  }
+}
+
+TEST(CascadeTest, ChainedReschedulesAcrossCascades) {
+  // Each fired event reschedules itself one near-horizon stride ahead, so a
+  // single logical event crosses many EnterSpan cascades; interleave several
+  // chains at co-prime strides to force ties and slot collisions.
+  auto run = [](auto* q) {
+    ExecLog log;
+    constexpr int kChains = 5;
+    constexpr int kHops = 40;
+    const Tick strides[kChains] = {
+        kHorizonTicks - 1, kHorizonTicks + 1, kHorizonTicks / 2 + 3,
+        2 * kHorizonTicks + EventQueue::kSpanTicks, EventQueue::kSpanTicks};
+    std::function<void(uint64_t, int)> arm = [&](uint64_t chain, int hop) {
+      log.emplace_back(chain * 1000 + static_cast<uint64_t>(hop), q->Now());
+      if (hop + 1 < kHops) {
+        q->ScheduleAt(q->Now() + strides[chain],
+                      [&arm, chain, hop] { arm(chain, hop + 1); });
+      }
+    };
+    for (uint64_t c = 0; c < kChains; ++c) {
+      q->ScheduleAt(c * 7, [&arm, c] { arm(c, 0); });
+    }
+    q->RunUntilEmpty();
+    return log;
+  };
+  EventQueue wheel;
+  ReferenceEventQueue ref;
+  ExecLog wheel_log = run(&wheel);
+  ExecLog ref_log = run(&ref);
+  ASSERT_EQ(wheel_log.size(), ref_log.size());
+  EXPECT_EQ(wheel_log, ref_log);
+}
+
+/// Intrusive periodic ticker that logs and re-arms itself `hops` times.
+class TestTicker : public EventNode {
+ public:
+  TestTicker(EventQueue* q, ExecLog* log, uint64_t id, Tick period, int hops)
+      : q_(q), log_(log), id_(id), period_(period), hops_(hops) {}
+
+ protected:
+  void Fire() override {
+    log_->emplace_back(id_, q_->Now());
+    if (--hops_ > 0) q_->Schedule(q_->Now() + period_, this);
+  }
+
+ private:
+  EventQueue* q_;
+  ExecLog* log_;
+  uint64_t id_;
+  Tick period_;
+  int hops_;
+};
+
+TEST(CascadeTest, RearmedTickingNodesStraddlingCascadesMatchReference) {
+  // Intrusive nodes whose periods straddle span and horizon boundaries, plus
+  // pooled-closure background noise that forces cursor movement between
+  // ticks. The reference runs the same schedule with closures (its events
+  // are always closures); the (id, time) logs must be identical.
+  ExecLog wheel_log;
+  {
+    EventQueue q;
+    TestTicker t0(&q, &wheel_log, 0, EventQueue::kSpanTicks - 1, 600);
+    TestTicker t1(&q, &wheel_log, 1, EventQueue::kSpanTicks + 1, 600);
+    TestTicker t2(&q, &wheel_log, 2, kHorizonTicks / 3 + 11, 12);
+    q.Schedule(1, &t0);
+    q.Schedule(1, &t1);  // exact-time tie with t0 at t=1
+    q.Schedule(2, &t2);
+    Rng rng(42);
+    for (int i = 0; i < 100; ++i) {
+      uint64_t id = 100 + static_cast<uint64_t>(i);
+      q.ScheduleAt(rng.NextBounded(2 * kHorizonTicks),
+                   [&wheel_log, &q, id] { wheel_log.emplace_back(id, q.Now()); });
+    }
+    q.RunUntilEmpty();
+  }
+  ExecLog ref_log;
+  {
+    ReferenceEventQueue q;
+    std::function<void(uint64_t, Tick, int)> tick = [&](uint64_t id,
+                                                        Tick period, int hops) {
+      ref_log.emplace_back(id, q.Now());
+      if (hops - 1 > 0) {
+        q.ScheduleAt(q.Now() + period,
+                     [&tick, id, period, hops] { tick(id, period, hops - 1); });
+      }
+    };
+    q.ScheduleAt(1, [&tick] { tick(0, EventQueue::kSpanTicks - 1, 600); });
+    q.ScheduleAt(1, [&tick] { tick(1, EventQueue::kSpanTicks + 1, 600); });
+    q.ScheduleAt(2, [&tick] { tick(2, kHorizonTicks / 3 + 11, 12); });
+    Rng rng(42);
+    for (int i = 0; i < 100; ++i) {
+      uint64_t id = 100 + static_cast<uint64_t>(i);
+      q.ScheduleAt(rng.NextBounded(2 * kHorizonTicks),
+                   [&ref_log, &q, id] { ref_log.emplace_back(id, q.Now()); });
+    }
+    q.RunUntilEmpty();
+  }
+  ASSERT_EQ(wheel_log.size(), ref_log.size());
+  EXPECT_EQ(wheel_log, ref_log);
+}
+
+TEST(CascadeTest, ChunkedRunUntilThroughCascadesMatchesReference) {
+  // RunUntil leaves the cursor mid-wheel with Now() ahead of it; re-entering
+  // the cascade from that state must not reorder anything.
+  auto run = [](auto* q) {
+    ExecLog log;
+    Rng rng(7);
+    for (int i = 0; i < 300; ++i) {
+      uint64_t id = static_cast<uint64_t>(i);
+      q->ScheduleAt(rng.NextBounded(5 * kHorizonTicks),
+                    [&log, q, id] { log.emplace_back(id, q->Now()); });
+    }
+    Rng chunks(13);
+    Tick t = 0;
+    while (!q->empty()) {
+      t += 1 + chunks.NextBounded(kHorizonTicks);
+      q->RunUntil(t);
+    }
+    return log;
+  };
+  EventQueue wheel;
+  ReferenceEventQueue ref;
+  EXPECT_EQ(run(&wheel), run(&ref));
+}
+
+}  // namespace
+}  // namespace ndp::sim

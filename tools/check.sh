@@ -16,7 +16,11 @@
 #                         cancellation) are where lifetime bugs would hide
 #   5. tsan build       — -DNDP_SANITIZE=thread: the fault + runtime + unit
 #                         suites under TSan (ParallelSweep shares columns
-#                         across workers)
+#                         across workers), then the pdes suite pinned at
+#                         NDP_SIM_THREADS=1 and =4 — the partition barrier
+#                         handshake and SPSC ports are exactly the code TSan
+#                         exists to audit, at both the degenerate and the
+#                         contended thread count
 #   6. clang-tidy       — only if clang-tidy is on PATH (the pinned CI image
 #                         ships gcc only)
 #
@@ -69,6 +73,14 @@ cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 
 step "ctest (${PREFIX}-tsan: faults + runtime + unit under TSan)"
 ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" -L 'unit|faults|runtime' \
+  --output-on-failure
+
+step "ctest (${PREFIX}-tsan: pdes under TSan, NDP_SIM_THREADS=1)"
+NDP_SIM_THREADS=1 ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" -L pdes \
+  --output-on-failure
+
+step "ctest (${PREFIX}-tsan: pdes under TSan, NDP_SIM_THREADS=4)"
+NDP_SIM_THREADS=4 ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" -L pdes \
   --output-on-failure
 
 if command -v clang-tidy >/dev/null 2>&1; then

@@ -38,6 +38,14 @@
 //                   admission control, lease sizing, and work stealing; the
 //                   runtime itself is exempt, legacy single-query paths waive
 //                   with a reason
+//   cross-partition-schedule
+//                   src/ code outside src/sim/ may not schedule directly onto
+//                   a PartitionSet wheel selected by index (queue(p).Schedule*):
+//                   cross-partition effects must travel through the ports
+//                   (PartitionSet::Send, DimmArray PostToDevice/PostToHost) or
+//                   they skip the lookahead hop and break no-past delivery and
+//                   thread-count determinism; barrier-time setup waives with a
+//                   reason
 //
 // Any rule can be waived for one line by putting "// ndp-lint: <rule>-ok"
 // on that line or the line above it (include a reason).
@@ -336,6 +344,32 @@ void CheckRuntimeBypass(const SourceFile& f, std::vector<Finding>* out) {
   }
 }
 
+// -- cross-partition-schedule -------------------------------------------------
+
+void CheckCrossPartitionSchedule(const SourceFile& f,
+                                 std::vector<Finding>* out) {
+  // Outside the kernel, an event scheduled straight onto a PartitionSet wheel
+  // selected by index lands on another partition with no lookahead hop. Done
+  // from inside an epoch that violates no-past delivery (the drain check
+  // fires) or silently orders the event differently per thread count; the
+  // legal channels are PartitionSet::Send and the DimmArray ports. The kernel
+  // itself (src/sim/) delivers drained messages this way by construction;
+  // benches and tests schedule at barrier time, where direct access is legal.
+  if (f.top != "src" || f.rel.rfind("src/sim/", 0) == 0) return;
+  static const std::regex kDirect(
+      R"re(\bqueue\s*\([^()]*\)\s*(?:\.|->)\s*Schedule(?:At|After)?\s*\()re");
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    if (std::regex_search(CodePart(f.lines[i]), kDirect)) {
+      Emit(f, i, "cross-partition-schedule",
+           "direct schedule onto a partition wheel selected by index; route "
+           "through PartitionSet::Send / PostToDevice / PostToHost so the "
+           "event pays the lookahead hop, or waive barrier-time setup with a "
+           "reason",
+           out);
+    }
+  }
+}
+
 // -- rule table ---------------------------------------------------------------
 
 struct Rule {
@@ -353,6 +387,7 @@ constexpr Rule kRules[] = {
     {"status", CheckStatusIgnored},
     {"watchdog-arm", CheckWatchdogArm},
     {"runtime-bypass", CheckRuntimeBypass},
+    {"cross-partition-schedule", CheckCrossPartitionSchedule},
 };
 
 bool LoadFile(const fs::path& root, const fs::path& path, SourceFile* out) {
