@@ -1,7 +1,12 @@
 // Ablation — multi-DIMM scaling (§4 "Memory Management": "adding support for
 // more than one DIMM is an essential future step"). Partitions one column
 // across 1..8 JAFAR-equipped DIMMs and runs the selects in parallel.
+//
+// With NDP_DEVICE_GEN unset the sweep runs v1_rank_io and v2_bank_level
+// head-to-head (one table per generation); set, it pins the sweep to that
+// generation, and a v1_rank_io pin reproduces the pre-refactor output.
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -17,9 +22,17 @@ int main() {
   bench::PrintHeader("Ablation — multi-DIMM parallel select scaling (" +
                      std::to_string(rows) + " rows)");
   db::Column col = bench::UniformColumn(rows);
-  auto cfg = jafar::DeviceConfig::Derive(dram::DramTiming::DDR3_1600(),
-                                         accel::DatapathResources{})
-                 .ValueOrDie();
+  const std::vector<jafar::DeviceGeneration> gens = bench::EnvGenerations();
+  const bool pinned = gens.size() == 1;
+  // DimmArray builds its DRAM organization from defaults (8 banks, 8 KB
+  // rows) plus the channel/rank counts, none of which affect the per-bank
+  // comparator derivation — a default organization matches.
+  const dram::DramOrganization org;
+  std::vector<jafar::DeviceConfig> cfgs;
+  for (jafar::DeviceGeneration gen : gens) {
+    cfgs.push_back(bench::DeriveDeviceConfig(gen, dram::DramTiming::DDR3_1600(),
+                                             org, accel::DatapathResources{}));
+  }
 
   uint64_t oracle = 0;
   for (size_t i = 0; i < col.size(); ++i) {
@@ -33,12 +46,15 @@ int main() {
     double ms = 0;
     StatsSnapshot counters;
   };
+  // Generation-major: results for gens[g] live at [g * channel_counts.size(),
+  // (g + 1) * channel_counts.size()).
   std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
-      channel_counts.size(), [&](size_t i) {
+      gens.size() * channel_counts.size(), [&](size_t i) {
         PointResult r;
-        r.channels = channel_counts[i];
+        r.channels = channel_counts[i % channel_counts.size()];
         core::DimmArray array(dram::DramTiming::DDR3_1600(), r.channels, 1,
-                              cfg, /*rows_per_bank=*/8192);
+                              cfgs[i / channel_counts.size()],
+                              /*rows_per_bank=*/8192);
         array.AcquireAllOwnership();
         array.LoadPartitioned(col);
         auto result = array.RunParallelSelect(0, 499999).ValueOrDie();
@@ -52,22 +68,32 @@ int main() {
 
   bench::Reporter report("abl_scaling");
   report.Config("rows", static_cast<double>(rows))
-      .Config("selectivity_pct", 50.0);
+      .Config("selectivity_pct", 50.0)
+      .Config("generations",
+              bench::GenerationsConfigJson(gens, dram::DramTiming::DDR3_1600(),
+                                           org, accel::DatapathResources{}));
 
-  std::printf("\n%-10s %-10s %-12s %-10s %-12s\n", "channels", "devices",
-              "time_ms", "speedup", "efficiency");
-  double base_ms = results.front().ms;
-  for (const PointResult& r : results) {
-    double speedup = base_ms / r.ms;
-    std::printf("%-10u %-10u %-12.3f %-10.2f %-12.2f\n", r.channels, r.devices,
-                r.ms, speedup, speedup / r.channels);
-    report.AddPoint(std::to_string(r.channels) + "ch")
-        .Metric("channels", r.channels)
-        .Metric("devices", r.devices)
-        .Metric("time_ms", r.ms)
-        .Metric("speedup", speedup)
-        .Metric("efficiency", speedup / r.channels)
-        .Counters("", r.counters);
+  for (size_t g = 0; g < gens.size(); ++g) {
+    const char* gen_name = jafar::DeviceGenerationToString(gens[g]);
+    if (!pinned) std::printf("\n---- generation: %s ----\n", gen_name);
+    std::printf("\n%-10s %-10s %-12s %-10s %-12s\n", "channels", "devices",
+                "time_ms", "speedup", "efficiency");
+    double base_ms = results[g * channel_counts.size()].ms;
+    for (size_t i = 0; i < channel_counts.size(); ++i) {
+      const PointResult& r = results[g * channel_counts.size() + i];
+      double speedup = base_ms / r.ms;
+      std::printf("%-10u %-10u %-12.3f %-10.2f %-12.2f\n", r.channels,
+                  r.devices, r.ms, speedup, speedup / r.channels);
+      std::string label = std::to_string(r.channels) + "ch";
+      if (!pinned) label += std::string(" ") + gen_name;
+      report.AddPoint(label)
+          .Metric("channels", r.channels)
+          .Metric("devices", r.devices)
+          .Metric("time_ms", r.ms)
+          .Metric("speedup", speedup)
+          .Metric("efficiency", speedup / r.channels)
+          .Counters("", r.counters);
+    }
   }
   std::printf(
       "\nExpected: near-linear scaling — each JAFAR streams its own DIMM and\n"

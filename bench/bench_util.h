@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "db/column.h"
+#include "jafar/config.h"
+#include "util/json.h"
 #include "util/rng.h"
 
 namespace ndp::bench {
@@ -40,6 +43,72 @@ inline double EnvDouble(const char* name, double fallback) {
     std::abort();
   }
   return parsed;
+}
+
+/// The device-generation sweep list for head-to-head benches. NDP_DEVICE_GEN
+/// unset (or empty) means "sweep every generation"; set, it pins the sweep to
+/// exactly that generation — with the strict-parse abort of EnvU64, so a typo
+/// never silently benchmarks the wrong datapath.
+inline std::vector<jafar::DeviceGeneration> EnvGenerations() {
+  const char* v = std::getenv("NDP_DEVICE_GEN");
+  if (v == nullptr || *v == '\0') {
+    return {jafar::DeviceGeneration::kV1RankIo,
+            jafar::DeviceGeneration::kV2BankLevel};
+  }
+  Result<jafar::DeviceGeneration> parsed = jafar::ParseDeviceGeneration(v);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "NDP_DEVICE_GEN: %s\n",
+                 parsed.status().ToString().c_str());
+    std::abort();
+  }
+  return {parsed.value()};
+}
+
+/// Derives the DeviceConfig matching `gen` (the deriver differs: the v2
+/// datapath needs the organization to size its per-bank comparator slices).
+inline jafar::DeviceConfig DeriveDeviceConfig(
+    jafar::DeviceGeneration gen, const dram::DramTiming& timing,
+    const dram::DramOrganization& org,
+    const accel::DatapathResources& resources) {
+  return (gen == jafar::DeviceGeneration::kV2BankLevel
+              ? jafar::DeviceConfig::DeriveBank(timing, org, resources)
+              : jafar::DeviceConfig::Derive(timing, resources))
+      .ValueOrDie();
+}
+
+/// Renders the accel-derived parameters of one generation's DeviceConfig as
+/// a JSON object — the per-generation block json_check validates inside
+/// "config"."generations".
+inline json::Value GenerationConfigJson(const jafar::DeviceConfig& cfg) {
+  json::Value g = json::Value::Object();
+  g.Set("words_per_cycle", json::Value::Number(cfg.words_per_cycle));
+  g.Set("energy_per_word_fj", json::Value::Number(cfg.energy_per_word_fj));
+  if (cfg.generation == jafar::DeviceGeneration::kV2BankLevel) {
+    g.Set("bank_words_per_cycle", json::Value::Number(cfg.bank_words_per_cycle));
+    g.Set("bank_energy_per_word_fj",
+          json::Value::Number(cfg.bank_energy_per_word_fj));
+    g.Set("fill_latency_cycles",
+          json::Value::Number(cfg.bank_filter.fill_latency_cycles));
+    g.Set("min_rd_spacing_cycles",
+          json::Value::Number(cfg.bank_filter.min_rd_spacing_cycles));
+    g.Set("drain_cycles", json::Value::Number(cfg.bank_filter.drain_cycles));
+  }
+  return g;
+}
+
+/// The whole "generations" config block: one entry per swept generation,
+/// keyed by the generation name, each derived for the given platform.
+inline json::Value GenerationsConfigJson(
+    const std::vector<jafar::DeviceGeneration>& gens,
+    const dram::DramTiming& timing, const dram::DramOrganization& org,
+    const accel::DatapathResources& resources) {
+  json::Value block = json::Value::Object();
+  for (jafar::DeviceGeneration gen : gens) {
+    block.Set(jafar::DeviceGenerationToString(gen),
+              GenerationConfigJson(DeriveDeviceConfig(gen, timing, org,
+                                                      resources)));
+  }
+  return block;
 }
 
 /// The paper's Figure 3 dataset: uniformly distributed random integers in

@@ -10,9 +10,15 @@
 // Points run in parallel across NDP_BENCH_THREADS workers; each point owns a
 // fresh SystemModel, so the output is byte-identical at any thread count.
 //
+// Device generations: with NDP_DEVICE_GEN unset the sweep runs v1_rank_io and
+// v2_bank_level head-to-head (one table per generation); set, it pins the
+// sweep to that generation — and a v1_rank_io pin reproduces the pre-refactor
+// output byte for byte.
+//
 // Environment overrides: FIG3_ROWS (default 4194304), FIG3_STEP (default 10),
-// NDP_BENCH_THREADS (default hardware concurrency).
+// NDP_DEVICE_GEN, NDP_BENCH_THREADS (default hardware concurrency).
 #include <cstdio>
+#include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
@@ -24,6 +30,8 @@ int main() {
   using namespace ndp;
   const uint64_t rows = bench::EnvU64("FIG3_ROWS", 4u * 1024 * 1024);
   const uint64_t step = bench::EnvU64("FIG3_STEP", 10);
+  const std::vector<jafar::DeviceGeneration> gens = bench::EnvGenerations();
+  const bool pinned = gens.size() == 1;
 
   bench::PrintHeader(
       "Figure 3 — JAFAR speedup on selects vs. selectivity "
@@ -43,12 +51,16 @@ int main() {
     double accel_frac = 0;
     StatsSnapshot cpu_counters, jafar_counters;
   };
+  // The sweep is (generation x selectivity), generation-major: results for
+  // gens[g] live at [g * pcts.size(), (g + 1) * pcts.size()).
   std::vector<PointResult> results = bench::ParallelSweep<PointResult>(
-      pcts.size(), [&](size_t i) {
+      gens.size() * pcts.size(), [&](size_t i) {
         // Each point runs on a fresh system so bank/cache state is identical.
         PointResult r;
-        r.pct = pcts[i];
-        core::SystemModel sys(core::PlatformConfig::Gem5());
+        r.pct = pcts[i % pcts.size()];
+        core::PlatformConfig plat = core::PlatformConfig::Gem5();
+        plat.device_gen = gens[i / pcts.size()];
+        core::SystemModel sys(plat);
         // Selectivity via the range's upper bound over the [0, 1M) domain.
         int64_t hi = static_cast<int64_t>(r.pct * 10000) - 1;
         auto cpu = sys.RunCpuSelect(col, 0, hi, db::SelectMode::kBranching)
@@ -75,43 +87,57 @@ int main() {
       });
 
   bench::Reporter report("fig3");
-  report.Config("rows", static_cast<double>(rows))
-      .Config("step", static_cast<double>(step))
-      .Config("platform", "gem5");
+  {
+    core::PlatformConfig plat = core::PlatformConfig::Gem5();
+    report.Config("rows", static_cast<double>(rows))
+        .Config("step", static_cast<double>(step))
+        .Config("platform", "gem5")
+        .Config("generations",
+                bench::GenerationsConfigJson(gens, plat.dram_timing,
+                                             plat.dram_org,
+                                             plat.jafar_datapath));
+  }
 
-  std::printf(
-      "\n%-12s %-14s %-14s %-10s %-12s %-12s %-10s\n", "selectivity",
-      "cpu_time_ms", "jafar_time_ms", "speedup", "cpu_misp", "jafar_pages",
-      "accel_frac");
   double min_speedup = 1e30, max_speedup = 0;
-  for (const PointResult& r : results) {
-    if (r.cpu_matches != r.jafar_matches) {
-      std::fprintf(stderr, "MISMATCH at %llu%%: cpu=%llu jafar=%llu\n",
-                   (unsigned long long)r.pct,
-                   (unsigned long long)r.cpu_matches,
-                   (unsigned long long)r.jafar_matches);
-      return 1;
+  for (size_t g = 0; g < gens.size(); ++g) {
+    const char* gen_name = jafar::DeviceGenerationToString(gens[g]);
+    if (!pinned) std::printf("\n---- generation: %s ----\n", gen_name);
+    std::printf(
+        "\n%-12s %-14s %-14s %-10s %-12s %-12s %-10s\n", "selectivity",
+        "cpu_time_ms", "jafar_time_ms", "speedup", "cpu_misp", "jafar_pages",
+        "accel_frac");
+    for (size_t i = 0; i < pcts.size(); ++i) {
+      const PointResult& r = results[g * pcts.size() + i];
+      if (r.cpu_matches != r.jafar_matches) {
+        std::fprintf(stderr, "MISMATCH at %llu%% (%s): cpu=%llu jafar=%llu\n",
+                     (unsigned long long)r.pct, gen_name,
+                     (unsigned long long)r.cpu_matches,
+                     (unsigned long long)r.jafar_matches);
+        return 1;
+      }
+      double speedup =
+          static_cast<double>(r.cpu_ps) / static_cast<double>(r.jafar_ps);
+      min_speedup = std::min(min_speedup, speedup);
+      max_speedup = std::max(max_speedup, speedup);
+      std::printf("%9llu%%  %-14.3f %-14.3f %-10.2f %-12llu %-12llu %-10.3f\n",
+                  (unsigned long long)r.pct, bench::Ms(r.cpu_ps),
+                  bench::Ms(r.jafar_ps), speedup,
+                  (unsigned long long)r.cpu_mispredicts,
+                  (unsigned long long)r.pages, r.accel_frac);
+      std::string label = std::to_string(r.pct) + "%";
+      if (!pinned) label += std::string(" ") + gen_name;
+      report.AddPoint(label)
+          .Metric("selectivity_pct", static_cast<double>(r.pct))
+          .Metric("cpu_time_ms", bench::Ms(r.cpu_ps))
+          .Metric("jafar_time_ms", bench::Ms(r.jafar_ps))
+          .Metric("speedup", speedup)
+          .Metric("matches", static_cast<double>(r.cpu_matches))
+          .Metric("cpu_mispredicts", static_cast<double>(r.cpu_mispredicts))
+          .Metric("jafar_pages", static_cast<double>(r.pages))
+          .Metric("accel_frac", r.accel_frac)
+          .Counters("cpu", r.cpu_counters)
+          .Counters("jafar", r.jafar_counters);
     }
-    double speedup =
-        static_cast<double>(r.cpu_ps) / static_cast<double>(r.jafar_ps);
-    min_speedup = std::min(min_speedup, speedup);
-    max_speedup = std::max(max_speedup, speedup);
-    std::printf("%9llu%%  %-14.3f %-14.3f %-10.2f %-12llu %-12llu %-10.3f\n",
-                (unsigned long long)r.pct, bench::Ms(r.cpu_ps),
-                bench::Ms(r.jafar_ps), speedup,
-                (unsigned long long)r.cpu_mispredicts,
-                (unsigned long long)r.pages, r.accel_frac);
-    report.AddPoint(std::to_string(r.pct) + "%")
-        .Metric("selectivity_pct", static_cast<double>(r.pct))
-        .Metric("cpu_time_ms", bench::Ms(r.cpu_ps))
-        .Metric("jafar_time_ms", bench::Ms(r.jafar_ps))
-        .Metric("speedup", speedup)
-        .Metric("matches", static_cast<double>(r.cpu_matches))
-        .Metric("cpu_mispredicts", static_cast<double>(r.cpu_mispredicts))
-        .Metric("jafar_pages", static_cast<double>(r.pages))
-        .Metric("accel_frac", r.accel_frac)
-        .Counters("cpu", r.cpu_counters)
-        .Counters("jafar", r.jafar_counters);
   }
 
   std::printf(

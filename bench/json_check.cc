@@ -3,16 +3,73 @@
 // "config", and a non-empty array "points" whose elements each have a string
 // "label" and an object "metrics". A point may also carry an optional
 // "counters" object (a registry snapshot delta): every key must be a
-// dotted-path counter name and every value a number. Exit 0 iff every file
-// checks out; used by the bench_json_valid ctest targets.
+// dotted-path counter name and every value a number. A config may carry an
+// optional "generations" block (one object per swept device generation,
+// keyed by generation name): every key must parse as a DeviceGeneration —
+// an unknown generation string fails the file — and every entry must carry
+// the accel-derived datapath numbers (plus the bank-comparator block for
+// v2_bank_level). Exit 0 iff every file checks out; used by the
+// bench_json_valid ctest targets.
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
+#include "jafar/generation.h"
 #include "util/json.h"
 
 namespace {
+
+/// Every generation entry carries the rank-datapath numbers; the v2 entry
+/// additionally carries the per-bank comparator rate/energy and the
+/// command-flow timing pushed into the DRAM model.
+bool CheckGenerationEntry(const char* path, const std::string& name,
+                          ndp::jafar::DeviceGeneration gen,
+                          const ndp::json::Value& entry) {
+  if (!entry.is_object()) {
+    std::fprintf(stderr, "%s: generation \"%s\" is not an object\n", path,
+                 name.c_str());
+    return false;
+  }
+  std::vector<const char*> required = {"words_per_cycle",
+                                       "energy_per_word_fj"};
+  if (gen == ndp::jafar::DeviceGeneration::kV2BankLevel) {
+    required.insert(required.end(),
+                    {"bank_words_per_cycle", "bank_energy_per_word_fj",
+                     "fill_latency_cycles", "min_rd_spacing_cycles",
+                     "drain_cycles"});
+  }
+  for (const char* field : required) {
+    const ndp::json::Value* v = entry.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr,
+                   "%s: generation \"%s\": missing numeric \"%s\"\n", path,
+                   name.c_str(), field);
+      return false;
+    }
+  }
+  return true;
+}
+
+bool CheckGenerationsBlock(const char* path, const ndp::json::Value& block) {
+  if (!block.is_object() || block.members().empty()) {
+    std::fprintf(stderr, "%s: \"generations\" is not a non-empty object\n",
+                 path);
+    return false;
+  }
+  for (const auto& [name, entry] : block.members()) {
+    ndp::Result<ndp::jafar::DeviceGeneration> gen =
+        ndp::jafar::ParseDeviceGeneration(name);
+    if (!gen.ok()) {
+      std::fprintf(stderr, "%s: unknown device generation \"%s\" (%s)\n",
+                   path, name.c_str(), gen.status().ToString().c_str());
+      return false;
+    }
+    if (!CheckGenerationEntry(path, name, gen.value(), entry)) return false;
+  }
+  return true;
+}
 
 bool CheckFile(const char* path) {
   std::ifstream in(path);
@@ -43,6 +100,10 @@ bool CheckFile(const char* path) {
   const ndp::json::Value* config = root.Find("config");
   if (config == nullptr || !config->is_object()) {
     std::fprintf(stderr, "%s: missing object \"config\"\n", path);
+    return false;
+  }
+  const ndp::json::Value* generations = config->Find("generations");
+  if (generations != nullptr && !CheckGenerationsBlock(path, *generations)) {
     return false;
   }
   const ndp::json::Value* points = root.Find("points");

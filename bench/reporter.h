@@ -94,6 +94,12 @@ class Reporter {
     config_.Set(key, json::Value::Str(value));
     return *this;
   }
+  /// Structured config blocks (e.g. the per-generation device parameters);
+  /// the value is emitted verbatim under `key`.
+  Reporter& Config(const std::string& key, json::Value value) {
+    config_.Set(key, std::move(value));
+    return *this;
+  }
 
   /// Starts a new point; returns it for Metric()/Counters() chaining. The
   /// reference stays valid until the next AddPoint (deque-like storage).

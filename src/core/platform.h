@@ -33,6 +33,12 @@ struct PlatformConfig {
   dram::ControllerConfig controller;
   accel::DatapathResources jafar_datapath;  ///< for DeviceConfig::Derive
   uint32_t jafar_output_buffer_bits = 4096;
+  /// Which JAFAR datapath generation the DIMM carries: v1_rank_io (the
+  /// paper's rank-level comparator, the default) or v2_bank_level
+  /// (Membrane-style per-bank filtering). SystemModel overlays the
+  /// NDP_DEVICE_GEN environment knob on top (strict parse, like the fault
+  /// plan) and picks the matching DeviceConfig deriver.
+  jafar::DeviceGeneration device_gen = jafar::DeviceGeneration::kV1RankIo;
   jafar::DriverConfig driver;               ///< page size, watchdog, retries
 
   /// Fault-injection campaign (src/fault). Defaults to inactive (all-zero

@@ -43,6 +43,24 @@ double CostModel::JafarSelectPs(const PlatformConfig& p, uint64_t rows) {
   double ownership_ps = 2.0 * (p.dram_timing.tmrd + 8.0) * bus_ps;
   double pages = static_cast<double>(rows) * 8.0 / 4096.0;
   double invocation_ps = pages * 64.0 * bus_ps / 2.0;
+  if (p.device_gen == jafar::DeviceGeneration::kV2BankLevel) {
+    // Bank-level filtering: the per-bank comparator is an area-constrained
+    // slice running at roughly half the IO burst rate, but banks_per_rank of
+    // them stream concurrently and their reads never touch the data bus; in
+    // exchange every row segment pays ARM/ACT/DISARM plus an accumulator
+    // drain on the shared result bus (one cycle per 64 match bits), and the
+    // device batches one row per bank into each invocation.
+    double banks = static_cast<double>(p.dram_org.banks_per_rank);
+    double row_bytes = static_cast<double>(p.dram_org.row_size_bytes);
+    double filter_read_ps = bursts * 2.0 * p.dram_timing.tccd * bus_ps / banks;
+    double segments = static_cast<double>(rows) * 8.0 / row_bytes;
+    double drain_cycles = row_bytes / 8.0 / 64.0;
+    double segment_ps = segments * (2.0 + drain_cycles) * bus_ps;
+    double jobs = static_cast<double>(rows) * 8.0 / (banks * row_bytes);
+    double invocation_v2_ps = jobs * 64.0 * bus_ps / 2.0;
+    return filter_read_ps + act_ps + segment_ps + writeback_ps +
+           ownership_ps + invocation_v2_ps;
+  }
   return read_ps + act_ps + writeback_ps + ownership_ps + invocation_ps;
 }
 

@@ -89,6 +89,8 @@ Result<RuntimeConfig> RuntimeConfig::FromEnv() {
       OverlayEnvU64("NDP_RUNTIME_STEAL_MIN_PAGES", &cfg.steal_min_pages));
   NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_RUNTIME_STEAL_OVERHEAD",
                                   &cfg.steal_copy_overhead_bus_cycles));
+  NDP_ASSIGN_OR_RETURN(cfg.device_gen,
+                       jafar::DeviceGenerationFromEnv(cfg.device_gen));
   NDP_RETURN_NOT_OK(cfg.Validate());
   return cfg;
 }

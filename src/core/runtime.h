@@ -74,6 +74,13 @@ struct RuntimeConfig {
   /// passed through to each lane's jafar::Driver unchanged.
   jafar::DriverConfig driver;
 
+  // -- Device generation ----------------------------------------------------
+  /// Datapath generation of the JAFAR units this runtime drives; callers
+  /// building the DimmArray must derive the matching DeviceConfig
+  /// (DeviceConfig::Derive for v1_rank_io, DeriveBank for v2_bank_level).
+  /// Overridable via NDP_DEVICE_GEN (strict parse, like the other knobs).
+  jafar::DeviceGeneration device_gen = jafar::DeviceGeneration::kV1RankIo;
+
   // -- Work stealing --------------------------------------------------------
   bool steal_enabled = true;
   /// Minimum profitable steal, in 4 KB pages.

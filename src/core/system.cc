@@ -18,8 +18,21 @@ SystemModel::SystemModel(PlatformConfig config) : config_(std::move(config)) {
       config_.frontside_ps, root.Sub("cpu"));
   core_ = std::make_unique<cpu::Core>(&eq_, config_.core, hierarchy_->top(),
                                       root.Sub("cpu").Sub("core"));
+  // Overlay the NDP_DEVICE_GEN knob (strict parse: a typo must fail loudly,
+  // not silently run the wrong hardware), then derive the device timing with
+  // the generation's deriver — v2 additionally schedules the select kernel on
+  // the narrowed per-bank resources to get the bank comparator's rate.
+  Result<jafar::DeviceGeneration> gen =
+      jafar::DeviceGenerationFromEnv(config_.device_gen);
+  NDP_CHECK_MSG(gen.ok(), gen.status().ToString().c_str());
+  config_.device_gen = gen.ValueOrDie();
   device_config_ =
-      jafar::DeviceConfig::Derive(config_.dram_timing, config_.jafar_datapath)
+      (config_.device_gen == jafar::DeviceGeneration::kV2BankLevel
+           ? jafar::DeviceConfig::DeriveBank(config_.dram_timing,
+                                             config_.dram_org,
+                                             config_.jafar_datapath)
+           : jafar::DeviceConfig::Derive(config_.dram_timing,
+                                         config_.jafar_datapath))
           .ValueOrDie();
   device_config_.output_buffer_bits = config_.jafar_output_buffer_bits;
   device_ = std::make_unique<jafar::Device>(dram_.get(), 0, 0, device_config_,

@@ -1,5 +1,7 @@
 #include "dram/bank.h"
 
+#include <algorithm>
+
 #include "util/macros.h"
 
 namespace ndp::dram {
@@ -26,6 +28,21 @@ Result<sim::Tick> Bank::Read(sim::Tick t) {
   NDP_CHECK(timing_ != nullptr);
   if (!open_row_valid_) {
     return Status::TimingViolation("RD to bank with no open row");
+  }
+  if (armed_) {
+    if (t < next_read_ || t < next_filter_read_) {
+      return Status::TimingViolation(
+          "filter RD before tRCD or comparator-rate window expired");
+    }
+    // Filter mode: the burst feeds the bank's comparator; match bits latch
+    // into the accumulator fill_latency later and nothing touches the IO bus.
+    fill_ready_at_ = t + Cycles(filter_->fill_latency_cycles);
+    pending_fill_ = true;
+    next_filter_read_ = t + Cycles(filter_->min_rd_spacing_cycles);
+    // The draining PRE must respect tRTP and may not start before the last
+    // match bits have latched.
+    next_pre_ = std::max({next_pre_, t + Cycles(timing_->trtp), fill_ready_at_});
+    return fill_ready_at_;
   }
   if (t < next_read_) {
     return Status::TimingViolation("RD before tRCD/tCCD/tWTR window expired");
@@ -60,7 +77,44 @@ Status Bank::Precharge(sim::Tick t) {
     return Status::TimingViolation("PRE before tRAS/tRTP/tWR window expired");
   }
   open_row_valid_ = false;
+  // An armed bank's PRE doubles as the accumulator drain trigger; the rank
+  // layers result-bus arbitration on top and clears pending_fill_ there
+  // once it has accounted for the drain.
   next_act_ = std::max(next_act_, t + Cycles(timing_->trp));
+  return Status::OK();
+}
+
+Status Bank::Arm(sim::Tick t) {
+  NDP_CHECK(timing_ != nullptr);
+  if (filter_ == nullptr || !filter_->valid()) {
+    return Status::InvalidArgument("ARM without bank filter timing installed");
+  }
+  if (armed_) {
+    return Status::TimingViolation("ARM to already-armed bank");
+  }
+  if (open_row_valid_) {
+    return Status::TimingViolation("ARM to bank with open row (precharge first)");
+  }
+  armed_ = true;
+  pending_fill_ = false;
+  // The comparator's mode switch settles within the command cycle; the next
+  // filter RD is paced only by tRCD after the following ACT.
+  next_filter_read_ = t;
+  return Status::OK();
+}
+
+Status Bank::Disarm(sim::Tick t) {
+  NDP_CHECK(timing_ != nullptr);
+  (void)t;
+  if (!armed_) {
+    return Status::TimingViolation("DISARM to bank that is not armed");
+  }
+  if (open_row_valid_) {
+    return Status::TimingViolation(
+        "DISARM to bank with open row (drain via PRE first)");
+  }
+  armed_ = false;
+  pending_fill_ = false;
   return Status::OK();
 }
 

@@ -22,8 +22,11 @@ sim::Tick Channel::EarliestIssue(const Command& cmd) const {
   NDP_CHECK(cmd.rank < ranks_.size());
   sim::Tick t = std::max(ranks_[cmd.rank].EarliestIssue(cmd), cmd_bus_next_free_);
   // Data-bus availability: the burst must not overlap a burst already
-  // scheduled by another rank/agent.
-  if (cmd.type == CommandType::kRead) {
+  // scheduled by another rank/agent. Filter-mode RDs (armed bank) evaluate
+  // inside the bank and never drive the shared data bus, so only the command
+  // bus gates them.
+  if (cmd.type == CommandType::kRead &&
+      !ranks_[cmd.rank].bank(cmd.bank).armed()) {
     sim::Tick lat = timing_->cl * bus_.period_ps();
     if (t + lat < data_bus_free_at_) t = data_bus_free_at_ - lat;
   } else if (cmd.type == CommandType::kWrite) {
@@ -40,6 +43,10 @@ Result<sim::Tick> Channel::Issue(const Command& cmd, sim::Tick t) {
     return Status::TimingViolation("channel: " + cmd.ToString() +
                                    " issued before bus available");
   }
+  // Whether this RD feeds an armed bank's comparator (no data-bus burst);
+  // must be sampled before Issue in case it mutates filter state.
+  const bool filter_read = cmd.type == CommandType::kRead &&
+                           ranks_[cmd.rank].bank(cmd.bank).armed();
   NDP_ASSIGN_OR_RETURN(sim::Tick done, ranks_[cmd.rank].Issue(cmd, t));
 #ifdef NDP_PROTOCOL_CHECK
   // Audit only commands the device model accepted: the checker's job is to
@@ -47,11 +54,28 @@ Result<sim::Tick> Channel::Issue(const Command& cmd, sim::Tick t) {
   checker_.Observe(cmd, t);
 #endif
   cmd_bus_next_free_ = t + bus_.period_ps();
-  if (cmd.type == CommandType::kRead || cmd.type == CommandType::kWrite) {
+  if ((cmd.type == CommandType::kRead && !filter_read) ||
+      cmd.type == CommandType::kWrite) {
     data_bus_free_at_ = done;
     data_bus_busy_ticks_ += timing_->tburst * bus_.period_ps();
   }
   return done;
+}
+
+void Channel::SetBankFilterTiming(uint32_t rank, const BankFilterTiming* filter) {
+  NDP_CHECK(rank < ranks_.size());
+  ranks_[rank].set_bank_filter_timing(filter);
+#ifdef NDP_PROTOCOL_CHECK
+  checker_.set_bank_filter_timing(rank, filter);
+#endif
+}
+
+void Channel::ResetBankFilters(uint32_t rank) {
+  NDP_CHECK(rank < ranks_.size());
+  ranks_[rank].ResetBankFilters();
+#ifdef NDP_PROTOCOL_CHECK
+  checker_.NoteBankFilterReset(rank);
+#endif
 }
 
 }  // namespace ndp::dram

@@ -35,6 +35,14 @@ class Channel {
   /// last data beat completes. Fails with TimingViolation if too early.
   Result<sim::Tick> Issue(const Command& cmd, sim::Tick t);
 
+  /// Installs the v2 per-bank comparator timing on one rank (and the shadow
+  /// checker, when compiled in). Must precede any kBankArm to that rank.
+  void SetBankFilterTiming(uint32_t rank, const BankFilterTiming* filter);
+
+  /// Out-of-band force-release of a rank's bank filters on job abort; keeps
+  /// the shadow checker's armed-state in sync with the device model.
+  void ResetBankFilters(uint32_t rank);
+
   const DramTiming& timing() const { return *timing_; }
   const DramOrganization& organization() const { return *org_; }
   sim::ClockDomain bus_clock() const { return bus_; }

@@ -12,6 +12,8 @@ const char* CommandTypeToString(CommandType type) {
     case CommandType::kPrecharge: return "PRE";
     case CommandType::kRefresh: return "REF";
     case CommandType::kModeRegSet: return "MRS";
+    case CommandType::kBankArm: return "ARM";
+    case CommandType::kBankDisarm: return "DISARM";
   }
   return "?";
 }

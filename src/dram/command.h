@@ -14,6 +14,13 @@ enum class CommandType : uint8_t {
   kPrecharge,   ///< close the open row, precharge bitlines
   kRefresh,     ///< all-bank refresh
   kModeRegSet,  ///< MRS: write a mode register (used for MR3/MPR ownership)
+  /// Bank-level filtering (Membrane-style v2 generation): switch one bank's
+  /// comparator into filter mode. While armed, RDs evaluate in the bank and
+  /// latch match bits into the bank's result accumulator instead of driving
+  /// the shared IO bus; the accumulator drains over the per-rank result bus
+  /// on the precharge that closes the row.
+  kBankArm,
+  kBankDisarm,  ///< leave filter mode, discarding any pending accumulator
 };
 
 const char* CommandTypeToString(CommandType type);

@@ -172,6 +172,11 @@ bool MemoryController::TryRefresh(sim::Tick now) {
     refresh_in_progress_ = true;
   }
   Rank& rank = channel_->rank(refresh_rank_);
+  // An armed bank's comparator sits on the sense-amp path, so REF may not
+  // issue while any bank is in filter mode — and a controller PRE to an
+  // armed bank would trigger an accumulator drain the device still owns.
+  // Keep ticking: the device sequencer sees RefreshClaims() and disarms.
+  if (rank.AnyBankArmed()) return false;
   // Close any open banks first.
   for (uint32_t b = 0; b < rank.num_banks(); ++b) {
     if (rank.bank(b).has_open_row()) {

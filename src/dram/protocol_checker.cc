@@ -32,6 +32,10 @@ const char* TimingRuleToString(TimingRule rule) {
     case TimingRule::kTmrd: return "tMRD";
     case TimingRule::kDataBus: return "data-bus";
     case TimingRule::kCmdBus: return "cmd-bus";
+    case TimingRule::kBankArm: return "bank-arm";
+    case TimingRule::kDrainTooEarly: return "drain-too-early";
+    case TimingRule::kResultBus: return "result-bus";
+    case TimingRule::kRefreshArmed: return "refresh-armed";
   }
   return "unknown";
 }
@@ -50,6 +54,7 @@ void ProtocolChecker::Configure(const DramTiming* timing,
   tck_ = timing->tck_ps;
   ranks_.assign(org->ranks_per_channel, RankState{});
   for (auto& r : ranks_) r.banks.assign(org->banks_per_rank, BankState{});
+  filters_.assign(org->ranks_per_channel, nullptr);
   last_cmd_tick_ = kNever;
   data_bus_busy_end_ = 0;
   commands_observed_ = 0;
@@ -146,6 +151,30 @@ void ProtocolChecker::Observe(const Command& cmd, sim::Tick t) {
     case CommandType::kModeRegSet:
       ObserveModeRegSet(cmd, t, rank);
       break;
+    case CommandType::kBankArm:
+      NDP_CHECK(cmd.bank < rank.banks.size());
+      ObserveBankArm(cmd, t, rank);
+      break;
+    case CommandType::kBankDisarm:
+      NDP_CHECK(cmd.bank < rank.banks.size());
+      ObserveBankDisarm(cmd, t, rank);
+      break;
+  }
+}
+
+void ProtocolChecker::set_bank_filter_timing(uint32_t rank,
+                                             const BankFilterTiming* filter) {
+  NDP_CHECK(rank < filters_.size());
+  filters_[rank] = filter;
+}
+
+void ProtocolChecker::NoteBankFilterReset(uint32_t rank) {
+  NDP_CHECK(rank < ranks_.size());
+  for (BankState& bank : ranks_[rank].banks) {
+    bank.armed = false;
+    bank.pending_fill = false;
+    bank.fill_ready = kNever;
+    bank.last_filter_read = kNever;
   }
 }
 
@@ -200,6 +229,23 @@ void ProtocolChecker::ObserveColumn(const Command& cmd, sim::Tick t,
   if (bank.last_act != kNever && t < bank.last_act + Cycles(timing_->trcd)) {
     Flag(TimingRule::kTrcd, cmd, t, bank.last_act, "ACT");
   }
+  if (is_read && bank.armed) {
+    // Filter-mode RD: the burst feeds the bank's comparator and never drives
+    // the shared IO path, so tCCD/tWTR/data-bus do not apply. Pacing is the
+    // comparator's own throughput bound instead.
+    const BankFilterTiming* filter = filters_[cmd.rank];
+    if (filter != nullptr && bank.last_filter_read != kNever &&
+        t < bank.last_filter_read + Cycles(filter->min_rd_spacing_cycles)) {
+      Flag(TimingRule::kTccd, cmd, t, bank.last_filter_read,
+           "previous filter RD (comparator-rate spacing)");
+    }
+    bank.last_read = t;
+    bank.last_filter_read = t;
+    bank.pending_fill = true;
+    bank.fill_ready =
+        filter != nullptr ? t + Cycles(filter->fill_latency_cycles) : t;
+    return;
+  }
   if (rank.last_column_cmd != kNever &&
       t < rank.last_column_cmd + Cycles(timing_->tccd)) {
     Flag(TimingRule::kTccd, cmd, t, rank.last_column_cmd,
@@ -248,12 +294,34 @@ void ProtocolChecker::ObservePrecharge(const Command& cmd, sim::Tick t,
       t < bank.write_data_end + Cycles(timing_->twr)) {
     Flag(TimingRule::kTwr, cmd, t, bank.write_data_end, "end of write data");
   }
+  if (bank.armed && bank.pending_fill) {
+    // Draining PRE: the accumulator streams out over the per-rank result bus.
+    if (bank.fill_ready != kNever && t < bank.fill_ready) {
+      Flag(TimingRule::kDrainTooEarly, cmd, t, bank.last_filter_read,
+           "filter RD whose match bits have not latched yet");
+    }
+    if (rank.result_bus_end != kNever && t < rank.result_bus_end) {
+      Flag(TimingRule::kResultBus, cmd, t, rank.result_bus_end,
+           "another bank's drain still on the result bus; ends");
+    }
+    const BankFilterTiming* filter = filters_[cmd.rank];
+    rank.result_bus_end =
+        filter != nullptr ? t + Cycles(filter->drain_cycles) : t;
+    bank.pending_fill = false;
+  }
   bank.row_open = false;
   bank.last_pre = t;
 }
 
 void ProtocolChecker::ObserveRefresh(const Command& cmd, sim::Tick t,
                                      RankState& rank) {
+  for (const BankState& bank : rank.banks) {
+    if (bank.armed) {
+      Flag(TimingRule::kRefreshArmed, cmd, t, kNever,
+           "REF to a rank with armed banks (disarm before refresh)");
+      break;
+    }
+  }
   for (uint32_t b = 0; b < rank.banks.size(); ++b) {
     const BankState& bank = rank.banks[b];
     if (bank.row_open) {
@@ -300,6 +368,49 @@ void ProtocolChecker::ObserveModeRegSet(const Command& cmd, sim::Tick t,
     Flag(TimingRule::kTmrd, cmd, t, rank.last_mrs, "previous MRS");
   }
   rank.last_mrs = t;
+}
+
+void ProtocolChecker::ObserveBankArm(const Command& cmd, sim::Tick t,
+                                     RankState& rank) {
+  BankState& bank = rank.banks[cmd.bank];
+  if (filters_[cmd.rank] == nullptr) {
+    Flag(TimingRule::kBankArm, cmd, t, kNever,
+         "ARM without bank filter timing installed");
+    return;  // do not commit: the device model rejected this command too
+  }
+  if (bank.armed) {
+    Flag(TimingRule::kBankArm, cmd, t, kNever,
+         "ARM to an already-armed bank (double arm)");
+  }
+  if (bank.row_open) {
+    Flag(TimingRule::kBankArm, cmd, t, kNever,
+         "ARM to a bank with an open row (precharge first)");
+  }
+  if (rank.refresh_end != kNever && t < rank.refresh_end) {
+    Flag(TimingRule::kTrfc, cmd, t, rank.refresh_end - Cycles(timing_->trfc),
+         "REF");
+  }
+  bank.armed = true;
+  bank.pending_fill = false;
+  bank.fill_ready = kNever;
+  bank.last_filter_read = kNever;
+}
+
+void ProtocolChecker::ObserveBankDisarm(const Command& cmd, sim::Tick t,
+                                        RankState& rank) {
+  BankState& bank = rank.banks[cmd.bank];
+  if (!bank.armed) {
+    Flag(TimingRule::kBankArm, cmd, t, kNever,
+         "DISARM to a bank that is not armed");
+  }
+  if (bank.row_open) {
+    Flag(TimingRule::kBankArm, cmd, t, kNever,
+         "DISARM to a bank with an open row (drain via PRE first)");
+  }
+  bank.armed = false;
+  bank.pending_fill = false;
+  bank.fill_ready = kNever;
+  bank.last_filter_read = kNever;
 }
 
 std::string ProtocolChecker::Report() const {

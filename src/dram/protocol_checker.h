@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "dram/bank.h"  // BankFilterTiming (a parameter block, not state-machine code)
 #include "dram/command.h"
 #include "dram/timing.h"
 #include "sim/time.h"
@@ -49,6 +50,11 @@ enum class TimingRule : uint8_t {
   kTmrd,       ///< command too soon after a mode-register set
   kDataBus,    ///< CL/CWL-projected data bursts overlap on the channel bus
   kCmdBus,     ///< two commands in one bus cycle, or off-edge issue tick
+  // v2 bank-level filtering (kBankArm/kBankDisarm command flow):
+  kBankArm,        ///< ARM/DISARM illegal in the bank's current filter state
+  kDrainTooEarly,  ///< draining PRE before the last match bits latched
+  kResultBus,      ///< two accumulator drains overlap on the rank result bus
+  kRefreshArmed,   ///< REF to a rank with armed banks
 };
 
 const char* TimingRuleToString(TimingRule rule);
@@ -83,6 +89,15 @@ class ProtocolChecker {
   /// with refresh disabled, and short runs never reach a refresh deadline.
   void set_expect_refresh(bool on) { expect_refresh_ = on; }
 
+  /// Installs the v2 per-bank comparator timing for one rank, enabling the
+  /// filter-flow rules (drain legality, result-bus arbitration, filter-RD
+  /// pacing). Without it, any kBankArm is itself flagged.
+  void set_bank_filter_timing(uint32_t rank, const BankFilterTiming* filter);
+
+  /// Mirrors the device's out-of-band filter reset on job abort: clears the
+  /// shadow armed/pending state so the audit doesn't diverge from hardware.
+  void NoteBankFilterReset(uint32_t rank);
+
   /// Audits one command issued at tick `t` and updates the shadow state.
   /// Call in issue order (non-decreasing `t`).
   void Observe(const Command& cmd, sim::Tick t);
@@ -106,6 +121,11 @@ class ProtocolChecker {
     sim::Tick last_pre = kNever;       ///< issue tick of the closing PRE
     sim::Tick last_read = kNever;
     sim::Tick write_data_end = kNever; ///< last WR's final data-beat tick
+    // v2 filter-mode shadow state.
+    bool armed = false;
+    bool pending_fill = false;             ///< accumulator holds undrained bits
+    sim::Tick fill_ready = kNever;         ///< last filter RD's latch tick
+    sim::Tick last_filter_read = kNever;   ///< comparator-rate pacing audit
   };
 
   struct RankState {
@@ -118,6 +138,7 @@ class ProtocolChecker {
     sim::Tick last_refresh = kNever;        ///< tREFI audit
     sim::Tick last_mrs = kNever;            ///< tMRD window
     bool refresh_overdue_flagged = false;   ///< one tREFI report per lapse
+    sim::Tick result_bus_end = kNever;      ///< current drain's last beat
   };
 
   sim::Tick Cycles(uint32_t n) const;
@@ -137,6 +158,8 @@ class ProtocolChecker {
   void ObservePrecharge(const Command& cmd, sim::Tick t, RankState& rank);
   void ObserveRefresh(const Command& cmd, sim::Tick t, RankState& rank);
   void ObserveModeRegSet(const Command& cmd, sim::Tick t, RankState& rank);
+  void ObserveBankArm(const Command& cmd, sim::Tick t, RankState& rank);
+  void ObserveBankDisarm(const Command& cmd, sim::Tick t, RankState& rank);
 
   const DramTiming* timing_ = nullptr;
   const DramOrganization* org_ = nullptr;
@@ -145,6 +168,8 @@ class ProtocolChecker {
   bool expect_refresh_ = false;
 
   std::vector<RankState> ranks_;
+  /// Per-rank v2 comparator timing (null until installed). Not owned.
+  std::vector<const BankFilterTiming*> filters_;
   sim::Tick last_cmd_tick_ = kNever;   ///< channel command-bus audit
   sim::Tick data_bus_busy_end_ = 0;    ///< channel data-bus audit (CL/CWL)
   uint64_t commands_observed_ = 0;

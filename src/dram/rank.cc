@@ -30,13 +30,30 @@ sim::Tick Rank::EarliestIssue(const Command& cmd) const {
     case CommandType::kActivate:
       return EarliestActivate(cmd.bank);
     case CommandType::kRead:
+      if (banks_[cmd.bank].armed()) {
+        // Filter RDs never touch the shared IO path, so the rank-wide tCCD
+        // and tWTR turnaround windows do not apply; the bank itself paces
+        // them at the comparator rate (folded into CanReadAt).
+        return std::max(banks_[cmd.bank].CanReadAt(), mrs_busy_until_);
+      }
       return std::max({banks_[cmd.bank].CanReadAt(), next_column_cmd_,
                        next_read_after_write_, mrs_busy_until_});
     case CommandType::kWrite:
       return std::max({banks_[cmd.bank].CanWriteAt(), next_column_cmd_,
                        mrs_busy_until_});
-    case CommandType::kPrecharge:
-      return std::max(banks_[cmd.bank].CanPrechargeAt(), mrs_busy_until_);
+    case CommandType::kPrecharge: {
+      sim::Tick t = std::max(banks_[cmd.bank].CanPrechargeAt(), mrs_busy_until_);
+      if (banks_[cmd.bank].armed() && banks_[cmd.bank].pending_fill()) {
+        // A draining PRE must also win the per-rank result bus.
+        t = std::max(t, result_bus_free_at_);
+      }
+      return t;
+    }
+    case CommandType::kBankArm:
+    case CommandType::kBankDisarm:
+      // Mode-switch-like commands: only the MRS quiescence window gates the
+      // command itself; bank-state legality is enforced in Issue.
+      return mrs_busy_until_;
     case CommandType::kRefresh: {
       sim::Tick t = mrs_busy_until_;
       for (const auto& b : banks_) t = std::max(t, b.CanActivateAt());
@@ -76,6 +93,13 @@ Result<sim::Tick> Rank::Issue(const Command& cmd, sim::Tick t) {
       return t;
     }
     case CommandType::kRead: {
+      if (banks_[cmd.bank].armed()) {
+        // Filter-mode RD: match bits latch in the bank; the shared column
+        // path (tCCD window) is untouched.
+        NDP_ASSIGN_OR_RETURN(sim::Tick done, banks_[cmd.bank].Read(t));
+        ++filter_reads_issued_;
+        return done;
+      }
       NDP_ASSIGN_OR_RETURN(sim::Tick done, banks_[cmd.bank].Read(t));
       next_column_cmd_ = std::max(next_column_cmd_, t + Cycles(timing_->tccd));
       ++reads_issued_;
@@ -91,10 +115,33 @@ Result<sim::Tick> Rank::Issue(const Command& cmd, sim::Tick t) {
       return done;
     }
     case CommandType::kPrecharge: {
-      NDP_RETURN_NOT_OK(banks_[cmd.bank].Precharge(t));
+      Bank& b = banks_[cmd.bank];
+      const bool drains = b.armed() && b.pending_fill();
+      NDP_RETURN_NOT_OK(b.Precharge(t));
+      if (drains) {
+        // The accumulator streams out over the per-rank result bus while the
+        // bank precharges; the caller learns when the match bits are home.
+        NDP_CHECK(filter_ != nullptr);
+        result_bus_free_at_ = t + Cycles(filter_->drain_cycles);
+        b.NoteAccumulatorDrained();
+        ++drains_completed_;
+        return result_bus_free_at_;
+      }
+      return t;
+    }
+    case CommandType::kBankArm: {
+      NDP_RETURN_NOT_OK(banks_[cmd.bank].Arm(t));
+      ++bank_arms_issued_;
+      return t;
+    }
+    case CommandType::kBankDisarm: {
+      NDP_RETURN_NOT_OK(banks_[cmd.bank].Disarm(t));
       return t;
     }
     case CommandType::kRefresh: {
+      if (AnyBankArmed()) {
+        return Status::TimingViolation("REF to rank with armed banks");
+      }
       if (!AllBanksIdle()) {
         return Status::TimingViolation("REF with open rows");
       }
@@ -119,6 +166,22 @@ bool Rank::AllBanksIdle() const {
     if (b.has_open_row()) return false;
   }
   return true;
+}
+
+void Rank::set_bank_filter_timing(const BankFilterTiming* filter) {
+  filter_ = filter;
+  for (auto& b : banks_) b.set_filter_timing(filter);
+}
+
+bool Rank::AnyBankArmed() const {
+  for (const auto& b : banks_) {
+    if (b.armed()) return true;
+  }
+  return false;
+}
+
+void Rank::ResetBankFilters() {
+  for (auto& b : banks_) b.ResetFilter();
 }
 
 }  // namespace ndp::dram

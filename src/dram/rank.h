@@ -52,6 +52,26 @@ class Rank {
   /// hand-off).
   bool AllBanksIdle() const;
 
+  // -- v2 bank-level filtering ----------------------------------------------
+
+  /// Installs the per-bank comparator timing (derived by the accel layer);
+  /// required before any kBankArm may issue. Not owned.
+  void set_bank_filter_timing(const BankFilterTiming* filter);
+  const BankFilterTiming* bank_filter_timing() const { return filter_; }
+
+  /// True if any bank's comparator is in filter mode. REF may not issue to a
+  /// rank with armed banks (the comparators sit on the bank sense-amp path);
+  /// the memory controller gates TryRefresh on this and the device disarms on
+  /// refresh steal-back.
+  bool AnyBankArmed() const;
+
+  /// Out-of-band force-release of every bank's filter state (device reset
+  /// line on job abort; not part of the JEDEC command flow). The protocol
+  /// checker is told separately via NoteBankFilterReset.
+  void ResetBankFilters();
+
+  // -- Mode registers / ownership -------------------------------------------
+
   // -- Mode registers / ownership -------------------------------------------
 
   uint32_t mode_register(uint32_t index) const { return mode_regs_[index & 3]; }
@@ -66,6 +86,9 @@ class Rank {
   uint64_t writes_issued() const { return writes_issued_; }
   uint64_t activates_issued() const { return activates_issued_; }
   uint64_t refreshes_issued() const { return refreshes_issued_; }
+  uint64_t filter_reads_issued() const { return filter_reads_issued_; }
+  uint64_t bank_arms_issued() const { return bank_arms_issued_; }
+  uint64_t drains_completed() const { return drains_completed_; }
 
   // ECC scrub log: read-path bit flips observed on bursts served by this
   // rank, classified by the SECDED model (src/fault/ecc.h). Bumped by the
@@ -82,9 +105,14 @@ class Rank {
 
   const DramTiming* timing_ = nullptr;
   const DramOrganization* org_ = nullptr;
+  const BankFilterTiming* filter_ = nullptr;
   sim::ClockDomain bus_;
   std::vector<Bank> banks_;
   std::array<uint32_t, 4> mode_regs_ = {0, 0, 0, 0};
+
+  /// The per-rank result bus serializes accumulator drains: one bank's
+  /// draining PRE occupies it for drain_cycles.
+  sim::Tick result_bus_free_at_ = 0;
 
   // Rank-level windows.
   sim::Tick next_column_cmd_ = 0;  ///< tCCD across banks
@@ -97,6 +125,9 @@ class Rank {
   uint64_t writes_issued_ = 0;
   uint64_t activates_issued_ = 0;
   uint64_t refreshes_issued_ = 0;
+  uint64_t filter_reads_issued_ = 0;
+  uint64_t bank_arms_issued_ = 0;
+  uint64_t drains_completed_ = 0;
   uint64_t ecc_corrected_ = 0;
   uint64_t ecc_uncorrectable_ = 0;
 };

@@ -8,7 +8,9 @@
 #include <cstdint>
 
 #include "accel/schedule.h"
+#include "dram/bank.h"
 #include "dram/timing.h"
+#include "jafar/generation.h"
 #include "sim/time.h"
 #include "util/status.h"
 
@@ -16,6 +18,11 @@ namespace ndp::jafar {
 
 /// \brief Static configuration of one JAFAR unit (one per DIMM/rank).
 struct DeviceConfig {
+  /// Which datapath generation this unit instantiates (see generation.h).
+  /// The shell is identical across generations; the DatapathModel factory
+  /// dispatches on this exactly once, at device construction.
+  DeviceGeneration generation = DeviceGeneration::kV1RankIo;
+
   /// JAFAR generates its own clock at twice the data bus clock (§2.2).
   sim::ClockDomain clock = sim::ClockDomain(625);  // 1.6 GHz for DDR3-1600
 
@@ -52,6 +59,23 @@ struct DeviceConfig {
   /// the bucket count; larger key domains need hierarchical passes).
   uint32_t groupby_buckets = 256;
 
+  // -- v2 bank-level datapath (valid only when generation == kV2BankLevel;
+  //    filled by DeriveBank from the per-bank comparator schedule) ----------
+
+  /// Words one bank's comparator evaluates per JAFAR cycle.
+  double bank_words_per_cycle = 0.0;
+  /// Dynamic energy per word through one bank comparator, femtojoules.
+  double bank_energy_per_word_fj = 0.0;
+  /// Command-flow timing pushed into the DRAM model (bus-clock cycles).
+  dram::BankFilterTiming bank_filter;
+  /// Largest contiguous scan the sequencer covers per invocation, in bytes;
+  /// the driver batches min(this, remainder) per device job. 0 means "no
+  /// preference" and the driver falls back to its per-page granularity.
+  /// DeriveBank sets one row per bank (banks_per_rank * row_size_bytes) —
+  /// a job any smaller than a full wave can never arm every bank, so the
+  /// v2 datapath would serialize segment by segment.
+  uint64_t scan_chunk_bytes = 0;
+
   /// Device cycles to sort one block of `elems` (<= sort_block_elems)
   /// through the bitonic network: stages(n) = log2(n)*(log2(n)+1)/2, each
   /// stage performing n/2 compare-exchanges on sort_comparators units.
@@ -66,8 +90,20 @@ struct DeviceConfig {
   static Result<DeviceConfig> Derive(const dram::DramTiming& timing,
                                      const accel::DatapathResources& resources);
 
+  /// Derives a v2 (bank-level) config: the shell and IO-path engines keep the
+  /// rank datapath from Derive(), and the per-bank comparator rate, energy
+  /// and command-flow timing (fill latency, RD pacing, drain occupancy) come
+  /// from scheduling the same select kernel on an area-constrained per-bank
+  /// slice of `rank_resources` — never from hand-picked constants.
+  static Result<DeviceConfig> DeriveBank(
+      const dram::DramTiming& timing, const dram::DramOrganization& org,
+      const accel::DatapathResources& rank_resources);
+
   /// Picoseconds JAFAR needs to process one burst of `words` words.
   sim::Tick BurstProcessingPs(uint32_t words) const;
+
+  /// Same, through one bank's comparator (v2 generation).
+  sim::Tick BankBurstProcessingPs(uint32_t words) const;
 };
 
 }  // namespace ndp::jafar

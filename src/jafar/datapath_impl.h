@@ -1,0 +1,14 @@
+// Internal: per-generation constructors for MakeDatapathModel. Only the
+// factory (datapath.cc) and the generation translation units include this.
+#pragma once
+
+#include <memory>
+
+#include "jafar/datapath.h"
+
+namespace ndp::jafar {
+
+std::unique_ptr<DatapathModel> MakeV1RankIoDatapath(Device* dev);
+std::unique_ptr<DatapathModel> MakeV2BankLevelDatapath(Device* dev);
+
+}  // namespace ndp::jafar

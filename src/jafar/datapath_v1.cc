@@ -1,0 +1,126 @@
+// Generation v1_rank_io: the source paper's datapath. One comparator stream
+// sits at the DIMM IO buffer and consumes ordinary rank reads over the shared
+// IO bus — one burst at a time, paced by tCCD and by the engine's
+// words-per-cycle rate. This is the pre-refactor Device sequencer moved
+// behind the DatapathModel interface, preserved step-for-step: with
+// generation v1_rank_io the refactor is observationally a no-op (byte-
+// identical stats dumps), which makes v1 the oracle for v2.
+#include <algorithm>
+
+#include "jafar/datapath_impl.h"
+#include "jafar/device.h"  // DeviceStats definition (shell internals stay private)
+#include "sim/event_queue.h"
+
+namespace ndp::jafar {
+
+namespace {
+
+constexpr uint32_t kBurstBytes = 64;
+
+class V1RankIoDatapath final : public DatapathModel {
+ public:
+  using DatapathModel::DatapathModel;
+
+  DeviceGeneration generation() const override {
+    return DeviceGeneration::kV1RankIo;
+  }
+
+  void BeginScan() override { SelectStep(); }
+
+ private:
+  void SelectStep();
+  void ContinueScanWhenEngineReady();
+};
+
+void V1RankIoDatapath::SelectStep() {
+  const bool is_rs = is_rowstore();
+  const uint64_t total_rows =
+      is_rs ? rowstore_job().num_tuples : select_job().num_rows;
+  if (cursor_rows() >= total_rows) {
+    // Final (possibly partial) bitmap flush, then done.
+    FlushBitmap([this] { FinishJob(); });
+    return;
+  }
+  const uint32_t row_bytes =
+      is_rs ? rowstore_job().tuple_bytes : config().elem_bytes;
+  const uint64_t base =
+      is_rs ? rowstore_job().tuple_base : select_job().col_base;
+  // The burst containing the next unprocessed row.
+  uint64_t burst_addr = base + cursor_rows() * row_bytes;
+  burst_addr -= burst_addr % kBurstBytes;
+  // Rows whose data completes within this burst.
+  uint64_t burst_end = burst_addr + kBurstBytes;
+  uint64_t first = cursor_rows();
+  uint64_t last = std::min<uint64_t>(
+      total_rows, (burst_end - base + row_bytes - 1) / row_bytes);
+  uint64_t rows_here = last > first ? last - first : 0;
+
+  ReadBurst(burst_addr, [this, first, rows_here, is_rs,
+                         base](sim::Tick data_done) {
+    if (DrawStallAtBurst()) {
+      // Sequencer stall mid-scan: the partial bitmap may already be in DRAM,
+      // but this burst's rows are never accumulated. The device stays busy
+      // with no pending events until the driver watchdog aborts it.
+      return;
+    }
+    // Functional evaluation against the backing store contents.
+    uint64_t matches_here = 0;
+    for (uint64_t r = first; r < first + rows_here; ++r) {
+      bool pass;
+      if (is_rs) {
+        pass = true;
+        for (const RowPredicate& p : rowstore_job().predicates) {
+          int64_t v = static_cast<int64_t>(
+              Read64(base + r * rowstore_job().tuple_bytes +
+                     p.attr_offset_bytes));
+          pass = pass && EvalCompare(p.op, v, p.range_low, p.range_high);
+        }
+      } else {
+        int64_t v = ReadValue(base + r * config().elem_bytes);
+        pass = EvalCompare(select_job().op, v, select_job().range_low,
+                           select_job().range_high);
+      }
+      AppendBit(pass);
+      if (pass) ++matches_here;
+    }
+    add_matches(matches_here);
+    stats().rows_processed += rows_here;
+    set_cursor_rows(cursor_rows() + rows_here);
+
+    // Datapath timing: one word per II from the IO buffer.
+    uint32_t words = kBurstBytes / 8;
+    sim::Tick start = std::max(data_done, engine_ready_at());
+    sim::Tick proc = config().BurstProcessingPs(words);
+    set_engine_ready_at(start + proc);
+    stats().engine_busy_ps += proc;
+    stats().energy_fj += config().energy_per_word_fj * words;
+
+    if (pending_bit_count() >= config().output_buffer_bits) {
+      FlushBitmap([this] { ContinueScanWhenEngineReady(); });
+    } else {
+      ContinueScanWhenEngineReady();
+    }
+  });
+}
+
+void V1RankIoDatapath::ContinueScanWhenEngineReady() {
+  // Throttle command issue so a slow datapath (words_per_cycle < 1) does not
+  // overrun its input FIFO: the next burst's data (which completes CL+tBURST
+  // after its command) should not arrive before the engine can take it.
+  sim::Tick pipe_ps = BusCycles(timing().cl + timing().tburst);
+  sim::Tick earliest =
+      engine_ready_at() > pipe_ps ? engine_ready_at() - pipe_ps : 0;
+  if (earliest > eq()->Now()) {
+    ScheduleAtGuarded(earliest, [this] { SelectStep(); });
+  } else {
+    SelectStep();
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<DatapathModel> MakeV1RankIoDatapath(Device* dev) {
+  return std::make_unique<V1RankIoDatapath>(dev);
+}
+
+}  // namespace ndp::jafar

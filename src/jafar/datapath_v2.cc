@@ -1,0 +1,344 @@
+// Generation v2_bank_level: Membrane-style bank-level filtering. A small
+// comparator sits in every bank's peripheral logic; the device ARMs a set of
+// banks, streams each bank's rows with ordinary RD commands whose bursts are
+// consumed *inside* the bank (no IO-bus data transfer), and collects one
+// match bit per element in a per-bank accumulator that drains over a narrow
+// per-rank result bus when the bank is precharged.
+//
+// Sequencing: the scan range is contiguous within the rank and the address
+// layout walks a full DRAM row before switching banks, so consecutive
+// row-sized segments land on distinct banks. The sequencer takes up to
+// banks_per_rank consecutive segments per *wave*, runs one command chain per
+// segment concurrently (ARM -> ACT -> RD... -> PRE(drain) -> DISARM), and at
+// the wave barrier evaluates the covered rows functionally and appends their
+// bits to the shared output buffer — all banks are precharged and disarmed at
+// a barrier, so bitmap flush writes are always safe there.
+//
+// Refresh: the host controller refuses to refresh a rank with armed banks
+// (the comparator sits on the sense-amp path), so the device checks the
+// refresh steal-back signal only *between* waves and runs every mid-chain
+// command with defer_to_refresh=false. A wave is bounded by one row's worth
+// of reads per bank (~1.3 us), well inside the controller's postponement
+// headroom, so refresh is delayed by at most one wave, never livelocked.
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "jafar/datapath_impl.h"
+#include "jafar/device.h"  // DeviceStats definition (shell internals stay private)
+#include "sim/event_queue.h"
+#include "util/macros.h"
+
+namespace ndp::jafar {
+
+namespace {
+
+constexpr uint32_t kBurstBytes = 64;
+
+class V2BankLevelDatapath final : public DatapathModel {
+ public:
+  using DatapathModel::DatapathModel;
+
+  DeviceGeneration generation() const override {
+    return DeviceGeneration::kV2BankLevel;
+  }
+
+  void Attach(const StatsScope& stats) override {
+    NDP_CHECK_MSG(config().bank_filter.valid(),
+                  "v2_bank_level requires accel-derived bank filter timing "
+                  "(build the DeviceConfig with DeviceConfig::DeriveBank)");
+    NDP_CHECK(config().bank_words_per_cycle > 0);
+    // The config lives by value inside the Device shell, so the timing
+    // block's address is stable for the device's lifetime.
+    channel().SetBankFilterTiming(rank_index(), &config().bank_filter);
+    stats.Counter("filter_bursts", &filter_bursts_);
+    stats.Counter("filter_segments", &filter_segments_);
+    stats.Counter("bank_waves", &bank_waves_);
+  }
+
+  void BeginScan() override;
+
+  void OnJobTeardown() override {
+    // Force-release DRAM-side filter state: a failed or aborted job may die
+    // with banks still armed (and bits pending), which would wedge host
+    // refresh forever. Idempotent; schedules nothing.
+    channel().ResetBankFilters(rank_index());
+    wave_pending_ = 0;
+  }
+
+ private:
+  struct Segment {
+    uint64_t start = 0;  // first byte of the segment (within the scan range)
+    uint64_t end = 0;    // one past the last byte
+  };
+
+  uint64_t RowSizeBytes() { return dram().mapper().organization().row_size_bytes; }
+
+  void StartWave();
+  void RunSegment(const Segment& seg);
+  void ArmSegment(dram::DramLocation loc, uint64_t first_burst,
+                  uint32_t nbursts);
+  void Reactivate(dram::DramLocation loc, uint64_t first_burst, uint32_t idx,
+                  uint32_t nbursts);
+  void ArmOrReopen(dram::DramLocation loc, uint64_t first_burst, uint32_t idx,
+                   uint32_t nbursts);
+  void ReadNext(dram::DramLocation loc, uint64_t first_burst, uint32_t idx,
+                uint32_t nbursts);
+  void DrainSegment(dram::DramLocation loc);
+  void OnSegmentDone();
+  bool EvalRow(uint64_t r) const;
+  void EvalRange(uint64_t last);
+
+  // Scan state staged by BeginScan (one job at a time, like the shell).
+  uint64_t base_ = 0;          ///< first byte of the scanned region
+  uint64_t stride_bytes_ = 0;  ///< bytes per row element (elem or tuple)
+  uint64_t total_rows_ = 0;
+  uint64_t scan_end_ = 0;        ///< base_ + total_rows_ * stride_bytes_
+  uint64_t next_seg_start_ = 0;  ///< first byte not yet assigned to a wave
+  uint64_t wave_covered_end_ = 0;  ///< bytes filtered once this wave drains
+  uint32_t wave_pending_ = 0;      ///< segments still in flight in this wave
+
+  // Generation-specific lifetime counters (registered in Attach, so a
+  // v1 device's stats dump carries no trace of them).
+  uint64_t filter_bursts_ = 0;    ///< bursts consumed by in-bank comparators
+  uint64_t filter_segments_ = 0;  ///< ARM..DISARM chains completed
+  uint64_t bank_waves_ = 0;       ///< wave barriers crossed
+};
+
+void V2BankLevelDatapath::BeginScan() {
+  const bool is_rs = is_rowstore();
+  base_ = is_rs ? rowstore_job().tuple_base : select_job().col_base;
+  stride_bytes_ = is_rs ? rowstore_job().tuple_bytes : config().elem_bytes;
+  total_rows_ = is_rs ? rowstore_job().num_tuples : select_job().num_rows;
+  scan_end_ = base_ + total_rows_ * stride_bytes_;
+  next_seg_start_ = base_;
+  wave_covered_end_ = base_;
+  wave_pending_ = 0;
+  if (total_rows_ == 0 || next_seg_start_ >= scan_end_) {
+    FlushBitmap([this] { FinishJob(); });
+    return;
+  }
+  StartWave();
+}
+
+void V2BankLevelDatapath::StartWave() {
+  // Between-waves refresh check: every bank is precharged and disarmed here,
+  // so this is the one place the device can politely yield the rank.
+  if (RefreshClaims()) {
+    ++stats().refresh_backoffs;
+    ScheduleAfterGuarded(BusCycles(8), [this] { StartWave(); });
+    return;
+  }
+  const uint64_t row_bytes = RowSizeBytes();
+  const uint32_t max_lanes = dram().mapper().organization().banks_per_rank;
+  std::vector<Segment> segs;
+  uint64_t pos = next_seg_start_;
+  uint64_t bank_mask = 0;
+  while (segs.size() < max_lanes && pos < scan_end_) {
+    uint64_t seg_end = std::min((pos / row_bytes + 1) * row_bytes, scan_end_);
+    uint32_t bank = dram().mapper().Decode(pos).ValueOrDie().bank;
+    // Consecutive row segments round-robin the banks, so <= banks_per_rank of
+    // them are always pairwise distinct; guard the invariant anyway.
+    NDP_CHECK_MSG((bank_mask & (uint64_t{1} << bank)) == 0,
+                  "wave would arm the same bank twice");
+    bank_mask |= uint64_t{1} << bank;
+    segs.push_back(Segment{pos, seg_end});
+    pos = seg_end;
+  }
+  NDP_CHECK(!segs.empty());
+  ++bank_waves_;
+  // Commit the wave extent before launching anything: chains may complete
+  // through synchronous IssueWhenReady fast paths.
+  wave_pending_ = static_cast<uint32_t>(segs.size());
+  next_seg_start_ = pos;
+  wave_covered_end_ = pos;
+  for (const Segment& seg : segs) RunSegment(seg);
+}
+
+void V2BankLevelDatapath::RunSegment(const Segment& seg) {
+  const uint64_t first_burst = seg.start - seg.start % kBurstBytes;
+  uint64_t last_burst = seg.end - 1;
+  last_burst -= last_burst % kBurstBytes;
+  const uint32_t nbursts =
+      static_cast<uint32_t>((last_burst - first_burst) / kBurstBytes + 1);
+  dram::DramLocation loc = dram().mapper().Decode(first_burst).ValueOrDie();
+  ArmSegment(loc, first_burst, nbursts);
+}
+
+void V2BankLevelDatapath::ArmSegment(dram::DramLocation loc,
+                                     uint64_t first_burst, uint32_t nbursts) {
+  // ARM requires a closed bank (the comparator taps the sense amps across a
+  // fresh activation). A leftover open row — host traffic in polite mode —
+  // gets precharged first.
+  if (channel().rank(rank_index()).bank(loc.bank).has_open_row()) {
+    dram::Command pre{dram::CommandType::kPrecharge, rank_index(), loc.bank};
+    IssueWhenReady(
+        pre,
+        [this, loc, first_burst, nbursts](sim::Tick) {
+          ArmSegment(loc, first_burst, nbursts);
+        },
+        /*on_stale=*/nullptr, /*defer_to_refresh=*/false);
+    return;
+  }
+  dram::Command arm{dram::CommandType::kBankArm, rank_index(), loc.bank};
+  IssueWhenReady(
+      arm,
+      [this, loc, first_burst, nbursts](sim::Tick) {
+        Reactivate(loc, first_burst, /*idx=*/0, nbursts);
+      },
+      /*on_stale=*/nullptr, /*defer_to_refresh=*/false);
+}
+
+void V2BankLevelDatapath::Reactivate(dram::DramLocation loc,
+                                     uint64_t first_burst, uint32_t idx,
+                                     uint32_t nbursts) {
+  dram::Command act{dram::CommandType::kActivate, rank_index(), loc.bank,
+                    loc.row};
+  ++stats().activates;
+  IssueWhenReady(
+      act,
+      [this, loc, first_burst, idx, nbursts](sim::Tick) {
+        ReadNext(loc, first_burst, idx, nbursts);
+      },
+      /*on_stale=*/
+      [this, loc, first_burst, idx, nbursts] {
+        ArmOrReopen(loc, first_burst, idx, nbursts);
+      },
+      /*defer_to_refresh=*/false);
+}
+
+// A third party opened the bank between scheduling and issue (polite-mode
+// host traffic): close it and try the activation again. The forced PRE may
+// drain accumulated bits early; that splits one drain into two but changes
+// nothing functionally — the accumulator is drained bitwise-incrementally.
+void V2BankLevelDatapath::ArmOrReopen(dram::DramLocation loc,
+                                      uint64_t first_burst, uint32_t idx,
+                                      uint32_t nbursts) {
+  dram::Command pre{dram::CommandType::kPrecharge, rank_index(), loc.bank};
+  IssueWhenReady(
+      pre,
+      [this, loc, first_burst, idx, nbursts](sim::Tick) {
+        Reactivate(loc, first_burst, idx, nbursts);
+      },
+      /*on_stale=*/nullptr, /*defer_to_refresh=*/false);
+}
+
+void V2BankLevelDatapath::ReadNext(dram::DramLocation loc, uint64_t first_burst,
+                                   uint32_t idx, uint32_t nbursts) {
+  if (idx == nbursts) {
+    DrainSegment(loc);
+    return;
+  }
+  dram::Command rd{dram::CommandType::kRead, rank_index(), loc.bank, loc.row,
+                   loc.burst_col + idx};
+  const uint64_t addr = first_burst + uint64_t{idx} * kBurstBytes;
+  IssueWhenReady(
+      rd,
+      [this, loc, first_burst, idx, nbursts, addr](sim::Tick) {
+        if (DrawStallAtBurst()) {
+          // Sequencer stall: the wave never completes and the driver
+          // watchdog aborts the job (teardown disarms the banks).
+          return;
+        }
+        ++stats().bursts_read;
+        ++filter_bursts_;
+        // The comparator still waits the internal CAS latency for the burst
+        // to reach it; it just never crosses the IO bus.
+        stats().data_wait_ps += BusCycles(timing().cl);
+        if (!HandleReadFault(addr)) {
+          return;  // uncorrectable ECC: FailJob already ran
+        }
+        const uint32_t words = kBurstBytes / 8;
+        sim::Tick proc = config().BankBurstProcessingPs(words);
+        stats().engine_busy_ps += proc;
+        stats().energy_fj += config().bank_energy_per_word_fj * words;
+        ReadNext(loc, first_burst, idx + 1, nbursts);
+      },
+      /*on_stale=*/
+      [this, loc, first_burst, idx, nbursts] {
+        Reactivate(loc, first_burst, idx, nbursts);
+      },
+      /*defer_to_refresh=*/false);
+}
+
+void V2BankLevelDatapath::DrainSegment(dram::DramLocation loc) {
+  // PRE on an armed bank with pending bits drains the accumulator over the
+  // per-rank result bus (the DRAM model serializes concurrent drains).
+  dram::Command pre{dram::CommandType::kPrecharge, rank_index(), loc.bank};
+  IssueWhenReady(
+      pre,
+      [this, loc](sim::Tick) {
+        dram::Command dis{dram::CommandType::kBankDisarm, rank_index(),
+                          loc.bank};
+        IssueWhenReady(
+            dis, [this](sim::Tick) { OnSegmentDone(); },
+            /*on_stale=*/nullptr, /*defer_to_refresh=*/false);
+      },
+      /*on_stale=*/nullptr, /*defer_to_refresh=*/false);
+}
+
+void V2BankLevelDatapath::OnSegmentDone() {
+  ++filter_segments_;
+  NDP_CHECK(wave_pending_ > 0);
+  if (--wave_pending_ > 0) return;
+  // Wave barrier: every segment drained and disarmed. Evaluate the rows the
+  // wave covered (same covers-the-burst formula as v1).
+  const uint64_t covered =
+      (wave_covered_end_ + kBurstBytes - 1) & ~uint64_t{kBurstBytes - 1};
+  const uint64_t last = std::min(
+      total_rows_, (covered - base_ + stride_bytes_ - 1) / stride_bytes_);
+  EvalRange(last);
+}
+
+bool V2BankLevelDatapath::EvalRow(uint64_t r) const {
+  if (is_rowstore()) {
+    bool pass = true;
+    for (const RowPredicate& p : rowstore_job().predicates) {
+      int64_t v = static_cast<int64_t>(
+          Read64(base_ + r * rowstore_job().tuple_bytes + p.attr_offset_bytes));
+      pass = pass && EvalCompare(p.op, v, p.range_low, p.range_high);
+    }
+    return pass;
+  }
+  int64_t v = ReadValue(base_ + r * config().elem_bytes);
+  return EvalCompare(select_job().op, v, select_job().range_low,
+                     select_job().range_high);
+}
+
+void V2BankLevelDatapath::EvalRange(uint64_t last) {
+  uint64_t r = cursor_rows();
+  uint64_t matches_here = 0;
+  while (r < last) {
+    if (pending_bit_count() >= config().output_buffer_bits) {
+      // Output buffer full mid-wave: commit progress and flush. Every bank
+      // is precharged and disarmed at a barrier, so the writeback bursts
+      // cannot collide with filter state.
+      add_matches(matches_here);
+      stats().rows_processed += r - cursor_rows();
+      set_cursor_rows(r);
+      FlushBitmap([this, last] { EvalRange(last); });
+      return;
+    }
+    bool pass = EvalRow(r);
+    AppendBit(pass);
+    if (pass) ++matches_here;
+    ++r;
+  }
+  add_matches(matches_here);
+  stats().rows_processed += r - cursor_rows();
+  set_cursor_rows(r);
+  if (next_seg_start_ < scan_end_) {
+    StartWave();
+  } else {
+    FlushBitmap([this] { FinishJob(); });
+  }
+}
+
+}  // namespace
+
+std::unique_ptr<DatapathModel> MakeV2BankLevelDatapath(Device* dev) {
+  return std::make_unique<V2BankLevelDatapath>(dev);
+}
+
+}  // namespace ndp::jafar

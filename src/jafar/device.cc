@@ -6,6 +6,7 @@
 #include "fault/ecc.h"
 #include "fault/injector.h"
 #include "jafar/checksum.h"
+#include "jafar/datapath.h"
 #include "util/logging.h"
 #include "util/macros.h"
 
@@ -43,7 +44,11 @@ Device::Device(dram::DramSystem* dram, uint32_t channel_index,
   stats.Counter("energy_fj", &stats_.energy_fj);
   stats.Counter("polite_backoffs", &stats_.polite_backoffs);
   stats.Counter("refresh_backoffs", &stats_.refresh_backoffs);
+  datapath_ = MakeDatapathModel(config_.generation, this);
+  datapath_->Attach(stats);
 }
+
+Device::~Device() = default;
 
 int64_t Device::ReadValue(uint64_t addr) const {
   if (config_.elem_bytes == 8) {
@@ -99,6 +104,7 @@ void Device::ScheduleAfterGuarded(sim::Tick delta, std::function<void()> fn) {
 
 void Device::AbortJob() {
   if (!busy_) return;  // completion won the race against the watchdog
+  datapath_->OnJobTeardown();  // release generation-held DRAM state
   ++job_epoch_;        // strand every in-flight sequencer event
   stats_.total_busy_ps += eq_->Now();  // settle the negative start stamp
   ++stats_.jobs_failed;
@@ -115,6 +121,7 @@ void Device::AbortJob() {
 
 void Device::FailJob(Status st) {
   NDP_CHECK(busy_);
+  datapath_->OnJobTeardown();
   ++job_epoch_;
   sim::Tick now = eq_->Now();
   stats_.total_busy_ps += now;
@@ -184,29 +191,36 @@ bool Device::HandleReadFault(uint64_t burst_addr) {
 
 void Device::IssueWhenReady(dram::Command cmd,
                             std::function<void(sim::Tick)> next,
-                            std::function<void()> on_stale) {
+                            std::function<void()> on_stale,
+                            bool defer_to_refresh) {
   // In polite (no-scheduler) mode, JAFAR may only use the channel while the
   // host memory controller is idle (§3.3).
   if (!config_.require_ownership &&
       dram_->controller(channel_index_).HasPendingWork()) {
     ++stats_.polite_backoffs;
-    ScheduleAfterGuarded(BusCycles(8),
-                         [this, cmd, next = std::move(next), on_stale] {
-                           IssueWhenReady(cmd, next, on_stale);
-                         });
+    ScheduleAfterGuarded(
+        BusCycles(8),
+        [this, cmd, next = std::move(next), on_stale, defer_to_refresh] {
+          IssueWhenReady(cmd, next, on_stale, defer_to_refresh);
+        });
     return;
   }
   // Refresh outranks rank ownership: when the host controller is stealing the
   // rank back for an overdue REF (its postponement budget nearly spent), stop
   // competing for the command bus — fighting the precharge drain would only
   // ping-pong ACT/PRE until the retention deadline. Resume (and re-evaluate
-  // bank state) once the refresh completes.
-  if (dram_->controller(channel_index_).RefreshClaims(rank_index_)) {
+  // bank state) once the refresh completes. Callers mid-way through a chain
+  // the controller cannot interrupt anyway (v2 holds armed banks REF must
+  // wait out) pass defer_to_refresh=false and yield at their own barriers —
+  // deferring here would deadlock against the controller's armed-bank wait.
+  if (defer_to_refresh &&
+      dram_->controller(channel_index_).RefreshClaims(rank_index_)) {
     ++stats_.refresh_backoffs;
-    ScheduleAfterGuarded(BusCycles(8),
-                         [this, cmd, next = std::move(next), on_stale] {
-                           IssueWhenReady(cmd, next, on_stale);
-                         });
+    ScheduleAfterGuarded(
+        BusCycles(8),
+        [this, cmd, next = std::move(next), on_stale, defer_to_refresh] {
+          IssueWhenReady(cmd, next, on_stale, defer_to_refresh);
+        });
     return;
   }
   // Bank-state validity may have changed between scheduling and issue when a
@@ -237,11 +251,12 @@ void Device::IssueWhenReady(dram::Command cmd,
     next(done.value());
     return;
   }
-  ScheduleAtGuarded(t, [this, cmd, next = std::move(next), on_stale] {
-    // Conditions may have shifted (other-rank traffic on the shared command
-    // bus, host activity in polite mode): re-evaluate.
-    IssueWhenReady(cmd, next, on_stale);
-  });
+  ScheduleAtGuarded(
+      t, [this, cmd, next = std::move(next), on_stale, defer_to_refresh] {
+        // Conditions may have shifted (other-rank traffic on the shared
+        // command bus, host activity in polite mode): re-evaluate.
+        IssueWhenReady(cmd, next, on_stale, defer_to_refresh);
+      });
 }
 
 void Device::OpenRow(const dram::DramLocation& loc, std::function<void()> next) {
@@ -345,7 +360,7 @@ Status Device::StartSelect(const SelectJob& job,
   if (MaybeInjectHang()) return Status::OK();
   ScheduleAfterGuarded(config_.invocation_overhead_cycles *
                            config_.clock.period_ps(),
-                       [this] { SelectStep(); });
+                       [this] { datapath_->BeginScan(); });
   return Status::OK();
 }
 
@@ -384,81 +399,13 @@ Status Device::StartRowStore(const RowStoreJob& job,
   if (MaybeInjectHang()) return Status::OK();
   ScheduleAfterGuarded(config_.invocation_overhead_cycles *
                            config_.clock.period_ps(),
-                       [this] { SelectStep(); });
+                       [this] { datapath_->BeginScan(); });
   return Status::OK();
 }
 
-void Device::SelectStep() {
-  const bool is_rowstore = rowstore_.has_value();
-  const uint64_t total_rows =
-      is_rowstore ? rowstore_->num_tuples : select_->num_rows;
-  if (cursor_rows_ >= total_rows) {
-    // Final (possibly partial) bitmap flush, then done.
-    FlushBitmap([this] { FinishJob(); });
-    return;
-  }
-  const uint32_t row_bytes = is_rowstore ? rowstore_->tuple_bytes
-                                         : config_.elem_bytes;
-  const uint64_t base = is_rowstore ? rowstore_->tuple_base : select_->col_base;
-  // The burst containing the next unprocessed row.
-  uint64_t burst_addr = base + cursor_rows_ * row_bytes;
-  burst_addr -= burst_addr % kBurstBytes;
-  // Rows whose data completes within this burst.
-  uint64_t burst_end = burst_addr + kBurstBytes;
-  uint64_t first = cursor_rows_;
-  uint64_t last = std::min<uint64_t>(
-      total_rows, (burst_end - base + row_bytes - 1) / row_bytes);
-  uint64_t rows_here = last > first ? last - first : 0;
-
-  ReadBurst(burst_addr, [this, first, rows_here, is_rowstore,
-                         base](sim::Tick data_done) {
-#ifdef NDP_FAULT_INJECT
-    if (injector_ != nullptr && injector_->DrawStallAtBurst()) {
-      // Sequencer stall mid-scan: the partial bitmap may already be in DRAM,
-      // but this burst's rows are never accumulated. The device stays busy
-      // with no pending events until the driver watchdog aborts it.
-      return;
-    }
-#endif
-    // Functional evaluation against the backing store contents.
-    uint64_t matches_here = 0;
-    for (uint64_t r = first; r < first + rows_here; ++r) {
-      bool pass;
-      if (is_rowstore) {
-        pass = true;
-        for (const RowPredicate& p : rowstore_->predicates) {
-          int64_t v = static_cast<int64_t>(dram_->backing_store().Read64(
-              base + r * rowstore_->tuple_bytes + p.attr_offset_bytes));
-          pass = pass && EvalCompare(p.op, v, p.range_low, p.range_high);
-        }
-      } else {
-        int64_t v = ReadValue(base + r * config_.elem_bytes);
-        pass = EvalCompare(select_->op, v, select_->range_low,
-                           select_->range_high);
-      }
-      pending_bits_.SetTo(pending_bit_count_++, pass);
-      if (pass) ++matches_here;
-    }
-    last_matches_ += matches_here;
-    stats_.matches += matches_here;
-    stats_.rows_processed += rows_here;
-    cursor_rows_ += rows_here;
-
-    // Datapath timing: one word per II from the IO buffer.
-    uint32_t words = kBurstBytes / 8;
-    sim::Tick start = std::max(data_done, engine_ready_at_);
-    sim::Tick proc = config_.BurstProcessingPs(words);
-    engine_ready_at_ = start + proc;
-    stats_.engine_busy_ps += proc;
-    stats_.energy_fj += config_.energy_per_word_fj * words;
-
-    if (pending_bit_count_ >= config_.output_buffer_bits) {
-      FlushBitmap([this] { ContinueScanWhenEngineReady(); });
-    } else {
-      ContinueScanWhenEngineReady();
-    }
-  });
-}
+// The scan sequencer itself (the former SelectStep loop) lives in the
+// generation's DatapathModel: datapath_v1.cc keeps the rank-IO loop
+// unchanged, datapath_v2.cc replaces it with bank-parallel waves.
 
 void Device::ContinueWhenEngineReady(void (Device::*step)()) {
   // Throttle command issue so a slow datapath (words_per_cycle < 1) does not
@@ -472,10 +419,6 @@ void Device::ContinueWhenEngineReady(void (Device::*step)()) {
   } else {
     (this->*step)();
   }
-}
-
-void Device::ContinueScanWhenEngineReady() {
-  ContinueWhenEngineReady(&Device::SelectStep);
 }
 
 void Device::FlushBitmap(std::function<void()> next) {
@@ -544,6 +487,7 @@ void Device::WriteBurstChain(uint64_t addr, uint64_t bursts,
 
 void Device::FinishJob() {
   sim::Tick now = eq_->Now();
+  datapath_->OnJobTeardown();  // no-op after a clean drain; keeps the invariant
   ++job_epoch_;  // hygiene: no continuation of this job may fire after done
   stats_.total_busy_ps += now;
   ++stats_.jobs_completed;

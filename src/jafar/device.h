@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 
 #include "dram/dram_system.h"
@@ -23,6 +24,8 @@ class FaultInjector;
 }  // namespace ndp::fault
 
 namespace ndp::jafar {
+
+class DatapathModel;
 
 /// Per-job and lifetime counters of one device.
 struct DeviceStats {
@@ -78,6 +81,7 @@ class Device {
   /// the scope's prefix.
   Device(dram::DramSystem* dram, uint32_t channel_index, uint32_t rank_index,
          DeviceConfig config, const StatsScope& stats = {});
+  ~Device();  // out of line: DatapathModel is incomplete here
   NDP_DISALLOW_COPY_AND_ASSIGN(Device);
 
   // -- Job entry points. One job at a time; on_done receives the completion
@@ -137,6 +141,11 @@ class Device {
   void AbortJob();
 
  private:
+  // The generation-specific half lives behind DatapathModel (datapath.h),
+  // which is this class's ONLY friend: concrete generations reach the shell
+  // exclusively through DatapathModel's protected forwarders.
+  friend class DatapathModel;
+
   struct Step;  // one pending command in the sequencer
 
   /// Validates that [base, base+len) lies within this device's rank and
@@ -160,9 +169,13 @@ class Device {
   /// controller is idle), then calls `next(done_tick)`. For column commands,
   /// if a third party (host refresh in polite mode) closed the target row
   /// between scheduling and issue, `on_stale` is invoked instead so the
-  /// caller can re-open the row.
+  /// caller can re-open the row. `defer_to_refresh` controls the §3.3
+  /// refresh steal-back backoff: generations whose command chains must not
+  /// yield mid-flight (v2 holds armed banks the controller refuses to
+  /// refresh) pass false and yield at their own barriers instead.
   void IssueWhenReady(dram::Command cmd, std::function<void(sim::Tick)> next,
-                      std::function<void()> on_stale = nullptr);
+                      std::function<void()> on_stale = nullptr,
+                      bool defer_to_refresh = true);
 
   /// Ensures `loc`'s bank has `loc.row` open (PRE/ACT as needed), then calls
   /// `next`.
@@ -175,11 +188,11 @@ class Device {
   /// backing store); calls `next(data_done_tick)`.
   void WriteBurst(uint64_t addr, std::function<void(sim::Tick)> next);
 
-  // -- Select/row-store machinery -------------------------------------------
+  // -- Select/row-store machinery. The scan sequencer itself lives in the
+  //    generation's DatapathModel; the shell keeps the writeback and
+  //    completion paths every generation shares. ----------------------------
 
-  void SelectStep();
   void ContinueWhenEngineReady(void (Device::*step)());
-  void ContinueScanWhenEngineReady();
   void FlushBitmap(std::function<void()> next);
   void WriteBurstChain(uint64_t addr, uint64_t bursts,
                        std::function<void()> next);
@@ -223,6 +236,7 @@ class Device {
   uint32_t rank_index_;
   DeviceConfig config_;
   sim::EventQueue* eq_;
+  std::unique_ptr<DatapathModel> datapath_;  ///< generation-specific sequencer
 
   bool busy_ = false;
   std::function<void(sim::Tick)> on_done_;

@@ -124,7 +124,12 @@ void Driver::StartPageAttempt(uint32_t attempt) {
   page_attempt_ = attempt;
   if (attempt == 1) page_first_dispatch_ps_ = eq_->Now();
   uint64_t elem = device_->config().elem_bytes;
-  uint64_t rows_per_page = config_.page_bytes / elem;
+  // Job granularity: at least one virtual-memory page (Figure 2's API unit),
+  // widened to the device's preferred scan chunk when it advertises one
+  // (the v2 sequencer needs a whole bank wave per invocation).
+  uint64_t chunk =
+      std::max(config_.page_bytes, device_->config().scan_chunk_bytes);
+  uint64_t rows_per_page = chunk / elem;
   uint64_t rows = std::min(rows_left_, rows_per_page);
 
   SelectJob job;

@@ -1,0 +1,36 @@
+#include "jafar/generation.h"
+
+#include <cstdlib>
+
+namespace ndp::jafar {
+
+const char* DeviceGenerationToString(DeviceGeneration gen) {
+  switch (gen) {
+    case DeviceGeneration::kV1RankIo: return "v1_rank_io";
+    case DeviceGeneration::kV2BankLevel: return "v2_bank_level";
+  }
+  return "?";
+}
+
+const char* DeviceGenerationNames() { return "v1_rank_io, v2_bank_level"; }
+
+Result<DeviceGeneration> ParseDeviceGeneration(const std::string& name) {
+  if (name == "v1_rank_io") return DeviceGeneration::kV1RankIo;
+  if (name == "v2_bank_level") return DeviceGeneration::kV2BankLevel;
+  return Status::InvalidArgument("unknown device generation '" + name +
+                                 "' (valid: " + DeviceGenerationNames() + ")");
+}
+
+Result<DeviceGeneration> DeviceGenerationFromEnv(DeviceGeneration fallback) {
+  const char* raw = std::getenv("NDP_DEVICE_GEN");
+  if (raw == nullptr || *raw == '\0') return fallback;
+  auto parsed = ParseDeviceGeneration(raw);
+  if (!parsed.ok()) {
+    return Status::InvalidArgument("NDP_DEVICE_GEN='" + std::string(raw) +
+                                   "' is not a device generation (valid: " +
+                                   DeviceGenerationNames() + ")");
+  }
+  return parsed;
+}
+
+}  // namespace ndp::jafar

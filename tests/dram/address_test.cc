@@ -89,6 +89,99 @@ TEST(AddressMapperTest, OutOfRangeRejected) {
   EXPECT_TRUE(mapper.Decode(org.TotalBytes() - 1).ok());
 }
 
+// Property sweep over varied geometries: for every (organization, scheme)
+// pair the mapping must be a bijection on [0, TotalBytes) — Decode o Encode
+// is the identity from both sides, every decoded field is inside its range —
+// and under kContiguous the layout must stay open-page friendly: any two
+// addresses inside one aligned row span land in the same row buffer, and the
+// next byte after a row boundary switches bank, not row (the invariant the
+// v2 bank-level wave scheduling arms whole rows against).
+TEST(AddressPropertyTest, RoundTripAndOpenPageLayoutAcrossGeometries) {
+  struct Geometry {
+    uint32_t channels, ranks, banks, rows;
+    uint32_t row_bytes;
+  };
+  const Geometry geometries[] = {
+      {1, 1, 4, 32, 2048},   // small device, narrow rows
+      {1, 2, 8, 64, 8192},   // the paper's organization, shrunk rows
+      {2, 1, 16, 64, 8192},  // v2 sweep shape: wide bank parallelism
+      {3, 2, 8, 16, 4096},   // non-power-of-two channel count
+  };
+  const InterleaveScheme schemes[] = {InterleaveScheme::kContiguous,
+                                      InterleaveScheme::kChannelBurst,
+                                      InterleaveScheme::kChannelWord};
+  Rng rng(4242);
+  for (const Geometry& g : geometries) {
+    DramOrganization org;
+    org.channels = g.channels;
+    org.ranks_per_channel = g.ranks;
+    org.banks_per_rank = g.banks;
+    org.rows_per_bank = g.rows;
+    org.row_size_bytes = g.row_bytes;
+    for (InterleaveScheme scheme : schemes) {
+      AddressMapper mapper(org, scheme);
+      SCOPED_TRACE(std::string(InterleaveSchemeToString(scheme)) + " " +
+                   std::to_string(g.channels) + "ch/" +
+                   std::to_string(g.ranks) + "rk/" + std::to_string(g.banks) +
+                   "ba/" + std::to_string(g.row_bytes) + "B");
+      // Decode(addr) is in range and Encode inverts it exactly.
+      for (int i = 0; i < 2000; ++i) {
+        uint64_t addr = rng.NextU64() % org.TotalBytes();
+        auto loc = mapper.Decode(addr);
+        ASSERT_TRUE(loc.ok()) << loc.status().ToString();
+        EXPECT_LT(loc.value().channel, org.channels);
+        EXPECT_LT(loc.value().rank, org.ranks_per_channel);
+        EXPECT_LT(loc.value().bank, org.banks_per_rank);
+        EXPECT_LT(loc.value().row, org.rows_per_bank);
+        EXPECT_LT(loc.value().burst_col, org.BurstsPerRow());
+        EXPECT_LT(loc.value().offset, org.BytesPerBurst());
+        EXPECT_EQ(mapper.Encode(loc.value()), addr);
+      }
+      // Encode(loc) of a random valid location decodes back to it.
+      for (int i = 0; i < 2000; ++i) {
+        DramLocation loc;
+        loc.channel = static_cast<uint32_t>(rng.NextInRange(0, org.channels - 1));
+        loc.rank =
+            static_cast<uint32_t>(rng.NextInRange(0, org.ranks_per_channel - 1));
+        loc.bank =
+            static_cast<uint32_t>(rng.NextInRange(0, org.banks_per_rank - 1));
+        loc.row =
+            static_cast<uint32_t>(rng.NextInRange(0, org.rows_per_bank - 1));
+        loc.burst_col =
+            static_cast<uint32_t>(rng.NextInRange(0, org.BurstsPerRow() - 1));
+        loc.offset =
+            static_cast<uint32_t>(rng.NextInRange(0, org.BytesPerBurst() - 1));
+        uint64_t addr = mapper.Encode(loc);
+        ASSERT_LT(addr, org.TotalBytes());
+        auto back = mapper.Decode(addr);
+        ASSERT_TRUE(back.ok()) << back.status().ToString();
+        EXPECT_TRUE(back.value().SameRowBuffer(loc));
+        EXPECT_EQ(back.value().burst_col, loc.burst_col);
+        EXPECT_EQ(back.value().offset, loc.offset);
+      }
+      if (scheme != InterleaveScheme::kContiguous) continue;
+      // Open-page invariant (contiguous layout only): a whole aligned row
+      // span shares one row buffer, and the byte after it changes bank.
+      for (int i = 0; i < 64; ++i) {
+        uint64_t row_base = (rng.NextU64() % org.TotalBytes()) /
+                            org.row_size_bytes * org.row_size_bytes;
+        auto first = mapper.Decode(row_base).ValueOrDie();
+        uint64_t inside =
+            row_base + rng.NextU64() % org.row_size_bytes;
+        EXPECT_TRUE(mapper.Decode(inside).ValueOrDie().SameRowBuffer(first));
+        uint64_t after = row_base + org.row_size_bytes;
+        if (after >= org.TotalBytes()) continue;
+        auto next = mapper.Decode(after).ValueOrDie();
+        EXPECT_FALSE(next.SameRowBuffer(first));
+        if (first.bank + 1 < org.banks_per_rank) {
+          EXPECT_EQ(next.bank, first.bank + 1);
+          EXPECT_EQ(next.row, first.row);
+        }
+      }
+    }
+  }
+}
+
 TEST(AddressMapperTest, OrganizationArithmetic) {
   DramOrganization org = SmallOrg();
   EXPECT_EQ(org.BytesPerBurst(), 64u);

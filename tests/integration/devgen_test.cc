@@ -1,0 +1,355 @@
+// Device-generation tests (NDP_DEVICE_GEN, DatapathModel v1/v2).
+//
+//   * Equivalence: the v2 bank-level datapath must be functionally identical
+//     to the v1 rank-IO datapath — same match count and byte-identical result
+//     bitmap — and both must agree with a scalar CPU oracle. Timing may (and
+//     should) differ; answers may not.
+//   * Strict config parsing: NDP_DEVICE_GEN accepts exactly the published
+//     generation names; a typo is an error listing them, never a silent
+//     fallback.
+//   * Determinism: for BOTH generations, a partitioned run's full stats dump
+//     plus final simulated time is byte-identical for NDP_SIM_THREADS in
+//     {1, 4}. The v2 command flow (ARM/DISARM, accumulator drains on the
+//     per-rank result bus) adds cross-partition traffic that must stay on
+//     the conservative-barrier rails like everything else.
+//   * Violation injection: the ProtocolChecker's v2 filter-flow rules
+//     (kBankArm, kDrainTooEarly, kResultBus, kRefreshArmed) each get a
+//     deliberate protocol error asserting the checker flags exactly that
+//     rule, plus a legal ARM..drain..DISARM sequence asserting silence.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "core/api.h"
+#include "core/dimm_array.h"
+#include "dram/command.h"
+#include "dram/protocol_checker.h"
+#include "dram/timing.h"
+#include "jafar/generation.h"
+#include "util/rng.h"
+
+namespace ndp {
+namespace {
+
+/// RAII env override; restores the previous value (or unset state) on exit.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    const char* old = std::getenv(name);
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    ::setenv(name, value, /*overwrite=*/1);
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_, old_;
+  bool had_old_ = false;
+};
+
+db::Column RandomColumn(size_t n, uint64_t seed) {
+  db::Column col = db::Column::Int64("v");
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) col.Append(rng.NextInRange(0, 999999));
+  return col;
+}
+
+uint64_t Oracle(const db::Column& col, int64_t lo, int64_t hi) {
+  uint64_t n = 0;
+  for (size_t i = 0; i < col.size(); ++i) n += col[i] >= lo && col[i] <= hi;
+  return n;
+}
+
+/// Derives the device config for `gen` against the organization DimmArray
+/// builds internally (default banks/row size, the given rows_per_bank).
+jafar::DeviceConfig ConfigFor(jafar::DeviceGeneration gen,
+                              uint32_t rows_per_bank) {
+  const dram::DramTiming timing = dram::DramTiming::DDR3_1600();
+  if (gen == jafar::DeviceGeneration::kV2BankLevel) {
+    dram::DramOrganization org;
+    org.rows_per_bank = rows_per_bank;
+    return jafar::DeviceConfig::DeriveBank(timing, org,
+                                           accel::DatapathResources{})
+        .ValueOrDie();
+  }
+  return jafar::DeviceConfig::Derive(timing, accel::DatapathResources{})
+      .ValueOrDie();
+}
+
+core::DimmArray MakeArray(jafar::DeviceGeneration gen, uint32_t channels,
+                          bool partitioned) {
+  constexpr uint32_t kRowsPerBank = 8192;
+  return core::DimmArray(dram::DramTiming::DDR3_1600(), channels,
+                         /*ranks_per_channel=*/1, ConfigFor(gen, kRowsPerBank),
+                         kRowsPerBank, partitioned);
+}
+
+// -- Generation equivalence ---------------------------------------------------
+
+TEST(DevGenEquivalenceTest, V2BitmapAndMatchesIdenticalToV1) {
+  db::Column col = RandomColumn(80'000, 41);
+  const uint64_t oracle = Oracle(col, 150'000, 800'000);
+  auto run = [&](jafar::DeviceGeneration gen) {
+    core::DimmArray array = MakeArray(gen, 2, /*partitioned=*/false);
+    array.AcquireAllOwnership();
+    array.LoadPartitioned(col);
+    return array.RunParallelSelect(150'000, 800'000).ValueOrDie();
+  };
+  core::DimmArray::ParallelResult v1 =
+      run(jafar::DeviceGeneration::kV1RankIo);
+  core::DimmArray::ParallelResult v2 =
+      run(jafar::DeviceGeneration::kV2BankLevel);
+  EXPECT_EQ(v1.matches, oracle);
+  EXPECT_EQ(v2.matches, oracle);
+  ASSERT_EQ(v1.bitmap.size(), v2.bitmap.size());
+  for (uint64_t w = 0; w < (col.size() + 63) / 64; ++w) {
+    ASSERT_EQ(v1.bitmap.Word(w), v2.bitmap.Word(w)) << "word " << w;
+  }
+}
+
+TEST(DevGenEquivalenceTest, SystemModelAgreesWithCpuForBothGenerations) {
+  db::Column col = RandomColumn(48'000, 43);
+  for (jafar::DeviceGeneration gen : {jafar::DeviceGeneration::kV1RankIo,
+                                      jafar::DeviceGeneration::kV2BankLevel}) {
+    core::PlatformConfig plat = core::PlatformConfig::Gem5();
+    plat.device_gen = gen;
+    core::SystemModel sys(plat);
+    auto cpu = sys.RunCpuSelect(col, 0, 420'000, db::SelectMode::kBranching)
+                   .ValueOrDie();
+    auto jaf = sys.RunJafarSelect(col, 0, 420'000).ValueOrDie();
+    EXPECT_EQ(jaf.matches, cpu.matches)
+        << jafar::DeviceGenerationToString(gen);
+    EXPECT_EQ(jaf.matches, Oracle(col, 0, 420'000));
+  }
+}
+
+// -- Strict NDP_DEVICE_GEN parsing --------------------------------------------
+
+TEST(DevGenConfigTest, EnvAcceptsPublishedNamesOnly) {
+  {
+    ScopedEnv env("NDP_DEVICE_GEN", "v1_rank_io");
+    auto gen = jafar::DeviceGenerationFromEnv(
+        jafar::DeviceGeneration::kV2BankLevel);
+    ASSERT_TRUE(gen.ok());
+    EXPECT_EQ(gen.value(), jafar::DeviceGeneration::kV1RankIo);
+  }
+  {
+    ScopedEnv env("NDP_DEVICE_GEN", "v2_bank_level");
+    auto gen =
+        jafar::DeviceGenerationFromEnv(jafar::DeviceGeneration::kV1RankIo);
+    ASSERT_TRUE(gen.ok());
+    EXPECT_EQ(gen.value(), jafar::DeviceGeneration::kV2BankLevel);
+  }
+}
+
+TEST(DevGenConfigTest, UnknownNameFailsListingValidOnes) {
+  ScopedEnv env("NDP_DEVICE_GEN", "v3_vault_level");
+  auto gen =
+      jafar::DeviceGenerationFromEnv(jafar::DeviceGeneration::kV1RankIo);
+  ASSERT_FALSE(gen.ok());
+  // The error must name the valid generations — a typo'd knob that silently
+  // fell back would invalidate a whole sweep.
+  EXPECT_NE(gen.status().ToString().find("v1_rank_io"), std::string::npos);
+  EXPECT_NE(gen.status().ToString().find("v2_bank_level"), std::string::npos);
+}
+
+TEST(DevGenConfigTest, V2ConfigDerivesValidFilterTiming) {
+  dram::DramOrganization org;
+  jafar::DeviceConfig cfg = ConfigFor(jafar::DeviceGeneration::kV2BankLevel,
+                                      org.rows_per_bank);
+  EXPECT_TRUE(cfg.bank_filter.valid());
+  EXPECT_GT(cfg.bank_words_per_cycle, 0.0);
+  EXPECT_GT(cfg.bank_energy_per_word_fj, 0.0);
+  // One invocation must cover a whole wave (one row in every bank) or the
+  // bank parallelism the generation exists for can never materialize.
+  EXPECT_EQ(cfg.scan_chunk_bytes,
+            static_cast<uint64_t>(org.banks_per_rank) * org.row_size_bytes);
+}
+
+// -- Thread-count invariance, both generations --------------------------------
+
+/// Partitioned 4-channel run for one generation; returns the full registry
+/// dump plus the final simulated time.
+std::string RunPartitionedWorkload(jafar::DeviceGeneration gen) {
+  core::DimmArray array = MakeArray(gen, 4, /*partitioned=*/true);
+  array.AcquireAllOwnership();
+  db::Column col = RandomColumn(64'000, 47);
+  array.LoadPartitioned(col);
+  auto result = array.RunParallelSelect(200'000, 900'000).ValueOrDie();
+  EXPECT_EQ(result.matches, Oracle(col, 200'000, 900'000));
+  return array.stats().Snapshot().ToText() + "\nnow=" +
+         std::to_string(array.eq().Now());
+}
+
+class DevGenDeterminismTest
+    : public ::testing::TestWithParam<jafar::DeviceGeneration> {};
+
+TEST_P(DevGenDeterminismTest, DumpIsByteIdenticalAcrossThreadCounts) {
+  std::vector<std::string> dumps;
+  for (const char* threads : {"1", "4"}) {
+    ScopedEnv env("NDP_SIM_THREADS", threads);
+    dumps.push_back(RunPartitionedWorkload(GetParam()));
+  }
+  EXPECT_EQ(dumps[0], dumps[1]) << "NDP_SIM_THREADS=4 diverged for "
+                                << jafar::DeviceGenerationToString(GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BothGenerations, DevGenDeterminismTest,
+    ::testing::Values(jafar::DeviceGeneration::kV1RankIo,
+                      jafar::DeviceGeneration::kV2BankLevel),
+    [](const ::testing::TestParamInfo<jafar::DeviceGeneration>& param) {
+      return std::string(jafar::DeviceGenerationToString(param.param));
+    });
+
+// -- ProtocolChecker violation injection (v2 filter-flow rules) ---------------
+
+/// Standalone checker with the v2 filter timing installed on rank 0. Command
+/// times are chosen so the JEDEC windows (tRCD=11, tRAS=28, tRTP=6) are
+/// honoured and only the filter rule under test trips.
+class FilterCheckerTest : public ::testing::Test {
+ protected:
+  void Init(uint32_t fill_latency, uint32_t min_rd_spacing,
+            uint32_t drain_cycles) {
+    filter_.fill_latency_cycles = fill_latency;
+    filter_.min_rd_spacing_cycles = min_rd_spacing;
+    filter_.drain_cycles = drain_cycles;
+    checker_.Configure(&timing_, &org_);
+    checker_.set_bank_filter_timing(0, &filter_);
+  }
+
+  sim::Tick C(uint64_t cycles) const { return cycles * timing_.tck_ps; }
+
+  void Arm(uint64_t cycle, uint32_t bank) {
+    checker_.Observe(dram::Command{dram::CommandType::kBankArm, 0, bank},
+                     C(cycle));
+  }
+  void Disarm(uint64_t cycle, uint32_t bank) {
+    checker_.Observe(dram::Command{dram::CommandType::kBankDisarm, 0, bank},
+                     C(cycle));
+  }
+  void Act(uint64_t cycle, uint32_t bank, uint32_t row = 0) {
+    checker_.Observe(dram::Command{dram::CommandType::kActivate, 0, bank, row},
+                     C(cycle));
+  }
+  void Rd(uint64_t cycle, uint32_t bank, uint32_t row = 0) {
+    checker_.Observe(dram::Command{dram::CommandType::kRead, 0, bank, row},
+                     C(cycle));
+  }
+  void Pre(uint64_t cycle, uint32_t bank) {
+    checker_.Observe(dram::Command{dram::CommandType::kPrecharge, 0, bank},
+                     C(cycle));
+  }
+  void Ref(uint64_t cycle) {
+    checker_.Observe(dram::Command{dram::CommandType::kRefresh, 0}, C(cycle));
+  }
+
+  void ExpectOnly(dram::TimingRule rule) {
+    ASSERT_EQ(checker_.violations().size(), 1u) << checker_.Report();
+    EXPECT_EQ(checker_.violations()[0].rule, rule) << checker_.Report();
+  }
+
+  dram::DramTiming timing_ = dram::DramTiming::DDR3_1600();
+  dram::DramOrganization org_;
+  dram::BankFilterTiming filter_;
+  dram::ProtocolChecker checker_;
+};
+
+TEST_F(FilterCheckerTest, LegalFilterFlowStaysSilent) {
+  Init(/*fill=*/8, /*spacing=*/8, /*drain=*/16);
+  Arm(0, 0);
+  Act(2, 0);
+  Rd(13, 0);   // >= ACT + tRCD(11)
+  Rd(21, 0);   // >= previous filter RD + spacing(8)
+  Pre(40, 0);  // >= ACT + tRAS(28=30), >= RD + tRTP, >= fill_ready(29): drains
+  Disarm(60, 0);
+  EXPECT_EQ(checker_.violations().size(), 0u) << checker_.Report();
+}
+
+TEST_F(FilterCheckerTest, ArmWithoutFilterTimingFlagged) {
+  // No set_bank_filter_timing: the rank has no comparator timing installed,
+  // so ARM itself is the violation.
+  checker_.Configure(&timing_, &org_);
+  Arm(0, 0);
+  ExpectOnly(dram::TimingRule::kBankArm);
+}
+
+TEST_F(FilterCheckerTest, DoubleArmFlagged) {
+  Init(8, 8, 16);
+  Arm(0, 0);
+  Arm(4, 0);
+  ExpectOnly(dram::TimingRule::kBankArm);
+}
+
+TEST_F(FilterCheckerTest, DisarmOfUnarmedBankFlagged) {
+  Init(8, 8, 16);
+  Disarm(0, 0);
+  ExpectOnly(dram::TimingRule::kBankArm);
+}
+
+TEST_F(FilterCheckerTest, FilterReadFasterThanComparatorFlagged) {
+  Init(/*fill=*/8, /*spacing=*/8, /*drain=*/16);
+  Arm(0, 0);
+  Act(2, 0);
+  Rd(13, 0);
+  Rd(17, 0);  // 4 < spacing(8): faster than the per-bank comparator drains it
+  ExpectOnly(dram::TimingRule::kTccd);
+}
+
+TEST_F(FilterCheckerTest, DrainBeforeMatchBitsLatchedFlagged) {
+  // Slow comparator: the last RD's match bits latch at 13 + 64 = cycle 77,
+  // but the PRE lands at 41 — legal by every JEDEC window (tRAS ends at 30,
+  // tRTP at 19), illegal only as an accumulator drain.
+  Init(/*fill=*/64, /*spacing=*/8, /*drain=*/16);
+  Arm(0, 0);
+  Act(2, 0);
+  Rd(13, 0);
+  Pre(41, 0);
+  ExpectOnly(dram::TimingRule::kDrainTooEarly);
+}
+
+TEST_F(FilterCheckerTest, OverlappingDrainsOnResultBusFlagged) {
+  // Two armed banks drain back to back: bank 0's PRE at 33 occupies the
+  // per-rank result bus until 33 + 16 = 49, so bank 1's PRE at 40 overlaps.
+  Init(/*fill=*/4, /*spacing=*/8, /*drain=*/16);
+  Arm(0, 0);
+  Arm(1, 1);
+  Act(2, 0);
+  Act(10, 1);
+  Rd(13, 0);
+  Rd(21, 1);
+  Pre(33, 0);
+  Pre(40, 1);
+  ExpectOnly(dram::TimingRule::kResultBus);
+}
+
+TEST_F(FilterCheckerTest, RefreshToRankWithArmedBankFlagged) {
+  Init(8, 8, 16);
+  Arm(0, 0);
+  Ref(10);
+  ExpectOnly(dram::TimingRule::kRefreshArmed);
+}
+
+TEST_F(FilterCheckerTest, FilterResetClearsShadowArmedState) {
+  // A device job abort disarms the banks out of band; after the mirrored
+  // NoteBankFilterReset a refresh is legal again and a fresh ARM is not a
+  // double arm.
+  Init(8, 8, 16);
+  Arm(0, 0);
+  checker_.NoteBankFilterReset(0);
+  Ref(10);
+  Arm(220, 0);  // after tRFC(208) from the REF
+  EXPECT_EQ(checker_.violations().size(), 0u) << checker_.Report();
+}
+
+}  // namespace
+}  // namespace ndp

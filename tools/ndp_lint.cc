@@ -46,6 +46,13 @@
 //                   they skip the lookahead hop and break no-past delivery and
 //                   thread-count determinism; barrier-time setup waives with a
 //                   reason
+//   generation-dispatch
+//                   src/jafar/ code may not branch on DeviceGeneration
+//                   (== / != / switch): generation-specific behavior lives
+//                   behind the DatapathModel interface, and the factory in
+//                   datapath.cc is the one sanctioned dispatch site (it
+//                   carries the waiver); generation.{h,cc} — the enum's own
+//                   to-string/parse — is exempt by construction
 //
 // Any rule can be waived for one line by putting "// ndp-lint: <rule>-ok"
 // on that line or the line above it (include a reason).
@@ -370,6 +377,36 @@ void CheckCrossPartitionSchedule(const SourceFile& f,
   }
 }
 
+// -- generation-dispatch ------------------------------------------------------
+
+void CheckGenerationDispatch(const SourceFile& f, std::vector<Finding>* out) {
+  // The JAFAR shell is generation-neutral: the DatapathModel factory
+  // (datapath.cc) is the ONE sanctioned place that branches on
+  // DeviceGeneration. Any other comparison or switch in src/jafar/ is a
+  // datapath decision leaking into shared code — it silently falls out of
+  // date the day a third generation is added. generation.{h,cc} is the
+  // enum's own home (to-string, strict parse) and exempt by construction;
+  // bench/ and core/ compare generations to label sweeps and price
+  // pushdown, which is reporting, not dispatch.
+  if (f.rel.rfind("src/jafar/", 0) != 0 ||
+      f.rel == "src/jafar/generation.h" ||
+      f.rel == "src/jafar/generation.cc") {
+    return;
+  }
+  static const std::regex kDispatch(
+      R"re((?:==|!=)\s*(?:\w+::)*DeviceGeneration::|\bgeneration\s*(?:==|!=))re"
+      R"re(|\bswitch\s*\([^)]*\bgen)re");
+  for (size_t i = 0; i < f.lines.size(); ++i) {
+    if (std::regex_search(CodePart(f.lines[i]), kDispatch)) {
+      Emit(f, i, "generation-dispatch",
+           "generation branch outside the DatapathModel factory; put "
+           "generation-specific behavior behind DatapathModel (datapath.h) "
+           "so the shell stays generation-neutral",
+           out);
+    }
+  }
+}
+
 // -- rule table ---------------------------------------------------------------
 
 struct Rule {
@@ -388,6 +425,7 @@ constexpr Rule kRules[] = {
     {"watchdog-arm", CheckWatchdogArm},
     {"runtime-bypass", CheckRuntimeBypass},
     {"cross-partition-schedule", CheckCrossPartitionSchedule},
+    {"generation-dispatch", CheckGenerationDispatch},
 };
 
 bool LoadFile(const fs::path& root, const fs::path& path, SourceFile* out) {
