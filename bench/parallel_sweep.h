@@ -71,7 +71,7 @@ class SweepPool {
       ++generation_;
     }
     work_cv_.notify_all();
-    DrainPoints();  // the caller works too — no idle thread mid-sweep
+    DrainPoints(body, num_points);  // the caller works too — no idle thread
     std::unique_lock<std::mutex> lock(mu_);
     done_cv_.wait(lock, [this] { return workers_left_ == 0; });
     body_ = nullptr;
@@ -92,16 +92,23 @@ class SweepPool {
       ++generation_;
     }
     work_cv_.notify_all();
+    // Teardown: every worker has observed shutdown_ under mu_ above, and no
+    // other thread can touch the process-lifetime singleton while it
+    // destructs; joining must not hold mu_ (the workers still lock it).
+    // ndp-lint: guarded-by-ok single-threaded teardown, join cannot hold mu_
     for (std::thread& t : threads_) t.join();
   }
 
  private:
   SweepPool() = default;
 
-  void DrainPoints() {
-    for (size_t i = next_point_.fetch_add(1); i < num_points_;
+  /// The sweep description travels by value: callers snapshot body/num_points
+  /// under mu_ (or own them, in Run), so the drain loop itself touches no
+  /// guarded state — only the atomic point ticket.
+  void DrainPoints(const std::function<void(size_t)>& body, size_t num_points) {
+    for (size_t i = next_point_.fetch_add(1); i < num_points;
          i = next_point_.fetch_add(1)) {
-      (*body_)(i);
+      body(i);
     }
   }
 
@@ -113,8 +120,10 @@ class SweepPool {
       if (shutdown_) return;
       seen = generation_;
       if (id >= active_workers_) continue;  // this round wants fewer workers
+      const std::function<void(size_t)>& body = *body_;
+      const size_t num_points = num_points_;
       lock.unlock();
-      DrainPoints();
+      DrainPoints(body, num_points);
       lock.lock();
       if (--workers_left_ == 0) done_cv_.notify_all();
     }
@@ -123,15 +132,15 @@ class SweepPool {
   mutable std::mutex mu_;
   std::mutex run_mu_;  ///< serializes sweeps (nested calls run inline instead)
   std::condition_variable work_cv_, done_cv_;
-  std::vector<std::thread> threads_;
-  const std::function<void(size_t)>* body_ = nullptr;
+  std::vector<std::thread> threads_;  // ndp: guarded-by(mu_)
+  const std::function<void(size_t)>* body_ = nullptr;  // ndp: guarded-by(mu_)
   std::atomic<size_t> next_point_{0};
-  size_t num_points_ = 0;
-  size_t active_workers_ = 0;
-  size_t workers_left_ = 0;
-  uint64_t generation_ = 0;
-  uint64_t threads_spawned_ = 0;
-  bool shutdown_ = false;
+  size_t num_points_ = 0;      // ndp: guarded-by(mu_)
+  size_t active_workers_ = 0;  // ndp: guarded-by(mu_)
+  size_t workers_left_ = 0;    // ndp: guarded-by(mu_)
+  uint64_t generation_ = 0;    // ndp: guarded-by(mu_)
+  uint64_t threads_spawned_ = 0;  // ndp: guarded-by(mu_)
+  bool shutdown_ = false;      // ndp: guarded-by(mu_)
 };
 
 namespace internal {

@@ -221,7 +221,7 @@ Result<DimmArray::ParallelResult> DimmArray::RunParallelSelect(int64_t lo,
     uint32_t d = part.device;
     // Exclusive-ownership research harness: a wedged device surfaces as a
     // failed RunUntilTrue drain check below; no queueing to bypass here.
-    // ndp-lint: watchdog-arm-ok  ndp-lint: runtime-bypass-ok
+    // ndp-lint: watchdog-arm-ok  ndp-lint: runtime-bypass-ok  harness drains
     NDP_RETURN_NOT_OK(devices_[d]->StartSelect(
         job, [this, d, i, &dev_done, &dev_end](sim::Tick t) {
           PostToHost(d, [i, t, &dev_done, &dev_end] {

@@ -29,8 +29,9 @@ class CacheHierarchy {
     for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
       std::string level_name = it->name;
       for (char& ch : level_name) ch = static_cast<char>(std::tolower(ch));
-      caches_.push_back(std::make_unique<Cache>(eq, cpu_clock, *it, below,
-                                                stats.Sub(level_name)));
+      caches_.push_back(std::make_unique<Cache>(
+          eq, cpu_clock, *it, below,
+          stats.Sub(level_name)));  // ndp: stats-scope(l1|l2|l3)
       below = caches_.back().get();
     }
     // caches_ is ordered LLC first; expose L1 as the top.

@@ -92,6 +92,7 @@ struct QueryContext {
 
   void Record(std::string op, uint64_t in, uint64_t out) {
     if (stats_scope.active()) {
+      // ndp: stats-scope(scan_select|scan_select_batch|refine|gather|hash_join|aggregate|group_aggregate|sort|merge_runs|zonemap_select|for_select|plan_filter|plan_project|plan_hash_join|plan_sort)
       StatsScope op_scope = stats_scope.Sub(op);
       *op_scope.registry()->OwnedCounter(op_scope.Path("calls")) += 1;
       *op_scope.registry()->OwnedCounter(op_scope.Path("rows_in")) += in;

@@ -143,10 +143,10 @@ class PartitionSet {
   std::mutex mu_;
   std::condition_variable work_cv_;
   std::condition_variable done_cv_;
-  uint64_t generation_ = 0;   ///< bumped per epoch; workers wait on it
-  Tick epoch_end_ = 0;        ///< t_end of the epoch being executed
-  uint32_t workers_left_ = 0; ///< count-down to the epoch barrier
-  bool shutdown_ = false;
+  uint64_t generation_ = 0;   ///< bumped per epoch  // ndp: guarded-by(mu_)
+  Tick epoch_end_ = 0;        ///< epoch's t_end     // ndp: guarded-by(mu_)
+  uint32_t workers_left_ = 0; ///< barrier countdown // ndp: guarded-by(mu_)
+  bool shutdown_ = false;     // ndp: guarded-by(mu_)
 };
 
 }  // namespace ndp::sim

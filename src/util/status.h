@@ -35,7 +35,7 @@ const char* StatusCodeToString(StatusCode code);
 ///
 /// [[nodiscard]]: silently dropping a Status hides failures (a faulted device
 /// job, a rejected command) — every call site must check, propagate, or carry
-/// an explicit `// ndp-lint: status-ok` waiver.
+/// an explicit status waiver comment naming the rule and the reason.
 class [[nodiscard]] Status {
  public:
   Status() = default;

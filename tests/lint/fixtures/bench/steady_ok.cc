@@ -1,0 +1,8 @@
+// ndp-analyze fixture: steady_clock in bench code is the sanctioned host
+// timing source — wall-clock stays quiet (suppressing example by scope).
+namespace ndp::fixture {
+long SteadyOk() {
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+}  // namespace ndp::fixture

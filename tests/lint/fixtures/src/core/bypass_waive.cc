@@ -1,0 +1,7 @@
+// ndp-analyze fixture: the same dispatch, waived with a reason.
+namespace ndp::fixture {
+Status BypassWaive(Driver* drv, Query q) {
+  // ndp-lint: runtime-bypass-ok fixture: single-query calibration path
+  return drv->SelectJafar(q);
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,6 @@
+#pragma once
+// ndp-analyze fixture: dram (rank 2) including core (rank 5) — layer-dag.
+#include "core/system.h"
+namespace ndp::fixture {
+inline int LayerFire() { return 5; }
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+#pragma once
+// ndp-analyze fixture: the same back-edge, waived with a reason.
+// ndp-lint: layer-dag-ok fixture: sanctioned back-edge pending inversion
+#include "core/api.h"
+namespace ndp::fixture {
+inline int LayerWaive() { return 6; }
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+// ndp-analyze fixture: generation branch outside the datapath factory —
+// generation-dispatch fires.
+namespace ndp::fixture {
+bool GenFire(DeviceGeneration gen) {
+  return gen == DeviceGeneration::kV2BankLevel;
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,4 @@
+// ndp-analyze fixture: unseeded library randomness — banned-random fires.
+namespace ndp::fixture {
+int BannedRandomFire() { return std::rand(); }
+}  // namespace ndp::fixture

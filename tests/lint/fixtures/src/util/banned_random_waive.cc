@@ -1,0 +1,7 @@
+// ndp-analyze fixture: the same draw, waived with a reason.
+namespace ndp::fixture {
+int BannedRandomWaive() {
+  // ndp-lint: banned-random-ok fixture: stress-only jitter, not in results
+  return std::rand();
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,19 @@
+#pragma once
+// ndp-analyze fixture: guarded field touched without its mutex — guarded-by
+// fires on Bump(); Locked() and Required() show the two suppressing forms.
+namespace ndp::fixture {
+class GuardedFire {
+ public:
+  void Bump() { v_ += 1; }
+  void Locked() {
+    std::lock_guard<std::mutex> lock(mu_);
+    v_ += 1;
+  }
+  // ndp: requires(mu_)
+  void Required() { v_ += 1; }
+
+ private:
+  std::mutex mu_;
+  int v_ = 0;  // ndp: guarded-by(mu_)
+};
+}  // namespace ndp::fixture

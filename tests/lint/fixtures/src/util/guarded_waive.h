@@ -1,0 +1,15 @@
+#pragma once
+// ndp-analyze fixture: the same unguarded touch, waived with a reason.
+namespace ndp::fixture {
+class GuardedWaive {
+ public:
+  void Bump() {
+    // ndp-lint: guarded-by-ok fixture: construction-time init, no readers yet
+    w_ += 1;
+  }
+
+ private:
+  std::mutex mu_;
+  int w_ = 0;  // ndp: guarded-by(mu_)
+};
+}  // namespace ndp::fixture

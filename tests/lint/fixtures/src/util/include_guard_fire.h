@@ -1,0 +1,4 @@
+// ndp-analyze fixture: header with no include guard — include-guard fires.
+namespace ndp::fixture {
+inline int GuardlessHeader() { return 1; }
+}  // namespace ndp::fixture

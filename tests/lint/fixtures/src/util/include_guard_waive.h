@@ -1,0 +1,4 @@
+// ndp-lint: include-guard-ok fixture: generated single-include header
+namespace ndp::fixture {
+inline int WaivedGuardlessHeader() { return 2; }
+}  // namespace ndp::fixture

@@ -1,0 +1,6 @@
+// ndp-analyze fixture: two call sites disagree on a knob default —
+// knob-coherence fires at the second site.
+namespace ndp::fixture {
+uint64_t KnobConflictA() { return EnvU64("NDP_FIX_CONFLICT", 1); }
+uint64_t KnobConflictB() { return EnvU64("NDP_FIX_CONFLICT", 2); }
+}  // namespace ndp::fixture

@@ -1,0 +1,4 @@
+// ndp-analyze fixture: env knob with no README row — knob-coherence fires.
+namespace ndp::fixture {
+const char* KnobFire() { return getenv("NDP_FIX_MISSING"); }
+}  // namespace ndp::fixture

@@ -1,0 +1,5 @@
+// ndp-analyze fixture: documented knob whose call-site default matches the
+// README row — knob-coherence stays quiet (suppressing example).
+namespace ndp::fixture {
+uint64_t KnobGood() { return EnvU64("NDP_FIX_GOOD", 7); }
+}  // namespace ndp::fixture

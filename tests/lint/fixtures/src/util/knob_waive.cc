@@ -1,0 +1,7 @@
+// ndp-analyze fixture: the same undocumented knob, waived with a reason.
+namespace ndp::fixture {
+const char* KnobWaive() {
+  // ndp-lint: knob-coherence-ok fixture: internal debug switch, not public
+  return getenv("NDP_FIX_WAIVED");
+}
+}  // namespace ndp::fixture

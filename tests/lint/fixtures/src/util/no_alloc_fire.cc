@@ -1,0 +1,8 @@
+// ndp-analyze fixture: allocation inside a marked region — no-alloc fires.
+namespace ndp::fixture {
+void NoAllocFire(std::vector<int>* out) {
+  // ndp-lint: no-alloc-begin
+  out->push_back(1);
+  // ndp-lint: no-alloc-end
+}
+}  // namespace ndp::fixture

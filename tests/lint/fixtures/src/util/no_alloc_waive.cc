@@ -1,0 +1,9 @@
+// ndp-analyze fixture: the same allocation, waived with a reason.
+namespace ndp::fixture {
+void NoAllocWaive(std::vector<int>* out) {
+  // ndp-lint: no-alloc-begin
+  // ndp-lint: no-alloc-ok fixture: one-time warmup fill before the hot loop
+  out->push_back(1);
+  // ndp-lint: no-alloc-end
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,8 @@
+// ndp-analyze fixture: a reasoned waiver that suppresses nothing —
+// stale-waiver fires.
+namespace ndp::fixture {
+int StaleFire() {
+  // ndp-lint: banned-random-ok fixture: this line draws no randomness at all
+  return 4;
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+// ndp-analyze fixture: counter nothing ever reads by name — stats-dead fires.
+namespace ndp::fixture {
+void StatsDeadFire(StatsRegistry* r, uint64_t* c) {
+  StatsScope root(r, "fixdead");
+  root.Counter("dead_leaf", c);
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,8 @@
+// ndp-analyze fixture: the same dead counter, waived with a reason.
+namespace ndp::fixture {
+void StatsDeadWaive(StatsRegistry* r, uint64_t* c) {
+  StatsScope root(r, "fixdead2");
+  // ndp-lint: stats-dead-ok fixture: reserved for the next estimator rev
+  root.Counter("dead_leaf_two", c);
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,8 @@
+// ndp-analyze fixture: counter kept alive by the mention in
+// tests/mention_test.cc (suppressing example for stats-dead).
+namespace ndp::fixture {
+void StatsKept(StatsRegistry* r, uint64_t* c) {
+  StatsScope root(r, "fixdead");
+  root.Counter("kept_leaf", c);
+}
+}  // namespace ndp::fixture

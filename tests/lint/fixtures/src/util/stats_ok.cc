@@ -1,0 +1,10 @@
+// ndp-analyze fixture: registration, read, and mention all line up — the
+// stats passes stay quiet (suppressing example for both).
+namespace ndp::fixture {
+double StatsOk(StatsRegistry* r, uint64_t* c) {
+  StatsScope root(r, "fix");
+  root.Counter("good_leaf", c);
+  StatsSnapshot snap = r->Snapshot();
+  return snap.Value("fix.good_leaf");
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,9 @@
+// ndp-analyze fixture: registration path violating the dotted-path grammar.
+namespace ndp::fixture {
+void StatsPathFire(StatsRegistry* r, uint64_t* c) {
+  StatsScope reg(r, "fixpath");
+  reg.Counter("Bad.Path", c);
+  const char* doc = "Bad.Path";  // mention: keeps the dead-stats pass out
+  (void)doc;
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,10 @@
+// ndp-analyze fixture: the same grammar violation, waived with a reason.
+namespace ndp::fixture {
+void StatsPathWaive(StatsRegistry* r, uint64_t* c) {
+  StatsScope reg(r, "fixpath2");
+  // ndp-lint: stats-path-ok fixture: legacy dump name kept for tooling
+  reg.Counter("Also.Bad", c);
+  const char* doc = "Also.Bad";  // mention: keeps the dead-stats pass out
+  (void)doc;
+}
+}  // namespace ndp::fixture

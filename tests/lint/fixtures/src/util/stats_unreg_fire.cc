@@ -1,0 +1,6 @@
+// ndp-analyze fixture: read of a never-registered path — stats-unregistered.
+namespace ndp::fixture {
+double StatsUnregFire(const StatsSnapshot& snap) {
+  return snap.Value("nope_scope.nope_leaf");
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+// ndp-analyze fixture: the same unresolved read, waived with a reason.
+namespace ndp::fixture {
+double StatsUnregWaive(const StatsSnapshot& snap) {
+  // ndp-lint: stats-unregistered-ok fixture: path exists only in prod dumps
+  return snap.Value("nope_scope.other_leaf");
+}
+}  // namespace ndp::fixture

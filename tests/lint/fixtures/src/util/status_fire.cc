@@ -1,0 +1,6 @@
+// ndp-analyze fixture: discarded dispatch Status — status fires.
+namespace ndp::fixture {
+void StatusFire(Api* dev, Query q) {
+  dev->SelectJafar(q);
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,11 @@
+// ndp-analyze fixture: range-for over an unordered map — unordered-iter fires.
+namespace ndp::fixture {
+int UnorderedIterFire() {
+  std::unordered_map<int, int> m;
+  int sum = 0;
+  for (const auto& kv : m) {
+    sum += kv.second;
+  }
+  return sum;
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,12 @@
+// ndp-analyze fixture: the same iteration, waived with a reason.
+namespace ndp::fixture {
+int UnorderedIterWaive() {
+  std::unordered_map<int, int> m;
+  int sum = 0;
+  // ndp-lint: unordered-iter-ok fixture: commutative sum, order cannot escape
+  for (const auto& kv : m) {
+    sum += kv.second;
+  }
+  return sum;
+}
+}  // namespace ndp::fixture

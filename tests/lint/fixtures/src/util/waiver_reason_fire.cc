@@ -1,0 +1,8 @@
+// ndp-analyze fixture: a waiver with no reason — waiver-reason fires (the
+// suppressed rule stays suppressed; the naked waiver itself is the finding).
+namespace ndp::fixture {
+int WaiverReasonFire() {
+  // ndp-lint: banned-random-ok
+  return std::rand();
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+// ndp-analyze fixture: std::chrono in sim code — wall-clock fires.
+namespace ndp::fixture {
+long WallClockFire() {
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+}  // namespace ndp::fixture

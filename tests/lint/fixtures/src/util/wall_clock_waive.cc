@@ -1,0 +1,8 @@
+// ndp-analyze fixture: the same read, waived with a reason.
+namespace ndp::fixture {
+long WallClockWaive() {
+  // ndp-lint: wall-clock-ok fixture: diagnostic print only, never a result
+  auto t0 = std::chrono::steady_clock::now();
+  return t0.time_since_epoch().count();
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+// ndp-analyze fixture: device dispatch with no watchdog — watchdog-arm fires.
+namespace ndp::fixture {
+Status WatchdogFire(Device* dev, Job job) {
+  Status s = dev->StartSelect(job, nullptr);
+  return s;
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,6 @@
+// ndp-analyze fixture: direct wheel schedule — cross-partition-schedule fires.
+namespace ndp::fixture {
+void XpartFire(PartitionSet* parts, Event* ev) {
+  parts->queue(3)->ScheduleAt(ev, 100);
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+// ndp-analyze fixture: the same schedule, waived with a reason.
+namespace ndp::fixture {
+void XpartWaive(PartitionSet* parts, Event* ev) {
+  // ndp-lint: cross-partition-schedule-ok fixture: barrier-time setup only
+  parts->queue(3)->ScheduleAt(ev, 100);
+}
+}  // namespace ndp::fixture

@@ -1,0 +1,7 @@
+// ndp-analyze fixture: a test naming a registered path keeps its counter out
+// of stats-dead — this is the real-tree convention the pass points at.
+namespace ndp::fixture {
+bool MentionTest(const StatsRegistry& reg) {
+  return reg.Contains("fixdead.kept_leaf");
+}
+}  // namespace ndp::fixture

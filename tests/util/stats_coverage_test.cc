@@ -1,0 +1,175 @@
+// Pins the registered stats surface by name. Every counter, gauge, and
+// histogram a component registers must be listed here (or read by some
+// estimator/bench); the ndp-analyze stats-dead pass points offenders at this
+// file. If you add a counter, add its path here; if a path below starts
+// failing, a registration was renamed or dropped — update both sides.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "accel/ir.h"
+#include "core/dimm_array.h"
+#include "core/host_traffic.h"
+#include "core/platform.h"
+#include "core/runtime.h"
+#include "core/system.h"
+#include "dram/timing.h"
+#include "fault/fault_plan.h"
+#include "fault/injector.h"
+#include "jafar/config.h"
+#include "jafar/generation.h"
+#include "util/stats_registry.h"
+
+namespace ndp {
+namespace {
+
+void ExpectAll(const StatsRegistry& reg,
+               const std::vector<std::string>& paths) {
+  for (const std::string& path : paths) {
+    EXPECT_TRUE(reg.Contains(path)) << "missing stats path: " << path;
+  }
+}
+
+TEST(StatsCoverageTest, SystemModelSurface) {
+  core::SystemModel sys(core::PlatformConfig::Gem5());
+  ExpectAll(sys.stats(), {
+      "system.ticks_ps",
+      // memory controller (per channel)
+      "system.dram.ctrl0.reads_served",
+      "system.dram.ctrl0.writes_served",
+      "system.dram.ctrl0.row_hits",
+      "system.dram.ctrl0.row_misses",
+      "system.dram.ctrl0.row_conflicts",
+      "system.dram.ctrl0.rc_busy_cycles",
+      "system.dram.ctrl0.wc_busy_cycles",
+      "system.dram.ctrl0.idle_cycles",
+      // per-rank ECC scrub counters
+      "system.dram.ch0.rank0.ecc_corrected",
+      "system.dram.ch0.rank0.ecc_uncorrectable",
+      // cache hierarchy (gem5-like platform: L1 + L2)
+      "system.cpu.l1.hits",
+      "system.cpu.l1.misses",
+      "system.cpu.l1.mshr_merges",
+      "system.cpu.l1.writebacks",
+      "system.cpu.l1.prefetches_issued",
+      "system.cpu.l1.prefetch_hits",
+      "system.cpu.l1.rejections",
+      "system.cpu.l2.hits",
+      "system.cpu.l2.misses",
+      // out-of-order core
+      "system.cpu.core.cycles",
+      "system.cpu.core.uops_retired",
+      "system.cpu.core.loads",
+      "system.cpu.core.stores",
+      "system.cpu.core.branches",
+      "system.cpu.core.mispredicts",
+      "system.cpu.core.load_reject_cycles",
+      "system.cpu.core.rob_full_cycles",
+      "system.cpu.core.fetch_stall_cycles",
+      "system.cpu.core.max_retire_gap_ps",
+      // JAFAR device
+      "system.jafar.dev0.jobs_completed",
+      "system.jafar.dev0.jobs_failed",
+      "system.jafar.dev0.rows_processed",
+      "system.jafar.dev0.matches",
+      "system.jafar.dev0.bursts_read",
+      "system.jafar.dev0.bursts_written",
+      "system.jafar.dev0.activates",
+      "system.jafar.dev0.data_wait_ps",
+      "system.jafar.dev0.engine_busy_ps",
+      "system.jafar.dev0.total_busy_ps",
+      "system.jafar.dev0.energy_fj",
+      "system.jafar.dev0.polite_backoffs",
+      "system.jafar.dev0.refresh_backoffs",
+      // JAFAR driver
+      "system.jafar.watchdog_fires",
+      "system.jafar.retries",
+      "system.jafar.checksum_errors",
+      "system.jafar.device_errors",
+      "system.jafar.permanent_failures",
+      "system.jafar.recovery_latency_ps",
+      // system-level pushdown accounting
+      "system.core.pushdown_fallbacks",
+      "system.core.degraded_mode",
+      "system.core.pushdown_probes",
+  });
+}
+
+TEST(StatsCoverageTest, XeonPlatformHasThreeCacheLevels) {
+  core::SystemModel sys(core::PlatformConfig::Xeon());
+  ExpectAll(sys.stats(), {
+      "system.cpu.l3.hits",
+      "system.cpu.l3.misses",
+  });
+}
+
+TEST(StatsCoverageTest, V2DatapathSurface) {
+  core::PlatformConfig p = core::PlatformConfig::Gem5();
+  p.device_gen = jafar::DeviceGeneration::kV2BankLevel;
+  core::SystemModel sys(p);
+  ExpectAll(sys.stats(), {
+      "system.jafar.dev0.filter_bursts",
+      "system.jafar.dev0.filter_segments",
+      "system.jafar.dev0.bank_waves",
+  });
+}
+
+TEST(StatsCoverageTest, RuntimeAndHostTrafficSurface) {
+  jafar::DeviceConfig dc =
+      jafar::DeviceConfig::Derive(dram::DramTiming::DDR3_1600(),
+                                  accel::DatapathResources{})
+          .ValueOrDie();
+  core::DimmArray array(dram::DramTiming::DDR3_1600(), 1, 1, dc);
+  core::RuntimeConfig cfg;
+  core::NdpRuntime runtime(&array, cfg);
+  core::HostTrafficConfig tc;
+  core::HostTrafficGen traffic(&array.eq(), &array.dram().controller(0), tc,
+                               StatsScope(array.mutable_stats(), "host"));
+  ExpectAll(array.stats(), {
+      // array-level memory controller + device
+      "array.dram.ctrl0.reads_served",
+      "array.dram.ctrl0.writes_served",
+      "array.dram.ctrl0.rc_busy_cycles",
+      "array.dram.ctrl0.wc_busy_cycles",
+      "array.dev0.jobs_completed",
+      // multi-query runtime
+      "array.runtime.jobs_submitted",
+      "array.runtime.jobs_completed",
+      "array.runtime.jobs_failed",
+      "array.runtime.leases",
+      "array.runtime.admission_defers",
+      "array.runtime.steals",
+      "array.runtime.stolen_pages",
+      "array.runtime.lane_failures",
+      "array.runtime.chunks_reassigned",
+      // per-channel lease controller
+      "array.runtime.ctrl0.ewma_busy_fraction",
+      "array.runtime.ctrl0.ewma_idle_cycles",
+      "array.runtime.ctrl0.lease_bus_cycles",
+      "array.runtime.ctrl0.qos_shrinks",
+      "array.runtime.ctrl0.qos_grows",
+      // host traffic generator
+      "host.issued",
+      "host.completed",
+      "host.backpressure_retries",
+      "host.latency_ps",
+  });
+}
+
+TEST(StatsCoverageTest, FaultInjectorSurface) {
+  StatsRegistry reg;
+  fault::FaultPlan plan;
+  fault::FaultInjector injector(plan, StatsScope(&reg, "fault"));
+  ExpectAll(reg, {
+      "fault.ecc_ce_injected",
+      "fault.ecc_ue_injected",
+      "fault.hangs_injected",
+      "fault.stalls_injected",
+      "fault.corruptions_injected",
+      "fault.drops_injected",
+  });
+}
+
+}  // namespace
+}  // namespace ndp

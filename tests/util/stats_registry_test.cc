@@ -22,10 +22,13 @@ TEST(StatsRegistryTest, CounterReadsThroughPointer) {
 TEST(StatsRegistryTest, RejectsDuplicatePaths) {
   StatsRegistry reg;
   uint64_t a = 0, b = 0;
+  // ndp-lint: stats-dead-ok throwaway path probing duplicate rejection
   ASSERT_TRUE(reg.RegisterCounter("dup", &a).ok());
+  // ndp-lint: stats-dead-ok throwaway path probing duplicate rejection
   Status again = reg.RegisterCounter("dup", &b);
   EXPECT_EQ(again.code(), StatusCode::kAlreadyExists);
   // Across kinds too: the path namespace is global.
+  // ndp-lint: stats-dead-ok throwaway path probing duplicate rejection
   EXPECT_EQ(reg.RegisterGauge("dup", &b).code(), StatusCode::kAlreadyExists);
   EXPECT_EQ(reg.size(), 1u);
 }

@@ -1,0 +1,232 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace ndp::analyze {
+
+namespace {
+
+bool IsIdentStart(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool IsIdentChar(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+
+/// Two-character punctuators worth fusing for the pattern matchers.
+bool IsTwoCharPunct(char a, char b) {
+  switch (a) {
+    case ':': return b == ':';
+    case '-': return b == '>' || b == '-' || b == '=';
+    case '+': return b == '+' || b == '=';
+    case '=': return b == '=';
+    case '!': return b == '=';
+    case '<': return b == '=' || b == '<';
+    case '>': return b == '=' || b == '>';
+    case '&': return b == '&';
+    case '|': return b == '|';
+    default: return false;
+  }
+}
+
+/// True when the identifier is a string-literal encoding prefix; sets
+/// `is_raw` when the prefix requests a raw string.
+bool IsStringPrefix(const std::string& id, bool* is_raw) {
+  *is_raw = !id.empty() && id.back() == 'R';
+  const std::string base = *is_raw ? id.substr(0, id.size() - 1) : id;
+  if (*is_raw && base.empty()) return true;  // plain R"..."
+  return base == "L" || base == "u" || base == "U" || base == "u8";
+}
+
+}  // namespace
+
+LexResult Lex(const std::vector<std::string>& lines) {
+  LexResult out;
+  out.code.resize(lines.size());
+
+  enum class State { kNormal, kBlockComment, kRawString };
+  State state = State::kNormal;
+  std::string raw_delim;     // the )delim" that terminates the raw string
+  std::string raw_text;      // accumulated raw-string contents
+  size_t raw_line = 0;       // line the raw string opened on
+
+  for (size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    std::string& code = out.code[li];
+    size_t i = 0;
+    const size_t n = line.size();
+
+    if (state == State::kBlockComment) {
+      size_t close = line.find("*/");
+      if (close == std::string::npos) {
+        out.comments.push_back({li + 1, line});
+        continue;
+      }
+      out.comments.push_back({li + 1, line.substr(0, close)});
+      i = close + 2;
+    } else if (state == State::kRawString) {
+      size_t close = line.find(raw_delim);
+      if (close == std::string::npos) {
+        raw_text += line;
+        raw_text += '\n';
+        continue;
+      }
+      raw_text += line.substr(0, close);
+      out.tokens.push_back({TokKind::kString, raw_text, raw_line});
+      code += "\"\"";
+      i = close + raw_delim.size();
+      state = State::kNormal;
+    }
+
+    std::string pending_ident;  // flushed lazily so string prefixes can claim it
+    size_t pending_line = li + 1;
+    auto flush_ident = [&] {
+      if (!pending_ident.empty()) {
+        out.tokens.push_back({TokKind::kIdent, pending_ident, pending_line});
+        code += pending_ident;
+        pending_ident.clear();
+      }
+    };
+
+    while (i < n) {
+      char c = line[i];
+      if (IsIdentStart(c) && pending_ident.empty()) {
+        size_t j = i;
+        while (j < n && IsIdentChar(line[j])) ++j;
+        pending_ident = line.substr(i, j - i);
+        pending_line = li + 1;
+        i = j;
+        continue;
+      }
+      if (c == '"') {
+        bool is_raw = false;
+        if (!pending_ident.empty() && IsStringPrefix(pending_ident, &is_raw)) {
+          pending_ident.clear();  // the prefix is part of the literal
+        } else {
+          flush_ident();
+          is_raw = false;
+        }
+        if (is_raw) {
+          // R"delim( ... )delim"
+          size_t paren = line.find('(', i + 1);
+          if (paren == std::string::npos) { ++i; continue; }  // ill-formed
+          raw_delim = ")" + line.substr(i + 1, paren - i - 1) + "\"";
+          size_t close = line.find(raw_delim, paren + 1);
+          if (close == std::string::npos) {
+            raw_text = line.substr(paren + 1);
+            raw_text += '\n';
+            raw_line = li + 1;
+            state = State::kRawString;
+            i = n;
+            break;
+          }
+          out.tokens.push_back(
+              {TokKind::kString, line.substr(paren + 1, close - paren - 1),
+               li + 1});
+          code += "\"\"";
+          i = close + raw_delim.size();
+          continue;
+        }
+        // Ordinary string literal (single line).
+        std::string text;
+        size_t j = i + 1;
+        while (j < n && line[j] != '"') {
+          if (line[j] == '\\' && j + 1 < n) {
+            text += line[j];
+            text += line[j + 1];
+            j += 2;
+          } else {
+            text += line[j];
+            ++j;
+          }
+        }
+        out.tokens.push_back({TokKind::kString, text, li + 1});
+        code += "\"\"";
+        i = (j < n) ? j + 1 : n;
+        continue;
+      }
+      if (c == '\'') {
+        // Either a char literal or a digit separator; a separator only
+        // follows a number/identifier character and precedes an alnum.
+        bool separator = i > 0 && IsIdentChar(line[i - 1]) && i + 1 < n &&
+                         std::isalnum(static_cast<unsigned char>(line[i + 1]));
+        if (separator && !pending_ident.empty()) {
+          // inside an identifier? not legal C++; treat as separator anyway
+          pending_ident += '\'';
+          ++i;
+          continue;
+        }
+        if (separator) {
+          code += '\'';
+          ++i;
+          continue;
+        }
+        flush_ident();
+        std::string text;
+        size_t j = i + 1;
+        while (j < n && line[j] != '\'') {
+          if (line[j] == '\\' && j + 1 < n) {
+            text += line[j];
+            text += line[j + 1];
+            j += 2;
+          } else {
+            text += line[j];
+            ++j;
+          }
+        }
+        out.tokens.push_back({TokKind::kChar, text, li + 1});
+        code += "''";
+        i = (j < n) ? j + 1 : n;
+        continue;
+      }
+      flush_ident();
+      if (c == '/' && i + 1 < n && line[i + 1] == '/') {
+        out.comments.push_back({li + 1, line.substr(i + 2)});
+        i = n;
+        break;
+      }
+      if (c == '/' && i + 1 < n && line[i + 1] == '*') {
+        size_t close = line.find("*/", i + 2);
+        if (close == std::string::npos) {
+          out.comments.push_back({li + 1, line.substr(i + 2)});
+          state = State::kBlockComment;
+          i = n;
+          break;
+        }
+        out.comments.push_back({li + 1, line.substr(i + 2, close - i - 2)});
+        code += ' ';
+        i = close + 2;
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t j = i;
+        std::string text;
+        while (j < n && (IsIdentChar(line[j]) || line[j] == '.' ||
+                         (line[j] == '\'' && j + 1 < n &&
+                          std::isalnum(static_cast<unsigned char>(line[j + 1]))))) {
+          if (line[j] != '\'') text += line[j];
+          ++j;
+        }
+        out.tokens.push_back({TokKind::kNumber, text, li + 1});
+        code += line.substr(i, j - i);
+        i = j;
+        continue;
+      }
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        code += c;
+        ++i;
+        continue;
+      }
+      // Punctuator.
+      if (i + 1 < n && IsTwoCharPunct(c, line[i + 1])) {
+        out.tokens.push_back({TokKind::kPunct, line.substr(i, 2), li + 1});
+        code += line.substr(i, 2);
+        i += 2;
+        continue;
+      }
+      out.tokens.push_back({TokKind::kPunct, std::string(1, c), li + 1});
+      code += c;
+      ++i;
+    }
+    flush_ident();
+  }
+  return out;
+}
+
+}  // namespace ndp::analyze

@@ -1,0 +1,55 @@
+// ndp-analyze lexing layer: a real C++ token stream.
+//
+// The seed ndp_lint scanner matched regexes against raw lines, so a banned
+// identifier inside a comment, a string literal, or a raw string produced a
+// false positive that then needed a waiver. The lexer fixes that class for
+// good: it walks the file once with a small state machine (line comments,
+// block comments, ordinary/char literals with escapes, raw strings with
+// custom delimiters, digit separators) and produces
+//
+//   * tokens   — identifiers, numbers, string/char literals (with their
+//                decoded spelling), and punctuators (two-char operators like
+//                "->", "::", "++" fused), each tagged with a 1-based line;
+//   * comments — the text of every comment, per line (the waiver and
+//                annotation grammars live in comments);
+//   * code     — per-line "sanitized" text: comments blanked, literal
+//                contents emptied ("\"...\"" becomes "\"\""), everything
+//                else verbatim. The ported line-shaped rules run their
+//                regexes over this, which is exactly as expressive as the
+//                old scanner but cannot be fooled by comments or strings.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ndp::analyze {
+
+enum class TokKind {
+  kIdent,
+  kNumber,
+  kString,  ///< text = literal contents without quotes or encoding prefix
+  kChar,    ///< text = literal contents without quotes
+  kPunct,
+};
+
+struct Tok {
+  TokKind kind;
+  std::string text;
+  size_t line = 0;  ///< 1-based
+};
+
+struct Comment {
+  size_t line = 0;    ///< 1-based; block comments yield one entry per line
+  std::string text;   ///< comment body without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Tok> tokens;
+  std::vector<Comment> comments;
+  std::vector<std::string> code;  ///< sanitized, same line count as input
+};
+
+LexResult Lex(const std::vector<std::string>& lines);
+
+}  // namespace ndp::analyze

@@ -1,0 +1,580 @@
+#include "passes.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <regex>
+#include <set>
+
+namespace ndp::analyze {
+
+namespace {
+
+bool IsPunct(const Tok& t, const char* text) {
+  return t.kind == TokKind::kPunct && t.text == text;
+}
+
+// -- stats coherence ----------------------------------------------------------
+
+const std::set<std::string> kHistSubleaves = {"count", "sum",  "mean",
+                                              "p50",   "p90", "p99"};
+
+bool PrefixMatch(const std::set<std::string>& prefixes,
+                 const std::string& seg) {
+  for (const std::string& p : prefixes) {
+    if (seg.size() > p.size() && seg.rfind(p, 0) == 0 &&
+        std::all_of(seg.begin() + static_cast<long>(p.size()), seg.end(),
+                    [](char c) { return std::isdigit(static_cast<unsigned char>(c)); })) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ValidSegment(const Index& idx, const std::string& seg) {
+  return idx.scope_segments.count(seg) > 0 ||
+         PrefixMatch(idx.scope_prefixes, seg);
+}
+
+bool ValidLeaf(const Index& idx, const std::string& leaf) {
+  return idx.leaves.count(leaf) > 0;
+}
+
+/// Lenient validity for a piece cut mid-segment by '+': it only has to be
+/// compatible with something registered.
+bool PartialOk(const Index& idx, const std::string& piece) {
+  if (ValidSegment(idx, piece) || ValidLeaf(idx, piece) ||
+      idx.scope_prefixes.count(piece) > 0 || kHistSubleaves.count(piece) > 0) {
+    return true;
+  }
+  for (const std::string& s : idx.scope_segments) {
+    if (s.rfind(piece, 0) == 0) return true;
+  }
+  for (const std::string& s : idx.leaves) {
+    if (s.rfind(piece, 0) == 0) return true;
+  }
+  for (const std::string& p : idx.scope_prefixes) {
+    if (piece.rfind(p, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Validates a fully-literal dotted path.
+bool ValidCompletePath(const Index& idx, const std::string& path) {
+  PathFrag frag{path, false, false};
+  std::vector<std::string> segs;
+  for (const auto& [piece, complete] : Pieces(frag)) segs.push_back(piece);
+  if (segs.empty()) return false;
+  size_t leaf_at = segs.size() - 1;
+  if (segs.size() >= 2 && kHistSubleaves.count(segs.back()) > 0 &&
+      idx.hist_leaves.count(segs[segs.size() - 2]) > 0) {
+    leaf_at = segs.size() - 2;
+  }
+  if (!ValidLeaf(idx, segs[leaf_at])) return false;
+  for (size_t i = 0; i < leaf_at; ++i) {
+    if (!ValidSegment(idx, segs[i])) return false;
+  }
+  return true;
+}
+
+std::string DisplayPath(const ReadSite& site) {
+  std::string s;
+  for (const PathFrag& frag : site.frags) {
+    if (frag.open_left && (s.empty() || s.back() != '*')) s += '*';
+    s += frag.text;
+    if (frag.open_right) s += '*';
+  }
+  return s;
+}
+
+void PassStatsCoherence(std::vector<SourceFile>& files, const Index& idx,
+                        std::vector<Finding>* out) {
+  for (const ReadSite& site : idx.reads) {
+    if (site.probing) continue;  // ReadValue with a fallback tolerates absence
+    SourceFile& f = files[site.file];
+    bool ok = true;
+    if (site.frags.size() == 1 && !site.frags[0].open_left &&
+        !site.frags[0].open_right) {
+      const std::string& path = site.frags[0].text;
+      // Value/Count on a dotless name is too generic to attribute to the
+      // stats registry unless the name is a registered leaf.
+      if (path.find('.') == std::string::npos &&
+          (site.fn == "Value" || site.fn == "Count") &&
+          !ValidLeaf(idx, path)) {
+        continue;
+      }
+      ok = ValidCompletePath(idx, path);
+    } else {
+      for (const PathFrag& frag : site.frags) {
+        for (const auto& [piece, complete] : Pieces(frag)) {
+          const bool good =
+              complete ? (ValidSegment(idx, piece) || ValidLeaf(idx, piece) ||
+                          kHistSubleaves.count(piece) > 0)
+                       : PartialOk(idx, piece);
+          if (!good) ok = false;
+        }
+      }
+    }
+    if (!ok) {
+      Emit(f, site.line, "stats-unregistered",
+           "stats path \"" + DisplayPath(site) + "\" read via ." + site.fn +
+               "() but no registration produces it; register the counter or "
+               "fix the path (the read would silently yield the default)",
+           out);
+    }
+  }
+  for (const DynScopeSite& site : idx.dyn_scopes) {
+    Emit(files[site.file], site.line, "stats-unregistered",
+         "dynamic stats scope with no literal segment; annotate the possible "
+         "names with // ndp: stats-scope(a|b|...) so reads against them can "
+         "be checked",
+         out);
+  }
+  // Dead leaves: registered, never named by any other literal in the corpus.
+  std::set<std::pair<size_t, size_t>> seen;  // dedupe multi-literal lines
+  for (const RegSite& reg : idx.regs) {
+    if (idx.mentions.count(reg.leaf) > 0) continue;
+    if (!seen.insert({reg.file, reg.line}).second) continue;
+    Emit(files[reg.file], reg.line, "stats-dead",
+         "counter \"" + reg.leaf +
+             "\" is registered but no estimator, bench, or test ever reads "
+             "or asserts it by name; wire it up (tests/util/"
+             "stats_coverage_test.cc pins the documented surface) or drop it",
+         out);
+  }
+}
+
+// -- guarded-by ---------------------------------------------------------------
+
+struct GuardedField {
+  std::string name;
+  std::string mutex;
+  size_t file = 0;
+  size_t decl_line = 0;  ///< the annotated declaration (exempt from checks)
+};
+
+/// The trailing identifier of a mutex expression: "p->mu_" → "mu_".
+std::string TailName(const std::string& expr) {
+  size_t cut = expr.find_last_of(".>:");
+  return cut == std::string::npos ? expr : expr.substr(cut + 1);
+}
+
+/// Extracts the field name declared on the annotation's line (or the line
+/// below, for an annotation written above the declaration).
+bool FieldOnLine(const SourceFile& f, size_t line, std::string* name) {
+  static const std::regex kDecl(
+      R"(([A-Za-z_][A-Za-z0-9_]*)\s*(?:=[^;]*|\{[^;]*\})?\s*;)");
+  if (line == 0 || line > f.lex.code.size()) return false;
+  std::smatch m;
+  if (!std::regex_search(f.lex.code[line - 1], m, kDecl)) return false;
+  *name = m[1].str();
+  return true;
+}
+
+void CheckGuardedUses(std::vector<SourceFile>& files, size_t target,
+                      const std::vector<GuardedField>& fields,
+                      std::vector<Finding>* out) {
+  SourceFile& f = files[target];
+  const auto& toks = f.lex.tokens;
+
+  std::vector<const Annotation*> reqs;
+  for (const Annotation& a : f.annotations) {
+    if (a.kind == "requires") reqs.push_back(&a);
+  }
+  std::sort(reqs.begin(), reqs.end(),
+            [](const Annotation* a, const Annotation* b) {
+              return a->line < b->line;
+            });
+  size_t next_req = 0;
+
+  struct Lock {
+    std::string mutex;
+    std::string var;
+    int depth;
+  };
+  int depth = 0;
+  std::vector<Lock> active;
+  std::map<std::string, std::string> lock_vars;  // var → mutex tail
+  std::set<std::pair<size_t, std::string>> emitted;
+
+  for (size_t i = 0; i < toks.size(); ++i) {
+    const Tok& t = toks[i];
+    if (t.kind == TokKind::kPunct) {
+      if (t.text == "{") {
+        ++depth;
+        while (next_req < reqs.size() && reqs[next_req]->line <= t.line) {
+          active.push_back({TailName(reqs[next_req]->arg), "", depth});
+          ++next_req;
+        }
+      } else if (t.text == "}") {
+        --depth;
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](const Lock& l) {
+                                      return l.depth > depth;
+                                    }),
+                     active.end());
+      }
+      continue;
+    }
+    if (t.kind != TokKind::kIdent) continue;
+
+    if (t.text == "lock_guard" || t.text == "unique_lock" ||
+        t.text == "scoped_lock") {
+      size_t j = i + 1;
+      if (j < toks.size() && IsPunct(toks[j], "<")) {
+        int td = 1;
+        ++j;
+        while (j < toks.size() && td > 0) {
+          if (IsPunct(toks[j], "<")) ++td;
+          else if (IsPunct(toks[j], ">")) --td;
+          else if (IsPunct(toks[j], ">>")) td -= 2;
+          ++j;
+        }
+      }
+      std::string var;
+      if (j < toks.size() && toks[j].kind == TokKind::kIdent) {
+        var = toks[j].text;
+        ++j;
+      }
+      if (j < toks.size() && (IsPunct(toks[j], "(") || IsPunct(toks[j], "{"))) {
+        int d = 1;
+        std::string tail;
+        for (++j; j < toks.size() && d > 0; ++j) {
+          const Tok& a = toks[j];
+          if (a.kind == TokKind::kPunct) {
+            if (a.text == "(" || a.text == "{") ++d;
+            else if (a.text == ")" || a.text == "}") {
+              if (--d == 0) break;
+            } else if (a.text == "," && d == 1) {
+              if (!tail.empty()) active.push_back({tail, var, depth});
+              if (!var.empty() && !tail.empty()) lock_vars[var] = tail;
+              tail.clear();
+            }
+          } else if (a.kind == TokKind::kIdent) {
+            tail = a.text;
+          }
+        }
+        if (!tail.empty()) {
+          active.push_back({tail, var, depth});
+          if (!var.empty()) lock_vars[var] = tail;
+        }
+        i = j;
+      }
+      continue;
+    }
+
+    if ((t.text == "unlock" || t.text == "lock") && i >= 2 &&
+        IsPunct(toks[i - 1], ".") && toks[i - 2].kind == TokKind::kIdent &&
+        lock_vars.count(toks[i - 2].text) > 0 && i + 1 < toks.size() &&
+        IsPunct(toks[i + 1], "(")) {
+      const std::string& var = toks[i - 2].text;
+      if (t.text == "unlock") {
+        active.erase(std::remove_if(active.begin(), active.end(),
+                                    [&](const Lock& l) { return l.var == var; }),
+                     active.end());
+      } else {
+        active.push_back({lock_vars[var], var, depth});
+      }
+      continue;
+    }
+
+    for (const GuardedField& gf : fields) {
+      if (t.text != gf.name) continue;
+      if (target == gf.file && t.line == gf.decl_line) continue;
+      const bool held = std::any_of(
+          active.begin(), active.end(),
+          [&](const Lock& l) { return l.mutex == gf.mutex; });
+      if (held) continue;
+      if (!emitted.insert({t.line, gf.name}).second) continue;
+      Emit(f, t.line, "guarded-by",
+           "field '" + gf.name + "' is guarded by '" + gf.mutex +
+               "' (annotation in " + files[gf.file].rel +
+               ") but accessed without it held; take the lock, annotate the "
+               "function with // ndp: requires(" + gf.mutex +
+               "), or waive with the synchronization argument",
+           out);
+    }
+  }
+}
+
+void PassGuardedBy(std::vector<SourceFile>& files, std::vector<Finding>* out) {
+  // Collect annotated fields per file, then check each declaring file and
+  // its .h/.cc sibling (the lexical scope where a member can be touched).
+  std::map<std::string, size_t> by_rel;
+  for (size_t i = 0; i < files.size(); ++i) by_rel[files[i].rel] = i;
+
+  std::map<size_t, std::vector<GuardedField>> per_file;
+  for (size_t fi = 0; fi < files.size(); ++fi) {
+    for (const Annotation& a : files[fi].annotations) {
+      if (a.kind != "guarded-by") continue;
+      GuardedField gf;
+      gf.mutex = TailName(a.arg);
+      gf.file = fi;
+      if (FieldOnLine(files[fi], a.line, &gf.name)) {
+        gf.decl_line = a.line;
+      } else if (FieldOnLine(files[fi], a.line + 1, &gf.name)) {
+        gf.decl_line = a.line + 1;
+      } else {
+        Emit(files[fi], a.line, "guarded-by",
+             "guarded-by annotation does not sit on (or above) a parseable "
+             "field declaration",
+             out);
+        continue;
+      }
+      per_file[fi].push_back(std::move(gf));
+    }
+  }
+
+  for (auto& [fi, fields] : per_file) {
+    std::set<size_t> targets = {fi};
+    const std::string& rel = files[fi].rel;
+    std::string sibling;
+    if (rel.size() > 2 && rel.rfind(".h") == rel.size() - 2) {
+      sibling = rel.substr(0, rel.size() - 2) + ".cc";
+    } else if (rel.size() > 3 && rel.rfind(".cc") == rel.size() - 3) {
+      sibling = rel.substr(0, rel.size() - 3) + ".h";
+    }
+    auto it = by_rel.find(sibling);
+    if (it != by_rel.end()) targets.insert(it->second);
+    for (size_t target : targets) {
+      CheckGuardedUses(files, target, fields, out);
+    }
+  }
+}
+
+// -- layer DAG ----------------------------------------------------------------
+
+const std::map<std::string, int> kLayerRank = {
+    {"util", 0}, {"sim", 1},  {"dram", 2}, {"accel", 2}, {"fault", 2},
+    {"jafar", 3}, {"cpu", 4}, {"db", 4},   {"core", 5},
+};
+
+/// Sanctioned back-edges: (including file, included path). db/trace.h
+/// replays operator traces through the cpu kernels to price a pushdown
+/// decision — reviewed and deliberate (DESIGN.md §7).
+const std::set<std::pair<std::string, std::string>> kSanctionedEdges = {
+    {"src/db/trace.h", "cpu/kernels.h"},
+};
+
+void PassLayerDag(std::vector<SourceFile>& files, const Index& idx,
+                  std::vector<Finding>* out) {
+  std::map<std::string, std::set<std::string>> graph;
+  std::map<std::pair<std::string, std::string>, const IncludeEdge*> first_edge;
+
+  for (const IncludeEdge& e : idx.includes) {
+    SourceFile& f = files[e.file];
+    if (f.layer.empty()) continue;
+    const std::string target_layer = e.target.substr(0, e.target.find('/'));
+    auto to = kLayerRank.find(target_layer);
+    if (to == kLayerRank.end()) continue;  // not a layer-relative include
+    auto from = kLayerRank.find(f.layer);
+    if (from == kLayerRank.end()) continue;
+    if (target_layer != f.layer) {
+      graph[f.layer].insert(target_layer);
+      first_edge.emplace(std::make_pair(f.layer, target_layer), &e);
+    }
+    if (kSanctionedEdges.count({f.rel, e.target}) > 0) continue;
+    const bool bad = to->second > from->second ||
+                     (to->second == from->second && target_layer != f.layer);
+    if (bad) {
+      Emit(f, e.line, "layer-dag",
+           "include of " + e.target + " breaks the layer DAG: " + f.layer +
+               " (rank " + std::to_string(from->second) + ") may only include "
+               "layers of strictly lower rank (util < sim < dram/accel/fault "
+               "< jafar < cpu/db < core); invert the dependency or add a "
+               "sanctioned back-edge",
+           out);
+    }
+  }
+
+  // Cycle detection over the layer graph (sanctioned edges included: an
+  // allowlisted edge must still not close a cycle).
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::function<bool(const std::string&, std::vector<std::string>*)> dfs =
+      [&](const std::string& n, std::vector<std::string>* cycle) {
+        color[n] = 1;
+        for (const std::string& m : graph[n]) {
+          if (color[m] == 1) {
+            cycle->push_back(m);
+            cycle->push_back(n);
+            return true;
+          }
+          if (color[m] == 0 && dfs(m, cycle)) {
+            if (cycle->front() != cycle->back()) cycle->push_back(n);
+            return true;
+          }
+        }
+        color[n] = 2;
+        return false;
+      };
+  for (const auto& [n, _] : graph) {
+    if (color[n] != 0) continue;
+    std::vector<std::string> cycle;
+    if (dfs(n, &cycle)) {
+      std::string desc;
+      for (auto it = cycle.rbegin(); it != cycle.rend(); ++it) {
+        desc += *it + " -> ";
+      }
+      desc += cycle.back();
+      const auto* e = first_edge[{cycle[1], cycle[0]}];
+      const size_t file = e ? e->file : 0;
+      const size_t line = e ? e->line : 1;
+      out->push_back(Finding{files[file].rel, line, "layer-dag",
+                             "include cycle between layers: " + desc});
+      break;
+    }
+  }
+}
+
+// -- knob coherence -----------------------------------------------------------
+
+bool WordInText(const std::string& text, const std::string& word) {
+  size_t pos = 0;
+  auto word_char = [](char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+  };
+  while ((pos = text.find(word, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !word_char(text[pos - 1]);
+    const size_t end = pos + word.size();
+    const bool right_ok = end >= text.size() || !word_char(text[end]);
+    if (left_ok && right_ok) return true;
+    pos = end;
+  }
+  return false;
+}
+
+bool NumericEq(const std::string& a, const std::string& b) {
+  char* end = nullptr;
+  const double da = std::strtod(a.c_str(), &end);
+  if (end != a.c_str() + a.size() || a.empty()) return true;  // not comparable
+  const double db = std::strtod(b.c_str(), &end);
+  if (end != b.c_str() + b.size() || b.empty()) return true;
+  return da == db;
+}
+
+void PassKnobCoherence(std::vector<SourceFile>& files, const Index& idx,
+                       std::vector<Finding>* out) {
+  std::map<std::string, std::vector<const KnobSite*>> read_sites;
+  for (const KnobSite& k : idx.knobs) {
+    if (k.is_read) read_sites[k.name].push_back(&k);
+  }
+  std::map<std::string, std::vector<const ReadmeKnob*>> readme_env;
+  std::map<std::string, const ReadmeKnob*> readme_cmake;
+  for (const ReadmeKnob& r : idx.readme) {
+    if (r.kind == "env") {
+      readme_env[r.name].push_back(&r);
+    } else {
+      readme_cmake.emplace(r.name, &r);
+    }
+  }
+
+  // code → README: every knob read in code appears exactly once.
+  for (const auto& [name, sites] : read_sites) {
+    if (!idx.have_readme) break;
+    auto it = readme_env.find(name);
+    if (it == readme_env.end()) {
+      const KnobSite* s = sites.front();
+      Emit(files[s->file], s->line, "knob-coherence",
+           "env knob " + name +
+               " is read here but has no row in the README knob table "
+               "(README.md \"Configuration knobs\")",
+           out);
+    } else if (it->second.size() > 1) {
+      out->push_back(Finding{
+          idx.readme_rel, it->second[1]->line, "knob-coherence",
+          "env knob " + name + " is listed " +
+              std::to_string(it->second.size()) +
+              " times in the README knob table; keep exactly one row"});
+    }
+  }
+
+  // README → code.
+  for (const auto& [name, rows] : readme_env) {
+    if (read_sites.count(name) > 0) continue;
+    if (WordInText(idx.check_sh, name)) continue;  // shell-only knob
+    out->push_back(Finding{
+        idx.readme_rel, rows.front()->line, "knob-coherence",
+        "README lists env knob " + name +
+            " but no code reads it (getenv/Env*/OverlayEnv*) and "
+            "tools/check.sh does not reference it; delete the stale row"});
+  }
+  std::set<std::string> cmake_names;
+  for (const auto& [name, line] : idx.cmake_opts) cmake_names.insert(name);
+  for (const auto& [name, row] : readme_cmake) {
+    if (cmake_names.count(name) > 0) continue;
+    out->push_back(Finding{
+        idx.readme_rel, row->line, "knob-coherence",
+        "README lists CMake option " + name +
+            " but the top-level CMakeLists.txt defines no such option"});
+  }
+  if (idx.have_readme && idx.have_cmake) {
+    for (const auto& [name, line] : idx.cmake_opts) {
+      if (name.rfind("NDP_", 0) != 0 && name.rfind("JAFAR_", 0) != 0) continue;
+      if (readme_cmake.count(name) > 0) continue;
+      out->push_back(Finding{
+          "CMakeLists.txt", line, "knob-coherence",
+          "CMake option " + name + " has no row in the README knob table"});
+    }
+  }
+
+  // NDP_* default agreement across call sites, and against the README cell.
+  for (const auto& [name, sites] : read_sites) {
+    if (name.rfind("NDP_", 0) != 0) continue;
+    const KnobSite* first_def = nullptr;
+    for (const KnobSite* s : sites) {
+      if (s->def.empty()) continue;
+      if (!first_def) {
+        first_def = s;
+      } else if (s->def != first_def->def) {
+        Emit(files[s->file], s->line, "knob-coherence",
+             "default for " + name + " here (" + s->def +
+                 ") disagrees with " + files[first_def->file].rel + ":" +
+                 std::to_string(first_def->line) + " (" + first_def->def +
+                 "); one site must own the default",
+             out);
+      }
+    }
+    auto it = readme_env.find(name);
+    if (first_def && it != readme_env.end() &&
+        !NumericEq(it->second.front()->def, first_def->def)) {
+      out->push_back(Finding{
+          idx.readme_rel, it->second.front()->line, "knob-coherence",
+          "README default for " + name + " (" + it->second.front()->def +
+              ") does not match the call-site default (" + first_def->def +
+              ")"});
+    }
+  }
+}
+
+}  // namespace
+
+void RunPasses(std::vector<SourceFile>& files, const Index& idx,
+               std::vector<Finding>* out) {
+  PassStatsCoherence(files, idx, out);
+  PassGuardedBy(files, out);
+  PassLayerDag(files, idx, out);
+  PassKnobCoherence(files, idx, out);
+}
+
+void RunMetaPasses(std::vector<SourceFile>& files, std::vector<Finding>* out) {
+  for (SourceFile& f : files) {
+    for (const Waiver& w : f.waivers) {
+      if (!w.has_reason) {
+        out->push_back(Finding{
+            f.rel, w.line, "waiver-reason",
+            "waiver for '" + w.rule +
+                "' carries no reason; say in the comment why this line is "
+                "exempt (waiver-reason cannot itself be waived)"});
+      }
+      if (!w.used) {
+        out->push_back(Finding{
+            f.rel, w.line, "stale-waiver",
+            "waiver for '" + w.rule +
+                "' suppresses nothing — no such finding fires on this or the "
+                "next line; delete it (stale-waiver cannot itself be waived)"});
+      }
+    }
+  }
+}
+
+}  // namespace ndp::analyze

@@ -1,0 +1,37 @@
+// The whole-program passes — what single-file regex fundamentally cannot do.
+//
+//   stats-unregistered  every dotted stats path read by string must resolve
+//                       against the registered universe (exact segments,
+//                       "prefix"+i dynamic scopes, histogram subleaves)
+//   stats-dead          a registered leaf never named by any non-registration
+//                       string literal anywhere in the corpus is dead weight
+//   guarded-by          fields annotated "// ndp: guarded-by(m)" may only be
+//                       touched while m is lexically held (lock_guard/
+//                       unique_lock/scoped_lock scopes, .unlock()/.lock(),
+//                       "// ndp: requires(m)" function annotations)
+//   layer-dag           #include edges must respect util → sim →
+//                       dram/accel/fault → jafar → cpu/db → core, with an
+//                       explicit allowlist for sanctioned back-edges
+//   knob-coherence      every env knob read in code appears exactly once in
+//                       the README knob table and vice versa; NDP_* call
+//                       sites may not disagree on defaults
+//
+// Meta rules (unwaivable, run last):
+//   waiver-reason       a waiver must say why the line is exempt
+//   stale-waiver        a waiver that suppressed nothing is itself a finding
+#pragma once
+
+#include <vector>
+
+#include "index.h"
+#include "source.h"
+
+namespace ndp::analyze {
+
+void RunPasses(std::vector<SourceFile>& files, const Index& idx,
+               std::vector<Finding>* out);
+
+/// waiver-reason + stale-waiver; call after every rule and pass has run.
+void RunMetaPasses(std::vector<SourceFile>& files, std::vector<Finding>* out);
+
+}  // namespace ndp::analyze

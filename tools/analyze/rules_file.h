@@ -1,0 +1,17 @@
+// The eleven per-file rules ported from the seed ndp_lint scanner onto the
+// lexed IR: each regex now runs over sanitized code lines (comments blanked,
+// literal contents emptied), so a banned identifier inside a comment or a
+// string can no longer fire, and the stats-path grammar check reads the
+// actual string tokens instead of re-parsing quotes. Rule ids, messages,
+// waiver behavior, and finding positions are unchanged from the seed.
+#pragma once
+
+#include <vector>
+
+#include "source.h"
+
+namespace ndp::analyze {
+
+void RunFileRules(SourceFile& f, std::vector<Finding>* out);
+
+}  // namespace ndp::analyze

@@ -2,10 +2,14 @@
 # One-shot correctness lane: configure, build, and run every check the repo
 # ships, in the order a reviewer would want them to fail.
 #
-#   1. default build    — full ctest suite (unit + bench_smoke + lint labels)
-#   2. ndp-lint         — invariant scan of src/ bench/ tests/ (also a ctest,
-#                         but run directly here so its findings print even if
-#                         the build of the test tree fails)
+#   1. default build    — full ctest suite (unit + bench_smoke + lint +
+#                         analyze labels)
+#   2. ndp-analyze      — whole-program analysis of src/ bench/ tests/ (the
+#                         lexed file rules plus the cross-TU stats/guarded-by/
+#                         layer-DAG/knob passes; also a ctest, but run
+#                         directly here so its findings print even if the
+#                         build of the test tree fails), then the fixture
+#                         corpus against its golden report
 #   3. protocol build   — -DNDP_PROTOCOL_CHECK=ON: every DRAM command the
 #                         suite issues is audited against the DDR3 JEDEC
 #                         timing rules by the shadow checker
@@ -28,7 +32,7 @@
 #                         ships gcc only)
 #
 # All three sanitizer/protocol lanes run from this one driver; skip the slow
-# tail lanes with NDP_CHECK_FAST=1 (build + lint + default ctest only).
+# tail lanes with NDP_CHECK_FAST=1 (build + analysis + default ctest only).
 #
 # Usage: tools/check.sh [build-dir-prefix]   (default: build)
 # Environment: JOBS=<n> overrides the parallelism (default: nproc).
@@ -44,10 +48,12 @@ step "configure + build (${PREFIX})"
 cmake -B "${PREFIX}" -S . >/dev/null
 cmake --build "${PREFIX}" -j "${JOBS}"
 
-step "ndp-lint"
-"./${PREFIX}/tools/ndp_lint" .
+step "ndp-analyze"
+"./${PREFIX}/tools/ndp_analyze" .
+"./${PREFIX}/tools/ndp_analyze" --expect tests/lint/expected.txt \
+  tests/lint/fixtures
 
-step "ctest (${PREFIX}: unit + bench_smoke + lint)"
+step "ctest (${PREFIX}: unit + bench_smoke + lint + analyze)"
 ctest --test-dir "${PREFIX}" -j "${JOBS}" --output-on-failure
 
 if [[ "${NDP_CHECK_FAST:-0}" == "1" ]]; then
