@@ -71,6 +71,59 @@ bool CheckGenerationsBlock(const char* path, const ndp::json::Value& block) {
   return true;
 }
 
+/// BENCH_serving.json carries the overload-ladder schema on top of the
+/// generic Reporter one: the config pins the experiment size and the
+/// interactive SLO, every ladder point ("load...") reports offered vs.
+/// goodput qps plus the full latency tail and the oracle verdict, and a
+/// "summary" point carries the derived peak/saturation numbers the no-cliff
+/// analysis keys on. A serving file missing any of these is rejected — the
+/// downstream goodput regression tracker would otherwise silently chart 0s.
+bool CheckServingSchema(const char* path, const ndp::json::Value& root) {
+  const ndp::json::Value& config = *root.Find("config");
+  for (const char* field : {"rows", "window_us", "interactive_slo_us"}) {
+    const ndp::json::Value* v = config.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr, "%s: serving config: missing numeric \"%s\"\n",
+                   path, field);
+      return false;
+    }
+  }
+  bool has_summary = false;
+  for (const ndp::json::Value& p : root.Find("points")->items()) {
+    const std::string& label = p.Find("label")->AsString();
+    const ndp::json::Value& metrics = *p.Find("metrics");
+    if (label == "summary") {
+      has_summary = true;
+      for (const char* field :
+           {"peak_goodput_qps", "saturation_load_reqs_per_us"}) {
+        const ndp::json::Value* v = metrics.Find(field);
+        if (v == nullptr || !v->is_number()) {
+          std::fprintf(stderr, "%s: serving summary: missing numeric \"%s\"\n",
+                       path, field);
+          return false;
+        }
+      }
+      continue;
+    }
+    if (label.rfind("load", 0) != 0) continue;
+    for (const char* field : {"offered_qps", "goodput_qps", "governor_on",
+                              "p50_us", "p99_us", "p999_us", "match"}) {
+      const ndp::json::Value* v = metrics.Find(field);
+      if (v == nullptr || !v->is_number()) {
+        std::fprintf(stderr,
+                     "%s: serving point \"%s\": missing numeric \"%s\"\n",
+                     path, label.c_str(), field);
+        return false;
+      }
+    }
+  }
+  if (!has_summary) {
+    std::fprintf(stderr, "%s: serving file has no \"summary\" point\n", path);
+    return false;
+  }
+  return true;
+}
+
 bool CheckFile(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -138,6 +191,9 @@ bool CheckFile(const char* path) {
         }
       }
     }
+  }
+  if (name->AsString() == "serving" && !CheckServingSchema(path, root)) {
+    return false;
   }
   std::printf("%s: ok (%zu points)\n", path, points->size());
   return true;

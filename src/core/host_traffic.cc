@@ -85,4 +85,173 @@ void HostTrafficGen::TryEnqueue(uint64_t addr, bool is_write,
   }
 }
 
+// -- ClientFleet --------------------------------------------------------------
+
+ClientFleet::ClientFleet(sim::EventQueue* eq, ServingIngress* ingress,
+                         FleetConfig config, const StatsScope& stats)
+    : eq_(eq), ingress_(ingress), config_(config) {
+  NDP_CHECK(config_.reqs_per_us > 0.0 && config_.think_ps > 0);
+  NDP_CHECK(config_.span > 0 &&
+            config_.value_hi - config_.value_lo >= config_.span);
+  size_t n = ingress_->num_tenants();
+  NDP_CHECK(n > 0);
+  rngs_.reserve(n);
+  stats_.resize(n);
+  for (uint32_t t = 0; t < n; ++t) {
+    // One PCG32 stream per tenant: tenant t's request sequence is invariant
+    // to every other tenant's loop type and to the overload response.
+    rngs_.emplace_back(config_.seed, /*stream=*/2 * uint64_t{t} + 1);
+    const TenantSpec& spec = ingress_->tenant(t);
+    if (spec.closed_loop_windows == 0) open_weight_total_ += spec.weight;
+    if (stats.active()) {
+      StatsScope ts = stats.Sub("tenant" + std::to_string(t));
+      ts.Counter("issued", &stats_[t].issued);
+      ts.Counter("goodput", &stats_[t].goodput);
+      ts.Counter("shed", &stats_[t].shed);
+      ts.Counter("late", &stats_[t].late);
+      ts.Counter("failed", &stats_[t].failed);
+      ts.Counter("mismatches", &stats_[t].mismatches);
+      ts.Histogram("latency_ps", &stats_[t].latency);
+    }
+  }
+}
+
+void ClientFleet::Start() {
+  running_ = true;
+  for (uint32_t t = 0; t < ingress_->num_tenants(); ++t) {
+    const TenantSpec& spec = ingress_->tenant(t);
+    if (spec.closed_loop_windows == 0) {
+      ScheduleOpenArrival(t);
+    } else {
+      for (uint32_t w = 0; w < spec.closed_loop_windows; ++w) IssueOne(t);
+    }
+  }
+}
+
+void ClientFleet::Stop() { running_ = false; }
+
+uint64_t ClientFleet::issued() const {
+  uint64_t n = 0;
+  for (const TenantStats& s : stats_) n += s.issued;
+  return n;
+}
+
+uint64_t ClientFleet::goodput() const {
+  uint64_t n = 0;
+  for (const TenantStats& s : stats_) n += s.goodput;
+  return n;
+}
+
+uint64_t ClientFleet::shed() const {
+  uint64_t n = 0;
+  for (const TenantStats& s : stats_) n += s.shed;
+  return n;
+}
+
+uint64_t ClientFleet::mismatches() const {
+  uint64_t n = 0;
+  for (const TenantStats& s : stats_) n += s.mismatches;
+  return n;
+}
+
+void ClientFleet::Mix(uint64_t* digest, uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    *digest ^= (v >> (8 * i)) & 0xff;
+    *digest *= 1099511628211ULL;  // FNV-1a prime
+  }
+}
+
+void ClientFleet::ScheduleOpenArrival(uint32_t tenant) {
+  if (!running_) return;
+  const TenantSpec& spec = ingress_->tenant(tenant);
+  double rate = config_.reqs_per_us * spec.weight / open_weight_total_;
+  double u = rngs_[tenant].NextDouble();
+  double gap_ps = -std::log(1.0 - u) * (1.0e6 / rate);
+  eq_->ScheduleAfter(static_cast<sim::Tick>(gap_ps) + 1, [this, tenant] {
+    if (!running_) return;
+    IssueOne(tenant);
+    ScheduleOpenArrival(tenant);
+  });
+}
+
+void ClientFleet::ScheduleThink(uint32_t tenant) {
+  if (!running_) return;
+  double u = rngs_[tenant].NextDouble();
+  double gap_ps = -std::log(1.0 - u) * static_cast<double>(config_.think_ps);
+  eq_->ScheduleAfter(static_cast<sim::Tick>(gap_ps) + 1, [this, tenant] {
+    if (!running_) return;
+    IssueOne(tenant);
+  });
+}
+
+void ClientFleet::IssueOne(uint32_t tenant) {
+  Rng& rng = rngs_[tenant];
+  const TenantSpec& spec = ingress_->tenant(tenant);
+  ServingRequest req;
+  req.tenant = tenant;
+  req.table = rng.NextBounded(static_cast<uint32_t>(ingress_->num_tables()));
+  req.lo = config_.value_lo +
+           rng.NextInRange(0, config_.value_hi - config_.value_lo -
+                                  config_.span);
+  req.hi = req.lo + config_.span - 1;
+  req.deadline_ps = spec.deadline_ps == 0 || !config_.propagate_deadlines
+                        ? 0
+                        : eq_->Now() + spec.deadline_ps;
+  uint32_t ring =
+      static_cast<uint32_t>(issue_seq_++ % ingress_->config().rings);
+  ++stats_[tenant].issued;
+  Mix(&issue_digest_, tenant);
+  Mix(&issue_digest_, req.table);
+  Mix(&issue_digest_, static_cast<uint64_t>(req.lo));
+  Mix(&issue_digest_, static_cast<uint64_t>(eq_->Now()));
+  ServingRequest oracle_req = req;  // callback outlives `req`
+  ingress_->Enqueue(ring, req,
+                    [this, tenant, oracle_req](const ServingResult& res) {
+                      if (oracle_ && IsGoodput(res.outcome) &&
+                          oracle_(oracle_req) != res.matches) {
+                        ++stats_[tenant].mismatches;
+                      }
+                      OnDone(tenant, res);
+                    });
+}
+
+void ClientFleet::OnDone(uint32_t tenant, const ServingResult& res) {
+  TenantStats& ts = stats_[tenant];
+  Mix(&outcome_digest_, static_cast<uint64_t>(res.outcome));
+  Mix(&outcome_digest_, static_cast<uint64_t>(res.completed_ps));
+  switch (res.outcome) {
+    case ServeOutcome::kOk:
+    case ServeOutcome::kOkCpuFallback: {
+      // Client-side SLO judgment: with deadline propagation off (the naive
+      // control) the ingress completes everything eventually, but a
+      // completion past the tenant SLO is still not goodput.
+      const sim::Tick latency = res.completed_ps - res.accepted_ps;
+      const sim::Tick slo = ingress_->tenant(tenant).deadline_ps;
+      if (slo != 0 && latency > slo) {
+        ++ts.late;
+        break;
+      }
+      ++ts.goodput;
+      ts.latency.Add(static_cast<double>(latency));
+      break;
+    }
+    case ServeOutcome::kShedRingFull:
+    case ServeOutcome::kShedSlotsExhausted:
+    case ServeOutcome::kShedLowPriority:
+    case ServeOutcome::kShedRetryBudget:
+      ++ts.shed;
+      break;
+    case ServeOutcome::kExpiredAtAdmission:
+    case ServeOutcome::kDeadlineExceeded:
+      ++ts.late;
+      break;
+    case ServeOutcome::kFailed:
+      ++ts.failed;
+      break;
+  }
+  // Closed-loop tenants refill their window after a think pause; the pause
+  // (not recursion) is what breaks the synchronous-shed cycle.
+  if (ingress_->tenant(tenant).closed_loop_windows > 0) ScheduleThink(tenant);
+}
+
 }  // namespace ndp::core

@@ -7,8 +7,10 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
+#include "core/ingress.h"
 #include "dram/controller.h"
 #include "sim/event_queue.h"
 #include "util/rng.h"
@@ -75,6 +77,96 @@ class HostTrafficGen {
   uint64_t completed_ = 0;
   uint64_t retries_ = 0;
   Histogram latency_{0.0, 2.0e8, 200};
+};
+
+/// \brief Client-fleet knobs: the serving-side workload shape.
+struct FleetConfig {
+  /// Aggregate open-loop arrival rate across all open-loop tenants,
+  /// requests per microsecond (split by tenant weight).
+  double reqs_per_us = 0.05;
+  /// Mean think time between a closed-loop completion and the next request.
+  sim::Tick think_ps = 2'000'000;
+  /// PCG32 seed; every tenant derives its own stream from it.
+  uint64_t seed = 1;
+  /// Select predicates are [lo, lo + span - 1] with lo uniform over
+  /// [value_lo, value_hi - span].
+  int64_t value_lo = 0;
+  int64_t value_hi = 1'000'000;
+  int64_t span = 50'000;
+  /// When false, requests are issued with no deadline (the pre-ingress
+  /// control: nothing is ever cancelled, late work completes silently). The
+  /// fleet still judges completions against the tenant SLO client-side, so
+  /// goodput means "on time" under either mode.
+  bool propagate_deadlines = true;
+};
+
+/// \brief Seeded open/closed-loop serving clients over a ServingIngress.
+///
+/// One independent PCG32 stream per tenant, so the issued request sequence
+/// (tenants, tables, predicates, arrival ticks) is a pure function of
+/// (FleetConfig, TenantSpec list) — the reproducibility tests pin this via
+/// issue_digest(). Open-loop tenants arrive Poisson at a weight-proportional
+/// share of reqs_per_us and do not slow down when shed (that is what makes
+/// overload possible); closed-loop tenants keep a fixed window outstanding
+/// with exponential think time, the classic self-throttling client.
+class ClientFleet {
+ public:
+  /// Per-tenant outcome accounting (registered under "<scope>.tenant<i>.").
+  struct TenantStats {
+    uint64_t issued = 0;
+    uint64_t goodput = 0;     ///< completed within the tenant SLO
+    uint64_t shed = 0;        ///< rejected: ring/pool/priority/retry-budget
+    uint64_t late = 0;        ///< expired, cancelled, or completed past SLO
+    uint64_t failed = 0;      ///< terminal NDP failure
+    uint64_t mismatches = 0;  ///< oracle disagreements (should stay 0)
+    Histogram latency{0.0, 4.0e9, 400};  ///< goodput latency, ps
+  };
+
+  ClientFleet(sim::EventQueue* eq, ServingIngress* ingress, FleetConfig config,
+              const StatsScope& stats = {});
+  NDP_DISALLOW_COPY_AND_ASSIGN(ClientFleet);
+
+  /// Optional per-request ground truth: when set, every goodput completion
+  /// is checked against it and disagreements count as mismatches.
+  void set_oracle(std::function<uint64_t(const ServingRequest&)> oracle) {
+    oracle_ = std::move(oracle);
+  }
+
+  /// Starts every tenant's arrival process.
+  void Start();
+  /// Stops issuing; in-flight requests still reach their terminal outcome.
+  void Stop();
+
+  const TenantStats& tenant_stats(uint32_t t) const { return stats_[t]; }
+  uint64_t issued() const;
+  uint64_t goodput() const;
+  uint64_t shed() const;
+  uint64_t mismatches() const;
+  /// FNV-1a digest over the issued request stream (tenant, table, predicate,
+  /// arrival tick) — equal seeds must produce equal digests, any thread
+  /// count, any overload response.
+  uint64_t issue_digest() const { return issue_digest_; }
+  /// Same, over (outcome, completion tick) of every terminal callback.
+  uint64_t outcome_digest() const { return outcome_digest_; }
+
+ private:
+  void ScheduleOpenArrival(uint32_t tenant);
+  void ScheduleThink(uint32_t tenant);
+  void IssueOne(uint32_t tenant);
+  void OnDone(uint32_t tenant, const ServingResult& res);
+  void Mix(uint64_t* digest, uint64_t v);
+
+  sim::EventQueue* eq_;
+  ServingIngress* ingress_;
+  FleetConfig config_;
+  bool running_ = false;
+  double open_weight_total_ = 0.0;
+  uint64_t issue_seq_ = 0;  ///< round-robins requests over the rings
+  uint64_t issue_digest_ = 1469598103934665603ULL;   ///< FNV-1a basis
+  uint64_t outcome_digest_ = 1469598103934665603ULL;
+  std::function<uint64_t(const ServingRequest&)> oracle_;
+  std::vector<Rng> rngs_;          ///< one stream per tenant
+  std::vector<TenantStats> stats_; ///< sized at construction, stable
 };
 
 }  // namespace ndp::core

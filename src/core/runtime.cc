@@ -207,6 +207,10 @@ struct NdpRuntime::Job {
   int64_t agg_value = 0;
   bool agg_first = true;
   uint64_t leases = 0;
+  /// Absolute cancellation time (0 = none): checked at every chunk-boundary
+  /// dispatch and again before completion, so an expired job is never
+  /// silently completed late.
+  sim::Tick deadline_ps = 0;
   /// Chunks created for this job and not yet retired/destroyed. Completion
   /// triggers when the LAST chunk retires — `rows_completed == total_rows`
   /// alone is not enough, because interleaved lease completions can make it
@@ -281,6 +285,7 @@ NdpRuntime::NdpRuntime(DimmArray* array, RuntimeConfig config)
   scope.Counter("stolen_pages", &counters_.stolen_pages);
   scope.Counter("lane_failures", &counters_.lane_failures);
   scope.Counter("chunks_reassigned", &counters_.chunks_reassigned);
+  scope.Counter("deadline_cancellations", &counters_.deadline_cancellations);
   for (uint32_t c = 0; c < channels; ++c) {
     StatsScope ch = scope.Sub("ctrl" + std::to_string(c));
     LeaseController* lc = controllers_[c].get();
@@ -351,24 +356,55 @@ Result<NdpRuntime::JobId> NdpRuntime::SubmitSelect(const PlacedColumn& col,
                                                    int64_t lo, int64_t hi,
                                                    JobPriority priority,
                                                    JobCallback on_done) {
+  SubmitOptions opts;
+  opts.priority = priority;
+  opts.on_done = std::move(on_done);
   return Submit(col, JobKind::kSelect, jafar::CompareOp::kBetween, lo, hi,
-                jafar::AggKind::kSum, priority, std::move(on_done));
+                jafar::AggKind::kSum, std::move(opts), /*poke_lanes=*/true);
+}
+
+Result<NdpRuntime::JobId> NdpRuntime::SubmitSelectWith(const PlacedColumn& col,
+                                                       int64_t lo, int64_t hi,
+                                                       SubmitOptions opts) {
+  return Submit(col, JobKind::kSelect, jafar::CompareOp::kBetween, lo, hi,
+                jafar::AggKind::kSum, std::move(opts), /*poke_lanes=*/true);
+}
+
+Result<std::vector<NdpRuntime::JobId>> NdpRuntime::SubmitSelectBurst(
+    std::vector<BurstSelect> burst) {
+  std::vector<JobId> ids;
+  ids.reserve(burst.size());
+  for (BurstSelect& b : burst) {
+    NDP_CHECK(b.col != nullptr);
+    NDP_ASSIGN_OR_RETURN(
+        JobId id, Submit(*b.col, JobKind::kSelect, jafar::CompareOp::kBetween,
+                         b.lo, b.hi, jafar::AggKind::kSum, std::move(b.opts),
+                         /*poke_lanes=*/false));
+    ids.push_back(id);
+  }
+  // One wake-up for the whole burst: every chunk of every request is queued
+  // (priority, seq)-ordered before any lane picks its next lease.
+  for (auto& lane : lanes_) Poke(*lane);
+  return ids;
 }
 
 Result<NdpRuntime::JobId> NdpRuntime::SubmitAggregate(const PlacedColumn& col,
                                                       jafar::AggKind kind,
                                                       JobPriority priority,
                                                       JobCallback on_done) {
+  SubmitOptions opts;
+  opts.priority = priority;
+  opts.on_done = std::move(on_done);
   return Submit(col, JobKind::kAggregate, jafar::CompareOp::kBetween, 0, 0,
-                kind, priority, std::move(on_done));
+                kind, std::move(opts), /*poke_lanes=*/true);
 }
 
 Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
                                              JobKind kind, jafar::CompareOp op,
                                              int64_t lo, int64_t hi,
                                              jafar::AggKind agg,
-                                             JobPriority priority,
-                                             JobCallback on_done) {
+                                             SubmitOptions opts,
+                                             bool poke_lanes) {
   if (col.total_rows == 0) {
     return Status::InvalidArgument("runtime: cannot submit an empty column");
   }
@@ -378,7 +414,7 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
   auto job = std::make_unique<Job>();
   job->id = next_job_id_++;
   job->kind = kind;
-  job->priority = priority;
+  job->priority = opts.priority;
   job->op = op;
   job->lo = lo;
   job->hi = hi;
@@ -386,7 +422,8 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
   job->total_rows = col.total_rows;
   if (kind == JobKind::kSelect) job->bitmap.Resize(col.total_rows);
   job->submitted_ps = eq_.Now();
-  job->on_done = std::move(on_done);
+  job->deadline_ps = opts.deadline_ps;
+  job->on_done = std::move(opts.on_done);
   Job* j = job.get();
   jobs_[j->id] = std::move(job);
   ++counters_.jobs_submitted;
@@ -397,7 +434,7 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
     auto chunk = std::make_unique<Chunk>();
     chunk->job = j;
     chunk->seq = next_chunk_seq_++;
-    chunk->priority = priority;
+    chunk->priority = j->priority;
     chunk->col_base = part.col_base;
     chunk->out_base = part.out_base;
     chunk->first_row = part.first_row;
@@ -414,8 +451,8 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
         }
       }
       NDP_CHECK(target != nullptr);
-      if (!TransplantRows(*target, *j, priority, part.col_base, part.first_row,
-                          part.rows)) {
+      if (!TransplantRows(*target, *j, j->priority, part.col_base,
+                          part.first_row, part.rows)) {
         FailJob(*j, Status::ResourceExhausted(
                         "runtime: no space to reroute placement"));
         return j->id;
@@ -429,8 +466,11 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
     InsertChunk(lane, std::move(chunk));
   }
   // Wake everyone only once the whole submission is in place; chunk-less
-  // lanes immediately volunteer as steal targets for it.
-  for (auto& lane : lanes_) Poke(*lane);
+  // lanes immediately volunteer as steal targets for it. Burst admission
+  // (poke_lanes=false) defers even this to the end of the burst.
+  if (poke_lanes) {
+    for (auto& lane : lanes_) Poke(*lane);
+  }
   return j->id;
 }
 
@@ -490,10 +530,18 @@ void NdpRuntime::MaybeDispatch(Lane& lane) {
 void NdpRuntime::DispatchNow(Lane& lane) {
   if (lane.state != Lane::State::kIdle) return;
   // Drop chunks of jobs that already failed (lane deaths purge queues, but a
-  // failure can race an in-flight lease of a sibling chunk).
-  while (!lane.queue.empty() && lane.queue.front()->job->failed) {
-    --lane.queue.front()->job->chunks_live;
-    lane.queue.pop_front();
+  // failure can race an in-flight lease of a sibling chunk), and cancel jobs
+  // whose deadline passed while they queued — the chunk boundary is the
+  // cancellation point, so an expired job never starts another lease.
+  while (!lane.queue.empty()) {
+    Job* front_job = lane.queue.front()->job;
+    if (front_job->failed) {
+      --front_job->chunks_live;
+      lane.queue.pop_front();
+      continue;
+    }
+    if (CancelIfExpired(*front_job)) continue;  // FailJob purged the queues
+    break;
   }
   if (lane.queue.empty()) {
     TrySteal(lane);
@@ -770,8 +818,21 @@ void NdpRuntime::RetireChunkImpl(Chunk& c) {
     // Only now is every chunk's bitmap merged; a rows_completed check alone
     // would double-complete under interleaved final leases.
     NDP_CHECK(job.rows_completed == job.total_rows);
+    // Never silently complete late: a job whose last lease landed past the
+    // deadline reports DeadlineExceeded, not a stale success.
+    if (CancelIfExpired(job)) return;
     CompleteJob(job);
   }
+}
+
+bool NdpRuntime::CancelIfExpired(Job& job) {
+  if (job.failed || job.deadline_ps == 0 || eq_.Now() <= job.deadline_ps) {
+    return false;
+  }
+  ++counters_.deadline_cancellations;
+  FailJob(job, Status::DeadlineExceeded(
+                   "runtime: job cancelled at chunk boundary past deadline"));
+  return true;
 }
 
 void NdpRuntime::MergeBitmapRange(Job& job, uint64_t first_row, uint64_t rows,

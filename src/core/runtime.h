@@ -150,6 +150,17 @@ class LeaseController {
 enum class JobPriority : uint8_t { kInteractive = 0, kBatch = 1 };
 enum class JobKind : uint8_t { kSelect, kAggregate };
 
+/// Per-job submission options. `deadline_ps` is an absolute simulated time;
+/// 0 means no deadline. A deadlined job whose deadline passes is cancelled at
+/// the next chunk boundary (queued chunks dropped before their lease starts)
+/// and can never complete late: the completion path re-checks the deadline
+/// and fails the job with DeadlineExceeded instead of reporting success.
+struct SubmitOptions {
+  JobPriority priority = JobPriority::kBatch;
+  sim::Tick deadline_ps = 0;
+  std::function<void(const struct JobResult&)> on_done;
+};
+
 /// Completion record of one runtime job.
 struct JobResult {
   uint64_t job_id = 0;
@@ -189,6 +200,22 @@ class NdpRuntime {
                                 JobPriority priority = JobPriority::kBatch,
                                 JobCallback on_done = {});
 
+  /// Deadline-carrying select (the serving-ingress admission entry).
+  Result<JobId> SubmitSelectWith(const PlacedColumn& col, int64_t lo,
+                                 int64_t hi, SubmitOptions opts);
+
+  /// One select of a batch-admission burst: the ingress drains its rings in
+  /// bursts and admits the whole burst before any lane wakes, so one poke
+  /// pass (not one per request) amortizes queue/lease overhead.
+  struct BurstSelect {
+    const PlacedColumn* col = nullptr;
+    int64_t lo = 0, hi = 0;
+    SubmitOptions opts;
+  };
+  /// Admits every select in `burst`, then wakes the lanes once. Entry i of
+  /// the result corresponds to burst[i].
+  Result<std::vector<JobId>> SubmitSelectBurst(std::vector<BurstSelect> burst);
+
   /// Pumps the array's event queue until every submitted job completed.
   Status Drain();
   /// Pumps until one specific job completed (other jobs keep progressing).
@@ -216,8 +243,10 @@ class NdpRuntime {
 
   Result<JobId> Submit(const PlacedColumn& col, JobKind kind,
                        jafar::CompareOp op, int64_t lo, int64_t hi,
-                       jafar::AggKind agg, JobPriority priority,
-                       JobCallback on_done);
+                       jafar::AggKind agg, SubmitOptions opts,
+                       bool poke_lanes);
+  /// True (and fails + counts the job) when its deadline has already passed.
+  bool CancelIfExpired(Job& job);
   Result<PlacedColumn*> EnsurePlaced(const db::Column& col);
 
   /// Inserts into the lane's (priority, seq)-ordered queue without waking
@@ -293,6 +322,7 @@ class NdpRuntime {
     uint64_t stolen_pages = 0;
     uint64_t lane_failures = 0;
     uint64_t chunks_reassigned = 0;
+    uint64_t deadline_cancellations = 0;
   } counters_;
 
   std::vector<std::string> busy_paths_rc_, busy_paths_wc_;

@@ -48,6 +48,19 @@ class SpscQueue {
     head_.store(head + 1, std::memory_order_release);
   }
 
+  /// Bounded producer side, for callers that must shed rather than buffer:
+  /// refuses (returns false) when the ring is full or a spill is in progress,
+  /// never touching the overflow deque. The serving ingress uses this so a
+  /// traffic burst hits a hard ring boundary instead of growing the heap.
+  bool TryPush(T value) {
+    size_t head = head_.load(std::memory_order_relaxed);
+    size_t tail = tail_.load(std::memory_order_acquire);
+    if (spilling_ || head - tail >= slots_.size()) return false;
+    slots_[head & mask_] = std::move(value);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
   /// Consumer side: pops in FIFO order (ring first, then the spill, which by
   /// construction holds only messages pushed after the ring filled). Returns
   /// false when the edge is empty.

@@ -18,6 +18,7 @@ const char* StatusCodeToString(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kDeviceBusy: return "DeviceBusy";
     case StatusCode::kTimingViolation: return "TimingViolation";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }

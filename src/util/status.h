@@ -22,8 +22,9 @@ enum class StatusCode : uint8_t {
   kResourceExhausted,
   kUnimplemented,
   kInternal,
-  kDeviceBusy,     ///< accelerator is executing another command
-  kTimingViolation ///< a DRAM command violated the timing rules
+  kDeviceBusy,       ///< accelerator is executing another command
+  kTimingViolation,  ///< a DRAM command violated the timing rules
+  kDeadlineExceeded  ///< work cancelled because its deadline passed
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -71,6 +72,9 @@ class [[nodiscard]] Status {
   }
   static Status TimingViolation(std::string msg) {
     return Status(StatusCode::kTimingViolation, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

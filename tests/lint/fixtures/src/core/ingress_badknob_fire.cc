@@ -1,0 +1,7 @@
+// bounded-queue fixture: an annotation naming a knob nothing reads claims an
+// unverifiable bound and must fire the cross-check.
+#include <vector>
+
+struct IngressOverflow {
+  std::vector<int> overflow_;  // ndp: bounded-by(NDP_FIX_NOPE)
+};

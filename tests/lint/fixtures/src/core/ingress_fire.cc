@@ -1,0 +1,7 @@
+// bounded-queue fixture: a growable container on the ingress/admission path
+// with no bounded-by annotation (and no waiver) must fire.
+#include <vector>
+
+struct IngressBacklog {
+  std::vector<int> backlog_;
+};

@@ -1,0 +1,11 @@
+// bounded-queue fixture: the annotated example — the pool's capacity knob is
+// read by real code, so the claimed bound cross-checks against the knob
+// index and nothing fires.
+#include <cstdlib>
+#include <vector>
+
+struct IngressPool {
+  std::vector<int> pool_;  // ndp: bounded-by(NDP_FIX_CAP)
+};
+
+inline const char* FixCapRaw() { return std::getenv("NDP_FIX_CAP"); }

@@ -1,0 +1,7 @@
+// bounded-queue fixture: the suppressing waiver — setup-time metadata that
+// never grows on the per-request path is exempt, with the reason recorded.
+#include <vector>
+
+struct IngressTables {
+  std::vector<int> tables_;  // ndp-lint: bounded-queue-ok registered once at setup, before serving starts
+};

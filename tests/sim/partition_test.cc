@@ -71,6 +71,39 @@ TEST(SpscQueueTest, SpillPreservesFifoPastCapacity) {
   EXPECT_EQ(out, 777);
 }
 
+TEST(SpscQueueTest, TryPushShedsAtCapacityWithoutSpilling) {
+  SpscQueue<int> q(/*capacity_pow2=*/4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.TryPush(i));
+  // Full ring: TryPush refuses instead of growing the spill deque.
+  EXPECT_FALSE(q.TryPush(99));
+  EXPECT_FALSE(q.TryPush(100));
+  int out = 0;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out, 0);
+  // One slot freed, one accepted — still bounded, still FIFO.
+  EXPECT_TRUE(q.TryPush(4));
+  EXPECT_FALSE(q.TryPush(5));
+  for (int i = 1; i <= 4; ++i) {
+    ASSERT_TRUE(q.Pop(&out));
+    EXPECT_EQ(out, i);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(SpscQueueTest, TryPushRefusesWhileSpillInProgress) {
+  SpscQueue<int> q(/*capacity_pow2=*/4);
+  for (int i = 0; i < 6; ++i) q.Push(i);  // 2 past capacity -> spilling
+  // A spill is in progress: TryPush must refuse even after ring pops, or
+  // accepted entries would overtake the spilled tail and break FIFO.
+  int out = 0;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_FALSE(q.TryPush(99));
+  for (int i = 1; i < 6; ++i) ASSERT_TRUE(q.Pop(&out));
+  EXPECT_TRUE(q.Empty());
+  // Spill drained: the bounded path is live again.
+  EXPECT_TRUE(q.TryPush(7));
+}
+
 TEST(PartitionSetTest, SendDeliversAfterLookahead) {
   PartitionSet set(2, /*lookahead_ps=*/100, /*cycle_ps=*/100);
   std::vector<Tick> deliveries;

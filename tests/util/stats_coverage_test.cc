@@ -157,6 +157,55 @@ TEST(StatsCoverageTest, RuntimeAndHostTrafficSurface) {
   });
 }
 
+TEST(StatsCoverageTest, ServingIngressAndFleetSurface) {
+  jafar::DeviceConfig dc =
+      jafar::DeviceConfig::Derive(dram::DramTiming::DDR3_1600(),
+                                  accel::DatapathResources{})
+          .ValueOrDie();
+  core::DimmArray array(dram::DramTiming::DDR3_1600(), 1, 1, dc);
+  core::RuntimeConfig rcfg;
+  core::NdpRuntime runtime(&array, rcfg);
+  core::TenantSpec tenant;
+  tenant.name = "interactive";
+  core::ServingIngress ingress(&runtime, &array, core::IngressConfig{},
+                               {tenant});
+  core::FleetConfig fcfg;
+  core::ClientFleet fleet(&array.eq(), &ingress, fcfg,
+                          StatsScope(array.mutable_stats(), "fleet"));
+  ExpectAll(array.stats(), {
+      // deadline propagation into the runtime's chunk queues
+      "array.runtime.deadline_cancellations",
+      // serving ingress: door accounting
+      "array.ingress.accepted",
+      "array.ingress.bursts",
+      "array.ingress.admitted_interactive",
+      "array.ingress.admitted_batch",
+      "array.ingress.completed_ndp",
+      "array.ingress.completed_cpu",
+      "array.ingress.shed_ring_full",
+      "array.ingress.shed_slots_exhausted",
+      "array.ingress.shed_low_priority",
+      "array.ingress.shed_retry_budget",
+      "array.ingress.expired_at_admission",
+      "array.ingress.deadline_exceeded",
+      "array.ingress.failed",
+      "array.ingress.retries",
+      // overload governor (the occupancy gauge is also its own input)
+      "array.ingress.governor_transitions",
+      "array.ingress.slots_in_use",
+      "array.ingress.overload_state",
+      "array.ingress.occupancy_ewma",
+      // client fleet, per tenant
+      "fleet.tenant0.issued",
+      "fleet.tenant0.goodput",
+      "fleet.tenant0.shed",
+      "fleet.tenant0.late",
+      "fleet.tenant0.failed",
+      "fleet.tenant0.mismatches",
+      "fleet.tenant0.latency_ps",
+  });
+}
+
 TEST(StatsCoverageTest, FaultInjectorSurface) {
   StatsRegistry reg;
   fault::FaultPlan plan;

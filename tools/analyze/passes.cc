@@ -546,6 +546,61 @@ void PassKnobCoherence(std::vector<SourceFile>& files, const Index& idx,
   }
 }
 
+// -- bounded-queue ------------------------------------------------------------
+
+/// Growable std:: containers declared on the serving ingress/admission path.
+/// Overload robustness is a whole-path property: one unbounded queue between
+/// the door and the runtime turns every shed point upstream of it into
+/// theater. Every such declaration must either carry a
+/// "// ndp: bounded-by(<knob>)" annotation naming the env knob that caps it
+/// (cross-checked against the knob index, so the bound is verifiable) or a
+/// reasoned waiver for setup-time state.
+const std::regex kGrowableDecl(
+    R"(std::(vector|deque|list|queue|priority_queue|map|multimap|set|multiset|unordered_map|unordered_set)\s*<)");
+
+void PassBoundedQueue(std::vector<SourceFile>& files, const Index& idx,
+                      std::vector<Finding>* out) {
+  std::set<std::string> read_knobs;
+  for (const KnobSite& k : idx.knobs) {
+    if (k.is_read) read_knobs.insert(k.name);
+  }
+  for (SourceFile& f : files) {
+    if (f.rel.rfind("src/core/ingress", 0) != 0) continue;
+    for (size_t line = 1; line <= f.lex.code.size(); ++line) {
+      const std::string& code = f.lex.code[line - 1];
+      std::smatch m;
+      if (!std::regex_search(code, m, kGrowableDecl)) continue;
+      // Declaration statements only: parameter lists and call expressions
+      // carry parentheses; a wrapped multi-line expression lacks the ';'.
+      if (code.find_first_of("()") != std::string::npos) continue;
+      const size_t end = code.find_last_not_of(" \t");
+      if (end == std::string::npos || code[end] != ';') continue;
+      const Annotation* bound = nullptr;
+      for (const Annotation& a : f.annotations) {
+        if (a.kind == "bounded-by" && (a.line == line || a.line + 1 == line)) {
+          bound = &a;
+          break;
+        }
+      }
+      if (bound == nullptr) {
+        Emit(f, line, "bounded-queue",
+             "growable std::" + m[1].str() +
+                 " on the ingress/admission path; every container here must "
+                 "be fixed-capacity — annotate the sizing knob with // ndp: "
+                 "bounded-by(<knob>) or waive setup-time state with a reason",
+             out);
+      } else if (read_knobs.count(bound->arg) == 0) {
+        Emit(f, line, "bounded-queue",
+             "bounded-by(" + bound->arg +
+                 ") names a knob no code reads (getenv/Env*/OverlayEnv*), so "
+                 "the claimed bound is unverifiable; name the real capacity "
+                 "knob",
+             out);
+      }
+    }
+  }
+}
+
 }  // namespace
 
 void RunPasses(std::vector<SourceFile>& files, const Index& idx,
@@ -554,6 +609,7 @@ void RunPasses(std::vector<SourceFile>& files, const Index& idx,
   PassGuardedBy(files, out);
   PassLayerDag(files, idx, out);
   PassKnobCoherence(files, idx, out);
+  PassBoundedQueue(files, idx, out);
 }
 
 void RunMetaPasses(std::vector<SourceFile>& files, std::vector<Finding>* out) {

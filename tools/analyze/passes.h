@@ -15,6 +15,11 @@
 //   knob-coherence      every env knob read in code appears exactly once in
 //                       the README knob table and vice versa; NDP_* call
 //                       sites may not disagree on defaults
+//   bounded-queue       growable std:: containers on the serving ingress
+//                       path (src/core/ingress*) must carry a
+//                       "// ndp: bounded-by(<knob>)" annotation naming an
+//                       env knob some code actually reads, or a reasoned
+//                       waiver for setup-time state
 //
 // Meta rules (unwaivable, run last):
 //   waiver-reason       a waiver must say why the line is exempt
