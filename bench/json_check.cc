@@ -124,6 +124,59 @@ bool CheckServingSchema(const char* path, const ndp::json::Value& root) {
   return true;
 }
 
+/// BENCH_abl_join.json carries the join-pushdown schema on top of the
+/// generic Reporter one: the config pins the sweep sizes and Bloom-filter
+/// shape, every query point ("theta...") reports both operators' CPU and
+/// NDP times plus the oracle verdict, every skew point ("skew...") reports
+/// the steal setting and makespan, and a "summary" point carries the
+/// steal-contrast ratios the skew-rebalancing claim keys on.
+bool CheckJoinSchema(const char* path, const ndp::json::Value& root) {
+  const ndp::json::Value& config = *root.Find("config");
+  for (const char* field : {"scale", "rows", "filter_kb", "hashes"}) {
+    const ndp::json::Value* v = config.Find(field);
+    if (v == nullptr || !v->is_number()) {
+      std::fprintf(stderr, "%s: join config: missing numeric \"%s\"\n", path,
+                   field);
+      return false;
+    }
+  }
+  bool has_theta = false, has_skew = false, has_summary = false;
+  for (const ndp::json::Value& p : root.Find("points")->items()) {
+    const std::string& label = p.Find("label")->AsString();
+    const ndp::json::Value& metrics = *p.Find("metrics");
+    std::vector<const char*> required;
+    if (label == "summary") {
+      has_summary = true;
+      required = {"steal_ratio_t15", "steal_ratio_t20"};
+    } else if (label.rfind("theta", 0) == 0) {
+      has_theta = true;
+      required = {"theta", "q3_cpu_ms", "q3_ndp_ms", "q18_cpu_ms",
+                  "q18_ndp_ms", "match"};
+    } else if (label.rfind("skew", 0) == 0) {
+      has_skew = true;
+      required = {"theta", "steal", "makespan_ms", "match"};
+    } else {
+      continue;
+    }
+    for (const char* field : required) {
+      const ndp::json::Value* v = metrics.Find(field);
+      if (v == nullptr || !v->is_number()) {
+        std::fprintf(stderr, "%s: join point \"%s\": missing numeric \"%s\"\n",
+                     path, label.c_str(), field);
+        return false;
+      }
+    }
+  }
+  if (!has_theta || !has_skew || !has_summary) {
+    std::fprintf(stderr,
+                 "%s: join file lacks a theta/skew/summary point "
+                 "(theta=%d skew=%d summary=%d)\n",
+                 path, has_theta, has_skew, has_summary);
+    return false;
+  }
+  return true;
+}
+
 bool CheckFile(const char* path) {
   std::ifstream in(path);
   if (!in) {
@@ -193,6 +246,9 @@ bool CheckFile(const char* path) {
     }
   }
   if (name->AsString() == "serving" && !CheckServingSchema(path, root)) {
+    return false;
+  }
+  if (name->AsString() == "abl_join" && !CheckJoinSchema(path, root)) {
     return false;
   }
   std::printf("%s: ok (%zu points)\n", path, points->size());

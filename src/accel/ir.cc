@@ -155,4 +155,42 @@ LoopKernel MakeRowStoreKernel(uint32_t num_predicates) {
   return k;
 }
 
+LoopKernel MakeProbeKernel(uint32_t hash_count) {
+  LoopKernel k;
+  k.name = "jafar_probe_x" + std::to_string(hash_count);
+  // 0: key = load(io_buffer)
+  k.body.push_back({OpCode::kLoad, "load_key", {}, {}});
+  std::vector<uint16_t> test_ids;
+  for (uint32_t h = 0; h < hash_count; ++h) {
+    // Multiply-shift hash lane: mix is the multiply, the bit-index shift and
+    // mask are combinational, the SRAM word read is a wide mux over the
+    // filter array, and the bit test extracts one membership bit.
+    uint16_t mix_id = static_cast<uint16_t>(k.body.size());
+    k.body.push_back({OpCode::kMul, "mix" + std::to_string(h), {0}, {}});
+    k.body.push_back(
+        {OpCode::kBitOp, "bit_index" + std::to_string(h), {mix_id}, {}});
+    k.body.push_back({OpCode::kMux, "sram_word" + std::to_string(h),
+                      {static_cast<uint16_t>(mix_id + 1)}, {}});
+    k.body.push_back({OpCode::kCmp, "bit_test" + std::to_string(h),
+                      {static_cast<uint16_t>(mix_id + 2)}, {}});
+    test_ids.push_back(static_cast<uint16_t>(k.body.size() - 1));
+  }
+  // AND-reduce the per-hash membership bits pairwise (all must be set).
+  while (test_ids.size() > 1) {
+    std::vector<uint16_t> next;
+    for (size_t i = 0; i + 1 < test_ids.size(); i += 2) {
+      k.body.push_back({OpCode::kBitOp, "and_reduce",
+                        {test_ids[i], test_ids[i + 1]}, {}});
+      next.push_back(static_cast<uint16_t>(k.body.size() - 1));
+    }
+    if (test_ids.size() % 2 == 1) next.push_back(test_ids.back());
+    test_ids = std::move(next);
+  }
+  uint16_t insert_id = static_cast<uint16_t>(k.body.size());
+  k.body.push_back({OpCode::kBitOp, "bit_insert", {test_ids[0]}, {insert_id}});
+  k.body.push_back(
+      {OpCode::kBitOp, "offset_inc", {}, {static_cast<uint16_t>(insert_id + 1)}});
+  return k;
+}
+
 }  // namespace ndp::accel

@@ -94,4 +94,12 @@ LoopKernel MakeProjectKernel();
 /// per iteration (k loads, k compares, AND-reduce, bit-insert).
 LoopKernel MakeRowStoreKernel(uint32_t num_predicates);
 
+/// Semijoin probe (JSPIM-style): per 64-bit join key, `hash_count`
+/// multiply-shift hash lanes each index the on-device Bloom filter SRAM
+/// (mix → bit-index → SRAM word mux → bit test), AND-reduced into one
+/// membership bit inserted into the output bitmap. Needs >= 1 multiplier;
+/// the baseline select datapath has none, so probe-capable configs widen
+/// the resource vector before scheduling.
+LoopKernel MakeProbeKernel(uint32_t hash_count);
+
 }  // namespace ndp::accel

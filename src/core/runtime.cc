@@ -6,6 +6,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <unordered_set>
 
 #include "core/profiling.h"
 #include "core/pushdown.h"
@@ -20,6 +21,13 @@ constexpr uint64_t kRowsPerPage = 4096 / 8;  ///< int64 rows per 4 KB page
 
 uint64_t RoundDownPages(uint64_t rows) {
   return rows / kRowsPerPage * kRowsPerPage;
+}
+
+/// Kinds whose device output is a per-row bitmap merged into JobResult::
+/// bitmap (select's match bitmap, probe's candidate bitmap).
+bool KindHasBitmap(ndp::core::JobKind kind) {
+  return kind == ndp::core::JobKind::kSelect ||
+         kind == ndp::core::JobKind::kProbe;
 }
 
 /// Strict full-string env parses (the fault_plan discipline: a typo must
@@ -89,6 +97,15 @@ Result<RuntimeConfig> RuntimeConfig::FromEnv() {
       OverlayEnvU64("NDP_RUNTIME_STEAL_MIN_PAGES", &cfg.steal_min_pages));
   NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_RUNTIME_STEAL_OVERHEAD",
                                   &cfg.steal_copy_overhead_bus_cycles));
+  NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_JOIN_HASHES", &cfg.join_hashes));
+  NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_JOIN_FILTER_KB", &cfg.join_filter_kb));
+  uint64_t eta_steal = cfg.join_eta_steal ? 1 : 0;
+  NDP_RETURN_NOT_OK(OverlayEnvU64("NDP_JOIN_ETA_STEAL", &eta_steal));
+  cfg.join_eta_steal = eta_steal != 0;
+  NDP_RETURN_NOT_OK(
+      OverlayEnvDouble("NDP_JOIN_HH_THRESHOLD", &cfg.join_hh_threshold));
+  NDP_RETURN_NOT_OK(
+      OverlayEnvU64("NDP_JOIN_HH_MIN_LEASES", &cfg.join_hh_min_leases));
   NDP_ASSIGN_OR_RETURN(cfg.device_gen,
                        jafar::DeviceGenerationFromEnv(cfg.device_gen));
   NDP_RETURN_NOT_OK(cfg.Validate());
@@ -125,6 +142,22 @@ Status RuntimeConfig::Validate() const {
   if (idle_fill_factor < 0.0 || host_window_min_bus_cycles == 0) {
     return Status::InvalidArgument(
         "runtime config: bad idle_fill_factor / host_window_min");
+  }
+  if (join_hashes == 0 || join_hashes > 8) {
+    return Status::InvalidArgument(
+        "runtime config: join_hashes must be in [1, 8]");
+  }
+  if (join_filter_kb == 0 || (join_filter_kb & (join_filter_kb - 1)) != 0) {
+    return Status::InvalidArgument(
+        "runtime config: join_filter_kb must be a nonzero power of two");
+  }
+  if (!(join_hh_threshold >= 1.0)) {
+    return Status::InvalidArgument(
+        "runtime config: join_hh_threshold must be >= 1");
+  }
+  if (join_hh_min_leases == 0) {
+    return Status::InvalidArgument(
+        "runtime config: join_hh_min_leases must be >= 1");
   }
   return Status::OK();
 }
@@ -207,6 +240,19 @@ struct NdpRuntime::Job {
   int64_t agg_value = 0;
   bool agg_first = true;
   uint64_t leases = 0;
+  // -- Probe state (kProbe only) ---------------------------------------------
+  /// Host-built Bloom image over the build keys; the source of every
+  /// per-device copy (EnsureProbeFilter).
+  std::vector<uint64_t> filter_image;
+  uint64_t filter_words = 0;  ///< filter_image.size(), a power of two
+  uint32_t hash_count = 2;
+  /// Devices that already hold the image, and where. Lazy: a device pays for
+  /// the image only if a chunk of this job actually lands on it.
+  std::map<uint32_t, uint64_t> filter_base_by_device;
+  // -- Group-by state (kGroupBy only) ----------------------------------------
+  /// key -> {aggregate, count}, merged per lease from the device's bucket
+  /// scratch (and from host-folded seam rows).
+  std::map<int64_t, std::pair<int64_t, int64_t>> groups;
   /// Absolute cancellation time (0 = none): checked at every chunk-boundary
   /// dispatch and again before completion, so an expired job is never
   /// silently completed late.
@@ -232,6 +278,7 @@ struct NdpRuntime::Chunk {
   JobPriority priority = JobPriority::kBatch;
   uint64_t col_base = 0;
   uint64_t out_base = 0;
+  uint64_t val_base = 0;     ///< group-by value slice (0 otherwise)
   uint64_t first_row = 0;
   uint64_t rows = 0;
   uint64_t rows_done = 0;    ///< completed-lease prefix
@@ -259,6 +306,15 @@ struct NdpRuntime::Lane {
   uint64_t cur_lease_cycles = 0;
   uint64_t cur_lease_rows = 0;
   uint64_t agg_scratch = 0;  ///< 8-byte partial-result cell, lazily allocated
+  uint64_t gb_scratch = 0;   ///< group-by bucket dump region, lazily allocated
+  int64_t gb_key_offset = 0;   ///< bucket window base of the in-flight lease
+  bool gb_host_seam = false;   ///< lease folded host-side (see DESIGN.md §12)
+
+  // Heavy-hitter detector state: progress rate of this lane's leases.
+  double ewma_ps_per_row = 0.0;
+  uint64_t rate_leases = 0;    ///< completed leases feeding the EWMA
+  sim::Tick lease_start_ps = 0;
+  bool hh_flagged = false;
 };
 
 // -- NdpRuntime ---------------------------------------------------------------
@@ -286,6 +342,8 @@ NdpRuntime::NdpRuntime(DimmArray* array, RuntimeConfig config)
   scope.Counter("lane_failures", &counters_.lane_failures);
   scope.Counter("chunks_reassigned", &counters_.chunks_reassigned);
   scope.Counter("deadline_cancellations", &counters_.deadline_cancellations);
+  scope.Counter("hh_flags", &counters_.hh_flags);
+  scope.Counter("eta_steals", &counters_.eta_steals);
   for (uint32_t c = 0; c < channels; ++c) {
     StatsScope ch = scope.Sub("ctrl" + std::to_string(c));
     LeaseController* lc = controllers_[c].get();
@@ -399,12 +457,61 @@ Result<NdpRuntime::JobId> NdpRuntime::SubmitAggregate(const PlacedColumn& col,
                 kind, std::move(opts), /*poke_lanes=*/true);
 }
 
+Result<NdpRuntime::JobId> NdpRuntime::SubmitProbe(
+    const PlacedColumn& col, std::vector<uint64_t> filter_image,
+    JobPriority priority, JobCallback on_done) {
+  if (filter_image.empty() ||
+      (filter_image.size() & (filter_image.size() - 1)) != 0) {
+    return Status::InvalidArgument(
+        "runtime: probe filter image must be a nonzero power-of-two size");
+  }
+  if (config_.join_hashes != array_->device_config().probe_hashes) {
+    // The device's probe timing is the accel schedule of exactly
+    // probe_hashes lanes; silently probing with a different count would
+    // decouple the functional filter from the modeled datapath.
+    return Status::InvalidArgument(
+        "runtime: join_hashes does not match the device's probe_hashes");
+  }
+  SubmitOptions opts;
+  opts.priority = priority;
+  opts.on_done = std::move(on_done);
+  return Submit(col, JobKind::kProbe, jafar::CompareOp::kBetween, 0, 0,
+                jafar::AggKind::kSum, std::move(opts), /*poke_lanes=*/true,
+                /*vals=*/nullptr, std::move(filter_image));
+}
+
+Result<NdpRuntime::JobId> NdpRuntime::SubmitGroupBy(const PlacedColumn& keys,
+                                                    const PlacedColumn& vals,
+                                                    jafar::AggKind kind,
+                                                    JobPriority priority,
+                                                    JobCallback on_done) {
+  if (keys.total_rows != vals.total_rows ||
+      keys.parts.size() != vals.parts.size()) {
+    return Status::InvalidArgument(
+        "runtime: group-by key and value columns must be placed alike");
+  }
+  for (size_t i = 0; i < keys.parts.size(); ++i) {
+    if (keys.parts[i].device != vals.parts[i].device ||
+        keys.parts[i].rows != vals.parts[i].rows) {
+      return Status::InvalidArgument(
+          "runtime: group-by key and value splits disagree");
+    }
+  }
+  SubmitOptions opts;
+  opts.priority = priority;
+  opts.on_done = std::move(on_done);
+  return Submit(keys, JobKind::kGroupBy, jafar::CompareOp::kBetween, 0, 0,
+                kind, std::move(opts), /*poke_lanes=*/true, &vals);
+}
+
 Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
                                              JobKind kind, jafar::CompareOp op,
                                              int64_t lo, int64_t hi,
                                              jafar::AggKind agg,
                                              SubmitOptions opts,
-                                             bool poke_lanes) {
+                                             bool poke_lanes,
+                                             const PlacedColumn* vals,
+                                             std::vector<uint64_t> filter_image) {
   if (col.total_rows == 0) {
     return Status::InvalidArgument("runtime: cannot submit an empty column");
   }
@@ -420,7 +527,12 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
   job->hi = hi;
   job->agg = agg;
   job->total_rows = col.total_rows;
-  if (kind == JobKind::kSelect) job->bitmap.Resize(col.total_rows);
+  if (KindHasBitmap(kind)) job->bitmap.Resize(col.total_rows);
+  if (kind == JobKind::kProbe) {
+    job->filter_words = filter_image.size();
+    job->filter_image = std::move(filter_image);
+    job->hash_count = static_cast<uint32_t>(config_.join_hashes);
+  }
   job->submitted_ps = eq_.Now();
   job->deadline_ps = opts.deadline_ps;
   job->on_done = std::move(opts.on_done);
@@ -429,14 +541,17 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
   ++counters_.jobs_submitted;
   ++active_jobs_;
 
-  for (const DevicePlacement& part : col.parts) {
+  for (size_t pi = 0; pi < col.parts.size(); ++pi) {
+    const DevicePlacement& part = col.parts[pi];
     if (part.rows == 0) continue;
+    uint64_t val_base = vals != nullptr ? vals->parts[pi].col_base : 0;
     auto chunk = std::make_unique<Chunk>();
     chunk->job = j;
     chunk->seq = next_chunk_seq_++;
     chunk->priority = j->priority;
     chunk->col_base = part.col_base;
     chunk->out_base = part.out_base;
+    chunk->val_base = val_base;
     chunk->first_row = part.first_row;
     chunk->rows = part.rows;
     Lane& lane = *lanes_[part.device];
@@ -451,7 +566,7 @@ Result<NdpRuntime::JobId> NdpRuntime::Submit(const PlacedColumn& col,
         }
       }
       NDP_CHECK(target != nullptr);
-      if (!TransplantRows(*target, *j, j->priority, part.col_base,
+      if (!TransplantRows(*target, *j, j->priority, part.col_base, val_base,
                           part.first_row, part.rows)) {
         FailJob(*j, Status::ResourceExhausted(
                         "runtime: no space to reroute placement"));
@@ -588,6 +703,8 @@ void NdpRuntime::StartLease(Lane& lane) {
                  (unsigned long long)lane.cur_lease_rows);
   }
   lane.state = Lane::State::kLeasing;
+  lane.lease_start_ps = eq_.Now();
+  lane.gb_host_seam = false;
   ++counters_.leases;
   ++lane.active->job->leases;
   uint32_t li = lane.index;
@@ -630,6 +747,118 @@ void NdpRuntime::OnOwnershipAcquired(Lane& lane) {
           // rejection is a wiring bug, not a device fault.
           NDP_CHECK_MSG(st.ok(), st.message().c_str());
         });
+    return;
+  }
+  if (c.job->kind == JobKind::kProbe) {
+    Result<uint64_t> filter = EnsureProbeFilter(lane, *c.job);
+    if (!filter.ok()) {
+      OnLeaseDone(lane, filter.status(), 0);
+      return;
+    }
+    jafar::ProbeJob job;
+    job.col_base = c.col_base + c.rows_done * 8;
+    job.num_rows = lane.cur_lease_rows;
+    job.out_base = c.out_base + c.rows_done / 8;
+    job.filter_base = filter.value();
+    job.filter_words = c.job->filter_words;
+    job.hash_count = c.job->hash_count;
+    array_->PostToDevice(dev, [this, li, dev, job] {
+      Status st = lanes_[li]->driver->ProbeJafar(job, [this, li,
+                                                       dev](sim::Tick) {
+        Lane& l = *lanes_[li];
+        Status cause = Status::OK();
+        uint64_t n = 0;
+        if (l.driver->registers().Read(jafar::Reg::kStatus) ==
+            static_cast<uint64_t>(jafar::DeviceStatus::kError)) {
+          Status dev_status = array_->device(l.device).last_job_status();
+          cause = dev_status.ok() ? Status::Internal("probe failed")
+                                  : dev_status;
+        } else {
+          n = array_->device(l.device).last_match_count();
+        }
+        array_->PostToHost(
+            dev, [this, li, cause, n] { OnLeaseDone(*lanes_[li], cause, n); });
+      });
+      NDP_CHECK_MSG(st.ok(), st.message().c_str());
+    });
+    return;
+  }
+  if (c.job->kind == JobKind::kGroupBy) {
+    // Bucket-window lease shaping (DESIGN.md §12): the device aggregates keys
+    // in [key_offset, key_offset + buckets) and silently skips the rest, so
+    // exactness requires every dispatched row's key to land in the window.
+    // Scan forward from the resume point (host-side, against the backing
+    // store — standing in for the zone-map key ranges a real planner keeps)
+    // and shrink the lease to the maximal in-window prefix. Clustered keys
+    // (TPC-H lineitem by orderkey) keep whole leases; adversarial keys
+    // degrade to shorter leases, never to wrong answers.
+    const uint32_t buckets = array_->device_config().groupby_buckets;
+    auto& store = array_->dram().backing_store();
+    uint64_t base = c.col_base + c.rows_done * 8;
+    int64_t k0 = static_cast<int64_t>(store.Read64(base));
+    uint64_t window = 1;
+    while (window < lane.cur_lease_rows) {
+      int64_t k = static_cast<int64_t>(store.Read64(base + window * 8));
+      if (k < k0 || k - k0 >= static_cast<int64_t>(buckets)) break;
+      ++window;
+    }
+    uint64_t aligned = window & ~uint64_t{7};
+    if (aligned == 0) {
+      // Ragged seam: fewer than one 64 B burst of rows before the keys leave
+      // the window, which the engine's alignment rule cannot express. Fold a
+      // whole burst (or the chunk tail) host-side — a full 8 rows, not just
+      // the window, so the resume point stays 64 B aligned — and complete
+      // the lease without a device job.
+      uint64_t seam = std::min<uint64_t>(8, lane.cur_lease_rows);
+      for (uint64_t r = 0; r < seam; ++r) {
+        int64_t key = static_cast<int64_t>(store.Read64(base + r * 8));
+        int64_t val =
+            static_cast<int64_t>(store.Read64(c.val_base + (c.rows_done + r) * 8));
+        MergeGroup(*c.job, key,
+                   c.job->agg == jafar::AggKind::kCount ? 1 : val, 1);
+      }
+      lane.cur_lease_rows = seam;
+      c.rows_leased = c.rows_done + seam;
+      lane.gb_host_seam = true;
+      OnLeaseDone(lane, Status::OK(), 0);
+      return;
+    }
+    lane.cur_lease_rows = aligned;
+    c.rows_leased = c.rows_done + aligned;
+    lane.gb_key_offset = k0;
+    if (lane.gb_scratch == 0) {
+      Result<uint64_t> scratch =
+          array_->AllocOnDevice(lane.device, uint64_t{buckets} * 16, 64);
+      if (!scratch.ok()) {
+        OnLeaseDone(lane, scratch.status(), 0);
+        return;
+      }
+      lane.gb_scratch = scratch.value();
+    }
+    jafar::GroupByJob job;
+    job.key_base = c.col_base + c.rows_done * 8;
+    job.val_base = c.val_base + c.rows_done * 8;
+    job.num_rows = lane.cur_lease_rows;
+    job.kind = c.job->agg;
+    job.key_offset = k0;
+    job.bitmap_base = 0;
+    job.out_base = lane.gb_scratch;
+    array_->PostToDevice(dev, [this, li, dev, job] {
+      Status st = lanes_[li]->driver->GroupByJafar(job, [this, li,
+                                                         dev](sim::Tick) {
+        Lane& l = *lanes_[li];
+        Status cause = Status::OK();
+        if (l.driver->registers().Read(jafar::Reg::kStatus) ==
+            static_cast<uint64_t>(jafar::DeviceStatus::kError)) {
+          Status dev_status = array_->device(l.device).last_job_status();
+          cause = dev_status.ok() ? Status::Internal("group-by failed")
+                                  : dev_status;
+        }
+        array_->PostToHost(
+            dev, [this, li, cause] { OnLeaseDone(*lanes_[li], cause, 0); });
+      });
+      NDP_CHECK_MSG(st.ok(), st.message().c_str());
+    });
     return;
   }
   if (lane.agg_scratch == 0) {
@@ -675,8 +904,24 @@ void NdpRuntime::OnLeaseDone(Lane& lane, const Status& status,
   Chunk& c = *lane.active;
   Job& job = *c.job;
   if (!job.failed) {
-    if (job.kind == JobKind::kSelect) {
+    if (KindHasBitmap(job.kind)) {
       job.matches += lease_matches;
+    } else if (job.kind == JobKind::kGroupBy) {
+      if (!lane.gb_host_seam) {
+        // Fold the device's bucket dump: count == 0 marks an untouched
+        // bucket (its aggregate word is the kind's fold identity, never a
+        // real group), so only touched buckets enter the result map.
+        auto& store = array_->dram().backing_store();
+        const uint32_t buckets = array_->device_config().groupby_buckets;
+        for (uint32_t b = 0; b < buckets; ++b) {
+          int64_t count = static_cast<int64_t>(
+              store.Read64(lane.gb_scratch + uint64_t{b} * 16 + 8));
+          if (count == 0) continue;
+          int64_t agg = static_cast<int64_t>(
+              store.Read64(lane.gb_scratch + uint64_t{b} * 16));
+          MergeGroup(job, lane.gb_key_offset + b, agg, count);
+        }
+      }
     } else {
       int64_t partial = static_cast<int64_t>(
           array_->dram().backing_store().Read64(lane.agg_scratch));
@@ -698,6 +943,21 @@ void NdpRuntime::OnLeaseDone(Lane& lane, const Status& status,
     }
     c.rows_done += lane.cur_lease_rows;
     job.rows_completed += lane.cur_lease_rows;
+  }
+  // Progress-rate EWMA, the heavy-hitter detector's input. Host-folded seam
+  // leases are skipped: their handful of rows at ownership-round-trip cost
+  // would poison the rate with a meaningless outlier.
+  if (lane.cur_lease_rows > 0 && !lane.gb_host_seam) {
+    double ps_per_row =
+        static_cast<double>(eq_.Now() - lane.lease_start_ps) /
+        static_cast<double>(lane.cur_lease_rows);
+    lane.ewma_ps_per_row =
+        lane.rate_leases == 0
+            ? ps_per_row
+            : config_.ewma_alpha * ps_per_row +
+                  (1.0 - config_.ewma_alpha) * lane.ewma_ps_per_row;
+    ++lane.rate_leases;
+    UpdateHeavyHitters();
   }
   uint32_t li = lane.index;
   uint32_t dev = lane.device;
@@ -811,7 +1071,7 @@ void NdpRuntime::RetireChunkImpl(Chunk& c) {
   Job& job = *c.job;
   --job.chunks_live;
   if (job.failed) return;
-  if (job.kind == JobKind::kSelect && c.rows_done > 0) {
+  if (KindHasBitmap(job.kind) && c.rows_done > 0) {
     MergeBitmapRange(job, c.first_row, c.rows_done, c.out_base);
   }
   if (job.chunks_live == 0) {
@@ -859,7 +1119,8 @@ void NdpRuntime::CompleteJob(Job& job) {
   result.submitted_ps = job.submitted_ps;
   result.completed_ps = eq_.Now();
   result.leases = job.leases;
-  if (job.kind == JobKind::kSelect) result.bitmap = std::move(job.bitmap);
+  if (KindHasBitmap(job.kind)) result.bitmap = std::move(job.bitmap);
+  if (job.kind == JobKind::kGroupBy) result.groups = std::move(job.groups);
   ++counters_.jobs_completed;
   --active_jobs_;
   JobCallback cb = std::move(job.on_done);
@@ -898,6 +1159,111 @@ void NdpRuntime::FailJob(Job& job, const Status& status) {
   if (cb) cb(it->second);
 }
 
+// -- Probe / group-by helpers -------------------------------------------------
+
+Result<uint64_t> NdpRuntime::EnsureProbeFilter(Lane& lane, Job& job) {
+  auto it = job.filter_base_by_device.find(lane.device);
+  if (it != job.filter_base_by_device.end()) return it->second;
+  NDP_ASSIGN_OR_RETURN(
+      uint64_t base,
+      array_->AllocOnDevice(lane.device, job.filter_words * 8, 4096));
+  // Functional-only image write, like the steal copy: the modeled cost is
+  // the device's timed filter-load read stream at every probe lease (and the
+  // extra transplant bursts when a steal carries the image along).
+  auto& store = array_->dram().backing_store();
+  for (uint64_t w = 0; w < job.filter_words; ++w) {
+    store.Write64(base + w * 8, job.filter_image[w]);
+  }
+  job.filter_base_by_device.emplace(lane.device, base);
+  return base;
+}
+
+void NdpRuntime::MergeGroup(Job& job, int64_t key, int64_t agg,
+                            int64_t count) {
+  auto [it, fresh] = job.groups.try_emplace(key, agg, count);
+  if (fresh) return;
+  switch (job.agg) {
+    case jafar::AggKind::kSum:
+    case jafar::AggKind::kCount:
+      it->second.first += agg;
+      break;
+    case jafar::AggKind::kMin:
+      it->second.first = std::min(it->second.first, agg);
+      break;
+    case jafar::AggKind::kMax:
+      it->second.first = std::max(it->second.first, agg);
+      break;
+  }
+  it->second.second += count;
+}
+
+// -- Heavy-hitter detection ----------------------------------------------------
+
+double NdpRuntime::EtaScore(const Lane& lane) const {
+  uint64_t rows = StealableRows(lane);
+  if (rows == 0) return 0.0;
+  double rate;
+  if (lane.rate_leases >= config_.join_hh_min_leases) {
+    rate = lane.ewma_ps_per_row;
+  } else {
+    // No trustworthy rate of its own yet: borrow the mean of trusted
+    // siblings so a cold lane is neither invisible nor dominant, and fall
+    // back to a neutral constant before anyone has finished a lease.
+    double sum = 0.0;
+    uint32_t n = 0;
+    for (const auto& l : lanes_) {
+      if (l->state == Lane::State::kDead) continue;
+      if (l->rate_leases >= config_.join_hh_min_leases) {
+        sum += l->ewma_ps_per_row;
+        ++n;
+      }
+    }
+    rate = n > 0 ? sum / n : 1.0;
+  }
+  return static_cast<double>(rows) * rate;
+}
+
+void NdpRuntime::UpdateHeavyHitters() {
+  if (!config_.steal_enabled) return;
+  double sum = 0.0;
+  uint32_t busy = 0;
+  for (const auto& lane : lanes_) {
+    if (lane->state == Lane::State::kDead) continue;
+    double eta = EtaScore(*lane);
+    if (eta > 0.0) {
+      sum += eta;
+      ++busy;
+    }
+  }
+  if (busy < 2) return;  // nothing to compare against (or nobody to steal)
+  double mean = sum / busy;
+  if (::getenv("NDP_RUNTIME_DEBUG")) {
+    std::fprintf(stderr, "[hh] t=%llu busy=%u mean=%.3g etas=",
+                 (unsigned long long)eq_.Now(), busy, mean);
+    for (const auto& lane : lanes_) {
+      std::fprintf(stderr, "%.3g/%llu ", EtaScore(*lane),
+                   (unsigned long long)lane->rate_leases);
+    }
+    std::fprintf(stderr, "\n");
+  }
+  bool flagged_new = false;
+  for (auto& lane : lanes_) {
+    if (lane->state == Lane::State::kDead) continue;
+    bool hot = lane->rate_leases >= config_.join_hh_min_leases &&
+               EtaScore(*lane) > config_.join_hh_threshold * mean;
+    if (hot && !lane->hh_flagged) {
+      ++counters_.hh_flags;
+      flagged_new = true;
+    }
+    lane->hh_flagged = hot;
+  }
+  // A fresh heavy hitter is a steal opportunity right now: wake idle
+  // siblings instead of leaving them parked until their next natural poke.
+  if (flagged_new) {
+    for (auto& lane : lanes_) Poke(*lane);
+  }
+}
+
 // -- Work stealing / lane failure --------------------------------------------
 
 uint64_t NdpRuntime::StealableRows(const Lane& lane) const {
@@ -910,17 +1276,37 @@ uint64_t NdpRuntime::StealableRows(const Lane& lane) const {
 
 void NdpRuntime::TrySteal(Lane& thief) {
   if (!config_.steal_enabled || thief.state != Lane::State::kIdle) return;
-  Lane* victim = nullptr;
-  uint64_t victim_rows = 0;
+  // Victim selection. Row count is the classic choice; ETA (rows x observed
+  // ps/row) is the skew-aware one — a heavy-hitter lane with few rows of
+  // expensive keys outranks a fast lane with more rows. Both are computed so
+  // the divergence is visible in the eta_steals counter.
+  Lane* rows_victim = nullptr;
+  uint64_t max_rows = 0;
+  Lane* eta_victim = nullptr;
+  double max_eta = 0.0;
+  uint64_t eta_victim_rows = 0;
   for (auto& cand : lanes_) {
     if (cand.get() == &thief) continue;
     uint64_t rows = StealableRows(*cand);
-    if (rows > victim_rows) {
-      victim = cand.get();
-      victim_rows = rows;
+    if (rows > max_rows) {
+      rows_victim = cand.get();
+      max_rows = rows;
+    }
+    if (config_.join_eta_steal) {
+      double eta = EtaScore(*cand);
+      if (eta > max_eta) {
+        eta_victim = cand.get();
+        max_eta = eta;
+        eta_victim_rows = rows;
+      }
     }
   }
+  Lane* victim = config_.join_eta_steal ? eta_victim : rows_victim;
+  uint64_t victim_rows = config_.join_eta_steal ? eta_victim_rows : max_rows;
   if (victim == nullptr) return;
+  if (config_.join_eta_steal && victim != rows_victim) {
+    ++counters_.eta_steals;
+  }
   // Steal from the tail of the victim's backlog: its newest queued chunk, or
   // the un-dispatched tail of its active chunk.
   Chunk* source = nullptr;
@@ -952,9 +1338,11 @@ void NdpRuntime::TrySteal(Lane& thief) {
   if (steal_rows < config_.steal_min_pages * kRowsPerPage) return;
   Job& job = *source->job;
   uint64_t src_addr = source->col_base + keep * 8;
+  uint64_t val_src_addr =
+      job.kind == JobKind::kGroupBy ? source->val_base + keep * 8 : 0;
   uint64_t first_row = source->first_row + keep;
-  if (!TransplantRows(thief, job, source->priority, src_addr, first_row,
-                      steal_rows)) {
+  if (!TransplantRows(thief, job, source->priority, src_addr, val_src_addr,
+                      first_row, steal_rows)) {
     return;  // thief rank full — not worth failing anything over
   }
   if (::getenv("NDP_RUNTIME_DEBUG")) {
@@ -977,19 +1365,27 @@ void NdpRuntime::TrySteal(Lane& thief) {
 }
 
 bool NdpRuntime::TransplantRows(Lane& target, Job& job, JobPriority priority,
-                                uint64_t src_addr, uint64_t first_row,
-                                uint64_t rows) {
+                                uint64_t src_addr, uint64_t val_src_addr,
+                                uint64_t first_row, uint64_t rows) {
   Result<uint64_t> col_base = array_->AllocOnDevice(target.device, rows * 8);
   if (!col_base.ok()) return false;
   Result<uint64_t> out_base = array_->AllocOnDevice(
       target.device, ((rows + 7) / 8 + 4095) & ~uint64_t{4095});
   if (!out_base.ok()) return false;
+  uint64_t val_base = 0;
+  if (job.kind == JobKind::kGroupBy) {
+    // Group-by chunks travel as (key, value) stream pairs.
+    Result<uint64_t> v = array_->AllocOnDevice(target.device, rows * 8);
+    if (!v.ok()) return false;
+    val_base = v.value();
+  }
   auto chunk = std::make_unique<Chunk>();
   chunk->job = &job;
   chunk->seq = next_chunk_seq_++;
   chunk->priority = priority;
   chunk->col_base = col_base.value();
   chunk->out_base = out_base.value();
+  chunk->val_base = val_base;
   chunk->first_row = first_row;
   chunk->rows = rows;
   ++job.chunks_live;  // live from creation: the copy latency is part of it
@@ -1000,17 +1396,31 @@ bool NdpRuntime::TransplantRows(Lane& target, Job& job, JobPriority priority,
   // plus a fixed software overhead. The copy is functional-only (no DRAM
   // commands), a modeling simplification documented in DESIGN.md §9.
   uint64_t bursts = (rows * 8 + 63) / 64;
+  if (job.kind == JobKind::kGroupBy) bursts *= 2;  // key + value streams
+  if (job.kind == JobKind::kProbe &&
+      job.filter_base_by_device.find(target.device) ==
+          job.filter_base_by_device.end()) {
+    // The Bloom image rides along when the target has never probed this job
+    // (the image itself is laid down by EnsureProbeFilter at dispatch).
+    bursts += (job.filter_words * 8 + 63) / 64;
+  }
   uint64_t copy_cycles = config_.steal_copy_overhead_bus_cycles +
                          bursts * array_->timing().tccd;
   uint32_t ti = target.index;
   // Shared-pointer hand-off keeps the chunk alive inside the closure.
   std::shared_ptr<Chunk> pending(chunk.release());
   eq_.ScheduleAfter(
-      BusCyclesToPs(copy_cycles), [this, ti, pending, src_addr] {
+      BusCyclesToPs(copy_cycles), [this, ti, pending, src_addr, val_src_addr] {
         std::vector<uint8_t> buf(pending->rows * 8);
         array_->dram().backing_store().Read(src_addr, buf.data(), buf.size());
         array_->dram().backing_store().Write(pending->col_base, buf.data(),
                                              buf.size());
+        if (pending->val_base != 0) {
+          array_->dram().backing_store().Read(val_src_addr, buf.data(),
+                                              buf.size());
+          array_->dram().backing_store().Write(pending->val_base, buf.data(),
+                                               buf.size());
+        }
         Lane& lane = *lanes_[ti];
         auto owned = std::make_unique<Chunk>(*pending);
         if (lane.state == Lane::State::kDead) {
@@ -1052,20 +1462,24 @@ void NdpRuntime::HandleLaneFailure(Lane& lane, const Status& status) {
   struct Orphan {
     Job* job;
     JobPriority priority;
-    uint64_t src_addr, first_row, rows;
+    uint64_t src_addr, val_src_addr, first_row, rows;
   };
   std::vector<Orphan> orphans;
+  auto val_src = [](const Chunk& c) {
+    return c.job->kind == JobKind::kGroupBy ? c.val_base + c.rows_done * 8
+                                            : uint64_t{0};
+  };
   if (lane.active) {
     Chunk& c = *lane.active;
     --c.job->chunks_live;
     if (!c.job->failed) {
-      if (c.job->kind == JobKind::kSelect && c.rows_done > 0) {
+      if (KindHasBitmap(c.job->kind) && c.rows_done > 0) {
         // Keep the completed prefix: its bitmap words are already in DRAM.
         MergeBitmapRange(*c.job, c.first_row, c.rows_done, c.out_base);
       }
       if (c.rows_done < c.rows) {
         orphans.push_back(Orphan{c.job, c.priority,
-                                 c.col_base + c.rows_done * 8,
+                                 c.col_base + c.rows_done * 8, val_src(c),
                                  c.first_row + c.rows_done,
                                  c.rows - c.rows_done});
       }
@@ -1076,7 +1490,7 @@ void NdpRuntime::HandleLaneFailure(Lane& lane, const Status& status) {
     --c->job->chunks_live;
     if (c->job->failed) continue;
     orphans.push_back(Orphan{c->job, c->priority, c->col_base + c->rows_done * 8,
-                             c->first_row + c->rows_done,
+                             val_src(*c), c->first_row + c->rows_done,
                              c->rows - c->rows_done});
   }
   lane.queue.clear();
@@ -1094,8 +1508,8 @@ void NdpRuntime::HandleLaneFailure(Lane& lane, const Status& status) {
       FailJob(*o.job, status);
       continue;
     }
-    if (!TransplantRows(*target, *o.job, o.priority, o.src_addr, o.first_row,
-                        o.rows)) {
+    if (!TransplantRows(*target, *o.job, o.priority, o.src_addr,
+                        o.val_src_addr, o.first_row, o.rows)) {
       FailJob(*o.job, Status::ResourceExhausted(
                           "runtime: no space to reassign failed lane's pages"));
       continue;
@@ -1173,6 +1587,65 @@ db::NdpSelectBatchHook NdpRuntime::MakePushdownBatchHook() {
       lists.push_back(std::move(positions));
     }
     return lists;
+  };
+}
+
+db::NdpSemiJoinHook NdpRuntime::MakeSemiJoinHook() {
+  return [this](const db::Column& build_col, const db::PositionList& build_pos,
+                const db::Column& probe_col,
+                const db::PositionList& probe_pos)
+             -> Result<db::PositionList> {
+    // Host side of the JSPIM-style split: build both the Bloom image (what
+    // the device probes) and the exact key set (what refines the device's
+    // candidates). Sharing BloomBitIndex with the device functional model is
+    // what makes "no false negatives" a structural property, not a hope.
+    const uint64_t filter_words = config_.join_filter_kb * 1024 / 8;
+    std::vector<uint64_t> image(filter_words, 0);
+    std::unordered_set<int64_t> build_keys;
+    build_keys.reserve(build_pos.size());
+    for (uint32_t p : build_pos) {
+      int64_t key = build_col[p];
+      if (!build_keys.insert(key).second) continue;
+      for (uint32_t h = 0; h < config_.join_hashes; ++h) {
+        uint64_t bit =
+            jafar::BloomBitIndex(static_cast<uint64_t>(key), h, filter_words);
+        image[bit / 64] |= uint64_t{1} << (bit % 64);
+      }
+    }
+    NDP_ASSIGN_OR_RETURN(PlacedColumn * placed, EnsurePlaced(probe_col));
+    NDP_ASSIGN_OR_RETURN(JobId id, SubmitProbe(*placed, std::move(image),
+                                               JobPriority::kInteractive));
+    NDP_RETURN_NOT_OK(WaitFor(id));
+    const JobResult* r = result(id);
+    NDP_RETURN_NOT_OK(r->status);
+    // Refinement: candidates are a superset (Bloom collisions), never a
+    // subset — a candidate bit may be spurious, a missing bit is definitive.
+    db::PositionList out;
+    for (uint32_t p : probe_pos) {
+      if (r->bitmap.Get(p) && build_keys.count(probe_col[p]) != 0) {
+        out.push_back(p);
+      }
+    }
+    return out;
+  };
+}
+
+db::NdpGroupByHook NdpRuntime::MakeGroupByHook() {
+  return [this](const db::Column& key_col, const db::Column& val_col)
+             -> Result<std::map<int64_t, std::pair<int64_t, int64_t>>> {
+    if (key_col.size() != val_col.size()) {
+      return Status::InvalidArgument(
+          "runtime: group-by key/value columns differ in length");
+    }
+    NDP_ASSIGN_OR_RETURN(PlacedColumn * keys, EnsurePlaced(key_col));
+    NDP_ASSIGN_OR_RETURN(PlacedColumn * vals, EnsurePlaced(val_col));
+    NDP_ASSIGN_OR_RETURN(
+        JobId id, SubmitGroupBy(*keys, *vals, jafar::AggKind::kSum,
+                                JobPriority::kInteractive));
+    NDP_RETURN_NOT_OK(WaitFor(id));
+    const JobResult* r = result(id);
+    NDP_RETURN_NOT_OK(r->status);
+    return r->groups;
   };
 }
 

@@ -90,6 +90,27 @@ struct RuntimeConfig {
   /// host buffer on different channels).
   uint64_t steal_copy_overhead_bus_cycles = 2'000;
 
+  // -- Join / group-by pushdown ---------------------------------------------
+  /// Bloom hash lanes per probe job. Must match the DeviceConfig's
+  /// probe_hashes (the accel-model schedule the probe timing derives from);
+  /// SubmitProbe rejects a mismatch up front.
+  uint64_t join_hashes = 2;
+  /// Bloom filter image size in KB. Power of two, so the device can reduce
+  /// hashes to bit indices with a mask instead of a divider.
+  uint64_t join_filter_kb = 16;
+  /// Steal-victim selection: pick the lane with the largest estimated time
+  /// to drain (stealable rows x EWMA ps/row) instead of the most rows, so a
+  /// slow lane buried under skewed partitions is relieved first even when a
+  /// fast lane happens to hold more raw rows.
+  bool join_eta_steal = true;
+  /// A lane whose drain ETA exceeds threshold x the mean over busy lanes is
+  /// flagged as a heavy hitter; newly flagged lanes wake idle siblings so
+  /// stealing starts immediately rather than at the next natural wake-up.
+  double join_hh_threshold = 1.5;
+  /// Trust a lane's progress-rate EWMA only after this many completed
+  /// leases; untrusted lanes borrow the mean rate of trusted siblings.
+  uint64_t join_hh_min_leases = 2;
+
   /// Reads NDP_RUNTIME_* overrides onto the defaults; strict parses, and a
   /// malformed value is InvalidArgument, never silently ignored.
   static Result<RuntimeConfig> FromEnv();
@@ -148,7 +169,7 @@ class LeaseController {
 };
 
 enum class JobPriority : uint8_t { kInteractive = 0, kBatch = 1 };
-enum class JobKind : uint8_t { kSelect, kAggregate };
+enum class JobKind : uint8_t { kSelect, kAggregate, kProbe, kGroupBy };
 
 /// Per-job submission options. `deadline_ps` is an absolute simulated time;
 /// 0 means no deadline. A deadlined job whose deadline passes is cancelled at
@@ -166,9 +187,12 @@ struct JobResult {
   uint64_t job_id = 0;
   JobKind kind = JobKind::kSelect;
   Status status;                ///< OK, or the cause after lanes failed
-  uint64_t matches = 0;         ///< select: qualifying rows
+  uint64_t matches = 0;         ///< select/probe: qualifying rows
   int64_t agg_value = 0;        ///< aggregate: folded result
-  BitVector bitmap;             ///< select: merged, logical row order
+  BitVector bitmap;             ///< select/probe: merged, logical row order
+  /// Group-by: key -> {aggregate, row count}, merged across every device's
+  /// bucket-window passes.
+  std::map<int64_t, std::pair<int64_t, int64_t>> groups;
   sim::Tick submitted_ps = 0;
   sim::Tick completed_ps = 0;
   uint64_t leases = 0;          ///< ownership leases spent on this job
@@ -199,6 +223,28 @@ class NdpRuntime {
   Result<JobId> SubmitAggregate(const PlacedColumn& col, jafar::AggKind kind,
                                 JobPriority priority = JobPriority::kBatch,
                                 JobCallback on_done = {});
+
+  /// Enqueues a semijoin candidate probe of a placed join-key column against
+  /// a Bloom `filter_image` (`filter_words` = image size, a power of two;
+  /// built with jafar::BloomBitIndex over the build keys). The result bitmap
+  /// marks candidate rows — a superset with no false negatives; callers
+  /// refine against the exact build-key set (MakeSemiJoinHook does both).
+  /// The image is laid into every probing device's rank on first dispatch
+  /// there and re-read by the device's timed filter-load at each lease.
+  Result<JobId> SubmitProbe(const PlacedColumn& col,
+                            std::vector<uint64_t> filter_image,
+                            JobPriority priority = JobPriority::kBatch,
+                            JobCallback on_done = {});
+
+  /// Enqueues a grouped aggregation of vals[i] by keys[i]. Both columns must
+  /// be placed with identical splits (EnsurePlaced's uniform split qualifies
+  /// when both have the same row count). Covers arbitrary int64 key domains
+  /// by shaping each lease to one device bucket window (see DESIGN.md §12);
+  /// clustered keys give full-lease windows, adversarial keys stay exact.
+  Result<JobId> SubmitGroupBy(const PlacedColumn& keys,
+                              const PlacedColumn& vals, jafar::AggKind kind,
+                              JobPriority priority = JobPriority::kBatch,
+                              JobCallback on_done = {});
 
   /// Deadline-carrying select (the serving-ingress admission entry).
   Result<JobId> SubmitSelectWith(const PlacedColumn& col, int64_t lo,
@@ -231,6 +277,13 @@ class NdpRuntime {
   /// Batch form: submits every conjunct concurrently, waits for all, and
   /// returns one position list per conjunct (QueryContext::ndp_select_batch).
   db::NdpSelectBatchHook MakePushdownBatchHook();
+  /// Semijoin pushdown (QueryContext::ndp_semi_join): builds the Bloom image
+  /// and exact key set from the build side host-side, probes the key column
+  /// on-device, and refines candidates to a bit-identical semijoin result.
+  db::NdpSemiJoinHook MakeSemiJoinHook();
+  /// Group-by pushdown (QueryContext::ndp_group_by): places both columns and
+  /// runs a device-partial SUM aggregation, returning key -> {sum, count}.
+  db::NdpGroupByHook MakeGroupByHook();
 
   LeaseController& controller(uint32_t channel);
   const RuntimeConfig& config() const { return config_; }
@@ -243,8 +296,9 @@ class NdpRuntime {
 
   Result<JobId> Submit(const PlacedColumn& col, JobKind kind,
                        jafar::CompareOp op, int64_t lo, int64_t hi,
-                       jafar::AggKind agg, SubmitOptions opts,
-                       bool poke_lanes);
+                       jafar::AggKind agg, SubmitOptions opts, bool poke_lanes,
+                       const PlacedColumn* vals = nullptr,
+                       std::vector<uint64_t> filter_image = {});
   /// True (and fails + counts the job) when its deadline has already passed.
   bool CancelIfExpired(Job& job);
   Result<PlacedColumn*> EnsurePlaced(const db::Column& col);
@@ -293,8 +347,21 @@ class NdpRuntime {
   /// host-mediated copy with modeled latency. False when the target rank has
   /// no room (the caller must not shrink the source in that case).
   bool TransplantRows(Lane& target, Job& job, JobPriority priority,
-                      uint64_t src_addr, uint64_t first_row, uint64_t rows);
+                      uint64_t src_addr, uint64_t val_src_addr,
+                      uint64_t first_row, uint64_t rows);
   uint64_t StealableRows(const Lane& lane) const;
+  /// Lazily allocates + lays the job's Bloom image into the lane's rank
+  /// (functional write; the modeled cost is the device's timed filter-load
+  /// reads at every probe lease) and returns its base address there.
+  Result<uint64_t> EnsureProbeFilter(Lane& lane, Job& job);
+  /// Folds one device bucket window (or host-seam row) into job.groups.
+  static void MergeGroup(Job& job, int64_t key, int64_t agg, int64_t count);
+  /// Estimated time to drain the lane's backlog: stealable rows x the lane's
+  /// trusted ps/row EWMA (untrusted lanes borrow the trusted-lane mean).
+  double EtaScore(const Lane& lane) const;
+  /// Re-evaluates heavy-hitter flags after a lease; pokes idle lanes when a
+  /// lane is newly flagged so they volunteer as steal targets immediately.
+  void UpdateHeavyHitters();
   double ReadChannelBusyCycles(uint32_t channel) const;
   double ReadChannelRequests(uint32_t channel) const;
   sim::Tick BusCyclesToPs(uint64_t cycles) const;
@@ -323,6 +390,8 @@ class NdpRuntime {
     uint64_t lane_failures = 0;
     uint64_t chunks_reassigned = 0;
     uint64_t deadline_cancellations = 0;
+    uint64_t hh_flags = 0;   ///< lanes newly flagged as heavy hitters
+    uint64_t eta_steals = 0; ///< steals where ETA picked a different victim
   } counters_;
 
   std::vector<std::string> busy_paths_rc_, busy_paths_wc_;

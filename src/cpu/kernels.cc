@@ -229,6 +229,64 @@ bool GroupByScanStream::Next(Uop* uop) {
   }
 }
 
+bool HashProbeStream::Next(Uop* uop) {
+  for (;;) {
+    if (row_ >= num_rows_) return false;
+    uint64_t bucket = static_cast<uint64_t>(keys_[row_]) % num_buckets_;
+    bool hit = hit_flags_ != nullptr && hit_flags_[row_] != 0;
+    Uop u;
+    switch (step_) {
+      case 0:  // load probe key
+        u.type = UopType::kLoad;
+        u.addr = key_base_ + row_ * 8;
+        break;
+      case 1:  // hash (depends on the key load)
+        u.type = UopType::kAlu;
+        u.dep_distance = 1;
+        break;
+      case 2:  // hash-table line load: address depends on the hash
+        u.type = UopType::kLoad;
+        u.addr = ht_base_ + bucket * 16;
+        u.dep_distance = 1;
+        break;
+      case 3:  // key compare (depends on the table load)
+        u.type = UopType::kAlu;
+        u.dep_distance = 1;
+        break;
+      case 4:  // match branch: data-dependent, the semijoin's mispredict tax
+        u.type = UopType::kBranch;
+        u.pc = kPredicateBranchPc;
+        u.taken = hit;
+        break;
+      case 5:  // matched: append the position
+        if (!hit) { ++step_; continue; }
+        u.type = UopType::kStore;
+        u.addr = out_base_ + matches_ * 4;
+        ++matches_;
+        break;
+      case 6:  // i++
+        u.type = UopType::kAlu;
+        break;
+      case 7:  // loop branch
+        u.type = UopType::kBranch;
+        u.pc = kLoopBranchPc;
+        u.taken = row_ + 1 < num_rows_;
+        break;
+      default:
+        step_ = 0;
+        ++row_;
+        continue;
+    }
+    ++step_;
+    if (step_ > 7) {
+      step_ = 0;
+      ++row_;
+    }
+    *uop = u;
+    return true;
+  }
+}
+
 bool MergeSortStream::Next(Uop* uop) {
   for (;;) {
     if (pass_ >= passes_) return false;

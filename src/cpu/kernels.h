@@ -126,6 +126,41 @@ class GroupByScanStream : public UopStream {
   uint32_t step_ = 0;
 };
 
+/// \brief CPU hash semijoin probe: per probe row, load the key, hash, a
+/// data-dependent load of the hash-table line, compare, and a data-dependent
+/// match branch with a conditional position store — the CPU baseline the
+/// device Bloom-probe job competes against in the abl_join ablation.
+/// `hit_flags[i]` (nullable, 0/1) drives the branch outcome and the store, so
+/// the simulated branch behaviour follows the real join's selectivity.
+class HashProbeStream : public UopStream {
+ public:
+  HashProbeStream(const int64_t* keys, uint64_t num_rows,
+                  uint64_t key_base_addr, uint64_t ht_base_addr,
+                  uint64_t out_base_addr, uint32_t num_buckets,
+                  const uint8_t* hit_flags = nullptr)
+      : keys_(keys),
+        num_rows_(num_rows),
+        key_base_(key_base_addr),
+        ht_base_(ht_base_addr),
+        out_base_(out_base_addr),
+        num_buckets_(num_buckets),
+        hit_flags_(hit_flags) {}
+
+  bool Next(Uop* uop) override;
+
+  uint64_t matches() const { return matches_; }
+
+ private:
+  const int64_t* keys_;
+  uint64_t num_rows_;
+  uint64_t key_base_, ht_base_, out_base_;
+  uint32_t num_buckets_;
+  const uint8_t* hit_flags_;
+  uint64_t row_ = 0;
+  uint32_t step_ = 0;
+  uint64_t matches_ = 0;
+};
+
 /// \brief CPU bottom-up merge sort over `num_rows` elements: log2(n) passes,
 /// each streaming two input runs and one output run. Per output element: a
 /// run load, a compare, a data-dependent branch (the classic ~50%-mispredict

@@ -164,6 +164,19 @@ PositionList HashSemiJoin(QueryContext* ctx, const Column& build_col,
                           const PositionList& build_pos,
                           const Column& probe_col,
                           const PositionList& probe_pos, bool anti) {
+  bool device_fallback = false;
+  if (!anti && ctx->ndp_semi_join) {
+    auto pushed =
+        ctx->ndp_semi_join(build_col, build_pos, probe_col, probe_pos);
+    if (pushed.ok()) {
+      ctx->Record("semi_join[jafar]", build_pos.size() + probe_pos.size(),
+                  pushed.value().size());
+      return std::move(pushed).value();
+    }
+    device_fallback = IsDeviceFallback(pushed.status().code());
+    NDP_LOG_DEBUG("NDP semijoin declined, CPU fallback: %s",
+                  pushed.status().ToString().c_str());
+  }
   std::unordered_map<int64_t, bool> keys;
   keys.reserve(build_pos.size());
   uint64_t ht_base =
@@ -191,7 +204,9 @@ PositionList HashSemiJoin(QueryContext* ctx, const Column& build_col,
     bool found = keys.count(probe_col[p]) != 0;
     if (found != anti) out.push_back(p);
   }
-  ctx->Record(anti ? "anti_join" : "semi_join",
+  ctx->Record(anti ? "anti_join"
+                   : (device_fallback ? "semi_join[cpu_fallback]"
+                                      : "semi_join"),
               build_pos.size() + probe_pos.size(), out.size());
   return out;
 }
@@ -264,6 +279,44 @@ std::map<int64_t, std::vector<int64_t>> GroupAggregate(
     }
   }
   ctx->Record("group_aggregate", keys.size(), groups.size());
+  return groups;
+}
+
+std::map<int64_t, std::pair<int64_t, int64_t>> GroupSumFullColumn(
+    QueryContext* ctx, const Column& key_col, const Column& val_col) {
+  NDP_CHECK(key_col.size() == val_col.size());
+  bool device_fallback = false;
+  if (ctx->ndp_group_by) {
+    auto pushed = ctx->ndp_group_by(key_col, val_col);
+    if (pushed.ok()) {
+      ctx->Record("group_aggregate[jafar]", key_col.size(),
+                  pushed.value().size());
+      return std::move(pushed).value();
+    }
+    device_fallback = IsDeviceFallback(pushed.status().code());
+    NDP_LOG_DEBUG("NDP group-by declined, CPU fallback: %s",
+                  pushed.status().ToString().c_str());
+  }
+  std::map<int64_t, std::pair<int64_t, int64_t>> groups;
+  uint64_t key_base = ctx->trace ? ctx->trace->LayoutColumn(key_col) : 0;
+  uint64_t val_base = ctx->trace ? ctx->trace->LayoutColumn(val_col) : 0;
+  uint64_t ht_base =
+      ctx->trace ? ctx->trace->AllocRegion(4096 * 64, "groups") : 0;
+  for (size_t i = 0; i < key_col.size(); ++i) {
+    if (ctx->trace) {
+      ctx->trace->Compute(kGroupAggUops);
+      ctx->trace->Load(key_base + i * 8);
+      ctx->trace->Load(val_base + i * 8);
+      ctx->trace->Load(ht_base + (static_cast<uint64_t>(key_col[i]) % 4096) * 64);
+      ctx->trace->Store(ht_base + (static_cast<uint64_t>(key_col[i]) % 4096) * 64);
+    }
+    auto& slot = groups[key_col[i]];
+    slot.first += val_col[i];
+    slot.second += 1;
+  }
+  ctx->Record(device_fallback ? "group_aggregate[cpu_fallback]"
+                              : "group_aggregate",
+              key_col.size(), groups.size());
   return groups;
 }
 

@@ -78,12 +78,28 @@ using NdpSelectHook =
 using NdpSelectBatchHook = std::function<Result<std::vector<PositionList>>(
     const std::vector<std::pair<const Column*, Pred>>&)>;
 
+/// Semijoin pushdown hook (wired by ndp::core): given the build side
+/// (column + qualifying positions) and the probe side, return the probe
+/// positions whose key exists among the build keys — bit-identical to the
+/// CPU HashSemiJoin. An error falls the join back to the CPU path.
+using NdpSemiJoinHook = std::function<Result<PositionList>(
+    const Column& build_col, const PositionList& build_pos,
+    const Column& probe_col, const PositionList& probe_pos)>;
+
+/// Full-column group-by pushdown hook: SUM of val_col grouped by key_col,
+/// returning key -> {sum, count} (count backs AVG and COUNT aggregates).
+using NdpGroupByHook =
+    std::function<Result<std::map<int64_t, std::pair<int64_t, int64_t>>>(
+        const Column& key_col, const Column& val_col)>;
+
 /// \brief Shared execution state: tracing, pushdown, stats.
 struct QueryContext {
   TraceRecorder* trace = nullptr;      ///< optional memory-trace recording
   SelectMode select_mode = SelectMode::kBranching;
   NdpSelectHook ndp_select;            ///< optional JAFAR pushdown
   NdpSelectBatchHook ndp_select_batch; ///< optional concurrent-conjunct form
+  NdpSemiJoinHook ndp_semi_join;       ///< optional semijoin probe pushdown
+  NdpGroupByHook ndp_group_by;         ///< optional group-by pushdown
   std::vector<OperatorStats> stats;
   /// Optional registry scope; when active, every Record() also bumps
   /// "<prefix>.<op>.{calls,rows_in,rows_out}" registry counters so query
@@ -158,6 +174,13 @@ struct AggSpec {
 std::map<int64_t, std::vector<int64_t>> GroupAggregate(
     QueryContext* ctx, const std::vector<int64_t>& keys,
     const std::vector<AggSpec>& specs);
+
+/// Full-column SUM group-by: key_col[i] identifies row i's group, the value
+/// is val_col[i]; returns key -> {sum, count}. Uses the NDP group-by hook
+/// when installed (falling back to the CPU loop on error) — the shape TPC-H
+/// Q18's lineitem-by-orderkey aggregation pushes down.
+std::map<int64_t, std::pair<int64_t, int64_t>> GroupSumFullColumn(
+    QueryContext* ctx, const Column& key_col, const Column& val_col);
 
 // -- Sort -----------------------------------------------------------------------
 

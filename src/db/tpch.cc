@@ -1,6 +1,8 @@
 #include "db/tpch.h"
 
+#include <cmath>
 #include <string>
+#include <vector>
 
 #include "util/macros.h"
 
@@ -19,6 +21,33 @@ int64_t DaysFromCivil(int y, int m, int d) {
          719468;
 }
 const int64_t kEpoch1992 = DaysFromCivil(1992, 1, 1);
+
+/// Lines-per-order cap under skew: one hot order then spans several device
+/// pages without letting a single key swallow the whole line budget.
+constexpr uint32_t kMaxLinesPerOrder = 2048;
+
+/// Zipf(theta) multiplicities: the order with 1-based rank r receives a
+/// share of the total line budget (mean_lines x norders) proportional to
+/// r^-theta, floored at 1 line and capped at kMaxLinesPerOrder. Fully
+/// deterministic (no rng draws), so the skewed generator stays reproducible
+/// for any theta.
+std::vector<uint32_t> ZipfLineCounts(uint64_t norders, double theta,
+                                     double mean_lines) {
+  std::vector<double> w(norders);
+  double total_w = 0.0;
+  for (uint64_t o = 0; o < norders; ++o) {
+    w[o] = std::pow(static_cast<double>(o + 1), -theta);
+    total_w += w[o];
+  }
+  const double budget = mean_lines * static_cast<double>(norders);
+  std::vector<uint32_t> lines(norders);
+  for (uint64_t o = 0; o < norders; ++o) {
+    double share = std::floor(budget * w[o] / total_w);
+    share = std::max(1.0, std::min<double>(share, kMaxLinesPerOrder));
+    lines[o] = static_cast<uint32_t>(share);
+  }
+  return lines;
+}
 }  // namespace
 
 int64_t DayNumber(int year, int month, int day) {
@@ -90,9 +119,15 @@ void Generate(const TpchConfig& config, Catalog* catalog) {
   l_linestatus->InternString("F");
 
   const int64_t current_date = DayNumber(1995, 6, 17);
+  std::vector<uint32_t> zipf_lines;
+  if (config.skew_theta > 0.0) {
+    // Mean 4 lines/order matches the uniform 1..7 draw's expectation.
+    zipf_lines = ZipfLineCounts(norders, config.skew_theta, 4.0);
+  }
   std::vector<int64_t> order_totals(norders, 0);
   for (uint64_t o = 0; o < norders; ++o) {
-    uint32_t lines = 1 + rng.NextBounded(7);
+    uint32_t lines = config.skew_theta > 0.0 ? zipf_lines[o]
+                                             : 1 + rng.NextBounded(7);
     int64_t orderdate = (*o_orderdate)[o];
     int64_t total = 0;
     for (uint32_t l = 0; l < lines; ++l) {

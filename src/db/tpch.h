@@ -20,6 +20,13 @@ int64_t DayNumber(int year, int month, int day);
 struct TpchConfig {
   double scale = 0.01;  ///< 0.01 -> ~60k lineitem rows
   uint64_t seed = 20150601;  // DaMoN'15
+  /// Zipf exponent for the lines-per-order multiplicity. 0 keeps the classic
+  /// uniform 1..7 draw (and the exact historical rng stream, so existing
+  /// datasets are byte-identical). theta > 0 concentrates lineitem rows on
+  /// low orderkeys — order with rank r gets a line budget proportional to
+  /// r^-theta (capped, min 1) — which skews the Q18 group-by and the Q3
+  /// orderkey join the way the abl_join skew sweep needs.
+  double skew_theta = 0.0;
 
   uint64_t num_customers() const {
     return static_cast<uint64_t>(150000 * scale) + 1;

@@ -82,6 +82,15 @@ std::vector<Q3Row> RunQ3(QueryContext* ctx, Catalog* catalog) {
   // lineitem: l_shipdate > date
   PositionList li_pos = ScanSelect(ctx, li.Col("l_shipdate"), Pred::Gt(date));
 
+  // JSPIM-style pushdown: when the semijoin hook is installed, prefilter the
+  // lineitem positions on-device against the qualifying orderkeys before the
+  // host join. The semijoin only drops rows the join would drop anyway, so
+  // the join output — and the query result — is bit-identical.
+  if (ctx->ndp_semi_join) {
+    li_pos = HashSemiJoin(ctx, ord.Col("o_orderkey"), co.right,
+                          li.Col("l_orderkey"), li_pos);
+  }
+
   // join (c x o) x lineitem on orderkey
   JoinResult col = HashJoin(ctx, ord.Col("o_orderkey"), co.right,
                             li.Col("l_orderkey"), li_pos);
@@ -144,24 +153,35 @@ std::vector<Q18Row> RunQ18(QueryContext* ctx, Catalog* catalog) {
   Table& li = catalog->Tab("lineitem");
 
   // Group lineitem by orderkey, sum quantity; keep groups with sum > 300.
-  PositionList all_li(li.num_rows());
-  for (size_t i = 0; i < all_li.size(); ++i) {
-    all_li[i] = static_cast<uint32_t>(i);
+  // With the group-by pushdown hook installed the full-column aggregation
+  // runs on-device (GroupSumFullColumn); otherwise the classic gather +
+  // hash-aggregate CPU plan runs, byte-for-byte as before.
+  std::map<int64_t, std::pair<int64_t, int64_t>> groups;
+  if (ctx->ndp_group_by) {
+    groups =
+        GroupSumFullColumn(ctx, li.Col("l_orderkey"), li.Col("l_quantity"));
+  } else {
+    PositionList all_li(li.num_rows());
+    for (size_t i = 0; i < all_li.size(); ++i) {
+      all_li[i] = static_cast<uint32_t>(i);
+    }
+    auto okey = Gather(ctx, li.Col("l_orderkey"), all_li);
+    auto qty = Gather(ctx, li.Col("l_quantity"), all_li);
+    std::vector<AggSpec> specs = {{AggFn::kSum, &qty}};
+    for (const auto& [key, aggs] : GroupAggregate(ctx, okey, specs)) {
+      groups.emplace(key, std::make_pair(aggs[0], int64_t{0}));
+    }
   }
-  auto okey = Gather(ctx, li.Col("l_orderkey"), all_li);
-  auto qty = Gather(ctx, li.Col("l_quantity"), all_li);
-  std::vector<AggSpec> specs = {{AggFn::kSum, &qty}};
-  auto groups = GroupAggregate(ctx, okey, specs);
 
   std::vector<Q18Row> rows;
   const Column& okey_col = ord.Col("o_orderkey");
   const Column& ocust = ord.Col("o_custkey");
   const Column& ototal = ord.Col("o_totalprice");
   for (const auto& [orderkey, aggs] : groups) {
-    if (aggs[0] <= 300) continue;
+    if (aggs.first <= 300) continue;
     Q18Row r;
     r.orderkey = orderkey;
-    r.sum_quantity = aggs[0];
+    r.sum_quantity = aggs.first;
     size_t oi = static_cast<size_t>(orderkey - 1);
     NDP_CHECK(okey_col[oi] == orderkey);
     r.custkey = ocust[oi];

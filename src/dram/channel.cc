@@ -78,4 +78,20 @@ void Channel::ResetBankFilters(uint32_t rank) {
 #endif
 }
 
+void Channel::NoteProbeFilterLoadStart(uint32_t rank, sim::Tick t) {
+  NDP_CHECK(rank < ranks_.size());
+#ifdef NDP_PROTOCOL_CHECK
+  checker_.NoteProbeFilterLoadStart(rank, t);
+#else
+  (void)t;
+#endif
+}
+
+void Channel::NoteProbeFilterLoadDone(uint32_t rank) {
+  NDP_CHECK(rank < ranks_.size());
+#ifdef NDP_PROTOCOL_CHECK
+  checker_.NoteProbeFilterLoadDone(rank);
+#endif
+}
+
 }  // namespace ndp::dram

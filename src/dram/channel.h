@@ -43,6 +43,13 @@ class Channel {
   /// the shadow checker's armed-state in sync with the device model.
   void ResetBankFilters(uint32_t rank);
 
+  /// Out-of-band notes bracketing the probe engine's Bloom filter-image load
+  /// on one rank (shadow checker only): WR/ARM commands to the rank inside
+  /// the window are audited as probe-flow violations. Done is idempotent so
+  /// job teardown can close the window unconditionally.
+  void NoteProbeFilterLoadStart(uint32_t rank, sim::Tick t);
+  void NoteProbeFilterLoadDone(uint32_t rank);
+
   const DramTiming& timing() const { return *timing_; }
   const DramOrganization& organization() const { return *org_; }
   sim::ClockDomain bus_clock() const { return bus_; }

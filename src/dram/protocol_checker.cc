@@ -36,6 +36,9 @@ const char* TimingRuleToString(TimingRule rule) {
     case TimingRule::kDrainTooEarly: return "drain-too-early";
     case TimingRule::kResultBus: return "result-bus";
     case TimingRule::kRefreshArmed: return "refresh-armed";
+    case TimingRule::kProbeWrDuringLoad: return "probe-wr-during-load";
+    case TimingRule::kProbeArmDuringLoad: return "probe-arm-during-load";
+    case TimingRule::kProbeReentrantLoad: return "probe-reentrant-load";
   }
   return "unknown";
 }
@@ -178,6 +181,26 @@ void ProtocolChecker::NoteBankFilterReset(uint32_t rank) {
   }
 }
 
+void ProtocolChecker::NoteProbeFilterLoadStart(uint32_t rank, sim::Tick t) {
+  NDP_CHECK(rank < ranks_.size());
+  RankState& r = ranks_[rank];
+  if (r.probe_load_active) {
+    // Synthesized command context: the load window opens out-of-band (no DDR3
+    // command of its own), so describe it as a rank-wide event at bank 0.
+    Command cmd{CommandType::kRead, rank, 0};
+    Flag(TimingRule::kProbeReentrantLoad, cmd, t, r.probe_load_start,
+         "probe filter load already active; started");
+  }
+  r.probe_load_active = true;
+  r.probe_load_start = t;
+}
+
+void ProtocolChecker::NoteProbeFilterLoadDone(uint32_t rank) {
+  NDP_CHECK(rank < ranks_.size());
+  ranks_[rank].probe_load_active = false;
+  ranks_[rank].probe_load_start = kNever;
+}
+
 void ProtocolChecker::ObserveActivate(const Command& cmd, sim::Tick t,
                                       RankState& rank) {
   BankState& bank = rank.banks[cmd.bank];
@@ -228,6 +251,10 @@ void ProtocolChecker::ObserveColumn(const Command& cmd, sim::Tick t,
   }
   if (bank.last_act != kNever && t < bank.last_act + Cycles(timing_->trcd)) {
     Flag(TimingRule::kTrcd, cmd, t, bank.last_act, "ACT");
+  }
+  if (!is_read && rank.probe_load_active) {
+    Flag(TimingRule::kProbeWrDuringLoad, cmd, t, rank.probe_load_start,
+         "probe filter load start (WR could tear the image mid-latch)");
   }
   if (is_read && bank.armed) {
     // Filter-mode RD: the burst feeds the bank's comparator and never drives
@@ -385,6 +412,10 @@ void ProtocolChecker::ObserveBankArm(const Command& cmd, sim::Tick t,
   if (bank.row_open) {
     Flag(TimingRule::kBankArm, cmd, t, kNever,
          "ARM to a bank with an open row (precharge first)");
+  }
+  if (rank.probe_load_active) {
+    Flag(TimingRule::kProbeArmDuringLoad, cmd, t, rank.probe_load_start,
+         "probe filter load start (comparator SRAM port is busy latching)");
   }
   if (rank.refresh_end != kNever && t < rank.refresh_end) {
     Flag(TimingRule::kTrfc, cmd, t, rank.refresh_end - Cycles(timing_->trfc),

@@ -55,6 +55,12 @@ enum class TimingRule : uint8_t {
   kDrainTooEarly,  ///< draining PRE before the last match bits latched
   kResultBus,      ///< two accumulator drains overlap on the rank result bus
   kRefreshArmed,   ///< REF to a rank with armed banks
+  // Semijoin probe filter-load window (the probe engine streams its Bloom
+  // image from DRAM into device SRAM before the scan; a concurrent writer
+  // or ARM would tear the image mid-latch):
+  kProbeWrDuringLoad,   ///< WR to the rank while the filter image is loading
+  kProbeArmDuringLoad,  ///< bank ARM while the filter image is loading
+  kProbeReentrantLoad,  ///< filter load started while one is already active
 };
 
 const char* TimingRuleToString(TimingRule rule);
@@ -98,6 +104,13 @@ class ProtocolChecker {
   /// shadow armed/pending state so the audit doesn't diverge from hardware.
   void NoteBankFilterReset(uint32_t rank);
 
+  /// Mirrors the probe engine's Bloom filter-image load window. Between Start
+  /// and Done the engine is latching DRAM reads into its filter SRAM: a WR to
+  /// the rank or a bank ARM inside the window would tear the image, and a
+  /// second Start before Done means two engines race one SRAM port.
+  void NoteProbeFilterLoadStart(uint32_t rank, sim::Tick t);
+  void NoteProbeFilterLoadDone(uint32_t rank);
+
   /// Audits one command issued at tick `t` and updates the shadow state.
   /// Call in issue order (non-decreasing `t`).
   void Observe(const Command& cmd, sim::Tick t);
@@ -139,6 +152,9 @@ class ProtocolChecker {
     sim::Tick last_mrs = kNever;            ///< tMRD window
     bool refresh_overdue_flagged = false;   ///< one tREFI report per lapse
     sim::Tick result_bus_end = kNever;      ///< current drain's last beat
+    // Probe filter-load window shadow state.
+    bool probe_load_active = false;
+    sim::Tick probe_load_start = kNever;
   };
 
   sim::Tick Cycles(uint32_t n) const;

@@ -16,13 +16,36 @@ DeviceConfig DeviceConfig::FromDatapath(const accel::DatapathSummary& datapath,
   return cfg;
 }
 
+namespace {
+
+/// Schedules the probe kernel on `resources`, widened to at least one
+/// multiplier: the baseline select datapath carries none, and the probe
+/// engine's hash lanes are exactly the hardware a probe-capable generation
+/// adds. Mirrors the select derivation — the rate is scheduled, never picked.
+Result<accel::DatapathSummary> ScheduleProbe(
+    const accel::DatapathResources& resources, uint32_t hash_count) {
+  accel::DatapathResources probe_res = resources;
+  probe_res.multipliers = std::max(1u, resources.multipliers);
+  accel::LoopKernel kernel = accel::MakeProbeKernel(hash_count);
+  NDP_ASSIGN_OR_RETURN(accel::ScheduleResult sched,
+                       accel::ScheduleKernel(kernel, probe_res, 128));
+  return accel::DatapathSummary::FromSchedule(kernel, sched);
+}
+
+}  // namespace
+
 Result<DeviceConfig> DeviceConfig::Derive(
     const dram::DramTiming& timing, const accel::DatapathResources& resources) {
   accel::LoopKernel kernel = accel::MakeSelectKernel();
   NDP_ASSIGN_OR_RETURN(accel::ScheduleResult sched,
                        accel::ScheduleKernel(kernel, resources, 128));
-  return FromDatapath(accel::DatapathSummary::FromSchedule(kernel, sched),
-                      timing);
+  DeviceConfig cfg = FromDatapath(
+      accel::DatapathSummary::FromSchedule(kernel, sched), timing);
+  NDP_ASSIGN_OR_RETURN(accel::DatapathSummary probe,
+                       ScheduleProbe(resources, cfg.probe_hashes));
+  cfg.probe_words_per_cycle = probe.words_per_cycle;
+  cfg.probe_energy_per_word_fj = probe.energy_per_word_fj;
+  return cfg;
 }
 
 Result<DeviceConfig> DeviceConfig::DeriveBank(
@@ -47,6 +70,10 @@ Result<DeviceConfig> DeviceConfig::DeriveBank(
       accel::DatapathSummary::FromSchedule(kernel, sched);
   cfg.bank_words_per_cycle = bank.words_per_cycle;
   cfg.bank_energy_per_word_fj = bank.energy_per_word_fj;
+  NDP_ASSIGN_OR_RETURN(accel::DatapathSummary bank_probe,
+                       ScheduleProbe(bank_res, cfg.probe_hashes));
+  cfg.bank_probe_words_per_cycle = bank_probe.words_per_cycle;
+  cfg.bank_probe_energy_per_word_fj = bank_probe.energy_per_word_fj;
 
   // Command-flow timing in bus-clock cycles (JAFAR clock = 2x the bus clock,
   // so two JAFAR cycles fit per bus cycle).
@@ -96,6 +123,19 @@ sim::Tick DeviceConfig::BurstProcessingPs(uint32_t words) const {
 sim::Tick DeviceConfig::BankBurstProcessingPs(uint32_t words) const {
   NDP_CHECK(bank_words_per_cycle > 0);
   double cycles = std::ceil(static_cast<double>(words) / bank_words_per_cycle);
+  return static_cast<sim::Tick>(cycles) * clock.period_ps();
+}
+
+sim::Tick DeviceConfig::ProbeBurstProcessingPs(uint32_t words) const {
+  NDP_CHECK(probe_words_per_cycle > 0);
+  double cycles = std::ceil(static_cast<double>(words) / probe_words_per_cycle);
+  return static_cast<sim::Tick>(cycles) * clock.period_ps();
+}
+
+sim::Tick DeviceConfig::BankProbeBurstProcessingPs(uint32_t words) const {
+  NDP_CHECK(bank_probe_words_per_cycle > 0);
+  double cycles =
+      std::ceil(static_cast<double>(words) / bank_probe_words_per_cycle);
   return static_cast<sim::Tick>(cycles) * clock.period_ps();
 }
 

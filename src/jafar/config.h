@@ -59,6 +59,21 @@ struct DeviceConfig {
   /// the bucket count; larger key domains need hierarchical passes).
   uint32_t groupby_buckets = 256;
 
+  // -- Semijoin probe engine (JSPIM-style; filled by Derive/DeriveBank from
+  //    the probe kernel schedule) -------------------------------------------
+
+  /// Bloom hash lanes the probe datapath instantiates. The derivation
+  /// schedules MakeProbeKernel(probe_hashes); a ProbeJob whose hash_count
+  /// differs is rejected at StartProbe.
+  uint32_t probe_hashes = 2;
+  /// Join keys the probe datapath evaluates per JAFAR cycle (rank IO path).
+  double probe_words_per_cycle = 0.0;
+  /// Dynamic energy per probed key, femtojoules.
+  double probe_energy_per_word_fj = 0.0;
+  /// Same pair through one bank's probe slice (v2 generation).
+  double bank_probe_words_per_cycle = 0.0;
+  double bank_probe_energy_per_word_fj = 0.0;
+
   // -- v2 bank-level datapath (valid only when generation == kV2BankLevel;
   //    filled by DeriveBank from the per-bank comparator schedule) ----------
 
@@ -104,6 +119,12 @@ struct DeviceConfig {
 
   /// Same, through one bank's comparator (v2 generation).
   sim::Tick BankBurstProcessingPs(uint32_t words) const;
+
+  /// Picoseconds the probe engine needs for one burst of `words` join keys.
+  sim::Tick ProbeBurstProcessingPs(uint32_t words) const;
+
+  /// Same, through one bank's probe slice (v2 generation).
+  sim::Tick BankProbeBurstProcessingPs(uint32_t words) const;
 };
 
 }  // namespace ndp::jafar

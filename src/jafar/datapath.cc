@@ -35,10 +35,18 @@ sim::Tick DatapathModel::BusCycles(uint32_t n) const {
 
 bool DatapathModel::is_rowstore() const { return dev_->rowstore_.has_value(); }
 
+bool DatapathModel::is_probe() const { return dev_->probe_.has_value(); }
+
 const SelectJob& DatapathModel::select_job() const { return *dev_->select_; }
 
 const RowStoreJob& DatapathModel::rowstore_job() const {
   return *dev_->rowstore_;
+}
+
+const ProbeJob& DatapathModel::probe_job() const { return *dev_->probe_; }
+
+bool DatapathModel::EvalProbeKey(int64_t key) const {
+  return dev_->EvalProbeKey(key);
 }
 
 uint64_t DatapathModel::cursor_rows() const { return dev_->cursor_rows_; }
@@ -84,6 +92,30 @@ void DatapathModel::OpenRow(const dram::DramLocation& loc,
 void DatapathModel::ReadBurst(uint64_t addr,
                               std::function<void(sim::Tick)> next) {
   dev_->ReadBurst(addr, std::move(next));
+}
+
+void DatapathModel::ReadBurstChain(uint64_t addr, uint64_t bursts,
+                                   std::function<void(sim::Tick)> on_last_data) {
+  dev_->ReadBurstChain(addr, bursts, std::move(on_last_data));
+}
+
+void DatapathModel::BeginProbe() {
+  // Filter preload, shared by every generation: announce the load window to
+  // the shadow checker, stream the Bloom image out of DRAM with ordinary
+  // reads (the timing), latch it into the probe SRAM (the function), close
+  // the window, and only then start the generation's scan sequencer.
+  const ProbeJob& job = *dev_->probe_;
+  channel().NoteProbeFilterLoadStart(rank_index(), eq()->Now());
+  dev_->probe_sram_.assign(job.filter_words, 0);
+  uint64_t bursts = (job.filter_words * 8 + 63) / 64;
+  ReadBurstChain(job.filter_base, bursts, [this](sim::Tick) {
+    const ProbeJob& j = *dev_->probe_;
+    for (uint64_t w = 0; w < j.filter_words; ++w) {
+      dev_->probe_sram_[w] = Read64(j.filter_base + w * 8);
+    }
+    channel().NoteProbeFilterLoadDone(rank_index());
+    BeginScan();
+  });
 }
 
 void DatapathModel::FlushBitmap(std::function<void()> next) {

@@ -46,11 +46,17 @@ class DatapathModel {
   /// counters under the device's stats scope.
   virtual void Attach(const StatsScope& stats) { (void)stats; }
 
-  /// Entry point for scan jobs (select and row-store): called once, after
-  /// the invocation overhead has elapsed, with the job state already staged
-  /// in the shell. Drives the entire scan and ends it with FinishJob() (or
-  /// FailJob() via the shell's fault paths).
+  /// Entry point for scan jobs (select, row-store and probe): called once,
+  /// after the invocation overhead has elapsed, with the job state already
+  /// staged in the shell. Drives the entire scan and ends it with FinishJob()
+  /// (or FailJob() via the shell's fault paths).
   virtual void BeginScan() = 0;
+
+  /// Entry point for semijoin probe jobs. Non-virtual and shared by every
+  /// generation: brackets the filter-image preload (DRAM reads latched into
+  /// the probe SRAM, with the shadow checker's load window held open) and
+  /// then hands over to the generation's BeginScan sequencer.
+  void BeginProbe();
 
   /// Job-teardown hook, called on every job end — clean finish, failure and
   /// driver abort alike. Generations holding DRAM-side state (v2's armed
@@ -74,8 +80,12 @@ class DatapathModel {
 
   // Job state staged by the shell's Start* entry points.
   bool is_rowstore() const;
+  bool is_probe() const;
   const SelectJob& select_job() const;
   const RowStoreJob& rowstore_job() const;
+  const ProbeJob& probe_job() const;
+  /// Bloom membership of `key` against the preloaded probe SRAM.
+  bool EvalProbeKey(int64_t key) const;
   uint64_t cursor_rows() const;
   void set_cursor_rows(uint64_t rows);
   sim::Tick engine_ready_at() const;
@@ -92,6 +102,8 @@ class DatapathModel {
                       bool defer_to_refresh = true);
   void OpenRow(const dram::DramLocation& loc, std::function<void()> next);
   void ReadBurst(uint64_t addr, std::function<void(sim::Tick)> next);
+  void ReadBurstChain(uint64_t addr, uint64_t bursts,
+                      std::function<void(sim::Tick)> on_last_data);
   void FlushBitmap(std::function<void()> next);
   void FinishJob();
   void FailJob(Status st);

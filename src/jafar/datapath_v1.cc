@@ -34,8 +34,10 @@ class V1RankIoDatapath final : public DatapathModel {
 
 void V1RankIoDatapath::SelectStep() {
   const bool is_rs = is_rowstore();
-  const uint64_t total_rows =
-      is_rs ? rowstore_job().num_tuples : select_job().num_rows;
+  const bool probe = is_probe();
+  const uint64_t total_rows = is_rs      ? rowstore_job().num_tuples
+                              : probe    ? probe_job().num_rows
+                                         : select_job().num_rows;
   if (cursor_rows() >= total_rows) {
     // Final (possibly partial) bitmap flush, then done.
     FlushBitmap([this] { FinishJob(); });
@@ -43,8 +45,9 @@ void V1RankIoDatapath::SelectStep() {
   }
   const uint32_t row_bytes =
       is_rs ? rowstore_job().tuple_bytes : config().elem_bytes;
-  const uint64_t base =
-      is_rs ? rowstore_job().tuple_base : select_job().col_base;
+  const uint64_t base = is_rs      ? rowstore_job().tuple_base
+                        : probe    ? probe_job().col_base
+                                   : select_job().col_base;
   // The burst containing the next unprocessed row.
   uint64_t burst_addr = base + cursor_rows() * row_bytes;
   burst_addr -= burst_addr % kBurstBytes;
@@ -55,7 +58,7 @@ void V1RankIoDatapath::SelectStep() {
       total_rows, (burst_end - base + row_bytes - 1) / row_bytes);
   uint64_t rows_here = last > first ? last - first : 0;
 
-  ReadBurst(burst_addr, [this, first, rows_here, is_rs,
+  ReadBurst(burst_addr, [this, first, rows_here, is_rs, probe,
                          base](sim::Tick data_done) {
     if (DrawStallAtBurst()) {
       // Sequencer stall mid-scan: the partial bitmap may already be in DRAM,
@@ -75,6 +78,8 @@ void V1RankIoDatapath::SelectStep() {
                      p.attr_offset_bytes));
           pass = pass && EvalCompare(p.op, v, p.range_low, p.range_high);
         }
+      } else if (probe) {
+        pass = EvalProbeKey(ReadValue(base + r * config().elem_bytes));
       } else {
         int64_t v = ReadValue(base + r * config().elem_bytes);
         pass = EvalCompare(select_job().op, v, select_job().range_low,
@@ -87,13 +92,17 @@ void V1RankIoDatapath::SelectStep() {
     stats().rows_processed += rows_here;
     set_cursor_rows(cursor_rows() + rows_here);
 
-    // Datapath timing: one word per II from the IO buffer.
+    // Datapath timing: one word per II from the IO buffer. Probe jobs run
+    // the hash-lane kernel's (slower) schedule instead of the comparator's.
     uint32_t words = kBurstBytes / 8;
     sim::Tick start = std::max(data_done, engine_ready_at());
-    sim::Tick proc = config().BurstProcessingPs(words);
+    sim::Tick proc = probe ? config().ProbeBurstProcessingPs(words)
+                           : config().BurstProcessingPs(words);
     set_engine_ready_at(start + proc);
     stats().engine_busy_ps += proc;
-    stats().energy_fj += config().energy_per_word_fj * words;
+    stats().energy_fj += (probe ? config().probe_energy_per_word_fj
+                                : config().energy_per_word_fj) *
+                         words;
 
     if (pending_bit_count() >= config().output_buffer_bits) {
       FlushBitmap([this] { ContinueScanWhenEngineReady(); });

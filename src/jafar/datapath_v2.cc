@@ -108,9 +108,14 @@ class V2BankLevelDatapath final : public DatapathModel {
 
 void V2BankLevelDatapath::BeginScan() {
   const bool is_rs = is_rowstore();
-  base_ = is_rs ? rowstore_job().tuple_base : select_job().col_base;
+  const bool probe = is_probe();
+  base_ = is_rs      ? rowstore_job().tuple_base
+          : probe    ? probe_job().col_base
+                     : select_job().col_base;
   stride_bytes_ = is_rs ? rowstore_job().tuple_bytes : config().elem_bytes;
-  total_rows_ = is_rs ? rowstore_job().num_tuples : select_job().num_rows;
+  total_rows_ = is_rs      ? rowstore_job().num_tuples
+                : probe    ? probe_job().num_rows
+                           : select_job().num_rows;
   scan_end_ = base_ + total_rows_ * stride_bytes_;
   next_seg_start_ = base_;
   wave_covered_end_ = base_;
@@ -250,9 +255,15 @@ void V2BankLevelDatapath::ReadNext(dram::DramLocation loc, uint64_t first_burst,
           return;  // uncorrectable ECC: FailJob already ran
         }
         const uint32_t words = kBurstBytes / 8;
-        sim::Tick proc = config().BankBurstProcessingPs(words);
+        // Probe jobs run each bank's hash-lane slice at its own (slower)
+        // scheduled rate instead of the range comparator's.
+        const bool probe = is_probe();
+        sim::Tick proc = probe ? config().BankProbeBurstProcessingPs(words)
+                               : config().BankBurstProcessingPs(words);
         stats().engine_busy_ps += proc;
-        stats().energy_fj += config().bank_energy_per_word_fj * words;
+        stats().energy_fj += (probe ? config().bank_probe_energy_per_word_fj
+                                    : config().bank_energy_per_word_fj) *
+                             words;
         ReadNext(loc, first_burst, idx + 1, nbursts);
       },
       /*on_stale=*/
@@ -292,6 +303,9 @@ void V2BankLevelDatapath::OnSegmentDone() {
 }
 
 bool V2BankLevelDatapath::EvalRow(uint64_t r) const {
+  if (is_probe()) {
+    return EvalProbeKey(ReadValue(base_ + r * config().elem_bytes));
+  }
   if (is_rowstore()) {
     bool pass = true;
     for (const RowPredicate& p : rowstore_job().predicates) {

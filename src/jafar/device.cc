@@ -105,6 +105,10 @@ void Device::ScheduleAfterGuarded(sim::Tick delta, std::function<void()> fn) {
 void Device::AbortJob() {
   if (!busy_) return;  // completion won the race against the watchdog
   datapath_->OnJobTeardown();  // release generation-held DRAM state
+  if (probe_.has_value()) {
+    // The abort may land mid filter-load; close the shadow window (idempotent).
+    channel().NoteProbeFilterLoadDone(rank_index_);
+  }
   ++job_epoch_;        // strand every in-flight sequencer event
   stats_.total_busy_ps += eq_->Now();  // settle the negative start stamp
   ++stats_.jobs_failed;
@@ -115,6 +119,7 @@ void Device::AbortJob() {
   rowstore_.reset();
   sort_.reset();
   groupby_.reset();
+  probe_.reset();
   on_done_ = nullptr;  // the aborting driver already gave up on this callback
   last_job_status_ = Status::Internal("job aborted by driver reset");
 }
@@ -122,6 +127,9 @@ void Device::AbortJob() {
 void Device::FailJob(Status st) {
   NDP_CHECK(busy_);
   datapath_->OnJobTeardown();
+  if (probe_.has_value()) {
+    channel().NoteProbeFilterLoadDone(rank_index_);
+  }
   ++job_epoch_;
   sim::Tick now = eq_->Now();
   stats_.total_busy_ps += now;
@@ -133,6 +141,7 @@ void Device::FailJob(Status st) {
   rowstore_.reset();
   sort_.reset();
   groupby_.reset();
+  probe_.reset();
   last_job_status_ = std::move(st);
   auto cb = std::move(on_done_);
   on_done_ = nullptr;
@@ -403,6 +412,64 @@ Status Device::StartRowStore(const RowStoreJob& job,
   return Status::OK();
 }
 
+Status Device::StartProbe(const ProbeJob& job,
+                          std::function<void(sim::Tick)> on_done) {
+  NDP_RETURN_NOT_OK(CheckIdleAndOwned());
+  if (config_.elem_bytes != 8) {
+    return Status::Unimplemented("probe engine hashes 64-bit join keys");
+  }
+  if (job.hash_count != config_.probe_hashes) {
+    return Status::InvalidArgument(
+        "hash_count does not match the derived probe datapath (" +
+        std::to_string(config_.probe_hashes) + " lanes)");
+  }
+  if (job.filter_words == 0 ||
+      (job.filter_words & (job.filter_words - 1)) != 0) {
+    return Status::InvalidArgument(
+        "filter_words must be a power of two (bit index is a mask)");
+  }
+  if (config_.probe_words_per_cycle <= 0.0) {
+    return Status::Unimplemented("datapath has no scheduled probe kernel");
+  }
+  NDP_RETURN_NOT_OK(CheckRange(job.col_base, job.num_rows * 8));
+  NDP_RETURN_NOT_OK(CheckRange(job.out_base, (job.num_rows + 7) / 8));
+  NDP_RETURN_NOT_OK(CheckRange(job.filter_base, job.filter_words * 8));
+  if (job.col_base % kBurstBytes != 0 || job.out_base % kBurstBytes != 0 ||
+      job.filter_base % kBurstBytes != 0) {
+    return Status::InvalidArgument(
+        "col_base/out_base/filter_base must be 64 B aligned");
+  }
+  busy_ = true;
+  probe_ = job;
+  on_done_ = std::move(on_done);
+  cursor_rows_ = 0;
+  engine_ready_at_ = eq_->Now();
+  pending_bits_.ClearAll();
+  pending_bit_count_ = 0;
+  bitmap_write_cursor_ = 0;
+  last_matches_ = 0;
+  last_job_status_ = Status::OK();
+  last_result_checksum_ = kChecksumInit;
+  stats_.total_busy_ps -= eq_->Now();  // settled in FinishJob
+  if (MaybeInjectHang()) return Status::OK();
+  // BeginProbe (datapath base, generation-neutral) streams the Bloom image
+  // into the probe SRAM before handing over to the generation's scan loop.
+  ScheduleAfterGuarded(config_.invocation_overhead_cycles *
+                           config_.clock.period_ps(),
+                       [this] { datapath_->BeginProbe(); });
+  return Status::OK();
+}
+
+bool Device::EvalProbeKey(int64_t key) const {
+  const ProbeJob& job = *probe_;
+  for (uint32_t h = 0; h < job.hash_count; ++h) {
+    uint64_t bit =
+        BloomBitIndex(static_cast<uint64_t>(key), h, job.filter_words);
+    if (((probe_sram_[bit / 64] >> (bit % 64)) & 1) == 0) return false;
+  }
+  return true;
+}
+
 // The scan sequencer itself (the former SelectStep loop) lives in the
 // generation's DatapathModel: datapath_v1.cc keeps the rank-IO loop
 // unchanged, datapath_v2.cc replaces it with bank-parallel waves.
@@ -426,10 +493,20 @@ void Device::FlushBitmap(std::function<void()> next) {
     next();
     return;
   }
-  const bool is_rowstore = rowstore_.has_value();
-  uint64_t out_base = is_rowstore ? rowstore_->out_base : select_->out_base;
-  bool masked = !is_rowstore && select_->masked_writeback;
-  uint64_t mask = masked ? select_->writeback_mask : ~uint64_t{0};
+  uint64_t out_base;
+  bool masked = false;
+  uint64_t mask = ~uint64_t{0};
+  if (rowstore_.has_value()) {
+    out_base = rowstore_->out_base;
+  } else if (probe_.has_value()) {
+    // Probe bitmaps are always whole-word owned by this device (the runtime
+    // chunks on page boundaries), so no masked merge is needed.
+    out_base = probe_->out_base;
+  } else {
+    out_base = select_->out_base;
+    masked = select_->masked_writeback;
+    mask = masked ? select_->writeback_mask : ~uint64_t{0};
+  }
 
   uint64_t bytes = (pending_bit_count_ + 7) / 8;
   uint64_t addr = out_base + bitmap_write_cursor_;
@@ -498,6 +575,7 @@ void Device::FinishJob() {
   rowstore_.reset();
   sort_.reset();
   groupby_.reset();
+  probe_.reset();
   auto cb = std::move(on_done_);
   on_done_ = nullptr;
 #ifdef NDP_FAULT_INJECT

@@ -99,6 +99,7 @@ class Device {
   Status StartSort(const SortJob& job, std::function<void(sim::Tick)> on_done);
   Status StartGroupBy(const GroupByJob& job,
                       std::function<void(sim::Tick)> on_done);
+  Status StartProbe(const ProbeJob& job, std::function<void(sim::Tick)> on_done);
 
   bool busy() const { return busy_; }
   const DeviceStats& stats() const { return stats_; }
@@ -221,6 +222,10 @@ class Device {
   /// false.
   bool HandleReadFault(uint64_t burst_addr);
 
+  /// True when every hash lane's bit for `key` is set in the probe SRAM
+  /// (Bloom membership; no false negatives by construction).
+  bool EvalProbeKey(int64_t key) const;
+
   void AggregateStep();
   void ContinueAggregateWhenEngineReady();
   void ProjectStep();
@@ -255,8 +260,10 @@ class Device {
   std::optional<RowStoreJob> rowstore_;
   std::optional<SortJob> sort_;
   std::optional<GroupByJob> groupby_;
+  std::optional<ProbeJob> probe_;
   std::vector<int64_t> groupby_agg_;
   std::vector<int64_t> groupby_count_;
+  std::vector<uint64_t> probe_sram_;  ///< Bloom image latched by BeginProbe
 
   uint64_t cursor_rows_ = 0;       ///< rows processed so far
   sim::Tick engine_ready_at_ = 0;  ///< datapath pipeline availability

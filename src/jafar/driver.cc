@@ -361,6 +361,15 @@ Status Driver::GroupByJafar(const GroupByJob& job,
       job.num_rows, std::move(on_done));
 }
 
+Status Driver::ProbeJafar(const ProbeJob& job,
+                          std::function<void(sim::Tick)> on_done) {
+  return StartEngineJob(
+      [this, job](std::function<void(sim::Tick)> cb) {
+        return device_->StartProbe(job, std::move(cb));
+      },
+      job.num_rows, std::move(on_done));
+}
+
 Status Driver::HierarchicalGroupBy(GroupByJob job, uint32_t num_groups,
                                    std::function<void(sim::Tick)> on_done) {
   uint32_t buckets = device_->config().groupby_buckets;

@@ -95,6 +95,8 @@ class Driver {
   Status SortJafar(const SortJob& job, std::function<void(sim::Tick)> on_done);
   Status GroupByJafar(const GroupByJob& job,
                       std::function<void(sim::Tick)> on_done);
+  Status ProbeJafar(const ProbeJob& job,
+                    std::function<void(sim::Tick)> on_done);
 
   /// §4's hierarchical aggregation: covers a key domain of `num_groups`
   /// (starting at key 0) that may exceed the device's bucket SRAM by running

@@ -86,6 +86,32 @@ struct GroupByJob {
   uint64_t out_base = 0;
 };
 
+/// \brief Semijoin probe (JSPIM-style join pushdown): stream the join-key
+/// column through `hash_count` multiply-shift Bloom hash lanes against a
+/// filter image preloaded into device SRAM from DRAM, and emit one candidate
+/// bit per row. The filter admits no false negatives, so the bitmap is a
+/// superset of the true semijoin — the host refines candidates against the
+/// exact build-key set to make the result bit-identical to the CPU oracle.
+struct ProbeJob {
+  uint64_t col_base = 0;      ///< join-key column (int64 values)
+  uint64_t num_rows = 0;
+  uint64_t out_base = 0;      ///< candidate bitmap, one bit per row
+  uint64_t filter_base = 0;   ///< Bloom filter image in this device's rank
+  uint64_t filter_words = 0;  ///< image size in 64-bit words (power of two)
+  uint32_t hash_count = 2;    ///< must match DeviceConfig::probe_hashes
+};
+
+/// Finalizer of the probe datapath's multiply-shift lane h (host-side golden
+/// semantics, shared with the device functional model and the runtime's
+/// filter builder — all three must hash identically or the no-false-negative
+/// property silently breaks).
+uint64_t ProbeMix64(uint64_t key, uint32_t hash_index);
+
+/// Bit index of hash lane `hash_index` for `key` in a filter of
+/// `filter_words` 64-bit words (filter_words must be a power of two).
+uint64_t BloomBitIndex(uint64_t key, uint32_t hash_index,
+                       uint64_t filter_words);
+
 /// \brief Sort (§4 "Sorting"): a fixed-function bitonic sorter over blocks of
 /// `DeviceConfig::sort_block_elems` elements ("ASIC sorters are generally
 /// costly in area, so implementations are typically limited to sorting a

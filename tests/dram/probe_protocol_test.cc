@@ -1,0 +1,95 @@
+// Violation injection for the semijoin probe command-flow rules (DESIGN.md
+// §12): the filter-image load window mirrored by NoteProbeFilterLoadStart /
+// Done must exclude rank writes (a WR could tear the image mid-latch) and
+// bank ARMs (the comparator SRAM port is busy latching), and may not be
+// re-entered. One deliberate error per rule, each asserting the checker
+// flags exactly that rule, plus a legal load window asserting silence.
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+#include "dram/command.h"
+#include "dram/protocol_checker.h"
+#include "dram/timing.h"
+
+namespace ndp::dram {
+namespace {
+
+class ProbeCheckerTest : public ::testing::Test {
+ protected:
+  void Init() { checker_.Configure(&timing_, &org_); }
+
+  sim::Tick C(uint64_t cycles) const { return cycles * timing_.tck_ps; }
+
+  void Act(uint64_t cycle, uint32_t bank, uint32_t row = 0) {
+    checker_.Observe(Command{CommandType::kActivate, 0, bank, row}, C(cycle));
+  }
+  void Rd(uint64_t cycle, uint32_t bank, uint32_t row = 0) {
+    checker_.Observe(Command{CommandType::kRead, 0, bank, row}, C(cycle));
+  }
+  void Wr(uint64_t cycle, uint32_t bank, uint32_t row = 0) {
+    checker_.Observe(Command{CommandType::kWrite, 0, bank, row}, C(cycle));
+  }
+  void Arm(uint64_t cycle, uint32_t bank) {
+    checker_.Observe(Command{CommandType::kBankArm, 0, bank}, C(cycle));
+  }
+  void LoadStart(uint64_t cycle) {
+    checker_.NoteProbeFilterLoadStart(0, C(cycle));
+  }
+  void LoadDone() { checker_.NoteProbeFilterLoadDone(0); }
+
+  void ExpectOnly(TimingRule rule) {
+    ASSERT_EQ(checker_.violations().size(), 1u) << checker_.Report();
+    EXPECT_EQ(checker_.violations()[0].rule, rule) << checker_.Report();
+  }
+
+  DramTiming timing_ = DramTiming::DDR3_1600();
+  DramOrganization org_;
+  BankFilterTiming filter_;
+  ProtocolChecker checker_;
+};
+
+TEST_F(ProbeCheckerTest, LegalLoadWindowStaysSilent) {
+  Init();
+  LoadStart(0);
+  Act(2, 0);
+  Rd(13, 0);   // reads during the load are fine (the engine streams the image)
+  LoadDone();
+  Wr(20, 0);   // tCCD honoured; write is legal once the window closed
+  EXPECT_TRUE(checker_.violations().empty()) << checker_.Report();
+}
+
+TEST_F(ProbeCheckerTest, FlagsWriteDuringFilterLoad) {
+  Init();
+  Act(0, 0);
+  LoadStart(2);
+  Wr(11, 0);   // tRCD honoured, but the rank is mid filter-image latch
+  ExpectOnly(TimingRule::kProbeWrDuringLoad);
+}
+
+TEST_F(ProbeCheckerTest, FlagsArmDuringFilterLoad) {
+  Init();
+  checker_.set_bank_filter_timing(0, &filter_);  // ARM is otherwise legal
+  LoadStart(0);
+  Arm(4, 0);
+  ExpectOnly(TimingRule::kProbeArmDuringLoad);
+}
+
+TEST_F(ProbeCheckerTest, FlagsReentrantFilterLoad) {
+  Init();
+  LoadStart(0);
+  LoadStart(10);
+  ExpectOnly(TimingRule::kProbeReentrantLoad);
+}
+
+TEST_F(ProbeCheckerTest, LoadDoneReopensTheRankForWrites) {
+  Init();
+  Act(0, 0);
+  LoadStart(2);
+  LoadDone();
+  Wr(11, 0);
+  EXPECT_TRUE(checker_.violations().empty()) << checker_.Report();
+}
+
+}  // namespace
+}  // namespace ndp::dram

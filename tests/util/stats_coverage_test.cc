@@ -143,6 +143,9 @@ TEST(StatsCoverageTest, RuntimeAndHostTrafficSurface) {
       "array.runtime.stolen_pages",
       "array.runtime.lane_failures",
       "array.runtime.chunks_reassigned",
+      // skew-aware join pushdown: heavy-hitter flags + ETA-victim steals
+      "array.runtime.hh_flags",
+      "array.runtime.eta_steals",
       // per-channel lease controller
       "array.runtime.ctrl0.ewma_busy_fraction",
       "array.runtime.ctrl0.ewma_idle_cycles",

@@ -17,14 +17,15 @@
 #                         (ctest -L faults), the multi-query runtime suite
 #                         (-L runtime), the device-generation suite
 #                         (-L devgen), the serving-ingress suite
-#                         (-L serving), and unit tests under ASan+UBSan;
+#                         (-L serving), the join-pushdown suite (-L join),
+#                         and unit tests under ASan+UBSan;
 #                         recovery paths (aborts, retries, epoch-guarded
 #                         cancellation, deadline-culled slots) are where
 #                         lifetime bugs would hide
 #   5. tsan build       — -DNDP_SANITIZE=thread: the fault + runtime +
-#                         devgen + serving + unit suites under TSan
+#                         devgen + serving + join + unit suites under TSan
 #                         (ParallelSweep shares columns across workers), then
-#                         the pdes + devgen + serving suites pinned at
+#                         the pdes + devgen + serving + join suites pinned at
 #                         NDP_SIM_THREADS=1 and =4 — the partition barrier
 #                         handshake and SPSC ports are exactly the code TSan
 #                         exists to audit, at both the degenerate and the
@@ -75,25 +76,25 @@ step "configure + build (${PREFIX}-asan, NDP_SANITIZE=address,undefined)"
 cmake -B "${PREFIX}-asan" -S . -DNDP_SANITIZE=address,undefined >/dev/null
 cmake --build "${PREFIX}-asan" -j "${JOBS}"
 
-step "ctest (${PREFIX}-asan: faults + runtime + devgen + serving + unit under ASan/UBSan)"
+step "ctest (${PREFIX}-asan: faults + runtime + devgen + serving + join + unit under ASan/UBSan)"
 ctest --test-dir "${PREFIX}-asan" -j "${JOBS}" \
-  -L 'unit|faults|runtime|devgen|serving' --output-on-failure
+  -L 'unit|faults|runtime|devgen|serving|join' --output-on-failure
 
 step "configure + build (${PREFIX}-tsan, NDP_SANITIZE=thread)"
 cmake -B "${PREFIX}-tsan" -S . -DNDP_SANITIZE=thread >/dev/null
 cmake --build "${PREFIX}-tsan" -j "${JOBS}"
 
-step "ctest (${PREFIX}-tsan: faults + runtime + devgen + serving + unit under TSan)"
+step "ctest (${PREFIX}-tsan: faults + runtime + devgen + serving + join + unit under TSan)"
 ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" \
-  -L 'unit|faults|runtime|devgen|serving' --output-on-failure
+  -L 'unit|faults|runtime|devgen|serving|join' --output-on-failure
 
-step "ctest (${PREFIX}-tsan: pdes + devgen + serving under TSan, NDP_SIM_THREADS=1)"
+step "ctest (${PREFIX}-tsan: pdes + devgen + serving + join under TSan, NDP_SIM_THREADS=1)"
 NDP_SIM_THREADS=1 ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" \
-  -L 'pdes|devgen|serving' --output-on-failure
+  -L 'pdes|devgen|serving|join' --output-on-failure
 
-step "ctest (${PREFIX}-tsan: pdes + devgen + serving under TSan, NDP_SIM_THREADS=4)"
+step "ctest (${PREFIX}-tsan: pdes + devgen + serving + join under TSan, NDP_SIM_THREADS=4)"
 NDP_SIM_THREADS=4 ctest --test-dir "${PREFIX}-tsan" -j "${JOBS}" \
-  -L 'pdes|devgen|serving' --output-on-failure
+  -L 'pdes|devgen|serving|join' --output-on-failure
 
 if command -v clang-tidy >/dev/null 2>&1; then
   step "clang-tidy"
